@@ -1,0 +1,134 @@
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Every bench point builds a fresh pool + engine, runs the deterministic
+// client/server co-simulation (core/server.h), and reports *simulated*
+// throughput/latency. Each point is registered as a google-benchmark with
+// a single iteration (the simulation is deterministic; re-running it
+// yields the identical result) and exposes its metrics as counters. After
+// the benchmark run, each binary prints a compact paper-style table that
+// EXPERIMENTS.md quotes.
+
+#ifndef FLATSTORE_BENCH_BENCH_COMMON_H_
+#define FLATSTORE_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+
+namespace flatstore {
+namespace bench {
+
+// A fully assembled engine under test.
+struct Rig {
+  std::unique_ptr<pm::PmDevice> device;
+  std::unique_ptr<pm::PmPool> pool;
+  std::unique_ptr<core::FlatStore> flat;
+  std::unique_ptr<core::BaselineStore> baseline;
+  std::unique_ptr<core::EngineAdapter> adapter;
+};
+
+// Builds a FlatStore rig (timed PM device attached).
+inline Rig MakeFlatRig(const core::FlatStoreOptions& options,
+                       uint64_t pool_mb = 2048) {
+  Rig rig;
+  rig.device = std::make_unique<pm::PmDevice>();
+  pm::PmPool::Options po;
+  po.size = pool_mb << 20;
+  po.device = rig.device.get();
+  rig.pool = std::make_unique<pm::PmPool>(po);
+  rig.flat = core::FlatStore::Create(rig.pool.get(), options);
+  rig.adapter = std::make_unique<core::FlatStoreAdapter>(rig.flat.get());
+  return rig;
+}
+
+// Builds a baseline rig.
+inline Rig MakeBaselineRig(const core::BaselineStore::Options& options,
+                           uint64_t pool_mb = 2048) {
+  Rig rig;
+  rig.device = std::make_unique<pm::PmDevice>();
+  pm::PmPool::Options po;
+  po.size = pool_mb << 20;
+  po.device = rig.device.get();
+  rig.pool = std::make_unique<pm::PmPool>(po);
+  rig.baseline = core::BaselineStore::Create(rig.pool.get(), options);
+  rig.adapter = std::make_unique<core::BaselineAdapter>(rig.baseline.get());
+  return rig;
+}
+
+// Default evaluation scale (paper: 36 cores, 12x24 client threads,
+// 192 M keys — scaled to CI size; see DESIGN.md §1).
+inline constexpr int kCores = 16;
+inline constexpr int kConns = 96;
+inline constexpr uint64_t kKeySpace = 1ull << 20;
+inline constexpr uint64_t kOpsPerPoint = 48000;
+
+// One measured row.
+struct Row {
+  std::string system;
+  std::string config;
+  double mops = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  double avg_batch = 0;
+};
+
+// Accumulates rows for the end-of-run table.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+
+  // Prints the paper-style table to stdout.
+  void Print() const {
+    std::printf("\n== %s ==\n", title_.c_str());
+    std::printf("%-24s %-24s %10s %10s %10s\n", "system", "config",
+                "Mops/s", "p50(us)", "p99(us)");
+    for (const Row& r : rows_) {
+      std::printf("%-24s %-24s %10.2f %10.2f %10.2f\n", r.system.c_str(),
+                  r.config.c_str(), r.mops,
+                  static_cast<double>(r.p50_ns) / 1000.0,
+                  static_cast<double>(r.p99_ns) / 1000.0);
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+// Runs one server simulation and records it into `table` + benchmark
+// counters.
+inline void RunPoint(benchmark::State& state, core::EngineAdapter* adapter,
+                     const core::ServerConfig& config, Table* table,
+                     const std::string& system, const std::string& label,
+                     double avg_batch = 0) {
+  core::ServerResult result;
+  for (auto _ : state) {
+    result = core::RunServer(adapter, config);
+  }
+  state.counters["sim_mops"] = result.mops;
+  state.counters["p50_us"] =
+      static_cast<double>(result.latency.Percentile(50)) / 1000.0;
+  state.counters["p99_us"] =
+      static_cast<double>(result.latency.Percentile(99)) / 1000.0;
+  Row row;
+  row.system = system;
+  row.config = label;
+  row.mops = result.mops;
+  row.p50_ns = result.latency.Percentile(50);
+  row.p99_ns = result.latency.Percentile(99);
+  row.avg_batch = avg_batch;
+  table->Add(row);
+}
+
+}  // namespace bench
+}  // namespace flatstore
+
+#endif  // FLATSTORE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,196 @@
+// Figure 1 — motivation microbenchmarks on the emulated Optane DCPMM.
+//
+//  (a) raw 64 B random-write throughput vs. FAST&FAIR Put throughput as
+//      the thread count grows (the paper reports a 17x gap at 20 threads);
+//  (b) sequential vs. random 256 B write bandwidth (similar at high
+//      concurrency);
+//  (c) write latency: sequential, random, and in-place (repeated flush of
+//      one line — the ~800 ns stall).
+//
+// "Threads" are simulated writers driven round-robin with per-writer
+// virtual clocks against the shared device model.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/baseline.h"
+#include "pm/pm_pool.h"
+
+namespace flatstore {
+namespace {
+
+// Simulates `threads` concurrent writers, each performing `ops` writes of
+// `size` bytes produced by `offset_fn(thread, i)`. Returns aggregate
+// simulated Mops/s.
+template <typename OffsetFn>
+double RawWriters(int threads, uint64_t ops, uint32_t size,
+                  OffsetFn offset_fn) {
+  pm::PmDevice device;
+  pm::PmPool::Options o;
+  o.size = 512ull << 20;
+  o.device = &device;
+  pm::PmPool pool(o);
+  std::vector<vt::Clock> clocks(static_cast<size_t>(threads));
+  char buf[4096] = {};
+
+  for (uint64_t i = 0; i < ops; i++) {
+    for (int t = 0; t < threads; t++) {
+      vt::ScopedClock bind(&clocks[t]);
+      uint64_t off = offset_fn(t, i) % (o.size - size);
+      std::memcpy(pool.base() + off, buf, size);
+      pool.PersistFence(pool.base() + off, size);
+    }
+  }
+  uint64_t span = 0;
+  for (const auto& c : clocks) span = std::max(span, c.now());
+  return static_cast<double>(ops) * threads * 1000.0 /
+         static_cast<double>(span);
+}
+
+// FAST&FAIR persistent Put throughput with `threads` simulated cores
+// (sharded drivers calling the shared tree, as in the paper's setup).
+double FastFairPuts(int threads, uint64_t ops_per_thread) {
+  pm::PmDevice device;
+  pm::PmPool::Options o;
+  o.size = 2048ull << 20;
+  o.device = &device;
+  pm::PmPool pool(o);
+  core::BaselineStore::Options bo;
+  bo.num_cores = threads;
+  bo.kind = core::BaselineKind::kFastFair;
+  auto store = core::BaselineStore::Create(&pool, bo);
+
+  std::vector<vt::Clock> clocks(static_cast<size_t>(threads));
+  char value[8] = {};
+  // Preload so the tree has a realistic height (the paper's key range is
+  // 192 M; a near-empty tree would flatter FAST&FAIR). Untimed.
+  for (uint64_t k = 0; k < 400000; k++) {
+    uint64_t key = HashKey(k ^ 0xFEEDull);
+    store->PutOnCore(static_cast<int>(key % static_cast<uint64_t>(threads)),
+                     key, value, 8);
+  }
+  for (uint64_t i = 0; i < ops_per_thread; i++) {
+    for (int t = 0; t < threads; t++) {
+      vt::ScopedClock bind(&clocks[t]);
+      uint64_t key = HashKey(static_cast<uint64_t>(t) * ops_per_thread + i);
+      store->PutOnCore(t, key, value, 8);
+    }
+  }
+  uint64_t span = 0;
+  for (const auto& c : clocks) span = std::max(span, c.now());
+  return static_cast<double>(ops_per_thread) * threads * 1000.0 /
+         static_cast<double>(span);
+}
+
+struct F1a {
+  int threads;
+  double optane_mops;
+  double ff_mops;
+};
+struct F1b {
+  int threads;
+  double seq_gbps;
+  double rnd_gbps;
+};
+
+std::vector<F1a> g_a;
+std::vector<F1b> g_b;
+double g_lat_seq, g_lat_rnd, g_lat_inplace;
+
+void BM_Fig1a(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  F1a row{threads, 0, 0};
+  for (auto _ : state) {
+    row.optane_mops = RawWriters(threads, 4000, 64, [](int t, uint64_t i) {
+      return HashKey(static_cast<uint64_t>(t) * 1000003 + i) & ~63ull;
+    });
+    row.ff_mops = FastFairPuts(threads, 3000);
+  }
+  state.counters["optane_mops"] = row.optane_mops;
+  state.counters["fastfair_mops"] = row.ff_mops;
+  g_a.push_back(row);
+}
+BENCHMARK(BM_Fig1a)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1b(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  F1b row{threads, 0, 0};
+  for (auto _ : state) {
+    double seq_mops = RawWriters(threads, 4000, 256, [](int t, uint64_t i) {
+      // Disjoint sequential streams, one per thread, phase-staggered so
+      // the streams spread across the interleaved DIMMs.
+      return (static_cast<uint64_t>(t) << 23) +
+             static_cast<uint64_t>(t % 16) * 4096 + i * 256;
+    });
+    double rnd_mops = RawWriters(threads, 4000, 256, [](int t, uint64_t i) {
+      return HashKey(static_cast<uint64_t>(t) * 7919 + i) & ~255ull;
+    });
+    row.seq_gbps = seq_mops * 256.0 / 1000.0;  // Mops * B -> GB/s
+    row.rnd_gbps = rnd_mops * 256.0 / 1000.0;
+  }
+  state.counters["seq_gbps"] = row.seq_gbps;
+  state.counters["rnd_gbps"] = row.rnd_gbps;
+  g_b.push_back(row);
+}
+BENCHMARK(BM_Fig1b)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(40)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1c(benchmark::State& state) {
+  for (auto _ : state) {
+    pm::PmDevice device;
+    pm::PmPool::Options o;
+    o.size = 256ull << 20;
+    o.device = &device;
+    pm::PmPool pool(o);
+    char buf[64] = {};
+    auto one_write = [&](uint64_t off) {
+      vt::Clock clock;
+      vt::ScopedClock bind(&clock);
+      std::memcpy(pool.base() + off, buf, 64);
+      pool.PersistFence(pool.base() + off, 64);
+      return clock.now();
+    };
+    // Sequential: consecutive lines (after warming the stream).
+    one_write(0);
+    g_lat_seq = static_cast<double>(one_write(64));
+    // Random: a line in a cold block.
+    g_lat_rnd = static_cast<double>(one_write(77 << 20));
+    // In-place: immediately re-flush the same line.
+    one_write(99 << 20);
+    g_lat_inplace = static_cast<double>(one_write(99 << 20));
+  }
+  state.counters["seq_ns"] = g_lat_seq;
+  state.counters["rnd_ns"] = g_lat_rnd;
+  state.counters["inplace_ns"] = g_lat_inplace;
+}
+BENCHMARK(BM_Fig1c)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flatstore
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n== Figure 1(a): Put throughput vs threads (Mops/s) ==\n");
+  std::printf("%8s %16s %16s %8s\n", "threads", "Optane-64B-rnd",
+              "FAST&FAIR", "gap");
+  for (const auto& r : flatstore::g_a) {
+    std::printf("%8d %16.1f %16.2f %7.1fx\n", r.threads, r.optane_mops,
+                r.ff_mops, r.optane_mops / r.ff_mops);
+  }
+  std::printf("\n== Figure 1(b): 256B write bandwidth (GB/s) ==\n");
+  std::printf("%8s %10s %10s\n", "threads", "seq", "rnd");
+  for (const auto& r : flatstore::g_b) {
+    std::printf("%8d %10.2f %10.2f\n", r.threads, r.seq_gbps, r.rnd_gbps);
+  }
+  std::printf("\n== Figure 1(c): write latency (ns) ==\n");
+  std::printf("seq=%0.f rnd=%0.f in-place=%0.f\n", flatstore::g_lat_seq,
+              flatstore::g_lat_rnd, flatstore::g_lat_inplace);
+  return 0;
+}

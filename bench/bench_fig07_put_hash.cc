@@ -1,0 +1,85 @@
+// Figure 7 — Put performance of FlatStore-H vs. the hash baselines
+// (CCEH, Level-Hashing), value length ∈ {8, 64, 128, 256, 512, 1024} B,
+// under uniform and zipfian-0.99 key popularity.
+//
+// Expected shape (paper §5.1): FlatStore-H far ahead for small values
+// (2.5-5.4x), the advantage shrinking toward parity at 1 KB where all
+// systems are PM-bandwidth bound; skew hurts the in-place baselines more
+// than FlatStore.
+
+#include "bench_common.h"
+
+namespace flatstore {
+namespace bench {
+namespace {
+
+Table g_table("Figure 7: Put throughput (Mops/s), hash-indexed systems");
+
+core::ServerConfig Config(uint32_t vlen, bool skew) {
+  core::ServerConfig cfg;
+  cfg.num_conns = kConns;
+  cfg.client_window = 8;
+  cfg.ops_per_conn = kOpsPerPoint / kConns;
+  cfg.workload.key_space = kKeySpace;
+  cfg.workload.value_len = vlen;
+  cfg.workload.dist =
+      skew ? workload::KeyDist::kZipfian : workload::KeyDist::kUniform;
+  return cfg;
+}
+
+std::string Label(uint32_t vlen, bool skew) {
+  return std::string(skew ? "skew" : "uniform") + "/" +
+         std::to_string(vlen) + "B";
+}
+
+void BM_FlatStoreH(benchmark::State& state) {
+  const uint32_t vlen = static_cast<uint32_t>(state.range(0));
+  const bool skew = state.range(1) != 0;
+  core::FlatStoreOptions fo;
+  fo.num_cores = kCores;
+  fo.group_size = kCores;
+  fo.hash_initial_depth = 6;
+  Rig rig = MakeFlatRig(fo);
+  RunPoint(state, rig.adapter.get(), Config(vlen, skew), &g_table,
+           "FlatStore-H", Label(vlen, skew));
+}
+BENCHMARK(BM_FlatStoreH)
+    ->ArgsProduct({{8, 64, 128, 256, 512, 1024}, {0, 1}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_HashBaseline(benchmark::State& state, core::BaselineKind kind) {
+  const uint32_t vlen = static_cast<uint32_t>(state.range(0));
+  const bool skew = state.range(1) != 0;
+  core::BaselineStore::Options bo;
+  bo.num_cores = kCores;
+  bo.kind = kind;
+  bo.cceh_initial_depth = 6;
+  bo.level_initial_bits = 14;
+  Rig rig = MakeBaselineRig(bo);
+  RunPoint(state, rig.adapter.get(), Config(vlen, skew), &g_table,
+           core::BaselineKindName(kind), Label(vlen, skew));
+}
+void BM_Cceh(benchmark::State& state) {
+  BM_HashBaseline(state, core::BaselineKind::kCceh);
+}
+void BM_Level(benchmark::State& state) {
+  BM_HashBaseline(state, core::BaselineKind::kLevelHashing);
+}
+BENCHMARK(BM_Cceh)
+    ->ArgsProduct({{8, 64, 128, 256, 512, 1024}, {0, 1}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Level)
+    ->ArgsProduct({{8, 64, 128, 256, 512, 1024}, {0, 1}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace flatstore
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flatstore::bench::g_table.Print();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 8 — Put performance of the tree-indexed systems: FlatStore-M
+// (Masstree index), FlatStore-FF (volatile FAST&FAIR index), and the
+// persistent baselines FPTree and FAST&FAIR. Value length ∈ {8, 64, 128,
+// 256, 512, 1024} B, uniform and zipfian-0.99.
+//
+// Expected shape (paper §5.1): FlatStore-M 3.4-6.3x over the persistent
+// trees (node shifting/splitting amplifies their writes); FlatStore-M >
+// FlatStore-FF (permutation leaves beat shifting even in DRAM); the gap
+// closes for large values.
+
+#include "bench_common.h"
+
+namespace flatstore {
+namespace bench {
+namespace {
+
+Table g_table("Figure 8: Put throughput (Mops/s), tree-indexed systems");
+
+core::ServerConfig Config(uint32_t vlen, bool skew) {
+  core::ServerConfig cfg;
+  cfg.num_conns = kConns;
+  cfg.client_window = 8;
+  cfg.ops_per_conn = kOpsPerPoint / kConns;
+  cfg.workload.key_space = kKeySpace;
+  cfg.workload.value_len = vlen;
+  cfg.workload.dist =
+      skew ? workload::KeyDist::kZipfian : workload::KeyDist::kUniform;
+  return cfg;
+}
+
+std::string Label(uint32_t vlen, bool skew) {
+  return std::string(skew ? "skew" : "uniform") + "/" +
+         std::to_string(vlen) + "B";
+}
+
+void BM_Flat(benchmark::State& state, core::IndexKind kind,
+             const char* name) {
+  const uint32_t vlen = static_cast<uint32_t>(state.range(0));
+  const bool skew = state.range(1) != 0;
+  core::FlatStoreOptions fo;
+  fo.num_cores = kCores;
+  fo.group_size = kCores;
+  fo.index = kind;
+  Rig rig = MakeFlatRig(fo);
+  RunPoint(state, rig.adapter.get(), Config(vlen, skew), &g_table, name,
+           Label(vlen, skew));
+}
+void BM_FlatStoreM(benchmark::State& state) {
+  BM_Flat(state, core::IndexKind::kMasstree, "FlatStore-M");
+}
+void BM_FlatStoreFF(benchmark::State& state) {
+  BM_Flat(state, core::IndexKind::kFastFairVolatile, "FlatStore-FF");
+}
+
+void BM_TreeBaseline(benchmark::State& state, core::BaselineKind kind) {
+  const uint32_t vlen = static_cast<uint32_t>(state.range(0));
+  const bool skew = state.range(1) != 0;
+  core::BaselineStore::Options bo;
+  bo.num_cores = kCores;
+  bo.kind = kind;
+  Rig rig = MakeBaselineRig(bo);
+  RunPoint(state, rig.adapter.get(), Config(vlen, skew), &g_table,
+           core::BaselineKindName(kind), Label(vlen, skew));
+}
+void BM_FpTree(benchmark::State& state) {
+  BM_TreeBaseline(state, core::BaselineKind::kFpTree);
+}
+void BM_FastFair(benchmark::State& state) {
+  BM_TreeBaseline(state, core::BaselineKind::kFastFair);
+}
+
+#define TREE_SWEEP(fn)                                   \
+  BENCHMARK(fn)                                          \
+      ->ArgsProduct({{8, 64, 128, 256, 512, 1024}, {0, 1}}) \
+      ->Iterations(1)                                    \
+      ->Unit(benchmark::kMillisecond)
+TREE_SWEEP(BM_FlatStoreM);
+TREE_SWEEP(BM_FlatStoreFF);
+TREE_SWEEP(BM_FpTree);
+TREE_SWEEP(BM_FastFair);
+
+}  // namespace
+}  // namespace bench
+}  // namespace flatstore
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flatstore::bench::g_table.Print();
+  return 0;
+}

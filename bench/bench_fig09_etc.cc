@@ -1,0 +1,104 @@
+// Figure 9 — Facebook ETC pool (production workload emulation, §5.2):
+// trimodal item sizes (40 % tiny 1-13 B, 55 % small 14-300 B, 5 % large),
+// zipfian 0.99 over tiny+small, with Put:Get ratios 100:0, 50:50, 5:95.
+// Hash group: FlatStore-H vs CCEH vs Level-Hashing; tree group:
+// FlatStore-M vs FPTree vs FAST&FAIR.
+//
+// Expected shape: FlatStore-H ~2-4x the hash baselines at 100 % Put,
+// converging as the Get ratio rises (reads take the same volatile-index
+// path everywhere); FlatStore-M keeps an edge even at 5:95 because tree
+// Puts stay expensive for the persistent trees.
+
+#include "bench_common.h"
+
+namespace flatstore {
+namespace bench {
+namespace {
+
+Table g_table("Figure 9: Facebook ETC throughput (Mops/s)");
+
+constexpr uint64_t kEtcKeys = 1 << 18;  // preloaded key range
+
+core::ServerConfig Config(int put_pct) {
+  core::ServerConfig cfg;
+  cfg.num_conns = kConns;
+  cfg.client_window = 8;
+  cfg.ops_per_conn = kOpsPerPoint / kConns;
+  cfg.workload.key_space = kEtcKeys;
+  cfg.workload.etc_values = true;
+  cfg.workload.dist = workload::KeyDist::kZipfian;
+  cfg.workload.get_ratio = (100 - put_pct) / 100.0;
+  return cfg;
+}
+
+std::string Label(int put_pct) {
+  return std::to_string(put_pct) + ":" + std::to_string(100 - put_pct);
+}
+
+void RunEtc(benchmark::State& state, Rig& rig, const char* name) {
+  const int put_pct = static_cast<int>(state.range(0));
+  auto cfg = Config(put_pct);
+  // The pool is preloaded so Gets hit (the paper preloads the key range).
+  Preload(rig.adapter.get(), cfg.workload, kEtcKeys);
+  RunPoint(state, rig.adapter.get(), cfg, &g_table, name, Label(put_pct));
+}
+
+void BM_FlatStoreH(benchmark::State& state) {
+  core::FlatStoreOptions fo;
+  fo.num_cores = kCores;
+  fo.group_size = kCores;
+  fo.hash_initial_depth = 6;
+  Rig rig = MakeFlatRig(fo, /*pool_mb=*/3072);
+  RunEtc(state, rig, "FlatStore-H");
+}
+void BM_FlatStoreM(benchmark::State& state) {
+  core::FlatStoreOptions fo;
+  fo.num_cores = kCores;
+  fo.group_size = kCores;
+  fo.index = core::IndexKind::kMasstree;
+  Rig rig = MakeFlatRig(fo, /*pool_mb=*/3072);
+  RunEtc(state, rig, "FlatStore-M");
+}
+void BM_Baseline(benchmark::State& state, core::BaselineKind kind) {
+  core::BaselineStore::Options bo;
+  bo.num_cores = kCores;
+  bo.kind = kind;
+  bo.cceh_initial_depth = 6;
+  bo.level_initial_bits = 14;
+  Rig rig = MakeBaselineRig(bo, /*pool_mb=*/3072);
+  RunEtc(state, rig, core::BaselineKindName(kind));
+}
+void BM_Cceh(benchmark::State& state) {
+  BM_Baseline(state, core::BaselineKind::kCceh);
+}
+void BM_Level(benchmark::State& state) {
+  BM_Baseline(state, core::BaselineKind::kLevelHashing);
+}
+void BM_FpTree(benchmark::State& state) {
+  BM_Baseline(state, core::BaselineKind::kFpTree);
+}
+void BM_FastFair(benchmark::State& state) {
+  BM_Baseline(state, core::BaselineKind::kFastFair);
+}
+
+#define ETC_SWEEP(fn) \
+  BENCHMARK(fn)->Arg(100)->Arg(50)->Arg(5)->Iterations(1)->Unit( \
+      benchmark::kMillisecond)
+ETC_SWEEP(BM_FlatStoreH);
+ETC_SWEEP(BM_Cceh);
+ETC_SWEEP(BM_Level);
+ETC_SWEEP(BM_FlatStoreM);
+ETC_SWEEP(BM_FpTree);
+ETC_SWEEP(BM_FastFair);
+
+}  // namespace
+}  // namespace bench
+}  // namespace flatstore
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flatstore::bench::g_table.Print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 11 — benefit of each optimization (paper §5.4): CCEH (the best
+// hash baseline), "Base" (log-structured FlatStore-H with batching
+// disabled), "+Naive HB", and "+Pipelined HB", for 8/64/128 B values.
+// A padding ablation (DESIGN.md §6) is included as an extra row pair.
+//
+// Expected shape: Base beats CCEH by tens of percent (fewer persistence
+// sites per Put), naive HB adds batching but serializes followers,
+// pipelined HB wins everywhere.
+
+#include "bench_common.h"
+
+namespace flatstore {
+namespace bench {
+namespace {
+
+Table g_table("Figure 11: ablation (Put Mops/s)");
+
+core::ServerConfig Config(uint32_t vlen) {
+  core::ServerConfig cfg;
+  cfg.num_conns = kConns;
+  cfg.client_window = 8;
+  cfg.ops_per_conn = kOpsPerPoint / kConns;
+  cfg.workload.key_space = kKeySpace;
+  cfg.workload.value_len = vlen;
+  return cfg;
+}
+
+void BM_Mode(benchmark::State& state, batch::BatchMode mode,
+             const char* name, bool pad = true) {
+  const uint32_t vlen = static_cast<uint32_t>(state.range(0));
+  core::FlatStoreOptions fo;
+  fo.num_cores = kCores;
+  fo.group_size = kCores;
+  fo.batch_mode = mode;
+  fo.pad_batches = pad;
+  fo.hash_initial_depth = 6;
+  Rig rig = MakeFlatRig(fo);
+  RunPoint(state, rig.adapter.get(), Config(vlen), &g_table, name,
+           std::to_string(vlen) + "B");
+}
+void BM_Base(benchmark::State& state) {
+  BM_Mode(state, batch::BatchMode::kNone, "Base (no batching)");
+}
+void BM_NaiveHB(benchmark::State& state) {
+  BM_Mode(state, batch::BatchMode::kNaiveHB, "+Naive HB");
+}
+void BM_PipelinedHB(benchmark::State& state) {
+  BM_Mode(state, batch::BatchMode::kPipelinedHB, "+Pipelined HB");
+}
+void BM_NoPadding(benchmark::State& state) {
+  BM_Mode(state, batch::BatchMode::kPipelinedHB, "+Pipelined HB (no pad)",
+          /*pad=*/false);
+}
+
+void BM_Cceh(benchmark::State& state) {
+  const uint32_t vlen = static_cast<uint32_t>(state.range(0));
+  core::BaselineStore::Options bo;
+  bo.num_cores = kCores;
+  bo.kind = core::BaselineKind::kCceh;
+  bo.cceh_initial_depth = 6;
+  Rig rig = MakeBaselineRig(bo);
+  RunPoint(state, rig.adapter.get(), Config(vlen), &g_table, "CCEH",
+           std::to_string(vlen) + "B");
+}
+
+#define ABLATION_SWEEP(fn) \
+  BENCHMARK(fn)->Arg(8)->Arg(64)->Arg(128)->Iterations(1)->Unit( \
+      benchmark::kMillisecond)
+ABLATION_SWEEP(BM_Cceh);
+ABLATION_SWEEP(BM_Base);
+ABLATION_SWEEP(BM_NaiveHB);
+ABLATION_SWEEP(BM_PipelinedHB);
+ABLATION_SWEEP(BM_NoPadding);
+
+}  // namespace
+}  // namespace bench
+}  // namespace flatstore
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flatstore::bench::g_table.Print();
+  return 0;
+}

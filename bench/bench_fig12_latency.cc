@@ -1,0 +1,65 @@
+// Figure 12 — latency vs. throughput: Pipelined HB vs. Vertical Batching
+// for client batch sizes (windows) 1, 4 and 8, sweeping the number of
+// client connections. Each point reports simulated throughput and p50
+// latency, forming the paper's latency/throughput curves.
+//
+// Expected shape: with few clients (batch 1), pipelined HB matches
+// vertical at first and then wins in both throughput and latency as
+// clients grow (a single core cannot accumulate batches, but a leader
+// can steal across cores); with plentiful batching (batch 8), the curves
+// converge with pipelined HB at or above vertical.
+
+#include "bench_common.h"
+
+namespace flatstore {
+namespace bench {
+namespace {
+
+Table g_table("Figure 12: Pipelined HB vs Vertical batching");
+
+void BM_Lat(benchmark::State& state, batch::BatchMode mode,
+            const char* name) {
+  const int window = static_cast<int>(state.range(0));
+  const int conns = static_cast<int>(state.range(1));
+  core::FlatStoreOptions fo;
+  fo.num_cores = kCores;
+  fo.group_size = kCores;
+  fo.batch_mode = mode;
+  fo.hash_initial_depth = 6;
+  Rig rig = MakeFlatRig(fo);
+
+  core::ServerConfig cfg;
+  cfg.num_conns = conns;
+  cfg.client_window = window;
+  cfg.ops_per_conn = 32000 / static_cast<uint64_t>(conns);
+  cfg.workload.key_space = kKeySpace;
+  cfg.workload.value_len = 64;
+  RunPoint(state, rig.adapter.get(), cfg, &g_table, name,
+           "win=" + std::to_string(window) + "/conns=" +
+               std::to_string(conns));
+}
+void BM_Pipelined(benchmark::State& state) {
+  BM_Lat(state, batch::BatchMode::kPipelinedHB, "Pipelined HB");
+}
+void BM_Vertical(benchmark::State& state) {
+  BM_Lat(state, batch::BatchMode::kVertical, "Vertical");
+}
+
+BENCHMARK(BM_Pipelined)
+    ->ArgsProduct({{1, 4, 8}, {1, 2, 4, 8, 16, 32, 64}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Vertical)
+    ->ArgsProduct({{1, 4, 8}, {1, 2, 4, 8, 16, 32, 64}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace flatstore
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flatstore::bench::g_table.Print();
+  return 0;
+}

@@ -1,0 +1,167 @@
+// flatstore_cli — scriptable command-line front end for a FlatStore pool.
+//
+// Commands are read from argv (each argument is one command) or, with no
+// arguments, from stdin (one per line). The pool lives in process memory
+// (the PM emulation), so this is a sandbox for exploring the engine:
+//
+//   put <key> <value>      store a value
+//   get <key>              read a value
+//   del <key>              delete a key
+//   scan <start> <n>       ordered scan (Masstree mode)
+//   fill <n> <len>         bulk-load n keys with len-byte values
+//   stats                  engine + PM statistics
+//   gc                     one synchronous cleaning pass
+//   checkpoint             online index checkpoint
+//   crash                  simulate power loss + recover
+//   fsck                   offline consistency check
+//   help / quit
+//
+// Example:
+//   ./build/examples/flatstore_cli "fill 1000 100" stats "get 42" fsck
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flatstore.h"
+#include "core/fsck.h"
+
+using namespace flatstore;
+
+namespace {
+
+struct Cli {
+  std::unique_ptr<pm::PmPool> pool;
+  std::unique_ptr<core::FlatStore> store;
+  core::FlatStoreOptions opts;
+
+  Cli() {
+    pm::PmPool::Options po;
+    po.size = 512ull << 20;
+    po.crash_tracking = true;  // enables the `crash` command
+    pool = std::make_unique<pm::PmPool>(po);
+    opts.num_cores = 4;
+    opts.group_size = 4;
+    opts.index = core::IndexKind::kMasstree;  // scans available
+    store = core::FlatStore::Create(pool.get(), opts);
+  }
+
+  // Executes one command line; returns false on `quit`.
+  bool Run(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') return true;
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf(
+          "put <k> <v> | get <k> | del <k> | scan <start> <n> |\n"
+          "fill <n> <len> | stats | gc | checkpoint | crash | fsck | quit\n");
+    } else if (cmd == "put") {
+      uint64_t k;
+      std::string v;
+      if (!(in >> k >> v)) return Usage("put <key> <value>");
+      store->Put(k, v);
+      std::printf("ok\n");
+    } else if (cmd == "get") {
+      uint64_t k;
+      if (!(in >> k)) return Usage("get <key>");
+      std::string v;
+      if (store->Get(k, &v)) {
+        std::printf("%s\n", v.c_str());
+      } else {
+        std::printf("(not found)\n");
+      }
+    } else if (cmd == "del") {
+      uint64_t k;
+      if (!(in >> k)) return Usage("del <key>");
+      std::printf("%s\n", store->Delete(k) ? "deleted" : "(not found)");
+    } else if (cmd == "scan") {
+      uint64_t start, n;
+      if (!(in >> start >> n)) return Usage("scan <start> <n>");
+      std::vector<std::pair<uint64_t, std::string>> out;
+      store->Scan(start, n, &out);
+      for (const auto& [k, v] : out) {
+        std::printf("%lu -> %.40s%s\n", static_cast<unsigned long>(k),
+                    v.c_str(), v.size() > 40 ? "..." : "");
+      }
+      std::printf("(%zu results)\n", out.size());
+    } else if (cmd == "fill") {
+      uint64_t n, len;
+      if (!(in >> n >> len)) return Usage("fill <n> <len>");
+      for (uint64_t k = 0; k < n; k++) {
+        store->Put(k, std::string(len, char('a' + k % 26)));
+      }
+      std::printf("filled %lu keys\n", static_cast<unsigned long>(n));
+    } else if (cmd == "stats") {
+      auto s = pool->stats().Get();
+      std::printf("live keys        : %lu\n",
+                  static_cast<unsigned long>(store->Size()));
+      std::printf("PM line flushes  : %lu\n",
+                  static_cast<unsigned long>(s.lines_flushed));
+      std::printf("PM fences        : %lu\n",
+                  static_cast<unsigned long>(s.fences));
+      std::printf("HB batches       : %lu (avg %.2f entries)\n",
+                  static_cast<unsigned long>(store->hb()->batches()),
+                  store->hb()->batches()
+                      ? static_cast<double>(store->hb()->batched_entries()) /
+                            store->hb()->batches()
+                      : 0.0);
+      std::printf("free chunks      : %lu / %lu\n",
+                  static_cast<unsigned long>(store->allocator()->free_chunks()),
+                  static_cast<unsigned long>(store->allocator()->total_chunks()));
+      std::printf("chunks cleaned   : %lu\n",
+                  static_cast<unsigned long>(store->ChunksCleaned()));
+    } else if (cmd == "gc") {
+      std::printf("freed %zu chunks\n", store->RunCleanersOnce());
+    } else if (cmd == "checkpoint") {
+      store->CheckpointNow();
+      std::printf("checkpointed %lu keys\n",
+                  static_cast<unsigned long>(store->Size()));
+    } else if (cmd == "crash") {
+      store.reset();
+      pool->SimulateCrash();
+      store = core::FlatStore::Open(pool.get(), opts);
+      std::printf("crashed + recovered: %lu keys\n",
+                  static_cast<unsigned long>(store->Size()));
+    } else if (cmd == "fsck") {
+      core::FsckReport r = core::FsckPool(*pool);
+      std::printf("%s\n", r.Summary().c_str());
+      for (const auto& issue : r.issues) {
+        std::printf("  [%s] %s\n", issue.fatal ? "ERROR" : "warn",
+                    issue.what.c_str());
+      }
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  bool Usage(const char* usage) {
+    std::printf("usage: %s\n", usage);
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (argc > 1) {
+    for (int i = 1; i < argc; i++) {
+      if (!cli.Run(argv[i])) break;
+    }
+    return 0;
+  }
+  std::string line;
+  std::printf("flatstore> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!cli.Run(line)) break;
+    std::printf("flatstore> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

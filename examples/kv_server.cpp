@@ -1,0 +1,79 @@
+// Scenario: head-to-head server shootout. Runs the same YCSB-style
+// write-intensive workload against FlatStore-H, FlatStore-M, and the four
+// persistent-index baselines under the identical simulated network, then
+// prints a comparison table — a miniature of the paper's §5 evaluation.
+//
+//   $ ./build/examples/kv_server
+
+#include <cstdio>
+
+#include "core/server.h"
+
+using namespace flatstore;
+
+namespace {
+
+core::ServerConfig Workload() {
+  core::ServerConfig cfg;
+  cfg.num_conns = 16;
+  cfg.client_window = 8;
+  cfg.ops_per_conn = 2000;
+  cfg.workload.key_space = 1 << 18;
+  cfg.workload.value_len = 64;
+  cfg.workload.get_ratio = 0.10;  // write-intensive
+  cfg.workload.dist = workload::KeyDist::kZipfian;
+  return cfg;
+}
+
+void Report(const char* name, const core::ServerResult& r) {
+  std::printf("%-16s %8.2f Mops/s   p50 %6.1f us   p99 %6.1f us\n", name,
+              r.mops, r.latency.Percentile(50) / 1000.0,
+              r.latency.Percentile(99) / 1000.0);
+}
+
+void RunFlat(core::IndexKind kind) {
+  pm::PmDevice device;
+  pm::PmPool::Options po;
+  po.size = 1024ull << 20;
+  po.device = &device;
+  pm::PmPool pool(po);
+  core::FlatStoreOptions fo;
+  fo.num_cores = 8;
+  fo.group_size = 8;
+  fo.index = kind;
+  fo.hash_initial_depth = 6;
+  auto store = core::FlatStore::Create(&pool, fo);
+  core::FlatStoreAdapter adapter(store.get());
+  Report(core::IndexKindName(kind), core::RunServer(&adapter, Workload()));
+}
+
+void RunBaseline(core::BaselineKind kind) {
+  pm::PmDevice device;
+  pm::PmPool::Options po;
+  po.size = 1024ull << 20;
+  po.device = &device;
+  pm::PmPool pool(po);
+  core::BaselineStore::Options bo;
+  bo.num_cores = 8;
+  bo.kind = kind;
+  bo.cceh_initial_depth = 6;
+  bo.level_initial_bits = 13;
+  auto store = core::BaselineStore::Create(&pool, bo);
+  core::BaselineAdapter adapter(store.get());
+  Report(core::BaselineKindName(kind), core::RunServer(&adapter, Workload()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("KV server shootout: 8 cores, 16 conns x 8 window, 64 B\n");
+  std::printf("values, zipfian(0.99), 90%% Put — simulated time.\n\n");
+  RunFlat(core::IndexKind::kHash);
+  RunFlat(core::IndexKind::kMasstree);
+  RunBaseline(core::BaselineKind::kCceh);
+  RunBaseline(core::BaselineKind::kLevelHashing);
+  RunBaseline(core::BaselineKind::kFpTree);
+  RunBaseline(core::BaselineKind::kFastFair);
+  std::printf("\ndone.\n");
+  return 0;
+}

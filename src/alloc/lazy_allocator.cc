@@ -1,0 +1,331 @@
+#include "alloc/lazy_allocator.h"
+
+#include <cstring>
+
+#include "common/cacheline.h"
+#include "common/logging.h"
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace alloc {
+
+LazyAllocator::LazyAllocator(pm::PmPool* pool, uint64_t region_off,
+                             uint64_t region_len, int num_cores)
+    : pool_(pool),
+      region_off_(region_off),
+      num_chunks_(region_len / kChunkSize),
+      num_cores_(num_cores),
+      cores_(static_cast<size_t>(num_cores)) {
+  FLATSTORE_CHECK_EQ(region_off % kChunkSize, 0u);
+  // Offset 0 is the "allocation failed" sentinel, so the region must not
+  // start at the very beginning of the pool (the superblock lives there).
+  FLATSTORE_CHECK_GT(region_off, 0u);
+  FLATSTORE_CHECK(num_chunks_ > 0);
+  FLATSTORE_CHECK(region_off + region_len <= pool->size());
+  chunks_.reserve(num_chunks_);
+  free_list_.reserve(num_chunks_);
+  for (uint64_t i = 0; i < num_chunks_; i++) {
+    chunks_.push_back(std::make_unique<ChunkState>());
+    free_list_.push_back(static_cast<int64_t>(num_chunks_ - 1 - i));
+  }
+}
+
+uint32_t LazyAllocator::ClassFor(uint64_t size) {
+  for (uint32_t cls : kSizeClasses) {
+    if (size <= cls) return cls;
+  }
+  return 0;  // needs a raw chunk
+}
+
+size_t LazyAllocator::ClassIndex(uint32_t cls) {
+  for (size_t i = 0; i < kSizeClasses.size(); i++) {
+    if (kSizeClasses[i] == cls) return i;
+  }
+  FLATSTORE_CHECK(false) << "unknown size class " << cls;
+  return 0;
+}
+
+int64_t LazyAllocator::PopFreeChunk() {
+  std::lock_guard<SpinLock> g(free_lock_);
+  if (free_list_.empty()) return -1;
+  int64_t id = free_list_.back();
+  free_list_.pop_back();
+  return id;
+}
+
+void LazyAllocator::FormatValueChunk(int64_t chunk, uint32_t cls, int core) {
+  ChunkHeader* h = HeaderOf(chunk);
+  h->magic = kChunkMagic;
+  h->size_class = cls;
+  h->owner_core = static_cast<uint32_t>(core);
+  std::memset(h->bitmap, 0, sizeof(h->bitmap));
+  // The paper persists the cutting size when the chunk becomes ready for
+  // allocation; the bitmap itself stays lazy.
+  pool_->PersistFence(h, 16);
+
+  ChunkState& st = *chunks_[chunk];
+  st.size_class = cls;
+  st.used = 0;
+  st.owner = core;
+  st.formatted = true;
+  st.raw = false;
+  st.next_free_hint = 0;
+}
+
+int64_t LazyAllocator::TakeBlock(int64_t chunk) {
+  ChunkState& st = *chunks_[chunk];
+  ChunkHeader* h = HeaderOf(chunk);
+  const uint32_t blocks = BlocksPerChunk(st.size_class);
+  const uint32_t words = static_cast<uint32_t>(BitmapView::WordsFor(blocks));
+  uint32_t w = st.next_free_hint;
+  for (uint32_t n = 0; n < words; n++, w = (w + 1) % words) {
+    if (h->bitmap[w] == ~0ull) continue;
+    uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(~h->bitmap[w]));
+    uint32_t idx = w * 64 + bit;
+    if (idx >= blocks) continue;  // tail bits of the last word
+    h->bitmap[w] |= (1ull << bit);
+    st.used++;
+    st.next_free_hint = w;
+    return idx;
+  }
+  return -1;
+}
+
+uint64_t LazyAllocator::Alloc(int core, uint64_t size) {
+  FLATSTORE_DCHECK(core >= 0 && core < num_cores_);
+  vt::Charge(2 * vt::kCpuSlotProbe + vt::kCpuCas);
+  const uint32_t cls = ClassFor(size);
+  if (cls == 0) {
+    // Raw-chunk fallback for huge values (rare in KV workloads).
+    FLATSTORE_CHECK_LE(size, kChunkSize - kChunkHeaderSize)
+        << "multi-chunk values are not supported";
+    uint64_t chunk_off = AllocRawChunk(core);
+    return chunk_off == 0 ? 0 : chunk_off + kChunkHeaderSize;
+  }
+
+  CoreClassState& ccs = cores_[core].classes[ClassIndex(cls)];
+  while (true) {
+    if (ccs.current < 0) {
+      // Refill: a partially-free chunk we own, else a fresh chunk.
+      {
+        std::lock_guard<SpinLock> g(ccs.partial_lock);
+        while (!ccs.partial.empty() && ccs.current < 0) {
+          int64_t cand = ccs.partial.back();
+          ccs.partial.pop_back();
+          std::lock_guard<SpinLock> cg(chunks_[cand]->lock);
+          chunks_[cand]->in_partial_list = false;
+          if (chunks_[cand]->used < BlocksPerChunk(cls)) {
+            ccs.current = cand;
+          }
+        }
+      }
+      if (ccs.current < 0) {
+        int64_t fresh = PopFreeChunk();
+        if (fresh < 0) return 0;  // out of PM space
+        FormatValueChunk(fresh, cls, core);
+        ccs.current = fresh;
+      }
+    }
+    int64_t chunk = ccs.current;
+    std::lock_guard<SpinLock> g(chunks_[chunk]->lock);
+    int64_t idx = TakeBlock(chunk);
+    if (idx >= 0) {
+      return ChunkOffset(chunk) + kChunkHeaderSize +
+             static_cast<uint64_t>(idx) * cls;
+    }
+    ccs.current = -1;  // full; try another chunk
+  }
+}
+
+void LazyAllocator::Free(uint64_t off) {
+  vt::Charge(vt::kCpuCas);
+  int64_t chunk = ChunkIdOf(off);
+  FLATSTORE_CHECK(chunk >= 0 && static_cast<uint64_t>(chunk) < num_chunks_);
+  ChunkState& st = *chunks_[chunk];
+  if (st.raw) {
+    FreeRawChunk(ChunkOffset(chunk));
+    return;
+  }
+  ChunkHeader* h = HeaderOf(chunk);
+  bool add_partial = false;
+  int owner;
+  uint32_t cls;
+  {
+    std::lock_guard<SpinLock> g(st.lock);
+    FLATSTORE_CHECK(st.formatted);
+    cls = st.size_class;
+    uint64_t idx = (off - ChunkOffset(chunk) - kChunkHeaderSize) / cls;
+    FLATSTORE_DCHECK((off - ChunkOffset(chunk) - kChunkHeaderSize) % cls == 0);
+    BitmapView bm(h->bitmap, BlocksPerChunk(cls));
+    FLATSTORE_CHECK(bm.Test(idx)) << "double free at offset " << off;
+    bm.Clear(idx);
+    st.used--;
+    // Re-expose the chunk to its owner if it was invisible (not anyone's
+    // current chunk and not in a partial list).
+    if (!st.in_partial_list && st.used + 1 == BlocksPerChunk(cls)) {
+      st.in_partial_list = true;
+      add_partial = true;
+    }
+    owner = st.owner;
+  }
+  if (add_partial) {
+    CoreClassState& ccs = cores_[owner].classes[ClassIndex(cls)];
+    std::lock_guard<SpinLock> g(ccs.partial_lock);
+    ccs.partial.push_back(chunk);
+  }
+}
+
+uint64_t LazyAllocator::AllocRawChunk(int core) {
+  vt::Charge(vt::kCpuCas);
+  int64_t id = PopFreeChunk();
+  if (id < 0) return 0;
+  ChunkHeader* h = HeaderOf(id);
+  h->magic = kChunkMagic;
+  h->size_class = 0;
+  h->owner_core = static_cast<uint32_t>(core);
+  pool_->PersistFence(h, 16);
+  ChunkState& st = *chunks_[id];
+  std::lock_guard<SpinLock> g(st.lock);
+  st.size_class = 0;
+  st.used = 1;
+  st.owner = core;
+  st.formatted = false;
+  st.raw = true;
+  return ChunkOffset(id);
+}
+
+void LazyAllocator::FreeRawChunk(uint64_t chunk_off) {
+  int64_t id = ChunkIdOf(chunk_off);
+  {
+    ChunkState& st = *chunks_[id];
+    std::lock_guard<SpinLock> g(st.lock);
+    FLATSTORE_CHECK(st.raw) << "FreeRawChunk on non-raw chunk";
+    st.raw = false;
+    st.used = 0;
+  }
+  std::lock_guard<SpinLock> g(free_lock_);
+  free_list_.push_back(id);
+}
+
+void LazyAllocator::StartRecovery() {
+  {
+    std::lock_guard<SpinLock> g(free_lock_);
+    free_list_.clear();
+  }
+  for (auto& core : cores_) {
+    for (auto& ccs : core.classes) {
+      ccs.current = -1;
+      ccs.partial.clear();
+    }
+  }
+  for (uint64_t i = 0; i < num_chunks_; i++) {
+    ChunkState& st = *chunks_[i];
+    st.size_class = 0;
+    st.used = 0;
+    st.owner = -1;
+    st.formatted = false;
+    st.raw = false;
+    st.in_partial_list = false;
+    st.next_free_hint = 0;
+    // Bitmaps are reconstructed from the log; drop whatever survived.
+    std::memset(HeaderOf(i)->bitmap, 0, sizeof(ChunkHeader::bitmap));
+  }
+}
+
+void LazyAllocator::MarkBlockAllocated(uint64_t off) {
+  int64_t chunk = ChunkIdOf(off);
+  FLATSTORE_CHECK(chunk >= 0 && static_cast<uint64_t>(chunk) < num_chunks_);
+  ChunkHeader* h = HeaderOf(chunk);
+  FLATSTORE_CHECK_EQ(h->magic, kChunkMagic);
+  ChunkState& st = *chunks_[chunk];
+  if (h->size_class == 0) {
+    MarkRawChunkAllocated(ChunkOffset(chunk));
+    return;
+  }
+  std::lock_guard<SpinLock> g(st.lock);
+  st.formatted = true;
+  st.size_class = h->size_class;
+  st.owner = static_cast<int>(h->owner_core) % num_cores_;
+  uint64_t idx = (off - ChunkOffset(chunk) - kChunkHeaderSize) / h->size_class;
+  BitmapView bm(h->bitmap, BlocksPerChunk(h->size_class));
+  if (!bm.Test(idx)) {
+    bm.Set(idx);
+    st.used++;
+  }
+}
+
+void LazyAllocator::MarkRawChunkAllocated(uint64_t chunk_off) {
+  int64_t chunk = ChunkIdOf(chunk_off);
+  ChunkHeader* h = HeaderOf(chunk);
+  ChunkState& st = *chunks_[chunk];
+  std::lock_guard<SpinLock> g(st.lock);
+  st.raw = true;
+  st.used = 1;
+  st.owner = static_cast<int>(h->owner_core) % num_cores_;
+}
+
+void LazyAllocator::FinishRecovery() {
+  std::lock_guard<SpinLock> g(free_lock_);
+  for (uint64_t i = 0; i < num_chunks_; i++) {
+    ChunkState& st = *chunks_[i];
+    if (st.raw) continue;
+    if (st.formatted && st.used > 0) {
+      st.in_partial_list = true;
+      CoreClassState& ccs =
+          cores_[st.owner].classes[ClassIndex(st.size_class)];
+      std::lock_guard<SpinLock> pg(ccs.partial_lock);
+      ccs.partial.push_back(static_cast<int64_t>(i));
+    } else {
+      st.formatted = false;
+      free_list_.push_back(static_cast<int64_t>(i));
+    }
+  }
+}
+
+void LazyAllocator::PersistMetadata() {
+  for (uint64_t i = 0; i < num_chunks_; i++) {
+    ChunkState& st = *chunks_[i];
+    if (st.formatted) {
+      pool_->Persist(HeaderOf(i), sizeof(ChunkHeader));
+    }
+  }
+  pool_->Fence();
+}
+
+uint64_t LazyAllocator::free_chunks() const {
+  std::lock_guard<SpinLock> g(free_lock_);
+  return free_list_.size();
+}
+
+uint64_t LazyAllocator::allocated_bytes() const {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < num_chunks_; i++) {
+    ChunkState& st = *chunks_[i];
+    std::lock_guard<SpinLock> g(st.lock);
+    if (st.raw) {
+      total += kChunkSize;
+    } else if (st.formatted) {
+      total += static_cast<uint64_t>(st.used) * st.size_class;
+    }
+  }
+  return total;
+}
+
+bool LazyAllocator::IsAllocated(uint64_t off) const {
+  int64_t chunk = ChunkIdOf(off);
+  if (chunk < 0 || static_cast<uint64_t>(chunk) >= num_chunks_) return false;
+  ChunkState& st = *chunks_[chunk];
+  std::lock_guard<SpinLock> g(st.lock);
+  if (st.raw) return true;
+  if (!st.formatted) return false;
+  uint64_t rel = off - ChunkOffset(chunk);
+  if (rel < kChunkHeaderSize) return false;
+  uint64_t idx = (rel - kChunkHeaderSize) / st.size_class;
+  if (idx >= BlocksPerChunk(st.size_class)) return false;
+  BitmapView bm(HeaderOf(chunk)->bitmap, BlocksPerChunk(st.size_class));
+  return bm.Test(idx);
+}
+
+}  // namespace alloc
+}  // namespace flatstore

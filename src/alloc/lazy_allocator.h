@@ -1,0 +1,188 @@
+// Lazy-persist NVM allocator (paper §3.2).
+//
+// A Hoard-like allocator over an emulated PM region:
+//
+//  * The region is cut into 4 MB chunks. A chunk is either free, a *value
+//    chunk* formatted with one size class (all blocks in the chunk have
+//    that size), or a *raw chunk* handed out whole (OpLog segments and
+//    allocations > 4 MB).
+//  * Each chunk head persistently records its size class when formatted
+//    ("cutting size"), plus a bitmap of used blocks that is updated
+//    **without flushing** during normal operation — that is the paper's
+//    key trick. The OpLog already durably holds every live block pointer,
+//    so after a crash each bitmap is recomputed: chunk = ptr & ~(4MB-1),
+//    block index = (ptr - chunk - header) / class.
+//  * Chunks are partitioned across server cores; a core allocates from its
+//    privately owned chunks without locks on the fast path. Frees may come
+//    from any thread (the log cleaner), so per-chunk spinlocks guard the
+//    bitmap.
+//
+// Size classes are multiples of 256 B so every block offset is 256 B
+// aligned — this is what lets the log entry drop the low 8 bits of `Ptr`
+// and fit a pointer in 40 bits (paper Fig. 3).
+
+#ifndef FLATSTORE_ALLOC_LAZY_ALLOCATOR_H_
+#define FLATSTORE_ALLOC_LAZY_ALLOCATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/spin_lock.h"
+#include "pm/pm_pool.h"
+
+namespace flatstore {
+namespace alloc {
+
+// Chunk geometry.
+inline constexpr uint64_t kChunkSize = 4ull << 20;
+inline constexpr uint64_t kChunkHeaderSize = 4096;  // header + bitmap area
+inline constexpr uint64_t kChunkMagic = 0xF1A75702EC0FFEEDull;
+
+// Size classes for value blocks (all > 256 B; multiples of 256 B).
+inline constexpr std::array<uint32_t, 11> kSizeClasses = {
+    512,    768,    1024,    1536,    2048,   4096,
+    8192,   16384,  65536,   262144,  1048576};
+
+// Persistent header at the start of every chunk. `size_class` == 0 marks a
+// raw (whole-chunk) allocation; bitmap words follow the fixed fields.
+struct ChunkHeader {
+  uint64_t magic;
+  uint32_t size_class;  // block size in bytes; 0 for raw chunks
+  uint32_t owner_core;
+  uint64_t bitmap[(kChunkHeaderSize - 16) / 8];
+};
+static_assert(sizeof(ChunkHeader) == kChunkHeaderSize);
+
+// The allocator. One instance manages one PM region for all cores.
+class LazyAllocator {
+ public:
+  // Manages `region_len` bytes of `pool` starting at `region_off` (both
+  // 4 MB aligned) on behalf of `num_cores` server cores.
+  LazyAllocator(pm::PmPool* pool, uint64_t region_off, uint64_t region_len,
+                int num_cores);
+
+  LazyAllocator(const LazyAllocator&) = delete;
+  LazyAllocator& operator=(const LazyAllocator&) = delete;
+
+  // Number of blocks a chunk of class `cls` holds.
+  static uint32_t BlocksPerChunk(uint32_t cls) {
+    return static_cast<uint32_t>((kChunkSize - kChunkHeaderSize) / cls);
+  }
+
+  // Smallest class that can hold `size` bytes, or 0 if size needs raw
+  // chunks (> largest class).
+  static uint32_t ClassFor(uint64_t size);
+
+  // Allocates at least `size` bytes for `core`. Returns the pool offset of
+  // the block (256 B aligned), or 0 on out-of-space. The bitmap update is
+  // *not* flushed (lazy persist).
+  uint64_t Alloc(int core, uint64_t size);
+
+  // Frees a block previously returned by Alloc. Thread-safe (cleaners free
+  // blocks owned by other cores). Not flushed.
+  void Free(uint64_t off);
+
+  // Allocates one whole raw chunk for `core` (OpLog segments). The header
+  // (magic + class 0 + owner) is persisted. Returns chunk offset or 0.
+  uint64_t AllocRawChunk(int core);
+
+  // Returns a raw chunk to the free pool.
+  void FreeRawChunk(uint64_t chunk_off);
+
+  // --- recovery (paper §3.5) ---
+
+  // Drops all volatile state and zeroes every bitmap; call before replay.
+  void StartRecovery();
+
+  // Marks the block containing `off` live (from a log entry's Ptr). The
+  // chunk's persisted size class locates the block. Idempotent.
+  void MarkBlockAllocated(uint64_t off);
+
+  // Marks a whole raw chunk live (OpLog segments found via log heads /
+  // journal).
+  void MarkRawChunkAllocated(uint64_t chunk_off);
+
+  // Rebuilds free lists / per-core ownership after replay.
+  void FinishRecovery();
+
+  // --- clean shutdown ---
+
+  // Persists every formatted chunk's bitmap (normal-shutdown path).
+  void PersistMetadata();
+
+  // --- introspection ---
+  uint64_t free_chunks() const;
+  uint64_t total_chunks() const { return num_chunks_; }
+  // Bytes of the region currently allocated (blocks + raw chunks).
+  uint64_t allocated_bytes() const;
+
+  // True if `off` lies inside a live block/raw chunk (test helper).
+  bool IsAllocated(uint64_t off) const;
+
+  pm::PmPool* pool() const { return pool_; }
+
+ private:
+  // Volatile per-chunk bookkeeping.
+  struct ChunkState {
+    SpinLock lock;
+    uint32_t size_class = 0;   // mirror of the persistent header
+    uint32_t used = 0;         // live blocks (1 for raw chunks)
+    int owner = -1;
+    bool formatted = false;    // handed out as value chunk
+    bool raw = false;          // handed out as raw chunk
+    bool in_partial_list = false;
+    uint32_t next_free_hint = 0;
+  };
+
+  // Per-core, per-class allocation state.
+  struct CoreClassState {
+    int64_t current = -1;               // chunk id being filled
+    std::vector<int64_t> partial;       // chunks with free blocks
+    SpinLock partial_lock;              // frees may push from cleaners
+  };
+
+  struct CoreState {
+    std::array<CoreClassState, kSizeClasses.size()> classes;
+  };
+
+  ChunkHeader* HeaderOf(uint64_t chunk_id) const {
+    return pool_->PtrAt<ChunkHeader>(region_off_ + chunk_id * kChunkSize);
+  }
+  uint64_t ChunkOffset(uint64_t chunk_id) const {
+    return region_off_ + chunk_id * kChunkSize;
+  }
+  int64_t ChunkIdOf(uint64_t off) const {
+    return static_cast<int64_t>((off - region_off_) / kChunkSize);
+  }
+  static size_t ClassIndex(uint32_t cls);
+
+  // Pops a free chunk id or -1. Caller formats it.
+  int64_t PopFreeChunk();
+
+  // Formats `chunk` as a value chunk of `cls` for `core` and persists the
+  // header fields (not the bitmap).
+  void FormatValueChunk(int64_t chunk, uint32_t cls, int core);
+
+  // Allocates one block from `chunk` (its lock must be held); returns the
+  // block index or -1 if full.
+  int64_t TakeBlock(int64_t chunk);
+
+  pm::PmPool* pool_;
+  uint64_t region_off_;
+  uint64_t num_chunks_;
+  int num_cores_;
+
+  std::vector<std::unique_ptr<ChunkState>> chunks_;
+  std::vector<CoreState> cores_;
+  mutable SpinLock free_lock_;
+  std::vector<int64_t> free_list_;
+};
+
+}  // namespace alloc
+}  // namespace flatstore
+
+#endif  // FLATSTORE_ALLOC_LAZY_ALLOCATOR_H_

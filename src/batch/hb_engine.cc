@@ -1,0 +1,248 @@
+#include "batch/hb_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace batch {
+
+const char* BatchModeName(BatchMode mode) {
+  switch (mode) {
+    case BatchMode::kNone:
+      return "none";
+    case BatchMode::kVertical:
+      return "vertical";
+    case BatchMode::kNaiveHB:
+      return "naive-hb";
+    case BatchMode::kPipelinedHB:
+      return "pipelined-hb";
+  }
+  return "?";
+}
+
+HbEngine::HbEngine(std::vector<log::OpLog*> logs, int group_size,
+                   BatchMode mode)
+    : logs_(std::move(logs)), group_size_(group_size), mode_(mode) {
+  FLATSTORE_CHECK(!logs_.empty());
+  FLATSTORE_CHECK_GE(group_size_, 1);
+  pools_ = std::vector<CorePool>(logs_.size());
+  const size_t ngroups =
+      (logs_.size() + static_cast<size_t>(group_size_) - 1) /
+      static_cast<size_t>(group_size_);
+  for (size_t g = 0; g < ngroups; g++) {
+    groups_.push_back(std::make_unique<Group>());
+  }
+}
+
+bool HbEngine::Stage(int core, const uint8_t* entry, uint32_t len,
+                     uint64_t* handle) {
+  FLATSTORE_DCHECK(len <= log::kMaxEntrySize);
+  CorePool& pool = pools_[core];
+  const uint64_t h = pool.head.load(std::memory_order_relaxed);
+  Slot& slot = pool.slots[h % kPoolSlots];
+  if (slot.state.load(std::memory_order_acquire) != kFree) return false;
+  std::memcpy(slot.buf, entry, len);
+  slot.len = len;
+  slot.stage_time = vt::Now();
+  slot.state.store(kStaged, std::memory_order_release);
+  pool.head.store(h + 1, std::memory_order_release);
+  vt::Charge(vt::kPoolOpCost);
+  *handle = h;
+  return true;
+}
+
+void HbEngine::Collect(int core, uint64_t now,
+                       std::vector<log::OpLog::EntryRef>* refs,
+                       std::vector<Slot*>* claims) {
+  CorePool& pool = pools_[core];
+  const uint64_t head = pool.head.load(std::memory_order_acquire);
+  if (pool.collected == head) return;  // idle scan: free (event-driven sim)
+  vt::Charge(vt::kStealScanCost);
+  while (pool.collected < head && refs->size() < kMaxBatch) {
+    Slot& slot = pool.slots[pool.collected % kPoolSlots];
+    FLATSTORE_DCHECK(slot.state.load(std::memory_order_relaxed) == kStaged);
+    if (slot.stage_time > now) break;  // staged in this core's future
+    refs->push_back({slot.buf, slot.len});
+    claims->push_back(&slot);
+    pool.collected++;
+    vt::Charge(vt::kPoolOpCost);
+  }
+}
+
+uint64_t HbEngine::EarliestStaged(int core) const {
+  const CorePool& pool = pools_[core];
+  const uint64_t head = pool.head.load(std::memory_order_acquire);
+  if (pool.collected == head) return UINT64_MAX;
+  return pool.slots[pool.collected % kPoolSlots].stage_time;
+}
+
+size_t HbEngine::Commit(log::OpLog* log,
+                        std::vector<log::OpLog::EntryRef>& refs,
+                        std::vector<Slot*>& claims) {
+  if (refs.empty()) return 0;
+  std::vector<uint64_t> offsets(refs.size());
+  bool ok = log->AppendBatch(refs.data(), refs.size(), offsets.data());
+  FLATSTORE_CHECK(ok) << "PM exhausted while appending a batch";
+  const uint64_t done = vt::Now();
+  for (size_t i = 0; i < claims.size(); i++) {
+    claims[i]->entry_off = offsets[i];
+    claims[i]->done_time = done;
+    claims[i]->state.store(kDone, std::memory_order_release);
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_entries_.fetch_add(refs.size(), std::memory_order_relaxed);
+  return refs.size();
+}
+
+size_t HbEngine::TryPersist(int core) {
+  std::vector<log::OpLog::EntryRef> refs;
+  std::vector<Slot*> claims;
+
+  vt::Clock* clock = vt::CurrentClock();
+  if (mode_ == BatchMode::kNone) {
+    // No batching at all (the ablation "Base"): each staged entry is
+    // appended and fenced on its own, at or after its staging instant.
+    size_t n = 0;
+    while (true) {
+      const uint64_t t = EarliestStaged(core);
+      if (t == UINT64_MAX) break;
+      if (clock != nullptr) clock->AdvanceTo(t);
+      refs.clear();
+      claims.clear();
+      Collect(core, t, &refs, &claims);
+      for (size_t i = 0; i < refs.size(); i++) {
+        std::vector<log::OpLog::EntryRef> one{refs[i]};
+        std::vector<Slot*> claim{claims[i]};
+        n += Commit(logs_[core], one, claim);
+      }
+    }
+    return n;
+  }
+  if (mode_ == BatchMode::kVertical) {
+    // Self-batching only — Fig. 4(b): the core waits for its own
+    // requests; the batch covers what arrived by then.
+    const uint64_t t = EarliestStaged(core);
+    if (t == UINT64_MAX) return 0;
+    if (clock != nullptr) clock->AdvanceTo(t);
+    Collect(core, vt::Now(), &refs, &claims);
+    return Commit(logs_[core], refs, claims);
+  }
+
+  Group& group = *groups_[core / group_size_];
+  const int first_core = (core / group_size_) * group_size_;
+  const int last =
+      std::min(first_core + group_size_, static_cast<int>(logs_.size()));
+  {
+    // Idle turns are free: a spinning host thread must not advance
+    // simulated time or the group's collection resource.
+    // Leadership is handed round-robin to the next core *with staged
+    // work* after the previous leader — fully deterministic, so neither
+    // host-thread scheduling nor dispatch order biases which core's
+    // virtual clock absorbs the batch persists.
+    const int gsize = last - first_core;
+    const int designated =
+        group.next_leader.load(std::memory_order_relaxed);
+    int chosen = -1;
+    for (int i = 0; i < gsize; i++) {
+      int cand = first_core + (designated + i) % gsize;
+      if (PendingCount(cand) > 0) {
+        chosen = cand;
+        break;
+      }
+    }
+    if (chosen != core) return 0;
+  }
+  if (!group.lock.try_lock()) {
+    // Follower: keep processing new requests (pipelining); completion
+    // arrives through the slot.
+    return 0;
+  }
+  vt::Charge(vt::kCpuCas);
+
+  // The leader can only steal entries that exist by its clock (stage_time
+  // <= now): batch composition must reflect simulated arrival order.
+  // A leader with nothing collectible at its own clock — an idle core —
+  // advances to the earliest staged entry and takes it: "those non-busy
+  // cores have higher opportunity to become the leader, and help the busy
+  // cores flush the log entries" (paper §5.1). Busy leaders never jump to
+  // other cores' later stage times. (Collection mutual exclusion is not
+  // transferred between per-core clocks: clocks drift apart by more than
+  // a collection takes, and chaining through a shared busy timestamp
+  // would ratchet every core to the maximum clock — false serialization.)
+  for (int c = first_core; c < last && refs.size() < kMaxBatch; c++) {
+    Collect(c, vt::Now(), &refs, &claims);
+  }
+  if (refs.empty() && clock != nullptr) {
+    uint64_t earliest = UINT64_MAX;
+    for (int c = first_core; c < last; c++) {
+      earliest = std::min(earliest, EarliestStaged(c));
+    }
+    if (earliest != UINT64_MAX) {
+      clock->AdvanceTo(earliest);
+      for (int c = first_core; c < last && refs.size() < kMaxBatch; c++) {
+        Collect(c, vt::Now(), &refs, &claims);
+      }
+    }
+  }
+  if (refs.empty()) {
+    // Nothing collectible at this leader's clock.
+    group.lock.unlock();
+    return 0;
+  }
+  // Pass the leadership baton.
+  group.next_leader.store((core - first_core + 1) % (last - first_core),
+                          std::memory_order_relaxed);
+
+  if (mode_ == BatchMode::kPipelinedHB) {
+    // Release the lock *before* persisting: the log-persist cost moves
+    // out of the critical section and adjacent batches pipeline.
+    if (clock != nullptr) {
+      group.busy_until.store(clock->now(), std::memory_order_relaxed);
+    }
+    group.lock.unlock();
+    return Commit(logs_[core], refs, claims);
+  }
+
+  // Naive HB: the lock covers the persist (Fig. 4(c)).
+  size_t n = Commit(logs_[core], refs, claims);
+  if (clock != nullptr) {
+    group.busy_until.store(clock->now(), std::memory_order_relaxed);
+  }
+  group.lock.unlock();
+  return n;
+}
+
+bool HbEngine::IsDone(int core, uint64_t handle, uint64_t* entry_off,
+                      uint64_t* done_time) const {
+  const Slot& slot = pools_[core].slots[handle % kPoolSlots];
+  if (slot.state.load(std::memory_order_acquire) != kDone) return false;
+  *entry_off = slot.entry_off;
+  *done_time = slot.done_time;
+  return true;
+}
+
+void HbEngine::Release(int core, uint64_t handle) {
+  Slot& slot = pools_[core].slots[handle % kPoolSlots];
+  FLATSTORE_DCHECK(slot.state.load(std::memory_order_relaxed) == kDone);
+  slot.state.store(kFree, std::memory_order_release);
+}
+
+std::pair<uint64_t, uint64_t> HbEngine::Wait(int core, uint64_t handle) {
+  uint64_t off, done;
+  while (!IsDone(core, handle, &off, &done)) {
+    TryPersist(core);
+  }
+  if (vt::Clock* clock = vt::CurrentClock()) clock->AdvanceTo(done);
+  return {off, done};
+}
+
+size_t HbEngine::PendingCount(int core) const {
+  const CorePool& pool = pools_[core];
+  return pool.head.load(std::memory_order_relaxed) - pool.collected;
+}
+
+}  // namespace batch
+}  // namespace flatstore

@@ -1,0 +1,154 @@
+// Horizontal batching (paper §3.3).
+//
+// The g-persist phase of a Put is decoupled from the serving core: each
+// core *stages* its encoded log entries in a per-core request pool; one
+// core — whichever wins the group lock — becomes the leader, steals every
+// staged entry in its group, appends them to its own OpLog as one batch,
+// and publishes per-entry completion. Four strategies are selectable for
+// the ablation studies (Fig. 4 / Fig. 11 / Fig. 12):
+//
+//  * kNone        — each request persists alone (the "Base" version);
+//  * kVertical    — a core batches only the requests it received itself;
+//  * kNaiveHB     — leader steals, but holds the group lock across the
+//                   whole persist (Fig. 4(c));
+//  * kPipelinedHB — leader releases the lock right after collecting, so
+//                   adjacent batches overlap (Fig. 4(d)); followers keep
+//                   polling new requests instead of blocking.
+//
+// Virtual time: host-level locking only protects memory; the *simulated*
+// cost of the protocol is modelled by the group's `busy_until` timestamp
+// (collection is a serial resource; naive HB extends it across the
+// persist), the per-core scan/claim charges, and the leader's PM charges
+// inside OpLog::AppendBatch. A follower learns its entry's completion
+// timestamp from the slot and advances its own clock when it observes it.
+
+#ifndef FLATSTORE_BATCH_HB_ENGINE_H_
+#define FLATSTORE_BATCH_HB_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "log/log_entry.h"
+#include "log/oplog.h"
+
+namespace flatstore {
+namespace batch {
+
+// Batching strategy (see file comment).
+enum class BatchMode { kNone, kVertical, kNaiveHB, kPipelinedHB };
+
+const char* BatchModeName(BatchMode mode);
+
+// The batching engine for one store instance.
+class HbEngine {
+ public:
+  // `logs[c]` is core c's OpLog; `group_size` cores share one group lock
+  // (the paper groups by socket).
+  HbEngine(std::vector<log::OpLog*> logs, int group_size, BatchMode mode);
+
+  HbEngine(const HbEngine&) = delete;
+  HbEngine& operator=(const HbEngine&) = delete;
+
+  // Stages an encoded log entry for `core`. Returns false when the core's
+  // pool is full (caller must TryPersist + drain completions first).
+  // On success `*handle` identifies the staged request.
+  bool Stage(int core, const uint8_t* entry, uint32_t len, uint64_t* handle);
+
+  // Runs one g-persist attempt for `core`: leader work in HB modes,
+  // self-batching in kVertical/kNone. Returns the number of entries this
+  // call persisted (0 when the core lost the leader election).
+  size_t TryPersist(int core);
+
+  // Non-blocking completion check for a staged handle. On completion
+  // fills the entry's log offset and the simulated completion time.
+  bool IsDone(int core, uint64_t handle, uint64_t* entry_off,
+              uint64_t* done_time) const;
+
+  // Releases a completed slot for reuse. Handles must be released in
+  // FIFO order per core (the engine processes completions in order).
+  void Release(int core, uint64_t handle);
+
+  // Blocking convenience for synchronous callers (tests, quickstart):
+  // persists + spins until `handle` completes. Returns {off, done_time}.
+  std::pair<uint64_t, uint64_t> Wait(int core, uint64_t handle);
+
+  // Number of staged-but-unpersisted entries for `core`.
+  size_t PendingCount(int core) const;
+
+  BatchMode mode() const { return mode_; }
+  int group_size() const { return group_size_; }
+  int num_cores() const { return static_cast<int>(logs_.size()); }
+
+  // Aggregate batch-size statistics (Fig. 11/12 analysis).
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t batched_entries() const {
+    return batched_entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kPoolSlots = 512;  // staged entries per core
+  // Upper bound on entries merged into one batch. Bounds the tail latency
+  // a stolen entry can accrue waiting for its batch to persist, and keeps
+  // several leaders' persists in flight concurrently under load.
+  static constexpr size_t kMaxBatch = 64;
+  enum : uint32_t { kFree = 0, kStaged = 1, kDone = 2 };
+
+  struct Slot {
+    uint8_t buf[log::kMaxEntrySize];
+    uint32_t len = 0;
+    uint64_t stage_time = 0;  // owner's simulated clock at Stage()
+    uint64_t entry_off = 0;
+    uint64_t done_time = 0;
+    std::atomic<uint32_t> state{kFree};
+  };
+
+  struct alignas(64) CorePool {
+    std::unique_ptr<Slot[]> slots{new Slot[kPoolSlots]};
+    std::atomic<uint64_t> head{0};    // owner: next stage position
+    uint64_t collected = 0;           // leader-only: next steal position
+  };
+
+  struct alignas(64) Group {
+    SpinLock lock;
+    std::atomic<uint64_t> busy_until{0};  // simulated collection resource
+    // Round-robin leadership preference (relative core within the group):
+    // host-thread scheduling must not decide who leads, or one core's
+    // virtual clock would absorb every batch's persist cost. A core
+    // defers to the designated leader whenever that leader has staged
+    // work of its own (the paper's rotation emerges from arrival timing
+    // on real hardware; here it is made explicit and deterministic).
+    std::atomic<int> next_leader{0};
+  };
+
+  // Collects the entries of `core` staged at simulated time <= `now`
+  // into `refs`/`claims`. Batch composition must depend on *simulated*
+  // arrival order, not on host-thread scheduling, or results would vary
+  // run to run.
+  void Collect(int core, uint64_t now,
+               std::vector<log::OpLog::EntryRef>* refs,
+               std::vector<Slot*>* claims);
+
+  // Earliest stage_time among `core`'s uncollected entries (UINT64_MAX
+  // when none).
+  uint64_t EarliestStaged(int core) const;
+
+  // Appends + publishes a collected batch through `log`.
+  size_t Commit(log::OpLog* log, std::vector<log::OpLog::EntryRef>& refs,
+                std::vector<Slot*>& claims);
+
+  std::vector<log::OpLog*> logs_;
+  int group_size_;
+  BatchMode mode_;
+  std::vector<CorePool> pools_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_entries_{0};
+};
+
+}  // namespace batch
+}  // namespace flatstore
+
+#endif  // FLATSTORE_BATCH_HB_ENGINE_H_

@@ -1,0 +1,91 @@
+// Fixed-capacity bitmap view over caller-owned words.
+//
+// The lazy-persist allocator places a bitmap at the head of every 4 MB PM
+// chunk (paper §3.2). The bitmap words live inside the chunk itself, so
+// this class is a *view*: it does not own storage and can be pointed at a
+// freshly-recovered chunk header.
+
+#ifndef FLATSTORE_COMMON_BITMAP_H_
+#define FLATSTORE_COMMON_BITMAP_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace flatstore {
+
+// View over `WordsFor(nbits)` uint64_t words; bit i set = slot i in use.
+class BitmapView {
+ public:
+  // Number of 8-byte words needed to hold `nbits` bits.
+  static constexpr uint64_t WordsFor(uint64_t nbits) {
+    return (nbits + 63) / 64;
+  }
+
+  BitmapView() = default;
+  BitmapView(uint64_t* words, uint64_t nbits) : words_(words), nbits_(nbits) {}
+
+  // Total number of tracked bits.
+  uint64_t size() const { return nbits_; }
+
+  // True if bit `i` is set.
+  bool Test(uint64_t i) const {
+    FLATSTORE_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  // Sets bit `i`.
+  void Set(uint64_t i) {
+    FLATSTORE_DCHECK(i < nbits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  // Clears bit `i`.
+  void Clear(uint64_t i) {
+    FLATSTORE_DCHECK(i < nbits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  // Zeroes the whole bitmap.
+  void Reset() {
+    for (uint64_t w = 0; w < WordsFor(nbits_); w++) words_[w] = 0;
+  }
+
+  // Index of the first clear bit, or `size()` if the bitmap is full.
+  uint64_t FindFirstClear() const {
+    uint64_t words = WordsFor(nbits_);
+    for (uint64_t w = 0; w < words; w++) {
+      if (words_[w] != ~0ULL) {
+        uint64_t bit = static_cast<uint64_t>(__builtin_ctzll(~words_[w]));
+        uint64_t idx = (w << 6) + bit;
+        return idx < nbits_ ? idx : nbits_;
+      }
+    }
+    return nbits_;
+  }
+
+  // Number of set bits.
+  uint64_t CountSet() const {
+    uint64_t n = 0;
+    uint64_t words = WordsFor(nbits_);
+    for (uint64_t w = 0; w < words; w++) {
+      uint64_t v = words_[w];
+      if (w == words - 1 && (nbits_ & 63) != 0) {
+        v &= (1ULL << (nbits_ & 63)) - 1;  // mask tail bits beyond nbits
+      }
+      n += static_cast<uint64_t>(__builtin_popcountll(v));
+    }
+    return n;
+  }
+
+  // Raw word storage (for persisting the bitmap during clean shutdown).
+  uint64_t* words() const { return words_; }
+
+ private:
+  uint64_t* words_ = nullptr;
+  uint64_t nbits_ = 0;
+};
+
+}  // namespace flatstore
+
+#endif  // FLATSTORE_COMMON_BITMAP_H_

@@ -1,0 +1,53 @@
+// Cacheline and PM-block geometry constants and alignment helpers.
+//
+// The paper's core observation is a granularity mismatch: CPUs flush at
+// 64 B cacheline granularity while Optane DCPMM internally writes 256 B
+// blocks. Every module in this repository reasons about addresses in terms
+// of these two units, so they live in one tiny header.
+
+#ifndef FLATSTORE_COMMON_CACHELINE_H_
+#define FLATSTORE_COMMON_CACHELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flatstore {
+
+// Size of one CPU cacheline — the granularity of clwb/clflushopt.
+inline constexpr size_t kCachelineSize = 64;
+
+// Internal write granularity of the emulated Optane DCPMM media
+// (the "256 B block" of Izraelevitz et al. and paper §2.2).
+inline constexpr size_t kPmBlockSize = 256;
+
+// Rounds `x` down to the start of its cacheline.
+constexpr uint64_t CachelineAlignDown(uint64_t x) {
+  return x & ~(static_cast<uint64_t>(kCachelineSize) - 1);
+}
+
+// Rounds `x` up to the next cacheline boundary (identity if aligned).
+constexpr uint64_t CachelineAlignUp(uint64_t x) {
+  return (x + kCachelineSize - 1) & ~(static_cast<uint64_t>(kCachelineSize) - 1);
+}
+
+// Index of the cacheline containing byte address/offset `x`.
+constexpr uint64_t CachelineIndex(uint64_t x) { return x / kCachelineSize; }
+
+// Index of the 256 B PM media block containing byte address/offset `x`.
+constexpr uint64_t PmBlockIndex(uint64_t x) { return x / kPmBlockSize; }
+
+// Number of cachelines spanned by the byte range [off, off + len).
+constexpr uint64_t CachelineSpan(uint64_t off, uint64_t len) {
+  if (len == 0) return 0;
+  return CachelineIndex(off + len - 1) - CachelineIndex(off) + 1;
+}
+
+// Generic power-of-two alignment helpers.
+constexpr uint64_t AlignUp(uint64_t x, uint64_t a) {
+  return (x + a - 1) & ~(a - 1);
+}
+constexpr uint64_t AlignDown(uint64_t x, uint64_t a) { return x & ~(a - 1); }
+
+}  // namespace flatstore
+
+#endif  // FLATSTORE_COMMON_CACHELINE_H_

@@ -1,0 +1,135 @@
+// 64-bit hashing used for key routing and every hash index in src/index.
+//
+// A from-scratch implementation of the XXH64 algorithm (Yann Collet's
+// xxHash, public-domain specification). Key routing between server cores,
+// CCEH segment selection, Level-Hashing's two hash functions, and Masstree
+// fingerprints all derive from these primitives, so the implementation is
+// kept header-only for inlining.
+
+#ifndef FLATSTORE_COMMON_HASH_H_
+#define FLATSTORE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace flatstore {
+
+namespace hash_internal {
+
+inline constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+constexpr uint64_t RotL(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = RotL(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+constexpr uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  val = Round(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+constexpr uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+inline uint64_t Load64(const void* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Load32(const void* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace hash_internal
+
+// XXH64 over an arbitrary byte buffer.
+inline uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0) {
+  using namespace hash_internal;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = Round(v1, Load64(p));
+      v2 = Round(v2, Load64(p + 8));
+      v3 = Round(v3, Load64(p + 16));
+      v4 = Round(v4, Load64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = RotL(v1, 1) + RotL(v2, 7) + RotL(v3, 12) + RotL(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= Round(0, Load64(p));
+    h = RotL(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    h = RotL(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= (*p) * kPrime5;
+    h = RotL(h, 11) * kPrime1;
+    ++p;
+  }
+  return Avalanche(h);
+}
+
+// Fast path for the 8-byte keys used throughout the paper's evaluation
+// (a Fibonacci/xxHash-style finalizer over the raw key).
+inline uint64_t HashKey(uint64_t key, uint64_t seed = 0) {
+  using namespace hash_internal;
+  uint64_t h = seed + kPrime5 + 8;
+  h ^= Round(0, key);
+  h = RotL(h, 27) * kPrime1 + kPrime4;
+  return Avalanche(h);
+}
+
+// Second, independent hash function (used by Level-Hashing's two-slot
+// scheme and by cuckoo-style displacement).
+inline uint64_t HashKey2(uint64_t key) { return HashKey(key, 0x5bd1e995u); }
+
+// One-byte fingerprint used by FPTree leaves.
+inline uint8_t Fingerprint8(uint64_t key) {
+  return static_cast<uint8_t>(HashKey(key) >> 56) | 1;  // never 0 (0 = empty)
+}
+
+}  // namespace flatstore
+
+#endif  // FLATSTORE_COMMON_HASH_H_

@@ -1,0 +1,104 @@
+// Latency histogram with logarithmic buckets and percentile queries.
+//
+// Used by the benchmark harness (Fig. 12 latency/throughput curves) and by
+// the network layer's per-connection latency tracking. Values are recorded
+// in (simulated) nanoseconds.
+
+#ifndef FLATSTORE_COMMON_HISTOGRAM_H_
+#define FLATSTORE_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace flatstore {
+
+// Fixed-size log₂-bucketed histogram: bucket b covers [2^b, 2^(b+1)) ns,
+// subdivided into 16 linear sub-buckets for ~6 % resolution.
+class Histogram {
+ public:
+  static constexpr int kLogBuckets = 40;   // up to ~2^40 ns ≈ 18 min
+  static constexpr int kSubBuckets = 16;
+
+  Histogram() { Reset(); }
+
+  // Clears all recorded samples.
+  void Reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+  }
+
+  // Records one sample (value in ns; 0 is mapped to bucket 0).
+  void Record(uint64_t v) {
+    counts_[BucketFor(v)]++;
+    total_++;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  // Merges another histogram into this one (for per-thread aggregation).
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < counts_.size(); i++) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  // Number of recorded samples.
+  uint64_t count() const { return total_; }
+
+  // Arithmetic mean of samples (0 when empty).
+  double Mean() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / total_;
+  }
+
+  uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  // Value at percentile p (0 < p <= 100), approximated by the lower edge
+  // of the bucket containing the p-th sample.
+  uint64_t Percentile(double p) const {
+    if (total_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 * total_);
+    if (rank >= total_) rank = total_ - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); i++) {
+      seen += counts_[i];
+      if (seen > rank) return BucketLowerEdge(i);
+    }
+    return max_;
+  }
+
+ private:
+  static size_t BucketFor(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    int log = 63 - __builtin_clzll(v);
+    // Sub-bucket index from the 4 bits below the leading bit.
+    uint64_t sub = (v >> (log - 4)) & (kSubBuckets - 1);
+    size_t idx =
+        static_cast<size_t>(log - 3) * kSubBuckets + static_cast<size_t>(sub);
+    size_t maxIdx = kLogBuckets * kSubBuckets - 1;
+    return idx > maxIdx ? maxIdx : idx;
+  }
+
+  static uint64_t BucketLowerEdge(size_t idx) {
+    if (idx < kSubBuckets) return idx;
+    uint64_t log = idx / kSubBuckets + 3;
+    uint64_t sub = idx % kSubBuckets;
+    return (1ULL << log) | (sub << (log - 4));
+  }
+
+  std::array<uint64_t, kLogBuckets * kSubBuckets> counts_;
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace flatstore
+
+#endif  // FLATSTORE_COMMON_HISTOGRAM_H_

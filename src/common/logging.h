@@ -1,0 +1,95 @@
+// Minimal logging and invariant-checking macros.
+//
+// Modelled on the fatal()/panic() distinction from the gem5 coding style:
+//  * CHECK/CHECK_* abort on internal invariant violations (bugs in this
+//    library) — the analogue of panic().
+//  * FATAL reports unrecoverable *user* errors (bad configuration) and
+//    exits with status 1 — the analogue of fatal().
+//  * LOG_INFO/LOG_WARN provide status output that never stops execution.
+
+#ifndef FLATSTORE_COMMON_LOGGING_H_
+#define FLATSTORE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace flatstore {
+namespace internal_logging {
+
+// Terminates the process after printing `msg`; used by CHECK failures.
+[[noreturn]] inline void PanicExit(const std::string& msg) {
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream-collecting helper so CHECK(x) << "context" works.
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line, const char* cond) {
+    stream_ << "[CHECK FAILED] " << file << ":" << line << ": " << cond;
+  }
+  [[noreturn]] ~LogMessageFatal() { PanicExit(stream_.str()); }
+  std::ostream& stream() { return stream_ << " — "; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the streamed expression into void so the ternary below type-checks
+// (the glog "voidify" trick: & binds looser than <<).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace flatstore
+
+// Internal invariant check: aborts (core-dumpable) on failure. Supports
+// streaming extra context: FLATSTORE_CHECK(x) << "details".
+#define FLATSTORE_CHECK(cond)                                    \
+  (cond) ? (void)0                                               \
+         : ::flatstore::internal_logging::Voidify() &            \
+               ::flatstore::internal_logging::LogMessageFatal(   \
+                   __FILE__, __LINE__, #cond)                    \
+                   .stream()
+
+#define FLATSTORE_CHECK_EQ(a, b) FLATSTORE_CHECK((a) == (b))
+#define FLATSTORE_CHECK_NE(a, b) FLATSTORE_CHECK((a) != (b))
+#define FLATSTORE_CHECK_LT(a, b) FLATSTORE_CHECK((a) < (b))
+#define FLATSTORE_CHECK_LE(a, b) FLATSTORE_CHECK((a) <= (b))
+#define FLATSTORE_CHECK_GT(a, b) FLATSTORE_CHECK((a) > (b))
+#define FLATSTORE_CHECK_GE(a, b) FLATSTORE_CHECK((a) >= (b))
+
+// Unrecoverable user error (bad configuration / arguments): exit(1).
+#define FLATSTORE_FATAL(...)                                   \
+  do {                                                         \
+    std::fprintf(stderr, "[FATAL] " __VA_ARGS__);              \
+    std::fprintf(stderr, "\n");                                \
+    std::exit(1);                                              \
+  } while (0)
+
+// Informational / warning messages; never stop execution.
+#define FLATSTORE_LOG_INFO(...)                  \
+  do {                                           \
+    std::fprintf(stderr, "[INFO] " __VA_ARGS__); \
+    std::fprintf(stderr, "\n");                  \
+  } while (0)
+
+#define FLATSTORE_LOG_WARN(...)                  \
+  do {                                           \
+    std::fprintf(stderr, "[WARN] " __VA_ARGS__); \
+    std::fprintf(stderr, "\n");                  \
+  } while (0)
+
+// Debug-only check (compiled out in release unless FLATSTORE_DEBUG_CHECKS).
+#ifdef NDEBUG
+#define FLATSTORE_DCHECK(cond) \
+  while (false) FLATSTORE_CHECK(cond)
+#else
+#define FLATSTORE_DCHECK(cond) FLATSTORE_CHECK(cond)
+#endif
+
+#endif  // FLATSTORE_COMMON_LOGGING_H_

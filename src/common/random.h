@@ -1,0 +1,118 @@
+// Pseudo-random number generation and workload-skew distributions.
+//
+// Xoroshiro128++ for raw 64-bit randomness, plus the YCSB-style scrambled
+// zipfian generator (Gray et al.'s incremental zipf algorithm) used by the
+// paper's "skew" workloads (zipfian constant 0.99, YCSB's default).
+
+#ifndef FLATSTORE_COMMON_RANDOM_H_
+#define FLATSTORE_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace flatstore {
+
+// Xoroshiro128++ PRNG (Blackman & Vigna). Deterministic per seed; one
+// instance per thread/connection so workloads are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding to avoid all-zero state.
+    for (auto* s : {&s0_, &s1_}) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      *s = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t a = s0_, b = s1_;
+    uint64_t result = Rotl(a + b, 17) + a;
+    b ^= a;
+    s0_ = Rotl(a, 49) ^ b ^ (b << 21);
+    s1_ = Rotl(b, 28);
+    return result;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    FLATSTORE_DCHECK(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s0_, s1_;
+};
+
+// Incremental zipfian generator over [0, n), YCSB style: item ranks are
+// scrambled with a hash so hot keys are spread across the key space (and
+// hence across server cores), exactly as YCSB's ScrambledZipfian does.
+class ZipfianGenerator {
+ public:
+  // `theta` is the zipfian constant (paper/Y CSB default: 0.99).
+  ZipfianGenerator(uint64_t n, double theta = 0.99,
+                   uint64_t seed = 0x2545F4914F6CDD1DULL)
+      : n_(n), theta_(theta), rng_(seed) {
+    FLATSTORE_CHECK(n > 0);
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Next rank in [0, n): rank 0 is the hottest item.
+  uint64_t NextRank() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  // Next scrambled item id in [0, n): hot ranks hash to arbitrary ids.
+  uint64_t Next() { return HashKey(NextRank()) % n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Direct summation; n is the keyspace size, computed once at startup.
+    // For large n use the known approximation via the Euler–Maclaurin tail
+    // to keep construction O(min(n, 10^6)).
+    const uint64_t kExact = 1000000;
+    double sum = 0;
+    uint64_t limit = n < kExact ? n : kExact;
+    for (uint64_t i = 1; i <= limit; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (n > kExact) {
+      // integral of x^-theta from kExact to n.
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(kExact), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_, alpha_, zetan_, zeta2_, eta_;
+  Rng rng_;
+};
+
+}  // namespace flatstore
+
+#endif  // FLATSTORE_COMMON_RANDOM_H_

@@ -1,0 +1,49 @@
+// Tiny TTAS spin lock and try-lock used for the horizontal-batching group
+// lock and other short critical sections.
+//
+// The HB protocol (paper §3.3) never blocks on this lock — a core that
+// fails TryLock() becomes a follower — so a simple test-and-test-and-set
+// lock without queueing is sufficient and matches the paper's "global
+// lock" description.
+
+#ifndef FLATSTORE_COMMON_SPIN_LOCK_H_
+#define FLATSTORE_COMMON_SPIN_LOCK_H_
+
+#include <atomic>
+
+namespace flatstore {
+
+// A spin lock satisfying the Lockable requirements (usable with
+// std::lock_guard). Not recursive.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  // Acquires the lock, spinning until available.
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // busy wait; callers hold this lock only for nanoseconds
+      }
+    }
+  }
+
+  // Attempts to acquire the lock; returns true on success.
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  // Releases the lock.
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace flatstore
+
+#endif  // FLATSTORE_COMMON_SPIN_LOCK_H_

@@ -1,0 +1,105 @@
+// Baseline persistent-index KV engines (paper §5, Table 1).
+//
+// Each baseline is a persistent index (CCEH, Level-Hashing, FPTree or
+// FAST&FAIR, in persistent mode with every structural update flushed)
+// storing all KV records out-of-index through the same lazy-persist
+// allocator FlatStore uses — exactly the paper's setup: "All the compared
+// index schemes store the KV records with our proposed Lazy-persist
+// allocator, while only storing a pointer in the index".
+//
+// Partitioning follows the paper: hash baselines get one instance per
+// server core with internal locks removed (requests are routed by key
+// hash), tree baselines share one instance across all cores (to keep
+// range queries meaningful).
+//
+// A Put performs the three PM updates §2.2 describes: ① persist the
+// record, ② allocator metadata (lazy here, as in the paper's setup),
+// ③ the index's own flushes (slot writes, rehash/moves, shifts/splits) —
+// which is precisely the write amplification FlatStore removes.
+
+#ifndef FLATSTORE_CORE_BASELINE_H_
+#define FLATSTORE_CORE_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/lazy_allocator.h"
+#include "index/kv_index.h"
+#include "log/layout.h"
+
+namespace flatstore {
+namespace core {
+
+// Which persistent index backs the baseline.
+enum class BaselineKind { kCceh, kLevelHashing, kFpTree, kFastFair };
+
+const char* BaselineKindName(BaselineKind kind);
+
+// A baseline engine instance.
+class BaselineStore {
+ public:
+  struct Options {
+    int num_cores = 4;
+    BaselineKind kind = BaselineKind::kCceh;
+    // Pre-sizing (the paper creates hash tables "with big enough size" and
+    // measures before resizing).
+    uint32_t cceh_initial_depth = 6;
+    uint32_t level_initial_bits = 12;
+  };
+
+  // Builds the engine over `pool` (formats an allocator region; baselines
+  // have no recovery story — the paper evaluates steady-state behaviour).
+  static std::unique_ptr<BaselineStore> Create(pm::PmPool* pool,
+                                               const Options& options);
+
+  BaselineStore(const BaselineStore&) = delete;
+  BaselineStore& operator=(const BaselineStore&) = delete;
+
+  // Server core responsible for `key` (same routing as FlatStore).
+  int CoreForKey(uint64_t key) const;
+
+  // Synchronous per-core operations (the baselines have no batching; each
+  // op persists before returning, as the original systems do).
+  void PutOnCore(int core, uint64_t key, const void* value, uint32_t len);
+  bool GetOnCore(int core, uint64_t key, std::string* value) const;
+  bool DeleteOnCore(int core, uint64_t key);
+
+  // Convenience single-threaded wrappers.
+  void Put(uint64_t key, std::string_view value) {
+    PutOnCore(CoreForKey(key), key, value.data(),
+              static_cast<uint32_t>(value.size()));
+  }
+  bool Get(uint64_t key, std::string* value) const {
+    return GetOnCore(CoreForKey(key), key, value);
+  }
+  bool Delete(uint64_t key) { return DeleteOnCore(CoreForKey(key), key); }
+
+  // Ordered scan (tree baselines only).
+  uint64_t Scan(uint64_t start_key, uint64_t count,
+                std::vector<std::pair<uint64_t, std::string>>* out) const;
+
+  uint64_t Size() const;
+  int num_cores() const { return options_.num_cores; }
+  const char* Name() const { return BaselineKindName(options_.kind); }
+  index::KvIndex* IndexForCore(int core) const;
+  alloc::LazyAllocator* allocator() { return alloc_.get(); }
+
+ private:
+  BaselineStore(pm::PmPool* pool, const Options& options);
+
+  bool sharded() const {
+    return options_.kind == BaselineKind::kCceh ||
+           options_.kind == BaselineKind::kLevelHashing;
+  }
+
+  pm::PmPool* pool_;
+  Options options_;
+  std::unique_ptr<alloc::LazyAllocator> alloc_;
+  std::vector<std::unique_ptr<index::KvIndex>> indexes_;
+};
+
+}  // namespace core
+}  // namespace flatstore
+
+#endif  // FLATSTORE_CORE_BASELINE_H_

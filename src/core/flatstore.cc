@@ -1,0 +1,765 @@
+#include "core/flatstore.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/hash.h"
+#include "index/cceh.h"
+#include "index/fast_fair.h"
+#include "index/masstree.h"
+#include "log/log_reader.h"
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace core {
+
+namespace {
+
+// Key-routing hash seed: independent of the hashes used inside the index
+// structures so routing does not correlate with bucket choice.
+constexpr uint64_t kRoutingSeed = 0xC04E;
+
+// Wrap-aware 20-bit version comparison: `a` strictly newer than `b`.
+bool VersionNewer(uint32_t a, uint32_t b) {
+  const uint32_t d = (a - b) & log::kVersionMask;
+  return d != 0 && d < (1u << (log::kVersionBits - 1));
+}
+
+// Checkpoint chunk layout (after the allocator header):
+//   uint64 next_chunk_off; uint64 count; {key, packed} pairs...
+struct CheckpointHeader {
+  uint64_t next;
+  uint64_t count;
+};
+constexpr uint64_t kCheckpointPairs =
+    (alloc::kChunkSize - alloc::kChunkHeaderSize - sizeof(CheckpointHeader)) /
+    16;
+
+}  // namespace
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return "FlatStore-H";
+    case IndexKind::kMasstree:
+      return "FlatStore-M";
+    case IndexKind::kFastFairVolatile:
+      return "FlatStore-FF";
+  }
+  return "?";
+}
+
+FlatStore::FlatStore(pm::PmPool* pool, const FlatStoreOptions& options)
+    : pool_(pool), options_(options) {
+  FLATSTORE_CHECK(options_.num_cores >= 1 &&
+                  options_.num_cores <= log::kMaxCores);
+  FLATSTORE_CHECK_GE(options_.group_size, 1);
+  root_ = std::make_unique<log::RootArea>(pool);
+  alloc_ = std::make_unique<alloc::LazyAllocator>(
+      pool, alloc::kChunkSize, pool->size() - alloc::kChunkSize,
+      options_.num_cores);
+  log::OpLog::Options log_opts;
+  log_opts.pad_batches = options_.pad_batches;
+  std::vector<log::OpLog*> raw_logs;
+  for (int c = 0; c < options_.num_cores; c++) {
+    logs_.push_back(std::make_unique<log::OpLog>(root_.get(), alloc_.get(),
+                                                 c, log_opts));
+    raw_logs.push_back(logs_.back().get());
+    cores_.push_back(std::make_unique<CoreState>());
+  }
+  hb_ = std::make_unique<batch::HbEngine>(std::move(raw_logs),
+                                          options_.group_size,
+                                          options_.batch_mode);
+  const int ngroups =
+      (options_.num_cores + options_.group_size - 1) / options_.group_size;
+  for (int g = 0; g < ngroups; g++) {
+    retire_locks_.push_back(std::make_unique<std::shared_mutex>());
+  }
+  BuildIndexes();
+}
+
+FlatStore::~FlatStore() { StopCleaners(); }
+
+void FlatStore::BuildIndexes() {
+  indexes_.clear();
+  switch (options_.index) {
+    case IndexKind::kHash:
+      for (int c = 0; c < options_.num_cores; c++) {
+        indexes_.push_back(std::make_unique<index::Cceh>(
+            index::PmContext{}, options_.hash_initial_depth));
+      }
+      break;
+    case IndexKind::kMasstree:
+      indexes_.push_back(std::make_unique<index::Masstree>());
+      break;
+    case IndexKind::kFastFairVolatile:
+      indexes_.push_back(
+          std::make_unique<index::FastFair>(index::PmContext{}));
+      break;
+  }
+}
+
+index::KvIndex* FlatStore::IndexForCore(int core) const {
+  return options_.index == IndexKind::kHash ? indexes_[core].get()
+                                            : indexes_[0].get();
+}
+
+int FlatStore::CoreForKey(uint64_t key) const {
+  return static_cast<int>(HashKey(key, kRoutingSeed) %
+                          static_cast<uint64_t>(options_.num_cores));
+}
+
+std::unique_ptr<FlatStore> FlatStore::Create(pm::PmPool* pool,
+                                             const FlatStoreOptions& options) {
+  log::RootArea root(pool);
+  root.Format(options.num_cores);
+  return std::unique_ptr<FlatStore>(new FlatStore(pool, options));
+}
+
+std::unique_ptr<FlatStore> FlatStore::Open(pm::PmPool* pool,
+                                           const FlatStoreOptions& options) {
+  {
+    log::RootArea probe(pool);
+    FLATSTORE_CHECK(probe.IsFormatted()) << "pool has no FlatStore";
+    FLATSTORE_CHECK_EQ(probe.superblock()->num_cores,
+                       static_cast<uint32_t>(options.num_cores))
+        << "num_cores mismatch with the on-PM superblock";
+  }
+  std::unique_ptr<FlatStore> store(new FlatStore(pool, options));
+  log::Superblock* sb = store->root_->superblock();
+  const bool clean = sb->clean_shutdown != 0;
+  // Reset the flag first (paper §3.5: "checks and reset the state").
+  sb->clean_shutdown = 0;
+  pool->PersistFence(&sb->clean_shutdown, 4);
+  if (clean) {
+    store->LoadCheckpoint();
+    store->Recover(/*rebuild_index=*/false);
+  } else {
+    store->Recover(/*rebuild_index=*/true);
+  }
+  return store;
+}
+
+// ---- asynchronous protocol ---------------------------------------------
+
+OpStatus FlatStore::BeginPut(int core, uint64_t key,
+                                        const void* value, uint32_t len,
+                                        OpHandle* handle) {
+  FLATSTORE_DCHECK(core == CoreForKey(key));
+  FLATSTORE_DCHECK(len >= 1);
+  CoreState& cs = *cores_[core];
+
+  // Version chaining: continue from the newest in-flight write on this
+  // key, else from the index.
+  uint32_t version;
+  auto inflight = cs.inflight_keys.find(key);
+  if (inflight != cs.inflight_keys.end()) {
+    version = (inflight->second.last_version + 1) & log::kVersionMask;
+  } else {
+    uint64_t cur = 0;
+    version = IndexForCore(core)->Get(key, &cur)
+                  ? (log::UnpackVersion(cur) + 1) & log::kVersionMask
+                  : 1;
+  }
+
+  uint8_t buf[log::kMaxEntrySize];
+  uint32_t elen;
+  uint64_t block = 0;
+  if (len <= log::kMaxInlineValue) {
+    elen = log::EncodePutValue(buf, key, version, value, len);
+  } else {
+    // l-persist: store the record out of log as (v_len, value), persist.
+    block = alloc_->Alloc(core, len + 8);
+    if (block == 0) return OpStatus::kNoSpace;
+    char* dst = static_cast<char*>(pool_->At(block));
+    uint64_t len64 = len;
+    std::memcpy(dst, &len64, 8);
+    std::memcpy(dst + 8, value, len);
+    vt::Charge(vt::CostMemcpy(len));
+    pool_->Persist(dst, len + 8);
+    pool_->Fence();
+    elen = log::EncodePutPtr(buf, key, version, block);
+  }
+
+  if (!hb_->Stage(core, buf, elen, handle)) {
+    if (block != 0) alloc_->Free(block);
+    return OpStatus::kBackpressure;
+  }
+  cs.pending.push_back({*handle, key, version, false, 0});
+  InflightKey& fly = cs.inflight_keys[key];
+  fly.count++;
+  fly.last_version = version;
+  return OpStatus::kOk;
+}
+
+OpStatus FlatStore::BeginDelete(int core, uint64_t key,
+                                           OpHandle* handle) {
+  FLATSTORE_DCHECK(core == CoreForKey(key));
+  CoreState& cs = *cores_[core];
+
+  uint32_t version;
+  auto inflight = cs.inflight_keys.find(key);
+  uint64_t cur = 0;
+  const bool indexed = IndexForCore(core)->Get(key, &cur);
+  if (inflight != cs.inflight_keys.end()) {
+    // Chain behind the in-flight writes. (A delete behind a pending
+    // delete is rare and resolves as a redundant tombstone.)
+    version = (inflight->second.last_version + 1) & log::kVersionMask;
+  } else {
+    if (!indexed) return OpStatus::kNotFound;
+    std::shared_lock<std::shared_mutex> g(*RetireLock(core));
+    log::DecodedEntry e;
+    if (log::DecodeEntry(static_cast<const uint8_t*>(
+                             pool_->At(log::UnpackOffset(cur))),
+                         log::kMaxEntrySize, &e) &&
+        e.op == log::OpType::kDelete) {
+      return OpStatus::kNotFound;  // already deleted (tombstone)
+    }
+    version = (log::UnpackVersion(cur) + 1) & log::kVersionMask;
+  }
+
+  // The tombstone remembers which chunk held the overwritten version so
+  // the cleaner knows when the tombstone itself may die (§3.4). With
+  // in-flight chained writes this is best effort (a GC heuristic).
+  uint32_t covered_seq = 0;
+  if (indexed) {
+    const uint64_t old_chunk =
+        AlignDown(log::UnpackOffset(cur), alloc::kChunkSize);
+    int owner;
+    root_->ChunkInfo(old_chunk, &owner, &covered_seq);
+  }
+
+  uint8_t buf[log::kPtrEntrySize];
+  uint32_t elen = log::EncodeDelete(buf, key, version, covered_seq);
+  if (!hb_->Stage(core, buf, elen, handle)) return OpStatus::kBackpressure;
+  cs.pending.push_back({*handle, key, version, true, covered_seq});
+  InflightKey& fly = cs.inflight_keys[key];
+  fly.count++;
+  fly.last_version = version;
+  return OpStatus::kOk;
+}
+
+size_t FlatStore::Pump(int core) { return hb_->TryPersist(core); }
+
+void FlatStore::RetireOld(uint64_t old_packed) {
+  const uint64_t old_off = log::UnpackOffset(old_packed);
+  const uint64_t chunk = AlignDown(old_off, alloc::kChunkSize);
+  int owner;
+  uint32_t seq;
+  if (root_->ChunkInfo(chunk, &owner, &seq)) {
+    logs_[owner]->NoteDead(old_off);
+  }
+  log::DecodedEntry e;
+  if (log::DecodeEntry(static_cast<const uint8_t*>(pool_->At(old_off)),
+                       log::kMaxEntrySize, &e) &&
+      e.op == log::OpType::kPut && !e.embedded) {
+    // "The freed data block can be reused immediately" (§3.2): the
+    // conflict queue serializes same-key ops, so no reader still needs it.
+    alloc_->Free(e.ptr);
+  }
+}
+
+size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
+  CoreState& cs = *cores_[core];
+  index::KvIndex* idx = IndexForCore(core);
+  size_t n = 0;
+  while (n < max && !cs.pending.empty()) {
+    const PendingOp& op = cs.pending.front();
+    uint64_t off, done;
+    if (!hb_->IsDone(core, op.handle, &off, &done)) break;
+    // Follower semantics differ by mode (paper Fig. 4): under *naive* HB
+    // the followers wait synchronously for the leader's persist, so their
+    // clocks jump to the batch completion; under *pipelined* HB the
+    // follower's CPU stayed free (it kept polling new requests), so its
+    // clock does NOT jump — only the response (sent by the caller) must
+    // not precede `done` (carried in the Completion).
+    if (options_.batch_mode == batch::BatchMode::kNaiveHB) {
+      if (vt::Clock* clock = vt::CurrentClock()) clock->AdvanceTo(done);
+    }
+
+    {
+      std::shared_lock<std::shared_mutex> g(*RetireLock(core));
+      // Tombstones stay in the index (pointing at the delete entry) so
+      // per-key versions remain monotonic across delete + re-put; reads
+      // treat them as absent. The cleaner retires them (§3.4).
+      uint64_t old = 0;
+      if (idx->Upsert(op.key, log::PackIndexValue(off, op.version), &old)) {
+        RetireOld(old);
+      }
+    }
+    if (out != nullptr) out->push_back({op.handle, op.key, done});
+    hb_->Release(core, op.handle);
+    auto fly = cs.inflight_keys.find(op.key);
+    FLATSTORE_DCHECK(fly != cs.inflight_keys.end());
+    if (--fly->second.count == 0) cs.inflight_keys.erase(fly);
+    cs.pending.pop_front();
+    n++;
+  }
+  return n;
+}
+
+size_t FlatStore::Inflight(int core) const {
+  return cores_[core]->pending.size();
+}
+
+bool FlatStore::KeyBusy(int core, uint64_t key) const {
+  return cores_[core]->inflight_keys.count(key) != 0;
+}
+
+void FlatStore::ReadValue(const log::DecodedEntry& e,
+                          std::string* value) const {
+  if (e.embedded) {
+    // The value rides in the log entry, which GetOnCore already fetched.
+    vt::Charge(vt::CostMemcpy(e.value_len));
+    value->assign(reinterpret_cast<const char*>(e.value), e.value_len);
+    return;
+  }
+  const char* block = static_cast<const char*>(pool_->At(e.ptr));
+  uint64_t len;
+  std::memcpy(&len, block, 8);
+  pool_->ChargeRead(block, len + 8);
+  vt::Charge(vt::CostMemcpy(len));
+  value->assign(block + 8, len);
+}
+
+bool FlatStore::GetOnCore(int core, uint64_t key, std::string* value) {
+  std::shared_lock<std::shared_mutex> g(*RetireLock(core));
+  index::KvIndex* idx = IndexForCore(core);
+  uint64_t packed;
+  if (!idx->Get(key, &packed)) return false;
+  const uint64_t off = log::UnpackOffset(packed);
+  pool_->ChargeRead(pool_->At(off), log::kPtrEntrySize);  // entry fetch
+  log::DecodedEntry e;
+  bool ok = log::DecodeEntry(static_cast<const uint8_t*>(pool_->At(off)),
+                             log::kMaxEntrySize, &e);
+  if (!ok) {
+    int owner = -1;
+    uint32_t seq = 0;
+    bool reg = root_->ChunkInfo(AlignDown(off, alloc::kChunkSize), &owner,
+                                &seq);
+    FLATSTORE_CHECK(ok) << "index pointed at an invalid entry: key=" << key
+                        << " off=" << off
+                        << " ver=" << log::UnpackVersion(packed)
+                        << " chunk_registered=" << reg << " owner=" << owner
+                        << " seq=" << seq << " byte0="
+                        << int(*static_cast<const uint8_t*>(pool_->At(off)));
+  }
+  if (e.op == log::OpType::kDelete) return false;  // tombstone
+  ReadValue(e, value);
+  return true;
+}
+
+// ---- synchronous wrappers ------------------------------------------------
+
+void FlatStore::Put(uint64_t key, std::string_view value) {
+  const int core = CoreForKey(key);
+  OpHandle h;
+  while (true) {
+    OpStatus st =
+        BeginPut(core, key, value.data(),
+                 static_cast<uint32_t>(value.size()), &h);
+    if (st == OpStatus::kOk) break;
+    FLATSTORE_CHECK(st == OpStatus::kBusy || st == OpStatus::kBackpressure)
+        << "Put failed (PM exhausted?)";
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+  while (Inflight(core) > 0) {
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+}
+
+bool FlatStore::Get(uint64_t key, std::string* value) {
+  return GetOnCore(CoreForKey(key), key, value);
+}
+
+bool FlatStore::Delete(uint64_t key) {
+  const int core = CoreForKey(key);
+  OpHandle h;
+  while (true) {
+    OpStatus st = BeginDelete(core, key, &h);
+    if (st == OpStatus::kNotFound) return false;
+    if (st == OpStatus::kOk) break;
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+  while (Inflight(core) > 0) {
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+  return true;
+}
+
+uint64_t FlatStore::Scan(uint64_t start_key, uint64_t count,
+                         std::vector<std::pair<uint64_t, std::string>>* out) {
+  auto* ordered = dynamic_cast<index::OrderedKvIndex*>(indexes_[0].get());
+  FLATSTORE_CHECK(ordered != nullptr)
+      << "Scan requires an ordered index (FlatStore-M / FlatStore-FF)";
+  // Scanned entries may live in any group's logs: hold every retire lock
+  // (shared) while dereferencing.
+  std::vector<std::shared_lock<std::shared_mutex>> guards;
+  for (auto& l : retire_locks_) guards.emplace_back(*l);
+  uint64_t produced = 0;
+  uint64_t cursor = start_key;
+  bool exhausted = false;
+  while (produced < count && !exhausted) {
+    std::vector<index::KvPair> pairs;
+    const uint64_t want = count - produced + 16;  // slack for tombstones
+    uint64_t got = ordered->Scan(cursor, want, &pairs);
+    exhausted = got < want;
+    for (const auto& p : pairs) {
+      if (produced >= count) break;
+      log::DecodedEntry e;
+      bool ok = log::DecodeEntry(
+          static_cast<const uint8_t*>(pool_->At(log::UnpackOffset(p.value))),
+          log::kMaxEntrySize, &e);
+      FLATSTORE_CHECK(ok);
+      if (e.op == log::OpType::kDelete) continue;  // tombstone
+      std::string v;
+      ReadValue(e, &v);
+      out->emplace_back(p.key, std::move(v));
+      produced++;
+    }
+    if (!pairs.empty()) {
+      if (pairs.back().key == UINT64_MAX) break;
+      cursor = pairs.back().key + 1;
+    }
+  }
+  return produced;
+}
+
+uint64_t FlatStore::Size() const {
+  // Tombstones live in the index, so count only Put-pointing entries.
+  std::vector<std::shared_lock<std::shared_mutex>> guards;
+  for (auto& l : retire_locks_) guards.emplace_back(*l);
+  uint64_t n = 0;
+  for (const auto& idx : indexes_) {
+    idx->ForEach([&](uint64_t, uint64_t packed) {
+      log::DecodedEntry e;
+      if (log::DecodeEntry(static_cast<const uint8_t*>(
+                               pool_->At(log::UnpackOffset(packed))),
+                           log::kMaxEntrySize, &e) &&
+          e.op == log::OpType::kPut) {
+        n++;
+      }
+    });
+  }
+  return n;
+}
+
+uint64_t FlatStore::ChunksCleaned() const {
+  uint64_t n = 0;
+  for (const auto& c : cleaners_) n += c->chunks_cleaned();
+  return n;
+}
+
+// ---- log cleaning ---------------------------------------------------------
+
+void FlatStore::EnsureCleaners() {
+  if (!cleaners_.empty()) return;
+  std::vector<log::OpLog*> raw;
+  for (auto& l : logs_) raw.push_back(l.get());
+  log::CleanerHooks hooks;
+  hooks.index_for_key = [this](uint64_t key) {
+    return IndexForCore(CoreForKey(key));
+  };
+  hooks.retire_lock = [this](int c) { return RetireLock(c); };
+  log::LogCleaner::Options opts;
+  opts.live_ratio = options_.gc_live_ratio;
+  opts.free_chunk_watermark = options_.gc_free_chunk_watermark;
+  for (int first = 0; first < options_.num_cores;
+       first += options_.group_size) {
+    const int last = std::min(first + options_.group_size,
+                              options_.num_cores);
+    cleaners_.push_back(std::make_unique<log::LogCleaner>(
+        raw, first, last, hooks, opts, alloc_.get()));
+  }
+}
+
+void FlatStore::StartCleaners() {
+  EnsureCleaners();
+  for (auto& c : cleaners_) c->Start();
+}
+
+size_t FlatStore::RunCleanersOnce() {
+  EnsureCleaners();
+  size_t freed = 0;
+  for (auto& c : cleaners_) freed += c->RunOnce();
+  return freed;
+}
+
+void FlatStore::StopCleaners() {
+  for (auto& c : cleaners_) c->Stop();
+}
+
+// ---- shutdown / recovery ---------------------------------------------------
+
+void FlatStore::WriteCheckpoint() {
+  // Record the per-core log positions the checkpoint covers.
+  log::Superblock* sb0 = root_->superblock();
+  for (int c = 0; c < options_.num_cores; c++) {
+    sb0->ckpt_tail[c] = logs_[c]->tail();
+    uint32_t seq = 0;
+    int owner;
+    if (sb0->ckpt_tail[c] != 0) {
+      root_->ChunkInfo(AlignDown(sb0->ckpt_tail[c], alloc::kChunkSize),
+                       &owner, &seq);
+    }
+    sb0->ckpt_seq[c] = seq;
+  }
+  pool_->Persist(sb0, sizeof(log::Superblock));
+  pool_->Fence();
+
+  // Gather every (key, packed) pair.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (const auto& idx : indexes_) {
+    idx->ForEach(
+        [&](uint64_t k, uint64_t v) { pairs.push_back({k, v}); });
+  }
+  log::Superblock* sb = root_->superblock();
+  sb->checkpoint_items = pairs.size();
+  uint64_t prev_field_off = pool_->OffsetOf(&sb->checkpoint_off);
+  uint64_t* prev_field = &sb->checkpoint_off;
+  *prev_field = 0;
+
+  size_t i = 0;
+  while (i < pairs.size()) {
+    uint64_t chunk = alloc_->AllocRawChunk(0);
+    FLATSTORE_CHECK_NE(chunk, 0u) << "no space for index checkpoint";
+    auto* hdr = pool_->PtrAt<CheckpointHeader>(chunk +
+                                               alloc::kChunkHeaderSize);
+    hdr->next = 0;
+    auto* data = reinterpret_cast<uint64_t*>(hdr + 1);
+    uint64_t n = std::min<uint64_t>(kCheckpointPairs, pairs.size() - i);
+    for (uint64_t j = 0; j < n; j++) {
+      data[2 * j] = pairs[i + j].first;
+      data[2 * j + 1] = pairs[i + j].second;
+    }
+    hdr->count = n;
+    i += n;
+    pool_->Persist(hdr, sizeof(CheckpointHeader) + n * 16);
+    // Link from the previous chunk (or the superblock).
+    *prev_field = chunk;
+    pool_->Persist(pool_->At(prev_field_off), 8);
+    pool_->Fence();
+    prev_field = &hdr->next;
+    prev_field_off = pool_->OffsetOf(prev_field);
+  }
+  pool_->PersistFence(&sb->checkpoint_items, 8);
+}
+
+void FlatStore::LoadCheckpoint() {
+  log::Superblock* sb = root_->superblock();
+  uint64_t chunk = sb->checkpoint_off;
+  uint64_t loaded = 0;
+  while (chunk != 0) {
+    auto* hdr = pool_->PtrAt<CheckpointHeader>(chunk +
+                                               alloc::kChunkHeaderSize);
+    const auto* data = reinterpret_cast<const uint64_t*>(hdr + 1);
+    for (uint64_t j = 0; j < hdr->count; j++) {
+      const uint64_t key = data[2 * j];
+      IndexForCore(CoreForKey(key))->Insert(key, data[2 * j + 1]);
+      loaded++;
+    }
+    chunk = hdr->next;
+  }
+  FLATSTORE_CHECK_EQ(loaded, sb->checkpoint_items);
+  // Consume the checkpoint: its chunks are *not* marked during recovery,
+  // so they return to the free pool.
+  sb->checkpoint_off = 0;
+  sb->checkpoint_items = 0;
+  pool_->PersistFence(&sb->checkpoint_off, 16);
+}
+
+void FlatStore::CheckpointNow() {
+  // Pause cleaners: a chunk freed mid-checkpoint would leave the
+  // checkpointed index pointing at recycled memory.
+  StopCleaners();
+  for (int c = 0; c < options_.num_cores; c++) {
+    FLATSTORE_CHECK_EQ(Inflight(c), 0u) << "CheckpointNow with in-flight ops";
+  }
+  WriteCheckpoint();
+  log::Superblock* sb = root_->superblock();
+  sb->clean_shutdown = 1;
+  pool_->PersistFence(&sb->clean_shutdown, 4);
+  if (!cleaners_.empty()) StartCleaners();
+}
+
+void FlatStore::Shutdown() {
+  StopCleaners();
+  for (int c = 0; c < options_.num_cores; c++) {
+    FLATSTORE_CHECK_EQ(Inflight(c), 0u) << "Shutdown with in-flight ops";
+  }
+  WriteCheckpoint();
+  alloc_->PersistMetadata();  // paper: "flushes the bitmap of each chunk"
+  log::Superblock* sb = root_->superblock();
+  sb->clean_shutdown = 1;
+  pool_->PersistFence(&sb->clean_shutdown, 4);
+}
+
+void FlatStore::Recover(bool rebuild_index) {
+  root_->RebuildMirror();
+  alloc_->StartRecovery();
+
+  // Enumerate registered log chunks grouped by owning core.
+  struct Rec {
+    uint64_t slot;
+    uint64_t chunk;
+    uint32_t seq;
+  };
+  std::vector<std::vector<Rec>> per_core(
+      static_cast<size_t>(options_.num_cores));
+  const log::ChunkRecord* regs = root_->registry();
+  for (uint64_t s = 0; s < log::kRegistrySlots; s++) {
+    if (regs[s].chunk_off == 0) continue;
+    FLATSTORE_CHECK_LT(regs[s].core,
+                       static_cast<uint32_t>(options_.num_cores));
+    per_core[regs[s].core].push_back({s, regs[s].chunk_off, regs[s].seq});
+  }
+  for (auto& v : per_core) {
+    std::sort(v.begin(), v.end(),
+              [](const Rec& a, const Rec& b) { return a.seq < b.seq; });
+  }
+
+  // Per-core tails and committed extents.
+  std::vector<uint64_t> tails(per_core.size(), 0);
+  std::vector<uint64_t> tail_seqs(per_core.size(), 0);
+  for (size_t c = 0; c < per_core.size(); c++) {
+    tails[c] = root_->ReadTail(static_cast<int>(c), &tail_seqs[c]);
+  }
+  auto committed_bytes = [&](int core, uint64_t chunk) -> uint64_t {
+    if (tails[core] != 0 &&
+        AlignDown(tails[core], alloc::kChunkSize) == chunk) {
+      return tails[core] - (chunk + log::kLogDataOff);
+    }
+    return pool_
+        ->PtrAt<log::LogChunkHeader>(chunk + alloc::kChunkHeaderSize)
+        ->used_final;
+  };
+
+  // Pass 1: rebuild the volatile index, newest version wins. After a
+  // clean open the checkpoint already provided the index as of the
+  // recorded per-core positions — replay only the suffix beyond them
+  // (delta replay; empty after a final shutdown).
+  //
+  // Replay runs with one host thread per core's log, as in the paper
+  // ("the server cores need to rebuild the in-memory index ... by
+  // scanning their OpLogs"). Entries route to the owning partition of
+  // their *key* (stolen entries live in other cores' logs), so the
+  // duelling-version upsert must be atomic: a CAS loop over Get +
+  // CompareExchange/Upsert keeps the newest version under concurrency.
+  {
+    const log::Superblock* sb = root_->superblock();
+    auto replay_core = [&](size_t c) {
+      const uint64_t ckpt_tail = rebuild_index ? 0 : sb->ckpt_tail[c];
+      const uint32_t ckpt_seq = rebuild_index ? 0 : sb->ckpt_seq[c];
+      for (const Rec& r : per_core[c]) {
+        if (!rebuild_index && ckpt_tail != 0 && r.seq < ckpt_seq) continue;
+        log::LogChunkReader reader(pool_, r.chunk,
+                                   committed_bytes(static_cast<int>(c),
+                                                   r.chunk));
+        log::DecodedEntry e;
+        uint64_t off;
+        while (reader.Next(&e, &off)) {
+          if (!rebuild_index && ckpt_tail != 0 && r.seq == ckpt_seq &&
+              off < ckpt_tail) {
+            continue;  // covered by the checkpoint
+          }
+          index::KvIndex* idx = IndexForCore(CoreForKey(e.key));
+          const uint64_t packed = log::PackIndexValue(off, e.version);
+          while (true) {
+            uint64_t cur = 0;
+            if (!idx->Get(e.key, &cur)) {
+              uint64_t old;
+              if (!idx->Upsert(e.key, packed, &old)) break;  // inserted
+              // Raced with another replayer: fall through with its value.
+              cur = old;
+              // Our Upsert overwrote it — restore the duel by comparing
+              // and possibly swapping back.
+              if (VersionNewer(log::UnpackVersion(cur),
+                               log::UnpackVersion(packed))) {
+                idx->CompareExchange(e.key, packed, cur);
+              }
+              break;
+            }
+            if (!VersionNewer(e.version, log::UnpackVersion(cur))) break;
+            if (idx->CompareExchange(e.key, cur, packed)) break;
+            // CAS lost; re-read and retry.
+          }
+        }
+      }
+    };
+    if (per_core.size() > 1) {
+      std::vector<std::thread> replayers;
+      for (size_t c = 0; c < per_core.size(); c++) {
+        replayers.emplace_back(replay_core, c);
+      }
+      for (auto& t : replayers) t.join();
+    } else {
+      replay_core(0);
+    }
+    // Tombstone index entries are retained on purpose: they keep per-key
+    // versions monotonic across delete + re-put cycles.
+  }
+
+  // Pass 2: chunk usage and allocator bitmaps — per-core independent, so
+  // it parallelizes like pass 1 (allocator marking is chunk-locked).
+  auto pass2_core = [&](size_t c) {
+    std::map<uint64_t, log::ChunkUsage> usage;
+    for (const Rec& r : per_core[c]) {
+      const uint64_t committed = committed_bytes(static_cast<int>(c), r.chunk);
+      const bool is_tail_chunk =
+          tails[c] != 0 &&
+          AlignDown(tails[c], alloc::kChunkSize) == r.chunk;
+      log::ChunkUsage u;
+      u.seq = r.seq;
+      u.sealed = !is_tail_chunk;
+      u.registry_slot = r.slot;
+
+      log::LogChunkReader reader(pool_, r.chunk, committed);
+      log::DecodedEntry e;
+      uint64_t off;
+      while (reader.Next(&e, &off)) {
+        u.total++;
+        uint64_t cur = 0;
+        const bool live =
+            IndexForCore(CoreForKey(e.key))->Get(e.key, &cur) &&
+            cur == log::PackIndexValue(off, e.version);
+        if (live && e.op == log::OpType::kPut && !e.embedded) {
+          alloc_->MarkBlockAllocated(e.ptr);
+        }
+        if (e.op == log::OpType::kDelete) {
+          u.tombs++;
+          u.max_covered_seq =
+              std::max(u.max_covered_seq, static_cast<uint32_t>(e.ptr));
+        }
+        if (live) u.live++;
+      }
+
+      if (u.total == 0 && !is_tail_chunk) {
+        // Pre-registered but never written (crash at rollover): reclaim.
+        root_->UnregisterChunk(r.slot);
+        continue;
+      }
+      alloc_->MarkRawChunkAllocated(r.chunk);
+      usage[r.chunk] = u;
+    }
+    logs_[c]->AdoptRecoveredState(tails[c], tail_seqs[c], std::move(usage));
+  };
+  if (per_core.size() > 1) {
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < per_core.size(); c++) {
+      workers.emplace_back(pass2_core, c);
+    }
+    for (auto& t : workers) t.join();
+  } else {
+    pass2_core(0);
+  }
+  alloc_->FinishRecovery();
+}
+
+}  // namespace core
+}  // namespace flatstore

@@ -1,0 +1,247 @@
+// FlatStore — the key-value storage engine (the paper's contribution).
+//
+// Composition (paper Fig. 2): per-core compacted OpLogs over an emulated
+// PM pool, the lazy-persist allocator for out-of-log values, pipelined
+// horizontal batching for the g-persist phase, a volatile index (per-core
+// CCEH for FlatStore-H, a global Masstree for FlatStore-M, or a volatile
+// FAST&FAIR for the FlatStore-FF ablation), per-core conflict queues, log
+// cleaning, and crash/clean-shutdown recovery.
+//
+// Two API levels:
+//
+//  * Synchronous convenience (Put/Get/Delete/Scan): runs the asynchronous
+//    protocol inline on the calling thread. Used by examples, tests, and
+//    single-threaded tools.
+//
+//  * Asynchronous per-core protocol, used by the server runtime
+//    (core/server.h) to reproduce the paper's pipelined processing:
+//
+//      BeginPut/BeginDelete  -> l-persist + stage in the request pool
+//      Pump                  -> one g-persist attempt (leader election)
+//      Drain                 -> completed ops: volatile-index update,
+//                               old-entry retirement, conflict release
+//      GetOnCore             -> immediate read through the volatile index
+//
+//    Keys are partitioned across cores by key hash (CoreForKey). The
+//    per-core conflict queue (paper §3.3 Discussion) prevents pipelined-HB
+//    *reordering*: same-key writes pipeline freely (FIFO drains keep them
+//    ordered; versions chain through the in-flight table), but a Get on a
+//    key with in-flight writes must wait (KeyBusy) so it cannot miss a
+//    preceding Put.
+
+#ifndef FLATSTORE_CORE_FLATSTORE_H_
+#define FLATSTORE_CORE_FLATSTORE_H_
+
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "batch/hb_engine.h"
+#include "index/kv_index.h"
+#include "log/layout.h"
+#include "log/log_cleaner.h"
+#include "log/oplog.h"
+
+namespace flatstore {
+namespace core {
+
+// Which volatile index backs the store (paper §4.1/§4.2/§5.1).
+enum class IndexKind {
+  kHash,              // FlatStore-H: one CCEH partition per core
+  kMasstree,          // FlatStore-M: global ordered index
+  kFastFairVolatile,  // FlatStore-FF: global volatile FAST&FAIR
+};
+
+const char* IndexKindName(IndexKind kind);
+
+// Engine configuration.
+struct FlatStoreOptions {
+  int num_cores = 4;
+  // Horizontal-batching group size (the paper groups cores by socket).
+  int group_size = 4;
+  batch::BatchMode batch_mode = batch::BatchMode::kPipelinedHB;
+  IndexKind index = IndexKind::kHash;
+  // log2 of each per-core CCEH partition's initial segment count.
+  uint32_t hash_initial_depth = 6;
+  // Pad log batches to cachelines (§3.2); ablation toggle.
+  bool pad_batches = true;
+  // Log cleaning (§3.4).
+  double gc_live_ratio = 0.6;
+  uint64_t gc_free_chunk_watermark = 0;  // 0 = clean whenever possible
+};
+
+// Result of Begin* calls.
+enum class OpStatus {
+  kOk,            // staged
+  kBusy,          // same-key op in flight (conflict queue) — retry later
+  kBackpressure,  // request pool full — Pump + Drain, then retry
+  kNotFound,      // delete of an absent key (completed immediately)
+  kNoSpace,       // PM exhausted
+};
+
+// The engine.
+class FlatStore {
+ public:
+  using OpHandle = uint64_t;
+
+  // A finished asynchronous op.
+  struct Completion {
+    OpHandle handle;
+    uint64_t key;
+    uint64_t done_time;  // simulated completion timestamp
+  };
+
+  // Creates a fresh store: formats the pool's root area and allocator
+  // region. The pool must be at least a few chunks big.
+  static std::unique_ptr<FlatStore> Create(pm::PmPool* pool,
+                                           const FlatStoreOptions& options);
+
+  // Opens an existing pool: after a clean shutdown, loads the index
+  // checkpoint; after a crash, replays the OpLogs (paper §3.5). The
+  // options must use the same num_cores the pool was created with.
+  static std::unique_ptr<FlatStore> Open(pm::PmPool* pool,
+                                         const FlatStoreOptions& options);
+
+  ~FlatStore();
+  FlatStore(const FlatStore&) = delete;
+  FlatStore& operator=(const FlatStore&) = delete;
+
+  // Server core responsible for `key`.
+  int CoreForKey(uint64_t key) const;
+
+  // ---- synchronous convenience API ----
+
+  // Inserts/updates. `value` must be non-empty and at most 4 MB - 4 KB.
+  void Put(uint64_t key, std::string_view value);
+  // Reads into `*value`; false if absent.
+  bool Get(uint64_t key, std::string* value);
+  // Removes; false if absent.
+  bool Delete(uint64_t key);
+  // Ordered scan (kMasstree / kFastFairVolatile only): up to `count`
+  // pairs with key >= start_key.
+  uint64_t Scan(uint64_t start_key, uint64_t count,
+                std::vector<std::pair<uint64_t, std::string>>* out);
+
+  // ---- asynchronous per-core protocol ----
+
+  // l-persist + stage. `core` must equal CoreForKey(key). Same-key writes
+  // pipeline (never kBusy); drains apply them in order.
+  OpStatus BeginPut(int core, uint64_t key, const void* value, uint32_t len,
+                    OpHandle* handle);
+  // Stages a tombstone; kNotFound if the key is absent (nothing staged).
+  OpStatus BeginDelete(int core, uint64_t key, OpHandle* handle);
+  // One g-persist attempt (leader election / self-batch). Returns the
+  // number of entries persisted by this call.
+  size_t Pump(int core);
+  // Completes up to `max` finished ops in FIFO order: updates the
+  // volatile index, retires superseded entries, releases conflict-queue
+  // slots. Appends to `*out` if non-null.
+  size_t Drain(int core, size_t max, std::vector<Completion>* out);
+  // Number of staged-but-incomplete ops on `core`.
+  size_t Inflight(int core) const;
+  // True while a write on `key` is in flight on its core. Gets on busy
+  // keys must be deferred (conflict queue, §3.3 Discussion).
+  bool KeyBusy(int core, uint64_t key) const;
+  // Read on the owning core (immediate; volatile index + log/block read).
+  bool GetOnCore(int core, uint64_t key, std::string* value);
+
+  // ---- lifecycle ----
+
+  // Starts one background log cleaner per HB group (§3.4).
+  void StartCleaners();
+  void StopCleaners();
+  // Runs one synchronous cleaning pass on every group (deterministic
+  // benchmarks drive GC this way instead of via background threads).
+  // Returns the number of chunks freed.
+  size_t RunCleanersOnce();
+
+  // Normal shutdown (§3.5): checkpoints the volatile index to PM, flushes
+  // allocator bitmaps, sets the shutdown flag. The store must be idle.
+  void Shutdown();
+
+  // Online checkpoint (§3.5 extension: "checkpoint the volatile index
+  // into PMs periodically when the CPU is not busy"): records the current
+  // index + per-core log positions so a later crash replays only the log
+  // suffix written since. The store must be momentarily idle (no in-
+  // flight ops); serving may resume immediately afterwards. Cleaners are
+  // paused during the checkpoint (a chunk freed after the checkpoint
+  // invalidates it — OpLog::ReleaseChunk clears the flag).
+  void CheckpointNow();
+
+  // ---- introspection ----
+  index::KvIndex* IndexForCore(int core) const;
+  log::OpLog* LogForCore(int core) { return logs_[core].get(); }
+  batch::HbEngine* hb() { return hb_.get(); }
+  alloc::LazyAllocator* allocator() { return alloc_.get(); }
+  log::RootArea* root() { return root_.get(); }
+  const FlatStoreOptions& options() const { return options_; }
+  uint64_t Size() const;
+  // Total chunks cleaned by all cleaners (Fig. 13).
+  uint64_t ChunksCleaned() const;
+
+ private:
+  FlatStore(pm::PmPool* pool, const FlatStoreOptions& options);
+
+  void BuildIndexes();
+  void EnsureCleaners();
+  // Crash-recovery replay / usage rebuild (also used after clean open to
+  // rebuild allocator bitmaps + chunk usage). `rebuild_index` is false
+  // when the checkpoint already provided the index.
+  void Recover(bool rebuild_index);
+  void LoadCheckpoint();
+  void WriteCheckpoint();
+
+  // One in-flight op's bookkeeping.
+  struct PendingOp {
+    OpHandle handle;
+    uint64_t key;
+    uint32_t version;
+    bool tombstone;
+    uint64_t covered_seq;  // tombstone: seq of the chunk it supersedes
+  };
+
+  // In-flight same-key write chain: count of pending ops and the version
+  // of the newest one (the next op continues the chain).
+  struct InflightKey {
+    uint32_t count = 0;
+    uint32_t last_version = 0;
+  };
+
+  struct alignas(64) CoreState {
+    std::deque<PendingOp> pending;
+    std::unordered_map<uint64_t, InflightKey> inflight_keys;
+  };
+
+  // Retire lock of `core`'s group (see log/log_cleaner.h).
+  std::shared_mutex* RetireLock(int core) const {
+    return retire_locks_[static_cast<size_t>(core) /
+                         static_cast<size_t>(options_.group_size)]
+        .get();
+  }
+
+  // Retires the superseded entry `old_packed` of `key` (caller holds the
+  // retire lock, shared).
+  void RetireOld(uint64_t old_packed);
+
+  // Reads the value of a decoded entry into `*value`.
+  void ReadValue(const log::DecodedEntry& e, std::string* value) const;
+
+  pm::PmPool* pool_;
+  FlatStoreOptions options_;
+  std::unique_ptr<log::RootArea> root_;
+  std::unique_ptr<alloc::LazyAllocator> alloc_;
+  std::vector<std::unique_ptr<log::OpLog>> logs_;
+  std::unique_ptr<batch::HbEngine> hb_;
+  std::vector<std::unique_ptr<index::KvIndex>> indexes_;  // 1 or per-core
+  std::vector<std::unique_ptr<CoreState>> cores_;
+  std::vector<std::unique_ptr<std::shared_mutex>> retire_locks_;
+  std::vector<std::unique_ptr<log::LogCleaner>> cleaners_;
+};
+
+}  // namespace core
+}  // namespace flatstore
+
+#endif  // FLATSTORE_CORE_FLATSTORE_H_

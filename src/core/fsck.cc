@@ -1,0 +1,281 @@
+#include "core/fsck.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "alloc/lazy_allocator.h"
+#include "log/layout.h"
+#include "log/log_reader.h"
+
+namespace flatstore {
+namespace core {
+
+namespace {
+
+// Mirrors the private checkpoint layout in flatstore.cc.
+struct CheckpointHeader {
+  uint64_t next;
+  uint64_t count;
+};
+
+struct Checker {
+  const pm::PmPool& pool;
+  FsckReport report;
+
+  void Fatal(std::string what) {
+    report.ok = false;
+    report.issues.push_back({true, std::move(what)});
+  }
+  void Warn(std::string what) {
+    report.issues.push_back({false, std::move(what)});
+  }
+};
+
+}  // namespace
+
+std::string FsckReport::Summary() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "CORRUPT") << ": " << log_chunks << " log chunks, "
+      << log_entries << " entries (" << tombstones << " tombstones), "
+      << live_keys << " live keys, " << value_blocks << " value blocks, "
+      << checkpoint_items << " checkpointed pairs";
+  int fatals = 0, warns = 0;
+  for (const FsckIssue& i : issues) (i.fatal ? fatals : warns)++;
+  out << "; " << fatals << " errors, " << warns << " warnings";
+  return out.str();
+}
+
+FsckReport FsckPool(const pm::PmPool& pool) {
+  Checker c{pool, {}};
+  auto* mutable_pool = const_cast<pm::PmPool*>(&pool);
+
+  // --- superblock ---
+  const auto* sb = mutable_pool->PtrAt<log::Superblock>(0);
+  if (sb->magic != log::kSuperblockMagic) {
+    c.Fatal("superblock magic mismatch (pool not formatted?)");
+    return c.report;
+  }
+  if (sb->num_cores == 0 || sb->num_cores > log::kMaxCores) {
+    c.Fatal("superblock num_cores out of range: " +
+            std::to_string(sb->num_cores));
+    return c.report;
+  }
+  if (sb->pool_size != pool.size()) {
+    c.Warn("superblock pool_size " + std::to_string(sb->pool_size) +
+           " != actual " + std::to_string(pool.size()));
+  }
+  const int cores = static_cast<int>(sb->num_cores);
+
+  // --- tail records ---
+  log::RootArea root(mutable_pool);
+  std::vector<uint64_t> tails(static_cast<size_t>(cores));
+  for (int core = 0; core < cores; core++) {
+    uint64_t seq;
+    tails[core] = root.ReadTail(core, &seq);
+    if (tails[core] != 0 && tails[core] >= pool.size()) {
+      c.Fatal("core " + std::to_string(core) + " tail beyond pool: " +
+              std::to_string(tails[core]));
+      tails[core] = 0;
+    }
+  }
+
+  // --- chunk registry ---
+  struct ChunkRec {
+    uint64_t off;
+    int core;
+    uint32_t seq;
+  };
+  std::vector<ChunkRec> chunks;
+  std::set<uint64_t> chunk_offs;
+  const log::ChunkRecord* regs = root.registry();
+  for (uint64_t s = 0; s < log::kRegistrySlots; s++) {
+    if (regs[s].chunk_off == 0) continue;
+    const uint64_t off = regs[s].chunk_off;
+    if (off % alloc::kChunkSize != 0 || off == 0 ||
+        off + alloc::kChunkSize > pool.size()) {
+      c.Fatal("registry slot " + std::to_string(s) +
+              ": bad chunk offset " + std::to_string(off));
+      continue;
+    }
+    if (regs[s].core >= sb->num_cores) {
+      c.Fatal("registry slot " + std::to_string(s) + ": bad core " +
+              std::to_string(regs[s].core));
+      continue;
+    }
+    if (!chunk_offs.insert(off).second) {
+      c.Fatal("chunk " + std::to_string(off) + " registered twice");
+      continue;
+    }
+    const auto* ch = mutable_pool->PtrAt<alloc::ChunkHeader>(off);
+    if (ch->magic != alloc::kChunkMagic) {
+      c.Fatal("registered chunk " + std::to_string(off) +
+              " has no allocator magic");
+      continue;
+    }
+    if (ch->size_class != 0) {
+      c.Warn("registered log chunk " + std::to_string(off) +
+             " carries a value size class");
+    }
+    chunks.push_back({off, static_cast<int>(regs[s].core), regs[s].seq});
+  }
+  c.report.log_chunks = chunks.size();
+
+  // Per-core: sequences must be unique.
+  {
+    std::map<int, std::set<uint32_t>> seqs;
+    for (const ChunkRec& r : chunks) {
+      if (!seqs[r.core].insert(r.seq).second) {
+        c.Fatal("core " + std::to_string(r.core) + " has two chunks with seq " +
+                std::to_string(r.seq));
+      }
+    }
+  }
+
+  // Tail containment.
+  for (int core = 0; core < cores; core++) {
+    if (tails[core] == 0) continue;
+    const uint64_t tail_chunk = AlignDown(tails[core], alloc::kChunkSize);
+    bool found = false;
+    for (const ChunkRec& r : chunks) {
+      if (r.off == tail_chunk) {
+        found = true;
+        if (r.core != core) {
+          c.Fatal("core " + std::to_string(core) +
+                  " tail lies in a chunk registered to core " +
+                  std::to_string(r.core));
+        }
+      }
+    }
+    if (!found) {
+      c.Fatal("core " + std::to_string(core) +
+              " tail points into an unregistered chunk");
+    }
+  }
+
+  // --- walk every chunk; dry-run replay ---
+  struct Winner {
+    uint64_t off;
+    uint32_t version;
+    bool tombstone;
+    uint64_t ptr;  // 0 for inline
+  };
+  std::unordered_map<uint64_t, Winner> replay;
+  auto version_newer = [](uint32_t a, uint32_t b) {
+    const uint32_t d = (a - b) & log::kVersionMask;
+    return d != 0 && d < (1u << (log::kVersionBits - 1));
+  };
+
+  for (const ChunkRec& r : chunks) {
+    const auto* hdr = mutable_pool->PtrAt<log::LogChunkHeader>(
+        r.off + alloc::kChunkHeaderSize);
+    uint64_t committed = hdr->used_final;
+    const uint64_t tail = tails[r.core];
+    if (tail != 0 && AlignDown(tail, alloc::kChunkSize) == r.off) {
+      committed = tail - (r.off + log::kLogDataOff);
+    }
+    if (committed > log::kLogDataBytes) {
+      c.Fatal("chunk " + std::to_string(r.off) + " committed length " +
+              std::to_string(committed) + " exceeds capacity");
+      continue;
+    }
+    log::LogChunkReader reader(mutable_pool, r.off, committed);
+    log::DecodedEntry e;
+    uint64_t off;
+    uint64_t entries_here = 0;
+    while (reader.Next(&e, &off)) {
+      entries_here++;
+      c.report.log_entries++;
+      if (e.op == log::OpType::kDelete) c.report.tombstones++;
+      if (e.op == log::OpType::kPut && !e.embedded) {
+        if (e.ptr == 0 || e.ptr + 8 > pool.size()) {
+          c.Fatal("entry at " + std::to_string(off) +
+                  " has out-of-pool value ptr " + std::to_string(e.ptr));
+          continue;
+        }
+      }
+      auto it = replay.find(e.key);
+      if (it == replay.end() ||
+          version_newer(e.version, it->second.version)) {
+        replay[e.key] = {off, e.version, e.op == log::OpType::kDelete,
+                         e.embedded ? 0 : e.ptr};
+      } else if (it->second.version == e.version &&
+                 it->second.off != off) {
+        // Cleaner duplicates are legal only if byte-identical.
+        const auto* a =
+            static_cast<const uint8_t*>(mutable_pool->At(it->second.off));
+        const auto* b = static_cast<const uint8_t*>(mutable_pool->At(off));
+        if (!std::equal(b, b + e.entry_len, a)) {
+          c.Fatal("key " + std::to_string(e.key) +
+                  ": two different entries share version " +
+                  std::to_string(e.version));
+        }
+      }
+    }
+    if (reader.position() < committed &&
+        reader.position() + kCachelineSize <= committed) {
+      c.Warn("chunk " + std::to_string(r.off) + " scan stopped " +
+             std::to_string(committed - reader.position()) +
+             " bytes before its committed length");
+    }
+    (void)entries_here;
+  }
+
+  // Winning value blocks: bounds + overlap.
+  std::map<uint64_t, uint64_t> blocks;  // off -> len
+  for (const auto& [key, w] : replay) {
+    if (w.tombstone) continue;
+    c.report.live_keys++;
+    if (w.ptr == 0) continue;
+    c.report.value_blocks++;
+    uint64_t len;
+    std::memcpy(&len, mutable_pool->At(w.ptr), 8);
+    if (len > alloc::kChunkSize) {
+      c.Fatal("value block at " + std::to_string(w.ptr) +
+              " claims absurd length " + std::to_string(len));
+      continue;
+    }
+    auto [it, fresh] = blocks.emplace(w.ptr, len + 8);
+    if (!fresh) {
+      c.Fatal("two live keys share value block " + std::to_string(w.ptr));
+    }
+  }
+  uint64_t prev_end = 0;
+  for (const auto& [off, len] : blocks) {
+    if (off < prev_end) {
+      c.Fatal("value blocks overlap at " + std::to_string(off));
+    }
+    prev_end = off + len;
+  }
+
+  // --- checkpoint chain ---
+  if (sb->clean_shutdown != 0) {
+    uint64_t chunk = sb->checkpoint_off;
+    uint64_t items = 0;
+    std::set<uint64_t> seen;
+    while (chunk != 0) {
+      if (chunk % alloc::kChunkSize != 0 ||
+          chunk + alloc::kChunkSize > pool.size() ||
+          !seen.insert(chunk).second) {
+        c.Fatal("checkpoint chain broken at " + std::to_string(chunk));
+        break;
+      }
+      const auto* hdr = mutable_pool->PtrAt<CheckpointHeader>(
+          chunk + alloc::kChunkHeaderSize);
+      items += hdr->count;
+      chunk = hdr->next;
+    }
+    if (chunk == 0 && items != sb->checkpoint_items) {
+      c.Fatal("checkpoint pair count " + std::to_string(items) +
+              " != superblock " + std::to_string(sb->checkpoint_items));
+    }
+    c.report.checkpoint_items = items;
+  }
+
+  return c.report;
+}
+
+}  // namespace core
+}  // namespace flatstore

@@ -1,0 +1,375 @@
+#include "core/server.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace core {
+
+// ---- FlatStoreAdapter -----------------------------------------------------
+
+EngineAdapter::Submit FlatStoreAdapter::SubmitPut(int core, uint64_t key,
+                                                  const void* value,
+                                                  uint32_t len,
+                                                  uint64_t tag) {
+  FlatStore::OpHandle h;
+  switch (store_->BeginPut(core, key, value, len, &h)) {
+    case OpStatus::kOk:
+      pending_[core].push_back({h, tag});
+      return Submit::kPending;
+    case OpStatus::kBusy:
+      return Submit::kBusy;
+    case OpStatus::kBackpressure:
+      return Submit::kBackpressure;
+    default:
+      FLATSTORE_CHECK(false) << "PM exhausted during benchmark";
+      return Submit::kBackpressure;
+  }
+}
+
+EngineAdapter::Submit FlatStoreAdapter::SubmitDelete(int core, uint64_t key,
+                                                     uint64_t tag) {
+  FlatStore::OpHandle h;
+  switch (store_->BeginDelete(core, key, &h)) {
+    case OpStatus::kOk:
+      pending_[core].push_back({h, tag});
+      return Submit::kPending;
+    case OpStatus::kNotFound:
+      return Submit::kNotFound;
+    case OpStatus::kBusy:
+      return Submit::kBusy;
+    default:
+      return Submit::kBackpressure;
+  }
+}
+
+size_t FlatStoreAdapter::Drain(int core, std::vector<Done>* done) {
+  std::vector<FlatStore::Completion> completions;
+  store_->Drain(core, SIZE_MAX, &completions);
+  if (completions.empty()) return 0;
+  // Completions come back in FIFO order, matching pending_.
+  auto& pend = pending_[core];
+  FLATSTORE_CHECK_GE(pend.size(), completions.size());
+  for (size_t i = 0; i < completions.size(); i++) {
+    FLATSTORE_DCHECK(pend[i].handle == completions[i].handle);
+    done->push_back({pend[i].tag, completions[i].done_time});
+  }
+  pend.erase(pend.begin(),
+             pend.begin() + static_cast<long>(completions.size()));
+  return completions.size();
+}
+
+// ---- deterministic co-simulation -------------------------------------------
+
+namespace {
+
+// Per-core server state across scheduling quanta.
+struct CoreLoop {
+  vt::Clock clock;
+  std::unordered_map<uint64_t, std::pair<int, net::Request>> pending;
+  uint64_t next_tag = 1;
+  uint64_t completed = 0;
+};
+
+void RespondNow(net::FlatRpc& rpc, int core, int conn,
+                const net::Request& req, EngineAdapter* engine,
+                uint64_t not_before = 0) {
+  net::Response resp;
+  resp.type = req.type;
+  resp.seq = req.seq;
+  resp.value_len = 0;
+  resp.status = net::MsgStatus::kOk;
+  if (req.type == net::MsgType::kGet) {
+    std::string value;
+    if (engine->Get(core, req.key, &value)) {
+      resp.value_len = static_cast<uint32_t>(
+          std::min<size_t>(value.size(), net::kMaxMsgValue));
+      std::memcpy(resp.value, value.data(), resp.value_len);
+    } else {
+      resp.status = net::MsgStatus::kNotFound;
+    }
+  }
+  rpc.PostResponse(core, conn, &resp, not_before);
+}
+
+// Phase 1 of a server core's scheduling quantum: poll a burst of
+// requests, run their l-persist, stage their log entries. All cores run
+// phase 1 before any runs phase 2 (persist), mirroring the real system
+// where cores poll concurrently — otherwise a leader would never find
+// sibling entries to steal. Returns true if any work happened.
+//
+// Quanta are dispatched round-robin from a single host thread so the
+// interleaving -- and therefore every virtual-time result -- is
+// deterministic for a given seed (host scheduling must not leak into the
+// model; the concurrent deployment is exercised by the test suite).
+bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
+                  CoreLoop& state) {
+  vt::ScopedClock bind(&state.clock);
+  bool progress = false;
+
+  // Poll and admit a bounded burst (user-level polling, per-core
+  // processing -- paper 3.1).
+  for (int burst = 0; burst < 16; burst++) {
+    int conn;
+    net::Request* req = rpc.PollRequest(core, &conn);
+    if (req == nullptr) break;
+    state.clock.AdvanceTo(rpc.ArrivalTime(*req));
+    vt::Charge(vt::kRpcProcessCost);
+
+    if (req->type == net::MsgType::kGet) {
+      if (engine->KeyBusy(core, req->key)) continue;  // conflict queue
+      RespondNow(rpc, core, conn, *req, engine);
+      rpc.PopRequest(core, conn);
+      state.completed++;
+      progress = true;
+      continue;
+    }
+
+    const uint64_t tag = state.next_tag++;
+    EngineAdapter::Submit st;
+    if (req->type == net::MsgType::kPut) {
+      st = engine->SubmitPut(core, req->key, req->value, req->value_len,
+                             tag);
+    } else {
+      st = engine->SubmitDelete(core, req->key, tag);
+    }
+    switch (st) {
+      case EngineAdapter::Submit::kPending:
+        state.pending.emplace(tag, std::make_pair(conn, *req));
+        rpc.PopRequest(core, conn);
+        progress = true;
+        break;
+      case EngineAdapter::Submit::kDoneNow:
+      case EngineAdapter::Submit::kNotFound:
+        RespondNow(rpc, core, conn, *req, engine);
+        rpc.PopRequest(core, conn);
+        state.completed++;
+        progress = true;
+        break;
+      case EngineAdapter::Submit::kBusy:
+        // Conflict queue: this request stays at its ring's head and is
+        // retried after a future drain (paper 3.3 Discussion) — but the
+        // core keeps serving the *other* connections' buffers, otherwise
+        // one hot key would head-of-line-block the whole core under skew.
+        break;
+      case EngineAdapter::Submit::kBackpressure:
+        // Request pool full: stop admitting until a pump/drain cycle.
+        burst = 16;
+        break;
+    }
+  }
+
+  return progress;
+}
+
+// Phase 2: g-persist (leader election / self-batching) + the volatile
+// phase (index updates in Drain) + responses.
+bool CorePersistStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
+                     CoreLoop& state,
+                     std::vector<EngineAdapter::Done>& done_scratch) {
+  vt::ScopedClock bind(&state.clock);
+  bool progress = false;
+  if (engine->Pump(core) > 0) progress = true;
+
+  done_scratch.clear();
+  if (engine->Drain(core, &done_scratch) > 0) {
+    for (const auto& d : done_scratch) {
+      auto it = state.pending.find(d.tag);
+      FLATSTORE_CHECK(it != state.pending.end());
+      RespondNow(rpc, core, it->second.first, it->second.second, engine,
+                 d.done_time);
+      state.pending.erase(it);
+      state.completed++;
+    }
+    progress = true;
+  }
+  return progress;
+}
+
+// One simulated client connection.
+struct Conn {
+  int id;
+  uint64_t clock = 0;  // connection-local simulated time
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t next_seq = 1;
+  std::unordered_map<uint64_t, uint64_t> post_times;  // seq -> post time
+  std::unique_ptr<workload::Generator> gen;
+  Histogram latency;
+};
+
+// Drains any delivered responses into the connection's accounting.
+void DrainResponses(net::FlatRpc& rpc, Conn* conn) {
+  net::Response resp;
+  while (rpc.PollResponse(conn->id, &resp)) {
+    const uint64_t arrival = net::FlatRpc::ResponseArrival(resp);
+    conn->clock = std::max(conn->clock, arrival);
+    auto it = conn->post_times.find(resp.seq);
+    FLATSTORE_CHECK(it != conn->post_times.end());
+    conn->latency.Record(arrival - it->second);
+    conn->post_times.erase(it);
+    conn->completed++;
+  }
+}
+
+// One scheduling quantum of a connection: fill the request window, drain
+// responses. Returns true while the connection has work left.
+bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
+              const ServerConfig& config, const uint8_t* value) {
+  while (conn->issued < config.ops_per_conn &&
+         conn->post_times.size() <
+             static_cast<size_t>(config.client_window)) {
+    workload::Op op = conn->gen->Next();
+    net::Request req;
+    req.seq = conn->next_seq;
+    req.key = op.key;
+    switch (op.type) {
+      case workload::OpType::kPut:
+        req.type = net::MsgType::kPut;
+        req.value_len = std::min(op.value_len, net::kMaxMsgValue);
+        std::memcpy(req.value, value, req.value_len);
+        break;
+      case workload::OpType::kGet:
+        req.type = net::MsgType::kGet;
+        req.value_len = 0;
+        break;
+      case workload::OpType::kDelete:
+        req.type = net::MsgType::kDelete;
+        req.value_len = 0;
+        break;
+    }
+    conn->clock += vt::kClientPostCost;
+    req.post_time = conn->clock;
+    if (!rpc.PostRequest(conn->id, engine->CoreForKey(op.key), req)) {
+      conn->clock -= vt::kClientPostCost;
+      break;  // ring full; retry after draining responses
+    }
+    conn->post_times.emplace(req.seq, req.post_time);
+    conn->next_seq++;
+    conn->issued++;
+  }
+  DrainResponses(rpc, conn);
+  return conn->completed < config.ops_per_conn;
+}
+
+}  // namespace
+
+ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
+  FLATSTORE_CHECK_LE(config.client_window, 8)
+      << "client window exceeds the response ring size";
+  net::FlatRpc::Options ro;
+  ro.num_cores = engine->num_cores();
+  ro.num_conns = config.num_conns;
+  ro.all_to_all = config.all_to_all_qps;
+  net::FlatRpc rpc(ro);
+
+  std::vector<Conn> conns(static_cast<size_t>(config.num_conns));
+  for (int i = 0; i < config.num_conns; i++) {
+    conns[i].id = i;
+    conns[i].gen = std::make_unique<workload::Generator>(
+        config.workload, config.seed * 7919 + static_cast<uint64_t>(i));
+  }
+
+  const int ncores = engine->num_cores();
+  std::vector<CoreLoop> core_state(static_cast<size_t>(ncores));
+  std::vector<EngineAdapter::Done> done_scratch;
+  uint8_t value[net::kMaxMsgValue];
+  std::memset(value, 0x5A, sizeof(value));
+
+  // Deterministic round-robin co-simulation of connections and cores.
+  // Within a sweep, poll and persist rounds alternate until the cores run
+  // dry: every core stages (phase 1) before any persists (phase 2) so
+  // leaders see their siblings' staged entries, and conflict-queue
+  // retries (hot keys under skew) get another chance as soon as the
+  // blocking op drains — not a whole sweep later.
+  bool work_left = true;
+  while (work_left) {
+    work_left = false;
+    for (Conn& conn : conns) {
+      if (ConnStep(engine, rpc, &conn, config, value)) work_left = true;
+    }
+    bool round_progress = true;
+    while (round_progress) {
+      round_progress = false;
+      for (int c = 0; c < ncores; c++) {
+        if (CorePollStep(engine, rpc, c, core_state[c])) {
+          round_progress = true;
+        }
+      }
+      bool persist_progress = true;
+      while (persist_progress) {
+        persist_progress = false;
+        for (int c = 0; c < ncores; c++) {
+          if (CorePersistStep(engine, rpc, c, core_state[c],
+                              done_scratch)) {
+            persist_progress = true;
+            round_progress = true;
+          }
+        }
+      }
+    }
+  }
+  // Final sweep: cores finish in-flight persists, clients collect the
+  // last responses.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int c = 0; c < ncores; c++) {
+      if (CorePollStep(engine, rpc, c, core_state[c])) progress = true;
+      if (CorePersistStep(engine, rpc, c, core_state[c], done_scratch)) {
+        progress = true;
+      }
+    }
+    for (Conn& conn : conns) {
+      const uint64_t before = conn.completed;
+      DrainResponses(rpc, &conn);
+      if (conn.completed != before) progress = true;
+    }
+  }
+
+  ServerResult result;
+  for (const Conn& c : conns) {
+    result.ops += c.completed;
+    result.latency.Merge(c.latency);
+  }
+  for (const CoreLoop& s : core_state) {
+    result.core_ns.push_back(s.clock.now());
+    result.sim_ns = std::max(result.sim_ns, s.clock.now());
+  }
+  if (result.sim_ns > 0) {
+    result.mops = static_cast<double>(result.ops) * 1000.0 /
+                  static_cast<double>(result.sim_ns);
+  }
+  return result;
+}
+
+void Preload(EngineAdapter* engine, const workload::Config& workload,
+             uint64_t keys) {
+  std::vector<uint8_t> value(net::kMaxMsgValue, 0x5A);
+  for (uint64_t k = 0; k < keys; k++) {
+    const uint32_t len =
+        workload.etc_values
+            ? workload::Generator::EtcValueLen(k, workload.key_space)
+            : workload.value_len;
+    const int core = engine->CoreForKey(k);
+    uint64_t tag = k + 1;
+    while (true) {
+      auto st = engine->SubmitPut(core, k, value.data(), len, tag);
+      if (st == EngineAdapter::Submit::kDoneNow) break;
+      if (st == EngineAdapter::Submit::kPending) {
+        std::vector<EngineAdapter::Done> done;
+        while (engine->Drain(core, &done) == 0) engine->Pump(core);
+        break;
+      }
+      engine->Pump(core);
+      std::vector<EngineAdapter::Done> done;
+      engine->Drain(core, &done);
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace flatstore

@@ -1,0 +1,172 @@
+// Multi-core server runtime + simulated clients.
+//
+// Reproduces the paper's experimental setup: clients post requests
+// asynchronously over FlatRPC to key-hash-selected server cores
+// ("default client batchsize is 8", §5); each server core runs a poll →
+// process → g-persist → respond loop on its own virtual clock; the
+// pipelined-HB follower path keeps polling new requests while waiting for
+// leaders. Throughput is total completed operations over the maximum
+// simulated core time; latency is measured at the (simulated) client.
+//
+// The runtime drives any engine through EngineAdapter, so FlatStore
+// variants and the persistent-index baselines run under the *identical*
+// request stream and network model — exactly what the paper's comparison
+// requires.
+
+#ifndef FLATSTORE_CORE_SERVER_H_
+#define FLATSTORE_CORE_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/baseline.h"
+#include "core/flatstore.h"
+#include "net/flatrpc.h"
+#include "workload/workload.h"
+
+namespace flatstore {
+namespace core {
+
+// Per-core asynchronous engine interface the server loop drives.
+class EngineAdapter {
+ public:
+  enum class Submit { kPending, kDoneNow, kNotFound, kBusy, kBackpressure };
+
+  virtual ~EngineAdapter() = default;
+
+  virtual int num_cores() const = 0;
+  virtual int CoreForKey(uint64_t key) const = 0;
+  virtual const char* Name() const = 0;
+
+  // Submits a Put/Delete on `core`. kPending completions surface through
+  // Drain with the same `tag`.
+  virtual Submit SubmitPut(int core, uint64_t key, const void* value,
+                           uint32_t len, uint64_t tag) = 0;
+  virtual Submit SubmitDelete(int core, uint64_t key, uint64_t tag) = 0;
+
+  // Immediate read.
+  virtual bool Get(int core, uint64_t key, std::string* value) = 0;
+
+  // True while a write on `key` is still in flight on `core` (a Get must
+  // wait — the conflict queue).
+  virtual bool KeyBusy(int core, uint64_t key) const {
+    (void)core;
+    (void)key;
+    return false;
+  }
+
+  // One g-persist attempt (no-op for synchronous engines). Returns the
+  // number of entries persisted by this call.
+  virtual size_t Pump(int core) = 0;
+
+  // A completed pending op: its tag and the simulated instant its persist
+  // finished (responses must not precede it).
+  struct Done {
+    uint64_t tag;
+    uint64_t done_time;
+  };
+
+  // Appends newly completed pending ops.
+  virtual size_t Drain(int core, std::vector<Done>* done) = 0;
+};
+
+// Adapter over FlatStore's async protocol.
+class FlatStoreAdapter final : public EngineAdapter {
+ public:
+  explicit FlatStoreAdapter(FlatStore* store) : store_(store) {}
+  int num_cores() const override { return store_->options().num_cores; }
+  int CoreForKey(uint64_t key) const override {
+    return store_->CoreForKey(key);
+  }
+  const char* Name() const override {
+    return IndexKindName(store_->options().index);
+  }
+  Submit SubmitPut(int core, uint64_t key, const void* value, uint32_t len,
+                   uint64_t tag) override;
+  Submit SubmitDelete(int core, uint64_t key, uint64_t tag) override;
+  bool Get(int core, uint64_t key, std::string* value) override {
+    return store_->GetOnCore(core, key, value);
+  }
+  bool KeyBusy(int core, uint64_t key) const override {
+    return store_->KeyBusy(core, key);
+  }
+  size_t Pump(int core) override { return store_->Pump(core); }
+  size_t Drain(int core, std::vector<Done>* done) override;
+
+ private:
+  struct PendingTag {
+    FlatStore::OpHandle handle;
+    uint64_t tag;
+  };
+  FlatStore* store_;
+  std::vector<std::vector<PendingTag>> pending_ =
+      std::vector<std::vector<PendingTag>>(log::kMaxCores);
+};
+
+// Adapter over the synchronous baseline engines.
+class BaselineAdapter final : public EngineAdapter {
+ public:
+  explicit BaselineAdapter(BaselineStore* store) : store_(store) {}
+  int num_cores() const override { return store_->num_cores(); }
+  int CoreForKey(uint64_t key) const override {
+    return store_->CoreForKey(key);
+  }
+  const char* Name() const override { return store_->Name(); }
+  Submit SubmitPut(int core, uint64_t key, const void* value, uint32_t len,
+                   uint64_t tag) override {
+    (void)tag;
+    store_->PutOnCore(core, key, value, len);
+    return Submit::kDoneNow;
+  }
+  Submit SubmitDelete(int core, uint64_t key, uint64_t tag) override {
+    (void)tag;
+    return store_->DeleteOnCore(core, key) ? Submit::kDoneNow
+                                           : Submit::kNotFound;
+  }
+  bool Get(int core, uint64_t key, std::string* value) override {
+    return store_->GetOnCore(core, key, value);
+  }
+  size_t Pump(int) override { return 0; }
+  size_t Drain(int, std::vector<Done>*) override { return 0; }
+
+ private:
+  BaselineStore* store_;
+};
+
+// Benchmark-run configuration.
+struct ServerConfig {
+  int num_conns = 8;          // simulated client connections
+  int client_threads = 2;     // host threads driving the connections
+  int client_window = 8;      // async requests in flight per connection
+  uint64_t ops_per_conn = 10000;
+  workload::Config workload;
+  bool all_to_all_qps = false;
+  uint64_t seed = 1;
+};
+
+// Aggregated result of one run.
+struct ServerResult {
+  uint64_t ops = 0;
+  uint64_t sim_ns = 0;    // max simulated core time
+  double mops = 0;        // ops / sim time
+  Histogram latency;      // client-observed, simulated ns
+  double avg_batch = 0;   // mean HB batch size (FlatStore engines only)
+  std::vector<uint64_t> core_ns;  // per-core simulated time
+};
+
+// Runs the full client/server simulation until every connection finishes
+// its quota; returns aggregate metrics.
+ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config);
+
+// Convenience: bulk-load `keys` sequential keys through the engine's
+// synchronous path before a measured run (the paper preloads the key
+// range). Values use the workload's sizing rule.
+void Preload(EngineAdapter* engine, const workload::Config& workload,
+             uint64_t keys);
+
+}  // namespace core
+}  // namespace flatstore
+
+#endif  // FLATSTORE_CORE_SERVER_H_

@@ -1,0 +1,145 @@
+// Common interface of every index structure in src/index.
+//
+// All five structures (CCEH, Level-Hashing, FAST&FAIR, FPTree, Masstree)
+// map fixed 8-byte keys to 64-bit values — matching the paper's evaluation
+// setup — and can be instantiated in either of two modes:
+//
+//  * volatile mode (`PmContext::pool == nullptr`): nodes live in DRAM and
+//    no flush instructions are issued. FlatStore uses indexes this way
+//    ("Since the index persistence has already been guaranteed by the
+//    OpLog, we place CCEH directly in DRAM and remove all its flush
+//    operations", paper §4.1).
+//  * persistent mode: nodes are carved out of a PM pool through the lazy-
+//    persist allocator and every structural update is flushed, exactly the
+//    write-amplification behaviour §2.2 complains about. The baseline
+//    engines (core/baseline.h) use this mode.
+//
+// Values: FlatStore packs {log entry offset, 20-bit version} into the
+// value; baselines store the value-block offset. The index does not
+// interpret values, except that kNoValue is reserved.
+
+#ifndef FLATSTORE_INDEX_KV_INDEX_H_
+#define FLATSTORE_INDEX_KV_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "alloc/lazy_allocator.h"
+#include "pm/pm_pool.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace index {
+
+// Reserved key: never insert this key (used as the empty-slot sentinel by
+// the hash structures, as in the original CCEH code which reserves INVALID).
+inline constexpr uint64_t kReservedKey = ~0ull;
+
+// Reserved value meaning "no value".
+inline constexpr uint64_t kNoValue = ~0ull;
+
+// Where an index keeps its nodes. pool == nullptr selects volatile mode.
+struct PmContext {
+  pm::PmPool* pool = nullptr;
+  alloc::LazyAllocator* alloc = nullptr;
+  int core = 0;  // allocator partition used for node allocations
+
+  bool persistent() const { return pool != nullptr; }
+  // Charges the fetch of one node/bucket line at `p`: an Optane media
+  // read (through the device's bandwidth model) in persistent mode, a
+  // DRAM cache miss in volatile mode.
+  void ChargeNodeRead(const void* p) const {
+    if (pool != nullptr) {
+      pool->ChargeRead(p, 64);
+    } else {
+      vt::Charge(vt::kCpuCacheMiss);
+    }
+  }
+  // Flush helpers that collapse to no-ops in volatile mode.
+  void Persist(const void* p, uint64_t len) const {
+    if (pool != nullptr) pool->Persist(p, len);
+  }
+  void Fence() const {
+    if (pool != nullptr) pool->Fence();
+  }
+  void PersistFence(const void* p, uint64_t len) const {
+    if (pool != nullptr) pool->PersistFence(p, len);
+  }
+};
+
+
+// A key/value pair returned by scans.
+struct KvPair {
+  uint64_t key;
+  uint64_t value;
+};
+
+// Abstract point-query index.
+class KvIndex {
+ public:
+  virtual ~KvIndex() = default;
+
+  // Inserts or updates `key`; when updating, the previous value is
+  // returned through `*old_value`. Returns true iff the key existed.
+  // Atomic with respect to CompareExchange (the log cleaner's relocation),
+  // which is what lets the engine safely retire the superseded log entry.
+  // `key` must not be kReservedKey.
+  virtual bool Upsert(uint64_t key, uint64_t value, uint64_t* old_value) = 0;
+
+  // Looks up `key`; fills `*value` and returns true if present.
+  virtual bool Get(uint64_t key, uint64_t* value) const = 0;
+
+  // Removes `key`; the removed value is returned through `*old_value`.
+  // Returns true iff the key was present.
+  virtual bool Erase(uint64_t key, uint64_t* old_value) = 0;
+
+  // Convenience wrappers.
+  // Returns true if the key was newly inserted, false if updated.
+  bool Insert(uint64_t key, uint64_t value) {
+    uint64_t old;
+    return !Upsert(key, value, &old);
+  }
+  // Returns true if the key was present.
+  bool Delete(uint64_t key) {
+    uint64_t old;
+    return Erase(key, &old);
+  }
+
+  // Atomically replaces the value of `key` if it currently equals
+  // `expected`. Returns true on success. Used by the log cleaner to
+  // relocate entries concurrently with the owning core (paper §3.4).
+  virtual bool CompareExchange(uint64_t key, uint64_t expected,
+                               uint64_t desired) = 0;
+
+  // Atomically removes `key` if its value equals `expected`. Returns true
+  // on success. Used by the log cleaner to retire tombstone index entries.
+  virtual bool EraseIfEqual(uint64_t key, uint64_t expected) = 0;
+
+  // Invokes `fn(key, value)` for every live entry, in unspecified order.
+  // Not safe against concurrent mutation; used for the normal-shutdown
+  // index checkpoint (paper §3.5) and by tests.
+  virtual void ForEach(
+      const std::function<void(uint64_t, uint64_t)>& fn) const = 0;
+
+  // Number of live keys.
+  virtual uint64_t Size() const = 0;
+
+  // Human-readable structure name (bench output).
+  virtual const char* Name() const = 0;
+};
+
+// Indexes that additionally support ordered range scans.
+class OrderedKvIndex : public KvIndex {
+ public:
+  // Appends up to `count` pairs with key >= start_key, in key order, to
+  // `*out`. Returns the number appended.
+  virtual uint64_t Scan(uint64_t start_key, uint64_t count,
+                        std::vector<KvPair>* out) const = 0;
+};
+
+}  // namespace index
+}  // namespace flatstore
+
+#endif  // FLATSTORE_INDEX_KV_INDEX_H_

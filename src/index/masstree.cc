@@ -1,0 +1,320 @@
+#include "index/masstree.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace index {
+
+uint64_t Masstree::Permuter::InsertAt(uint64_t p, int pos, int* slot) {
+  const int count = Count(p);
+  *slot = At(p, count);  // first free slot
+  // Rebuild the index list with *slot spliced in at `pos`.
+  uint64_t q = static_cast<uint64_t>(count + 1);
+  int src = 0;
+  for (int i = 0; i < kLeafSlots; i++) {
+    uint64_t s;
+    if (i == pos) {
+      s = static_cast<uint64_t>(*slot);
+    } else {
+      if (src == count) src++;  // skip the free slot we consumed
+      s = static_cast<uint64_t>(At(p, src));
+      src++;
+    }
+    q |= s << (4 + 4 * i);
+  }
+  return q;
+}
+
+uint64_t Masstree::Permuter::RemoveAt(uint64_t p, int pos) {
+  const int count = Count(p);
+  const uint64_t freed = static_cast<uint64_t>(At(p, pos));
+  uint64_t q = static_cast<uint64_t>(count - 1);
+  int dst = 0;
+  for (int i = 0; i < kLeafSlots; i++) {
+    if (i == pos) continue;
+    q |= static_cast<uint64_t>(At(p, i)) << (4 + 4 * dst);
+    dst++;
+  }
+  // Freed slot goes to the head of the free region (position count-1).
+  q |= freed << (4 + 4 * (kLeafSlots - 1));
+  return q;
+}
+
+Masstree::Masstree(const PmContext& ctx) : arena_(ctx) {
+  root_ = NewLeaf();
+}
+
+Masstree::Leaf* Masstree::NewLeaf() {
+  auto* l = static_cast<Leaf*>(arena_.Alloc(sizeof(Leaf)));
+  l->permutation = Permuter::Empty();
+  l->next = nullptr;
+  return l;
+}
+
+Masstree::Inner* Masstree::NewInner() {
+  return static_cast<Inner*>(arena_.Alloc(sizeof(Inner)));
+}
+
+Masstree::Leaf* Masstree::Descend(uint64_t key,
+                                  std::vector<Inner*>* path) const {
+  void* n = root_;
+  for (uint32_t h = height_; h > 1; h--) {
+    vt::Charge(vt::kCpuCacheMiss);
+    Inner* inner = static_cast<Inner*>(n);
+    if (path != nullptr) path->push_back(inner);
+    int i = 0;
+    while (i < static_cast<int>(inner->count) && inner->entries[i].key <= key) {
+      vt::Charge(vt::kCpuSlotProbe);
+      i++;
+    }
+    n = i == 0 ? inner->leftmost : inner->entries[i - 1].child;
+  }
+  vt::Charge(vt::kCpuCacheMiss);
+  return static_cast<Leaf*>(n);
+}
+
+int Masstree::LeafPosition(const Leaf* l, uint64_t key, bool* found) {
+  const uint64_t p = l->permutation;
+  const int count = Permuter::Count(p);
+  // Binary search over the permuted order (Masstree leaves are searched
+  // through the permuter, so lookup is log despite unsorted storage).
+  int lo = 0, hi = count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    vt::Charge(vt::kCpuSlotProbe);
+    if (l->keys[Permuter::At(p, mid)] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *found = lo < count && l->keys[Permuter::At(p, lo)] == key;
+  return lo;
+}
+
+Masstree::Leaf* Masstree::SplitLeaf(Leaf* leaf, uint64_t* up_key) {
+  Leaf* right = NewLeaf();
+  const uint64_t p = leaf->permutation;
+  const int count = Permuter::Count(p);
+  const int half = count / 2;
+
+  // Move the upper half into the fresh leaf (slots 0..), fully sorted.
+  uint64_t rp = static_cast<uint64_t>(count - half);
+  for (int i = half; i < count; i++) {
+    int src = Permuter::At(p, i);
+    int dst = i - half;
+    right->keys[dst] = leaf->keys[src];
+    right->values[dst] = leaf->values[src];
+    rp |= static_cast<uint64_t>(dst) << (4 + 4 * dst);
+  }
+  // Free region of the right permuter.
+  for (int i = count - half; i < kLeafSlots; i++) {
+    rp |= static_cast<uint64_t>(i) << (4 + 4 * i);
+  }
+  right->permutation = rp;
+  vt::Charge(vt::CostMemcpy(static_cast<uint64_t>(count - half) * 16));
+
+  // Shrink the left leaf: keep the lower half, free the moved slots.
+  uint64_t lp = static_cast<uint64_t>(half);
+  int w = 0;
+  bool used[kLeafSlots] = {};
+  for (int i = 0; i < half; i++) {
+    int s = Permuter::At(p, i);
+    lp |= static_cast<uint64_t>(s) << (4 + 4 * w);
+    used[s] = true;
+    w++;
+  }
+  for (int s = 0; s < kLeafSlots; s++) {
+    if (!used[s]) {
+      lp |= static_cast<uint64_t>(s) << (4 + 4 * w);
+      w++;
+    }
+  }
+  right->next = leaf->next;
+  leaf->next = right;
+  leaf->permutation = lp;  // single-word commit
+  *up_key = right->keys[Permuter::At(rp, 0)];
+  return right;
+}
+
+void Masstree::InsertInner(uint64_t up_key, void* right,
+                           const std::vector<Inner*>& path) {
+  void* carry_child = right;
+  uint64_t carry_key = up_key;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Inner* n = *it;
+    int pos = 0;
+    while (pos < static_cast<int>(n->count) && n->entries[pos].key < carry_key) {
+      pos++;
+    }
+    if (static_cast<int>(n->count) < kInnerCard) {
+      for (int i = static_cast<int>(n->count); i > pos; i--) {
+        n->entries[i] = n->entries[i - 1];
+      }
+      n->entries[pos] = {carry_key, carry_child};
+      n->count++;
+      return;
+    }
+    Inner* sib = NewInner();
+    const int half = kInnerCard / 2;
+    uint64_t mid_key = n->entries[half].key;
+    sib->leftmost = n->entries[half].child;
+    sib->count = static_cast<uint32_t>(kInnerCard - half - 1);
+    std::memcpy(sib->entries, &n->entries[half + 1],
+                sizeof(Inner::Entry) * sib->count);
+    n->count = static_cast<uint32_t>(half);
+    Inner* target = carry_key < mid_key ? n : sib;
+    int p = 0;
+    while (p < static_cast<int>(target->count) &&
+           target->entries[p].key < carry_key) {
+      p++;
+    }
+    for (int i = static_cast<int>(target->count); i > p; i--) {
+      target->entries[i] = target->entries[i - 1];
+    }
+    target->entries[p] = {carry_key, carry_child};
+    target->count++;
+    carry_key = mid_key;
+    carry_child = sib;
+  }
+  Inner* new_root = NewInner();
+  new_root->leftmost = root_;
+  new_root->entries[0] = {carry_key, carry_child};
+  new_root->count = 1;
+  root_ = new_root;
+  height_++;
+}
+
+bool Masstree::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
+  FLATSTORE_DCHECK(key != kReservedKey);
+  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  vt::Charge(vt::kCpuCas);  // leaf latch (fine grained in the original)
+
+  while (true) {
+    std::vector<Inner*> path;
+    Leaf* leaf = Descend(key, &path);
+    bool found;
+    int pos = LeafPosition(leaf, key, &found);
+    if (found) {
+      int slot = Permuter::At(leaf->permutation, pos);
+      *old_value = leaf->values[slot];
+      std::atomic_ref<uint64_t>(leaf->values[slot])
+          .store(value, std::memory_order_release);
+      return true;
+    }
+    if (Permuter::Count(leaf->permutation) < kLeafSlots) {
+      int slot;
+      uint64_t np = Permuter::InsertAt(leaf->permutation, pos, &slot);
+      leaf->keys[slot] = key;
+      leaf->values[slot] = value;
+      // Single-word publication — the "no shifting" property.
+      std::atomic_ref<uint64_t>(leaf->permutation)
+          .store(np, std::memory_order_release);
+      vt::Charge(2 * vt::kCpuSlotProbe);
+      size_++;
+      return false;  // no previous value
+    }
+    uint64_t up;
+    Leaf* right = SplitLeaf(leaf, &up);
+    InsertInner(up, right, path);
+  }
+}
+
+bool Masstree::Get(uint64_t key, uint64_t* value) const {
+  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  const Leaf* leaf = Descend(key, nullptr);
+  bool found;
+  int pos = LeafPosition(leaf, key, &found);
+  if (!found) return false;
+  int slot = Permuter::At(leaf->permutation, pos);
+  *value = std::atomic_ref<const uint64_t>(leaf->values[slot])
+               .load(std::memory_order_acquire);
+  return true;
+}
+
+bool Masstree::Erase(uint64_t key, uint64_t* old_value) {
+  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  vt::Charge(vt::kCpuCas);
+  Leaf* leaf = Descend(key, nullptr);
+  bool found;
+  int pos = LeafPosition(leaf, key, &found);
+  if (!found) return false;
+  *old_value = leaf->values[Permuter::At(leaf->permutation, pos)];
+  std::atomic_ref<uint64_t>(leaf->permutation)
+      .store(Permuter::RemoveAt(leaf->permutation, pos),
+             std::memory_order_release);
+  size_--;
+  return true;
+}
+
+bool Masstree::CompareExchange(uint64_t key, uint64_t expected,
+                               uint64_t desired) {
+  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  vt::Charge(vt::kCpuCas);
+  Leaf* leaf = Descend(key, nullptr);
+  bool found;
+  int pos = LeafPosition(leaf, key, &found);
+  if (!found) return false;
+  int slot = Permuter::At(leaf->permutation, pos);
+  return std::atomic_ref<uint64_t>(leaf->values[slot])
+      .compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+}
+
+void Masstree::ForEach(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  for (const Leaf* leaf = Descend(0, nullptr); leaf != nullptr;
+       leaf = leaf->next) {
+    const uint64_t p = leaf->permutation;
+    for (int i = 0; i < Permuter::Count(p); i++) {
+      int slot = Permuter::At(p, i);
+      fn(leaf->keys[slot], leaf->values[slot]);
+    }
+  }
+}
+
+uint64_t Masstree::Scan(uint64_t start_key, uint64_t count,
+                        std::vector<KvPair>* out) const {
+  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  uint64_t n = 0;
+  const Leaf* leaf = Descend(start_key, nullptr);
+  bool found;
+  int pos = LeafPosition(leaf, start_key, &found);
+  while (leaf != nullptr && n < count) {
+    vt::Charge(vt::kCpuCacheMiss);
+    const uint64_t p = leaf->permutation;
+    for (; pos < Permuter::Count(p) && n < count; pos++) {
+      int slot = Permuter::At(p, pos);
+      out->push_back({leaf->keys[slot], leaf->values[slot]});
+      n++;
+      vt::Charge(vt::kCpuSlotProbe);
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return n;
+}
+
+
+bool Masstree::EraseIfEqual(uint64_t key, uint64_t expected) {
+  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  vt::Charge(vt::kCpuCas);
+  Leaf* leaf = Descend(key, nullptr);
+  bool found;
+  int pos = LeafPosition(leaf, key, &found);
+  if (!found) return false;
+  int slot = Permuter::At(leaf->permutation, pos);
+  if (leaf->values[slot] != expected) return false;
+  std::atomic_ref<uint64_t>(leaf->permutation)
+      .store(Permuter::RemoveAt(leaf->permutation, pos),
+             std::memory_order_release);
+  size_--;
+  return true;
+}
+
+}  // namespace index
+}  // namespace flatstore

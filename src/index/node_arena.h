@@ -1,0 +1,61 @@
+// Node storage for index structures, switching between DRAM and PM.
+//
+// In volatile mode nodes come from the heap and are retained until the
+// arena is destroyed (merged/split-away nodes may still be referenced by
+// concurrent optimistic readers, so they are never recycled — an epoch-free
+// reclamation scheme adequate for index lifetimes). In persistent mode
+// nodes come from the lazy-persist allocator and may be freed eagerly,
+// since the persistent baselines are single-writer structures.
+
+#ifndef FLATSTORE_INDEX_NODE_ARENA_H_
+#define FLATSTORE_INDEX_NODE_ARENA_H_
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "index/kv_index.h"
+
+namespace flatstore {
+namespace index {
+
+// Allocates zero-initialized node memory per the PmContext mode.
+class NodeArena {
+ public:
+  explicit NodeArena(const PmContext& ctx) : ctx_(ctx) {}
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  // Returns zeroed storage of `size` bytes.
+  void* Alloc(uint64_t size) {
+    if (ctx_.persistent()) {
+      uint64_t off = ctx_.alloc->Alloc(ctx_.core, size);
+      FLATSTORE_CHECK_NE(off, 0u) << "index node allocation failed";
+      void* p = ctx_.pool->At(off);
+      std::memset(p, 0, size);
+      return p;
+    }
+    std::lock_guard<SpinLock> g(lock_);
+    blocks_.push_back(std::make_unique<char[]>(size));
+    std::memset(blocks_.back().get(), 0, size);
+    return blocks_.back().get();
+  }
+
+  // Releases a node. No-op in volatile mode (see header comment).
+  void Free(void* p) {
+    if (ctx_.persistent()) ctx_.alloc->Free(ctx_.pool->OffsetOf(p));
+  }
+
+  const PmContext& ctx() const { return ctx_; }
+
+ private:
+  PmContext ctx_;
+  SpinLock lock_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace index
+}  // namespace flatstore
+
+#endif  // FLATSTORE_INDEX_NODE_ARENA_H_

@@ -1,0 +1,109 @@
+#include "log/layout.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace log {
+
+void RootArea::Format(int num_cores) {
+  FLATSTORE_CHECK(num_cores >= 1 && num_cores <= kMaxCores);
+  std::memset(pool_->base(), 0, alloc::kChunkSize);
+  Superblock* sb = superblock();
+  sb->magic = kSuperblockMagic;
+  sb->num_cores = static_cast<uint32_t>(num_cores);
+  sb->clean_shutdown = 0;
+  sb->checkpoint_off = 0;
+  sb->checkpoint_items = 0;
+  sb->pool_size = pool_->size();
+  // Persist the whole root chunk (zeroed areas included) once at format.
+  pool_->Persist(pool_->base(), alloc::kChunkSize);
+  pool_->Fence();
+}
+
+uint64_t RootArea::ReadTail(int core, uint64_t* seq) const {
+  const CoreTailArea* area = tails(core);
+  uint64_t best_seq = 0, best_tail = 0;
+  for (const auto& line : area->lines) {
+    if (line.slot.seq > best_seq) {
+      best_seq = line.slot.seq;
+      best_tail = line.slot.tail;
+    }
+  }
+  *seq = best_seq;
+  return best_tail;
+}
+
+void RootArea::WriteTail(int core, uint64_t seq, uint64_t tail) {
+  FLATSTORE_DCHECK(seq > 0);
+  CoreTailArea* area = tails(core);
+  auto& line = area->lines[seq % kTailSlots];
+  line.slot.seq = seq;
+  line.slot.tail = tail;
+  pool_->Persist(&line, sizeof(TailSlot));
+}
+
+uint64_t RootArea::RegisterChunk(uint64_t chunk_off, int core, uint32_t seq) {
+  ChunkRecord* recs = registry();
+  // Claim a free slot; CAS-protected so concurrent cores don't collide.
+  // Start probing at a hash of the chunk offset to spread occupancy.
+  uint64_t start = (chunk_off / alloc::kChunkSize) % kRegistrySlots;
+  for (uint64_t i = 0; i < kRegistrySlots; i++) {
+    uint64_t s = (start + i) % kRegistrySlots;
+    uint64_t expected = 0;
+    if (std::atomic_ref<uint64_t>(recs[s].chunk_off)
+            .compare_exchange_strong(expected, chunk_off,
+                                     std::memory_order_acq_rel)) {
+      recs[s].core = static_cast<uint32_t>(core);
+      recs[s].seq = seq;
+      pool_->PersistFence(&recs[s], sizeof(ChunkRecord));
+      vt::Charge(vt::kCpuCas);
+      {
+        std::lock_guard<SpinLock> g(mirror_lock_);
+        mirror_[chunk_off] = {core, seq};
+      }
+      return s;
+    }
+  }
+  FLATSTORE_CHECK(false) << "chunk registry exhausted";
+  return 0;
+}
+
+void RootArea::UnregisterChunk(uint64_t slot_index) {
+  FLATSTORE_DCHECK(slot_index < kRegistrySlots);
+  ChunkRecord* rec = &registry()[slot_index];
+  {
+    std::lock_guard<SpinLock> g(mirror_lock_);
+    mirror_.erase(rec->chunk_off);
+  }
+  std::atomic_ref<uint64_t>(rec->chunk_off)
+      .store(0, std::memory_order_release);
+  pool_->PersistFence(rec, sizeof(ChunkRecord));
+}
+
+bool RootArea::ChunkInfo(uint64_t chunk_off, int* core, uint32_t* seq) const {
+  std::lock_guard<SpinLock> g(mirror_lock_);
+  auto it = mirror_.find(chunk_off);
+  if (it == mirror_.end()) return false;
+  *core = it->second.first;
+  *seq = it->second.second;
+  return true;
+}
+
+void RootArea::RebuildMirror() {
+  std::lock_guard<SpinLock> g(mirror_lock_);
+  mirror_.clear();
+  const ChunkRecord* recs = registry();
+  for (uint64_t s = 0; s < kRegistrySlots; s++) {
+    if (recs[s].chunk_off != 0) {
+      mirror_[recs[s].chunk_off] = {static_cast<int>(recs[s].core),
+                                    recs[s].seq};
+    }
+  }
+}
+
+}  // namespace log
+}  // namespace flatstore

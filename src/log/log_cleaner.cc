@@ -1,0 +1,142 @@
+#include "log/log_cleaner.h"
+
+#include <chrono>
+
+#include "log/log_reader.h"
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace log {
+
+LogCleaner::LogCleaner(std::vector<OpLog*> logs, int first_core,
+                       int last_core, CleanerHooks hooks,
+                       const Options& options, alloc::LazyAllocator* alloc)
+    : logs_(std::move(logs)),
+      first_core_(first_core),
+      last_core_(last_core),
+      hooks_(std::move(hooks)),
+      options_(options),
+      alloc_(alloc) {
+  FLATSTORE_CHECK(first_core_ >= 0 &&
+                  last_core_ <= static_cast<int>(logs_.size()));
+}
+
+LogCleaner::~LogCleaner() { Stop(); }
+
+void LogCleaner::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] {
+    // The cleaner is a simulated core of its own: its CPU/PM work lands
+    // on this clock, and its device traffic contends with serving cores
+    // through the shared PmDevice (the Fig. 13 interference).
+    vt::Clock clock;
+    vt::ScopedClock bind(&clock);
+    while (running_.load(std::memory_order_relaxed)) {
+      if (RunOnce() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+}
+
+void LogCleaner::Stop() {
+  running_.store(false, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+size_t LogCleaner::RunOnce() {
+  if (options_.free_chunk_watermark != 0 &&
+      alloc_->free_chunks() >= options_.free_chunk_watermark) {
+    return 0;
+  }
+  size_t freed = 0;
+  for (int core = first_core_; core < last_core_; core++) {
+    auto victims =
+        logs_[core]->PickVictims(options_.live_ratio, options_.max_victims);
+    for (uint64_t chunk : victims) {
+      if (CleanChunk(core, chunk)) freed++;
+    }
+    // Expose relocated survivors (tombstones in particular) to future
+    // victim selection.
+    if (freed > 0) logs_[core]->RotateCleanerChunk();
+  }
+  return freed;
+}
+
+bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
+  OpLog* log = logs_[core];
+  pm::PmPool* pool = log->root()->pool();
+
+  // Pass 1: collect the survivors.
+  struct Survivor {
+    uint64_t old_off;
+    uint64_t key;
+    uint32_t version;
+    bool tombstone;
+  };
+  std::vector<Survivor> survivors;
+  std::vector<OpLog::EntryRef> refs;
+
+  const uint64_t committed = log->CommittedBytes(chunk_off);
+  const uint64_t min_seq = log->MinSeq();
+  LogChunkReader reader(pool, chunk_off, committed);
+  DecodedEntry e;
+  uint64_t off;
+  while (reader.Next(&e, &off)) {
+    vt::Charge(vt::kCpuSlotProbe + vt::kPmReadLatency / 8);
+    const uint64_t packed = PackIndexValue(off, e.version);
+    index::KvIndex* index = hooks_.index_for_key(e.key);
+    uint64_t cur = 0;
+    bool live = index->Get(e.key, &cur) && cur == packed;
+    if (live && e.op == OpType::kDelete && e.ptr < min_seq) {
+      // Tombstone whose covered chunk is gone: no stale Put can
+      // resurrect the key anymore, so both the tombstone and its index
+      // entry may die (paper §3.4's "safely reclaimed" condition).
+      if (index->EraseIfEqual(e.key, packed)) live = false;
+    }
+    if (!live) {
+      entries_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    survivors.push_back({off, e.key, e.version, e.op == OpType::kDelete});
+    refs.push_back({static_cast<const uint8_t*>(pool->At(off)),
+                    e.entry_len});
+  }
+
+  // Pass 2: relocate the survivors (one batched copy into the cleaner
+  // chain), then swing the index with CAS.
+  std::vector<uint64_t> new_offs(refs.size());
+  if (!refs.empty()) {
+    if (!log->CleanerAppendBatch(refs.data(), refs.size(),
+                                 new_offs.data())) {
+      return false;  // PM pressure: abort this victim
+    }
+    for (size_t i = 0; i < survivors.size(); i++) {
+      const Survivor& s = survivors[i];
+      const uint64_t expected = PackIndexValue(s.old_off, s.version);
+      const uint64_t desired = PackIndexValue(new_offs[i], s.version);
+      if (hooks_.index_for_key(s.key)->CompareExchange(s.key, expected,
+                                                       desired)) {
+        entries_copied_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Superseded while we copied: the copy is garbage.
+        log->NoteDead(new_offs[i]);
+        entries_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Pass 3: physically retire the victim, excluding concurrent
+  // dereferences through the engine's retire lock.
+  std::shared_mutex* retire = hooks_.retire_lock(core);
+  std::unique_lock<std::shared_mutex> g(*retire);
+  log->ReleaseChunk(chunk_off);
+  chunks_cleaned_.fetch_add(1, std::memory_order_relaxed);
+  vt::Charge(vt::kCpuCas);
+  return true;
+}
+
+}  // namespace log
+}  // namespace flatstore

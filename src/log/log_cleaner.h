@@ -1,0 +1,112 @@
+// Log cleaning (paper §3.4).
+//
+// Each horizontal-batching group gets one background cleaner thread that
+// walks the OpLogs of the group's cores, picks sealed chunks whose live
+// ratio fell below a threshold, copies the surviving entries into fresh
+// chunks (committed via the chunk's used_final, journaled in the chunk
+// registry), re-points the volatile index at the copies with atomic CAS,
+// and returns the victim chunks to the allocator.
+//
+// Liveness rules:
+//  * Put entry: live iff the index still maps its key to exactly this
+//    entry (offset *and* version) — address equality makes concurrent
+//    supersedes unambiguous.
+//  * Delete tombstone: live while an older chunk (sequence <= the
+//    tombstone's covered sequence) still exists for this core — once the
+//    chunk holding the overwritten version is gone, no stale Put can
+//    resurrect the key during replay, and the tombstone may die
+//    (the paper's "safely reclaimed only after all the log entries
+//    related to this KV item have been reclaimed").
+//
+// Synchronization with the serving core: index updates race benignly
+// through CAS; physically freeing a victim chunk additionally takes the
+// engine-provided per-core retire lock, which the engine holds whenever
+// it dereferences a log entry through the index (Get / supersede). This
+// closes the read-after-free window without epochs.
+
+#ifndef FLATSTORE_LOG_LOG_CLEANER_H_
+#define FLATSTORE_LOG_LOG_CLEANER_H_
+
+#include <atomic>
+#include <functional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "log/oplog.h"
+
+namespace flatstore {
+namespace log {
+
+// Engine-provided hooks.
+struct CleanerHooks {
+  // Volatile index partition holding `key`. NOTE: keyed by *key*, not by
+  // the log-owning core — horizontal batching stores stolen entries in
+  // the leader's log, so a chunk freely mixes keys owned by every core of
+  // the group.
+  std::function<index::KvIndex*(uint64_t key)> index_for_key;
+  // Per-core readers/writer lock serializing chunk release (writer, the
+  // cleaner) against the engine's entry dereferences (readers).
+  std::function<std::shared_mutex*(int core)> retire_lock;
+};
+
+// One group's cleaner.
+class LogCleaner {
+ public:
+  struct Options {
+    double live_ratio = 0.6;   // victim threshold (fraction of live entries)
+    size_t max_victims = 4;    // chunks per pass per core
+    // Only clean while the allocator has fewer free chunks than this
+    // (0 = always clean when victims exist).
+    uint64_t free_chunk_watermark = 0;
+  };
+
+  // Cleans cores [first_core, last_core) of `logs`.
+  LogCleaner(std::vector<OpLog*> logs, int first_core, int last_core,
+             CleanerHooks hooks, const Options& options,
+             alloc::LazyAllocator* alloc);
+  ~LogCleaner();
+
+  LogCleaner(const LogCleaner&) = delete;
+  LogCleaner& operator=(const LogCleaner&) = delete;
+
+  // One synchronous cleaning pass; returns the number of chunks freed.
+  size_t RunOnce();
+
+  // Background-thread control (idempotent).
+  void Start();
+  void Stop();
+
+  // --- statistics (Fig. 13) ---
+  uint64_t chunks_cleaned() const {
+    return chunks_cleaned_.load(std::memory_order_relaxed);
+  }
+  uint64_t entries_copied() const {
+    return entries_copied_.load(std::memory_order_relaxed);
+  }
+  uint64_t entries_dropped() const {
+    return entries_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Cleans one victim chunk of one core; returns true if it was freed.
+  bool CleanChunk(int core, uint64_t chunk_off);
+
+  std::vector<OpLog*> logs_;
+  int first_core_, last_core_;
+  CleanerHooks hooks_;
+  Options options_;
+  alloc::LazyAllocator* alloc_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> chunks_cleaned_{0};
+  std::atomic<uint64_t> entries_copied_{0};
+  std::atomic<uint64_t> entries_dropped_{0};
+};
+
+}  // namespace log
+}  // namespace flatstore
+
+#endif  // FLATSTORE_LOG_LOG_CLEANER_H_

@@ -1,0 +1,66 @@
+// Sequential reader over one log chunk's committed bytes.
+//
+// Entries are appended in batches that are padded to cacheline boundaries
+// (§3.2), so the byte stream is: [batch entries][zero padding][batch
+// entries]... The reader decodes entries back-to-back; on hitting
+// undecodable bytes (zero padding or a torn, uncommitted suffix) it skips
+// to the next cacheline boundary and retries once — a failure *at* a line
+// boundary ends the chunk. This is sound because chunks are zero-filled
+// when (re)allocated and batches always begin on a line boundary.
+
+#ifndef FLATSTORE_LOG_LOG_READER_H_
+#define FLATSTORE_LOG_LOG_READER_H_
+
+#include <cstdint>
+
+#include "common/cacheline.h"
+#include "log/log_entry.h"
+#include "log/oplog.h"
+#include "pm/pm_pool.h"
+
+namespace flatstore {
+namespace log {
+
+// Iterates the committed entries of a single log chunk.
+class LogChunkReader {
+ public:
+  // `committed` = committed data length (bytes from the chunk's data
+  // start), i.e. OpLog::CommittedBytes or the replayer's tail bound.
+  LogChunkReader(const pm::PmPool* pool, uint64_t chunk_off,
+                 uint64_t committed)
+      : base_(static_cast<const uint8_t*>(pool->At(chunk_off + kLogDataOff))),
+        chunk_data_off_(chunk_off + kLogDataOff),
+        committed_(committed) {}
+
+  // Decodes the next entry; returns false at end of committed data.
+  // `*entry_off` receives the entry's absolute pool offset.
+  bool Next(DecodedEntry* out, uint64_t* entry_off) {
+    while (pos_ < committed_) {
+      if (DecodeEntry(base_ + pos_, committed_ - pos_, out)) {
+        *entry_off = chunk_data_off_ + pos_;
+        pos_ += out->entry_len;
+        return true;
+      }
+      // Padding or truncation: try the next line boundary, unless we are
+      // already on one (then the stream has ended).
+      const uint64_t aligned = CachelineAlignUp(pos_ + 1);
+      if (pos_ % kCachelineSize == 0) return false;
+      pos_ = aligned;
+    }
+    return false;
+  }
+
+  // Bytes consumed so far.
+  uint64_t position() const { return pos_; }
+
+ private:
+  const uint8_t* base_;
+  uint64_t chunk_data_off_;
+  uint64_t committed_;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace log
+}  // namespace flatstore
+
+#endif  // FLATSTORE_LOG_LOG_READER_H_

@@ -1,0 +1,285 @@
+#include "log/oplog.h"
+
+#include <cstring>
+
+#include "common/cacheline.h"
+#include "log/log_entry.h"
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace log {
+
+OpLog::OpLog(RootArea* root, alloc::LazyAllocator* alloc, int core,
+             const Options& options)
+    : root_(root), alloc_(alloc), core_(core), options_(options) {}
+
+OpLog::OpLog(RootArea* root, alloc::LazyAllocator* alloc, int core)
+    : OpLog(root, alloc, core, Options()) {}
+
+bool OpLog::EnsureRoom(uint64_t bytes, bool cleaner) {
+  FLATSTORE_CHECK_LE(bytes, kLogDataBytes) << "batch larger than a chunk";
+  uint64_t& chunk = cleaner ? cleaner_chunk_ : chunk_;
+  uint64_t& cursor = cleaner ? cleaner_cursor_ : cursor_;
+
+  if (chunk != 0) {
+    const uint64_t used = cursor - (chunk + kLogDataOff);
+    if (used + bytes <= kLogDataBytes) return true;
+    // Rollover: seal the full chunk so recovery knows its extent even
+    // after the tail record moves on.
+    SealChunk(chunk, used);
+  }
+
+  uint64_t fresh = alloc_->AllocRawChunk(core_);
+  if (fresh == 0) return false;
+  // Fresh log chunks must decode as empty: zero the data region (a reused
+  // chunk holds stale bytes that must not replay).
+  std::memset(root_->pool()->At(fresh + alloc::kChunkHeaderSize), 0,
+              alloc::kChunkSize - alloc::kChunkHeaderSize);
+  auto* hdr = root_->pool()->PtrAt<LogChunkHeader>(fresh +
+                                                   alloc::kChunkHeaderSize);
+  hdr->used_final = 0;
+  root_->pool()->PersistFence(hdr, sizeof(LogChunkHeader));
+
+  const uint32_t seq = next_chunk_seq_++;
+  uint64_t slot = root_->RegisterChunk(fresh, core_, seq);
+  {
+    std::lock_guard<SpinLock> g(usage_lock_);
+    ChunkUsage& u = usage_[fresh];
+    u.seq = seq;
+    u.cleaner = cleaner;
+    u.registry_slot = slot;
+  }
+  chunk = fresh;
+  cursor = fresh + kLogDataOff;
+  return true;
+}
+
+void OpLog::SealChunk(uint64_t chunk_off, uint64_t used) {
+  auto* hdr = root_->pool()->PtrAt<LogChunkHeader>(chunk_off +
+                                                   alloc::kChunkHeaderSize);
+  hdr->used_final = used;
+  root_->pool()->PersistFence(hdr, sizeof(uint64_t));
+  std::lock_guard<SpinLock> g(usage_lock_);
+  auto it = usage_.find(chunk_off);
+  FLATSTORE_CHECK(it != usage_.end());
+  it->second.sealed = true;
+}
+
+uint64_t OpLog::WriteEntries(uint64_t* cursor, const EntryRef* entries,
+                             size_t n, uint64_t* offsets) {
+  pm::PmPool* pool = root_->pool();
+  const uint64_t start = *cursor;
+  uint64_t pos = start;
+  for (size_t i = 0; i < n; i++) {
+    std::memcpy(pool->At(pos), entries[i].data, entries[i].len);
+    vt::Charge(vt::CostMemcpy(entries[i].len));
+    offsets[i] = pos;
+    pos += entries[i].len;
+  }
+  // Zero the padding bytes explicitly: they share the final entry's line,
+  // so the persist below makes them durable too. Without this, a chunk
+  // that is freed and later reused could expose *stale entries from its
+  // previous incarnation* inside the padding gap after a crash (the
+  // fresh-chunk memset in EnsureRoom is volatile).
+  const uint64_t padded = options_.pad_batches ? CachelineAlignUp(pos) : pos;
+  if (padded > pos) std::memset(pool->At(pos), 0, padded - pos);
+  // One persist sweep over every touched line — this is where batching
+  // pays: 16-byte entries share lines, so N entries cost ~N/4 line
+  // flushes instead of N.
+  pool->Persist(pool->At(start), padded - start);
+  // Cacheline-align the next batch so it never re-flushes our last line
+  // (§3.2 "Padding"; the ablation bench disables this).
+  *cursor = padded;
+  return pos;  // end of the entries themselves (commit point)
+}
+
+bool OpLog::AppendBatch(const EntryRef* entries, size_t n,
+                        uint64_t* offsets) {
+  if (n == 0) return true;
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < n; i++) bytes += entries[i].len;
+  if (!EnsureRoom(bytes + kCachelineSize, /*cleaner=*/false)) return false;
+
+  const uint64_t end = WriteEntries(&cursor_, entries, n, offsets);
+  root_->pool()->Fence();  // entries durable before the tail moves
+
+  tail_ = end;
+  tail_seq_++;
+  root_->WriteTail(core_, tail_seq_, tail_);
+  root_->pool()->Fence();
+
+  AccountBatch(chunk_, entries, n);
+  batches_++;
+  entries_ += n;
+  return true;
+}
+
+bool OpLog::CleanerAppendBatch(const EntryRef* entries, size_t n,
+                               uint64_t* offsets) {
+  if (n == 0) return true;
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < n; i++) bytes += entries[i].len;
+  if (!EnsureRoom(bytes + kCachelineSize, /*cleaner=*/true)) return false;
+
+  const uint64_t end = WriteEntries(&cleaner_cursor_, entries, n, offsets);
+  root_->pool()->Fence();
+  // Commit through the chunk's used_final (the cleaner has no tail
+  // record); must be durable before the index is re-pointed at the
+  // copies.
+  auto* hdr = root_->pool()->PtrAt<LogChunkHeader>(cleaner_chunk_ +
+                                                   alloc::kChunkHeaderSize);
+  hdr->used_final = end - (cleaner_chunk_ + kLogDataOff);
+  root_->pool()->PersistFence(hdr, sizeof(uint64_t));
+
+  AccountBatch(cleaner_chunk_, entries, n);
+  return true;
+}
+
+void OpLog::AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n) {
+  uint32_t tombs = 0;
+  uint32_t max_covered = 0;
+  for (size_t i = 0; i < n; i++) {
+    if ((entries[i].data[0] & 0x3) ==
+        static_cast<uint8_t>(OpType::kDelete)) {
+      tombs++;
+      // Covered sequence sits in the tombstone's Ptr field (40 bits).
+      uint32_t covered = static_cast<uint32_t>(
+          entry_internal::Get40(entries[i].data + 11));
+      max_covered = std::max(max_covered, covered);
+    }
+  }
+  std::lock_guard<SpinLock> g(usage_lock_);
+  ChunkUsage& u = usage_[chunk];
+  u.total += static_cast<uint32_t>(n);
+  u.live += static_cast<uint32_t>(n);
+  u.tombs += tombs;
+  u.max_covered_seq = std::max(u.max_covered_seq, max_covered);
+}
+
+void OpLog::RotateCleanerChunk() {
+  if (cleaner_chunk_ == 0) return;
+  SealChunk(cleaner_chunk_, cleaner_cursor_ - (cleaner_chunk_ + kLogDataOff));
+  cleaner_chunk_ = 0;
+  cleaner_cursor_ = 0;
+}
+
+void OpLog::NoteDead(uint64_t entry_off) {
+  const uint64_t chunk_off = AlignDown(entry_off, alloc::kChunkSize);
+  std::lock_guard<SpinLock> g(usage_lock_);
+  auto it = usage_.find(chunk_off);
+  if (it != usage_.end() && it->second.live > 0) it->second.live--;
+}
+
+void OpLog::NoteLiveLost(uint64_t entry_off) {
+  const uint64_t chunk_off = AlignDown(entry_off, alloc::kChunkSize);
+  std::lock_guard<SpinLock> g(usage_lock_);
+  auto it = usage_.find(chunk_off);
+  if (it != usage_.end()) it->second.live++;
+}
+
+std::map<uint64_t, ChunkUsage> OpLog::UsageSnapshot() const {
+  std::lock_guard<SpinLock> g(usage_lock_);
+  return usage_;
+}
+
+std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
+                                         size_t max) const {
+  std::vector<std::pair<uint32_t, uint64_t>> candidates;  // (seq, chunk)
+  {
+    std::lock_guard<SpinLock> g(usage_lock_);
+    uint64_t min_seq = UINT64_MAX;
+    for (const auto& [off, u] : usage_) min_seq = std::min<uint64_t>(min_seq, u.seq);
+    for (const auto& [off, u] : usage_) {
+      if (!u.sealed) continue;                       // still being written
+      if (off == chunk_ || off == cleaner_chunk_) continue;
+      if (u.total == 0) continue;
+      // Tombstones whose covered chunks are all gone are as good as dead:
+      // discount them so tombstone-only chunks become victims too (the
+      // cleaner verifies exact liveness before dropping anything).
+      uint32_t dead_tombs =
+          (u.tombs > 0 && min_seq > u.max_covered_seq) ? u.tombs : 0;
+      uint32_t effective_live =
+          u.live > dead_tombs ? u.live - dead_tombs : 0;
+      if (static_cast<double>(effective_live) / u.total < live_ratio) {
+        candidates.push_back({u.seq, off});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < candidates.size() && i < max; i++) {
+    out.push_back(candidates[i].second);
+  }
+  return out;
+}
+
+uint64_t OpLog::MinSeq() const {
+  std::lock_guard<SpinLock> g(usage_lock_);
+  uint64_t min_seq = UINT64_MAX;
+  for (const auto& [off, u] : usage_) {
+    if (u.seq < min_seq) min_seq = u.seq;
+  }
+  return min_seq;
+}
+
+uint64_t OpLog::CommittedBytes(uint64_t chunk_off) const {
+  {
+    std::lock_guard<SpinLock> g(usage_lock_);
+    auto it = usage_.find(chunk_off);
+    if (it != usage_.end() && !it->second.sealed) {
+      // The serving chunk's extent is bounded by the tail; the cleaner
+      // chunk's by used_final (maintained per cleaner batch).
+      if (chunk_off == chunk_) {
+        return tail_ == 0 ? 0 : tail_ - (chunk_off + kLogDataOff);
+      }
+    }
+  }
+  return root_->pool()
+      ->PtrAt<LogChunkHeader>(chunk_off + alloc::kChunkHeaderSize)
+      ->used_final;
+}
+
+void OpLog::ReleaseChunk(uint64_t chunk_off) {
+  uint64_t slot;
+  {
+    std::lock_guard<SpinLock> g(usage_lock_);
+    auto it = usage_.find(chunk_off);
+    FLATSTORE_CHECK(it != usage_.end());
+    slot = it->second.registry_slot;
+    usage_.erase(it);
+  }
+  root_->UnregisterChunk(slot);
+  alloc_->FreeRawChunk(chunk_off);
+  // Freeing a chunk invalidates any armed online checkpoint: its index
+  // snapshot may reference entries that lived here.
+  Superblock* sb = root_->superblock();
+  if (sb->clean_shutdown != 0) {
+    sb->clean_shutdown = 0;
+    root_->pool()->PersistFence(&sb->clean_shutdown, 4);
+  }
+}
+
+void OpLog::AdoptRecoveredState(uint64_t tail, uint64_t tail_seq,
+                                std::map<uint64_t, ChunkUsage> usage) {
+  std::lock_guard<SpinLock> g(usage_lock_);
+  usage_ = std::move(usage);
+  tail_ = tail;
+  tail_seq_ = tail_seq;
+  chunk_ = 0;
+  cursor_ = 0;
+  cleaner_chunk_ = 0;
+  cleaner_cursor_ = 0;
+  uint32_t max_seq = 0;
+  for (const auto& [off, u] : usage_) {
+    max_seq = std::max(max_seq, u.seq);
+    if (tail != 0 && off == AlignDown(tail, alloc::kChunkSize) && !u.sealed) {
+      chunk_ = off;
+      cursor_ = options_.pad_batches ? CachelineAlignUp(tail) : tail;
+    }
+  }
+  next_chunk_seq_ = max_seq + 1;
+}
+
+}  // namespace log
+}  // namespace flatstore

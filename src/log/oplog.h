@@ -1,0 +1,187 @@
+// Per-core compacted operation log (paper §3.2).
+//
+// An OpLog is an append-only sequence of compacted log entries stored in
+// 4 MB raw chunks from the lazy-persist allocator. Each chunk is journaled
+// in the pool's chunk registry; the per-core rotating tail record is the
+// Put commit point. Batches are appended contiguously and padded to the
+// next cacheline so adjacent batches never share a line (§3.2 "Padding").
+//
+// Two writers exist per OpLog, never contending on the same cursor:
+//  * the serving path (AppendBatch) — called by whichever core is the
+//    current horizontal-batching leader, under the group's collection
+//    protocol (leaders append stolen entries to *their own* log);
+//  * the cleaner path (CleanerAppendBatch) — the background log cleaner
+//    copies surviving entries into fresh chunks whose committed length is
+//    the in-chunk `used_final` field rather than the tail record.
+//
+// Chunk-usage accounting (live/total entries per chunk) feeds victim
+// selection for log cleaning (§3.4).
+
+#ifndef FLATSTORE_LOG_OPLOG_H_
+#define FLATSTORE_LOG_OPLOG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/lazy_allocator.h"
+#include "common/spin_lock.h"
+#include "log/layout.h"
+#include "log/log_entry.h"
+
+namespace flatstore {
+namespace log {
+
+// In-chunk header of a log chunk, placed right after the allocator's
+// chunk header. `used_final` is the committed data length for every chunk
+// that the tail record does not cover (sealed serving chunks and cleaner
+// chunks).
+struct LogChunkHeader {
+  uint64_t used_final;
+  uint8_t pad[56];
+};
+static_assert(sizeof(LogChunkHeader) == 64);
+
+// Offset of entry data within a log chunk.
+inline constexpr uint64_t kLogDataOff =
+    alloc::kChunkHeaderSize + sizeof(LogChunkHeader);
+inline constexpr uint64_t kLogDataBytes = alloc::kChunkSize - kLogDataOff;
+
+// Volatile usage record of one log chunk.
+struct ChunkUsage {
+  uint32_t seq = 0;          // per-core allocation sequence
+  uint32_t total = 0;        // entries ever appended
+  uint32_t live = 0;         // entries still referenced
+  uint32_t tombs = 0;        // tombstones appended
+  uint32_t max_covered_seq = 0;  // newest chunk any tombstone here covers
+  bool sealed = false;       // used_final is the committed length
+  bool cleaner = false;      // written by the cleaner path
+  uint64_t registry_slot = 0;
+};
+
+// One core's operation log.
+class OpLog {
+ public:
+  struct Options {
+    // Pad each batch to the next cacheline (§3.2). Disabled only by the
+    // ablation benchmark.
+    bool pad_batches = true;
+  };
+
+  OpLog(RootArea* root, alloc::LazyAllocator* alloc, int core,
+        const Options& options);
+  OpLog(RootArea* root, alloc::LazyAllocator* alloc, int core);
+
+  OpLog(const OpLog&) = delete;
+  OpLog& operator=(const OpLog&) = delete;
+
+  // One encoded entry to append (see log/log_entry.h encoders).
+  struct EntryRef {
+    const uint8_t* data;
+    uint32_t len;
+  };
+
+  // Serving path: appends `n` entries as one batch — contiguous copy, one
+  // persist sweep over the touched lines, one rotating tail record, two
+  // fences. Fills `offsets[i]` with each entry's pool offset. Returns
+  // false when PM space is exhausted.
+  bool AppendBatch(const EntryRef* entries, size_t n, uint64_t* offsets);
+
+  // Cleaner path: same append mechanics, but into the cleaner's chunk
+  // chain and committed via the chunk's `used_final` field.
+  bool CleanerAppendBatch(const EntryRef* entries, size_t n,
+                          uint64_t* offsets);
+
+  // Marks the entry at `entry_off` dead (superseded or deleted).
+  void NoteDead(uint64_t entry_off);
+
+  // Marks the entry at `entry_off` live again (failed relocation CAS —
+  // the copy became garbage instead of the original).
+  void NoteLiveLost(uint64_t entry_off);
+
+  // --- introspection / GC support ---
+
+  // Committed tail (pool offset; 0 before the first append).
+  uint64_t tail() const { return tail_; }
+  uint64_t tail_seq() const { return tail_seq_; }
+  int core() const { return core_; }
+
+  // Snapshot of per-chunk usage, keyed by chunk offset.
+  std::map<uint64_t, ChunkUsage> UsageSnapshot() const;
+
+  // Chooses sealed chunks whose live ratio is below `live_ratio`,
+  // excluding chunks the cleaner itself wrote that are still its current
+  // chunk. Returns chunk offsets, oldest sequence first.
+  std::vector<uint64_t> PickVictims(double live_ratio, size_t max) const;
+
+  // Oldest sequence number among this core's registered chunks
+  // (UINT64_MAX when the log is empty) — tombstone reclamation bound.
+  uint64_t MinSeq() const;
+
+  // Returns the committed data length of `chunk_off` ([0, kLogDataBytes]).
+  uint64_t CommittedBytes(uint64_t chunk_off) const;
+
+  // Unregisters and frees a victim chunk after cleaning (§3.4 final step).
+  void ReleaseChunk(uint64_t chunk_off);
+
+  // Seals the cleaner's current chunk so future passes may victimize it
+  // (relocated tombstones would otherwise hide in it forever). The next
+  // cleaner append starts a fresh chunk. No-op when there is none.
+  void RotateCleanerChunk();
+
+  // --- recovery support (paper §3.5) ---
+
+  // Adopts state reconstructed by replay: per-chunk usage plus the
+  // serving cursor (the chunk containing `tail`).
+  void AdoptRecoveredState(uint64_t tail, uint64_t tail_seq,
+                           std::map<uint64_t, ChunkUsage> usage);
+
+  // Number of batches appended (stats).
+  uint64_t batches() const { return batches_; }
+  uint64_t entries_appended() const { return entries_; }
+
+  RootArea* root() const { return root_; }
+
+ private:
+  // Ensures the (serving or cleaner) cursor has room for `bytes`; rolls
+  // over to a fresh chunk when needed. Returns false on out-of-space.
+  bool EnsureRoom(uint64_t bytes, bool cleaner);
+
+  // Seals the chunk containing `cursor` at `cursor` bytes used.
+  void SealChunk(uint64_t chunk_off, uint64_t used);
+
+  // Copies + persists a batch at the cursor; shared by both paths.
+  uint64_t WriteEntries(uint64_t* cursor, const EntryRef* entries, size_t n,
+                        uint64_t* offsets);
+
+  // Batch accounting shared by both append paths (usage_lock_ taken
+  // inside): counts entries/tombstones into `chunk`'s usage record.
+  void AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n);
+
+  RootArea* root_;
+  alloc::LazyAllocator* alloc_;
+  int core_;
+  Options options_;
+
+  // Serving cursor.
+  uint64_t chunk_ = 0;        // current serving chunk offset (0 = none)
+  uint64_t cursor_ = 0;       // next write position (pool offset)
+  uint64_t tail_ = 0;
+  uint64_t tail_seq_ = 0;
+
+  // Cleaner cursor.
+  uint64_t cleaner_chunk_ = 0;
+  uint64_t cleaner_cursor_ = 0;
+
+  uint32_t next_chunk_seq_ = 1;
+  uint64_t batches_ = 0;
+  uint64_t entries_ = 0;
+
+  mutable SpinLock usage_lock_;
+  std::map<uint64_t, ChunkUsage> usage_;
+};
+
+}  // namespace log
+}  // namespace flatstore
+
+#endif  // FLATSTORE_LOG_OPLOG_H_

@@ -1,0 +1,147 @@
+// FlatRPC — the paper's RDMA RPC layer (§4.3), simulated.
+//
+// Topology: every client connection can write a request into the message
+// buffer of *any* server core (one SPSC ring per (connection, core) per
+// direction), but NIC queue-pair state is what actually scales — and that
+// is what the model meters:
+//
+//  * FlatRPC mode: one QP per connection. Responses from non-agent cores
+//    are delegated through shared memory to the agent core (core 0, "the
+//    socket close to the NIC"), which serializes the MMIO doorbells but
+//    posts them cheaply.
+//  * all-to-all mode: every (connection, core) pair owns a QP; every core
+//    posts its own MMIO doorbells directly, and the NIC's QP cache
+//    (vt::kNicQpCacheEntries) starts missing once connections × cores
+//    exceeds it — each message then pays a connection-state fetch.
+//
+// This reproduces the §4.3 result that FlatRPC beats the all-to-all
+// arrangement once clients scale (the paper reports 1.5x).
+
+#ifndef FLATSTORE_NET_FLATRPC_H_
+#define FLATSTORE_NET_FLATRPC_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "net/message.h"
+#include "net/ring.h"
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace net {
+
+// NIC-side model: QP cache pressure + the agent core's doorbell resource.
+class NicModel {
+ public:
+  explicit NicModel(int active_qps);
+
+  // Expected per-message cost of fetching QP state (0 while the working
+  // set fits the QP cache; the miss fraction of the miss penalty beyond).
+  uint64_t PerMessageCost() const { return per_message_cost_; }
+
+  // Posts a response verb directly (agent core, or any core in all-to-all
+  // mode) at simulated time `now`; returns the verb's NIC arrival time.
+  uint64_t PostDirect(uint64_t now) const {
+    return now + vt::kMmioPostCost + per_message_cost_;
+  }
+
+  // Posts through the agent core: the handoff is cheap for the sender,
+  // but verbs serialize on the agent (a shared simulated resource).
+  uint64_t PostDelegated(uint64_t now);
+
+  int active_qps() const { return active_qps_; }
+
+ private:
+  int active_qps_;
+  uint64_t per_message_cost_;
+  std::atomic<uint64_t> agent_busy_{0};
+};
+
+// The RPC fabric between `num_conns` client connections and `num_cores`
+// server cores.
+class FlatRpc {
+ public:
+  struct Options {
+    int num_cores = 4;
+    int num_conns = 8;
+    // false: FlatRPC (1 QP/connection, delegated responses);
+    // true: all-to-all QPs, direct responses from every core.
+    bool all_to_all = false;
+  };
+
+  explicit FlatRpc(const Options& options);
+
+  // --- client side (single thread per connection) ---
+
+  // Writes a request into `core`'s buffer; false when the ring is full.
+  // Charges the client's posting cost to the calling clock.
+  bool PostRequest(int conn, int core, const Request& request);
+
+  // Polls this connection's response buffers; true if one was delivered
+  // into `*out`.
+  bool PollResponse(int conn, Response* out);
+
+  // --- server side (single thread per core) ---
+
+  // Round-robin poll of `core`'s request buffers. Returns the message (and
+  // its connection through `*conn`) or nullptr. The message stays valid
+  // until PopRequest.
+  Request* PollRequest(int core, int* conn);
+  void PopRequest(int core, int conn);
+
+  // Stamps `request`'s response with its NIC time (direct vs. delegated
+  // depending on the mode and whether `core` is the agent) and delivers
+  // it. Charges the posting costs to the calling clock. `not_before` is
+  // the earliest simulated instant the response content exists (a
+  // pipelined-HB batch's completion time) — the verb cannot precede it.
+  void PostResponse(int core, int conn, Response* response,
+                    uint64_t not_before = 0);
+
+  // Simulated arrival time of `request` at the server (client post +
+  // one-way latency + QP-state fetch).
+  uint64_t ArrivalTime(const Request& request) const {
+    return request.post_time + vt::kNetOneWay + nic_.PerMessageCost();
+  }
+
+  // Simulated arrival time of `response` back at the client.
+  static uint64_t ResponseArrival(const Response& response) {
+    return response.nic_time + vt::kNetOneWay;
+  }
+
+  NicModel& nic() { return nic_; }
+  int num_cores() const { return options_.num_cores; }
+  int num_conns() const { return options_.num_conns; }
+
+  // True when every ring in the fabric is empty (shutdown check).
+  bool Quiescent() const;
+
+ private:
+  static constexpr size_t kRingSlots = 8;
+  using RequestRing = SpscRing<Request, kRingSlots>;
+  using ResponseRing = SpscRing<Response, kRingSlots>;
+
+  RequestRing& ReqRing(int conn, int core) const {
+    return *req_rings_[static_cast<size_t>(conn) *
+                           static_cast<size_t>(options_.num_cores) +
+                       static_cast<size_t>(core)];
+  }
+  ResponseRing& RespRing(int conn, int core) const {
+    return *resp_rings_[static_cast<size_t>(conn) *
+                            static_cast<size_t>(options_.num_cores) +
+                        static_cast<size_t>(core)];
+  }
+
+  Options options_;
+  NicModel nic_;
+  std::vector<std::unique_ptr<RequestRing>> req_rings_;
+  std::vector<std::unique_ptr<ResponseRing>> resp_rings_;
+  std::vector<int> poll_cursor_;       // per core (server side)
+  std::vector<int> response_cursor_;   // per conn (client side)
+};
+
+}  // namespace net
+}  // namespace flatstore
+
+#endif  // FLATSTORE_NET_FLATRPC_H_

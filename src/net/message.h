@@ -1,0 +1,51 @@
+// Wire messages of the FlatRPC simulation (paper §4.3).
+//
+// A client "RDMA-writes" a Request directly into the per-(connection,
+// core) message buffer of the chosen server core; responses flow back the
+// same way. Simulated timestamps ride in the messages: `post_time` is the
+// client's clock at the doorbell, `nic_time` is the server-side moment the
+// response verb reached the NIC — the virtual-time analogue of the
+// paper's hardware timestamps.
+
+#ifndef FLATSTORE_NET_MESSAGE_H_
+#define FLATSTORE_NET_MESSAGE_H_
+
+#include <cstdint>
+
+namespace flatstore {
+namespace net {
+
+// Largest value payload carried inline in a message (the ETC large class
+// tops out at 4 KB in this reproduction).
+inline constexpr uint32_t kMaxMsgValue = 4096;
+
+enum class MsgType : uint8_t { kPut = 1, kGet = 2, kDelete = 3 };
+
+enum class MsgStatus : uint8_t { kOk = 0, kNotFound = 1 };
+
+// Client -> server-core request.
+struct Request {
+  MsgType type;
+  uint8_t pad[3];
+  uint32_t value_len;
+  uint64_t key;
+  uint64_t seq;        // per-connection request id
+  uint64_t post_time;  // client simulated ns at post
+  uint8_t value[kMaxMsgValue];
+};
+
+// Server-core -> client response.
+struct Response {
+  MsgStatus status;
+  MsgType type;
+  uint8_t pad[2];
+  uint32_t value_len;
+  uint64_t seq;
+  uint64_t nic_time;  // simulated ns the response verb reached the NIC
+  uint8_t value[kMaxMsgValue];
+};
+
+}  // namespace net
+}  // namespace flatstore
+
+#endif  // FLATSTORE_NET_MESSAGE_H_

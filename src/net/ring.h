@@ -1,0 +1,65 @@
+// Single-producer / single-consumer message ring.
+//
+// Emulates one RDMA-write message buffer: the producer (a client
+// connection, or a server core posting responses) writes slots that the
+// consumer polls. One ring exists per (connection, core) per direction,
+// so both endpoints of every ring are single-threaded.
+
+#ifndef FLATSTORE_NET_RING_H_
+#define FLATSTORE_NET_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace flatstore {
+namespace net {
+
+// Fixed-capacity SPSC ring. N must be a power of two.
+template <typename T, size_t N>
+class SpscRing {
+  static_assert((N & (N - 1)) == 0, "capacity must be a power of two");
+
+ public:
+  SpscRing() : slots_(new T[N]) {}
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer: copies `v` in; false when full.
+  bool Push(const T& v) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h - tail_.load(std::memory_order_acquire) == N) return false;
+    slots_[h & (N - 1)] = v;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer: pointer to the oldest message, or nullptr when empty. The
+  // slot stays valid until Pop().
+  T* Front() {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (head_.load(std::memory_order_acquire) == t) return nullptr;
+    return &slots_[t & (N - 1)];
+  }
+
+  // Consumer: releases the slot returned by Front().
+  void Pop() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::unique_ptr<T[]> slots_;
+};
+
+}  // namespace net
+}  // namespace flatstore
+
+#endif  // FLATSTORE_NET_RING_H_

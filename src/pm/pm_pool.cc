@@ -1,0 +1,88 @@
+#include "pm/pm_pool.h"
+
+namespace flatstore {
+namespace pm {
+
+PmPool::PmPool(const Options& options)
+    : size_(AlignUp(options.size, 4ull << 20)), device_(options.device) {
+  mem_ = std::make_unique<char[]>(size_);
+  std::memset(mem_.get(), 0, size_);
+  if (options.crash_tracking) {
+    shadow_ = std::make_unique<char[]>(size_);
+    std::memset(shadow_.get(), 0, size_);
+  }
+}
+
+void PmPool::Persist(const void* p, uint64_t len) {
+  if (len == 0) return;
+  const uint64_t begin = OffsetOf(p);
+  const uint64_t first = CachelineAlignDown(begin);
+  const uint64_t last = CachelineAlignDown(begin + len - 1);
+  const uint64_t lines = (last - first) / kCachelineSize + 1;
+  stats_.AddPersist(lines, len);
+
+  vt::Clock* clock = vt::CurrentClock();
+  for (uint64_t off = first; off <= last; off += kCachelineSize) {
+    // Crash model: the line reaches the durable image only while the
+    // flush budget lasts.
+    if (shadow_) {
+      bool durable = true;
+      int64_t b = flush_budget_.load(std::memory_order_relaxed);
+      if (b >= 0) {
+        while (b > 0 && !flush_budget_.compare_exchange_weak(
+                            b, b - 1, std::memory_order_relaxed)) {
+        }
+        durable = b > 0;
+      }
+      if (durable) {
+        std::memcpy(shadow_.get() + off, mem_.get() + off, kCachelineSize);
+      }
+    }
+    // Timing model.
+    if (clock != nullptr) {
+      clock->Advance(vt::kClwbIssueCost);
+      if (device_ != nullptr) {
+        uint64_t completion = device_->FlushLine(off, clock->now());
+        clock->RaisePendingFence(completion + vt::kPmFlushLatency);
+      }
+    }
+  }
+}
+
+void PmPool::ChargeRead(const void* p, uint64_t len) {
+  vt::Clock* clock = vt::CurrentClock();
+  if (clock == nullptr) return;
+  if (device_ == nullptr) {
+    clock->Advance(vt::kPmReadLatency);
+    return;
+  }
+  const uint64_t begin = OffsetOf(p);
+  uint64_t lines = len == 0 ? 1 : CachelineSpan(begin, len);
+  if (lines > 4) lines = 4;  // streaming reads pipeline beyond one block
+  uint64_t completion = 0;
+  for (uint64_t i = 0; i < lines; i++) {
+    completion = device_->ReadLine(CachelineAlignDown(begin) +
+                                       i * kCachelineSize,
+                                   clock->now());
+  }
+  clock->AdvanceTo(completion);
+}
+
+void PmPool::Fence() {
+  stats_.AddFence();
+  if (vt::Clock* clock = vt::CurrentClock()) {
+    clock->AdvanceTo(clock->pending_fence());
+    clock->ClearPendingFence();
+    clock->Advance(vt::kFenceCost);
+  }
+}
+
+void PmPool::SimulateCrash() {
+  FLATSTORE_CHECK(shadow_ != nullptr)
+      << "SimulateCrash requires crash_tracking";
+  std::memcpy(mem_.get(), shadow_.get(), size_);
+  flush_budget_.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace pm
+}  // namespace flatstore

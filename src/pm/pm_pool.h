@@ -1,0 +1,136 @@
+// Emulated persistent-memory pool.
+//
+// A PmPool is a contiguous DRAM region standing in for a DAX-mapped Optane
+// namespace. Code mutates it through ordinary pointers and then makes
+// ranges durable with Persist()/Fence(), mirroring clwb+sfence.
+//
+// Two orthogonal capabilities:
+//
+//  * Timing (optional `device`): every flushed cacheline is charged to the
+//    calling core's virtual clock via the PmDevice model. Fence() advances
+//    the clock to the completion of all outstanding flushes.
+//
+//  * Crash model (optional `crash_tracking`): the pool keeps a shadow image
+//    holding only data that was explicitly persisted. SimulateCrash()
+//    rolls the live region back to the shadow — every store that was not
+//    followed by Persist()+Fence() is lost, at cacheline granularity. This
+//    is the *adversarial* persistence model (real hardware may persist
+//    more via cache evictions, never less), which is exactly what crash-
+//    consistency tests want. A flush *budget* lets tests cut power after
+//    an arbitrary number of line flushes, including mid-operation.
+
+#ifndef FLATSTORE_PM_PM_POOL_H_
+#define FLATSTORE_PM_PM_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "common/cacheline.h"
+#include "common/logging.h"
+#include "pm/pm_device.h"
+#include "pm/pm_stats.h"
+#include "vt/clock.h"
+#include "vt/costs.h"
+
+namespace flatstore {
+namespace pm {
+
+// An emulated PM region. Thread-safe for Persist/Fence on disjoint lines
+// (concurrent persists of the same line would be an engine-level race).
+class PmPool {
+ public:
+  struct Options {
+    // Pool size in bytes (rounded up to 4 MB).
+    uint64_t size = 64ull << 20;
+    // Keep a shadow image for SimulateCrash().
+    bool crash_tracking = false;
+    // Optional timing model; flushes are free when null.
+    PmDevice* device = nullptr;
+  };
+
+  explicit PmPool(const Options& options);
+  PmPool(const PmPool&) = delete;
+  PmPool& operator=(const PmPool&) = delete;
+
+  // Base address / size of the emulated region.
+  char* base() const { return mem_.get(); }
+  uint64_t size() const { return size_; }
+
+  // Pointer <-> pool-offset conversion. Offsets are what gets stored in
+  // PM-resident pointers (`Ptr` fields) so pools are relocatable.
+  uint64_t OffsetOf(const void* p) const {
+    auto off = static_cast<uint64_t>(static_cast<const char*>(p) - mem_.get());
+    FLATSTORE_DCHECK(off < size_);
+    return off;
+  }
+  void* At(uint64_t off) const {
+    FLATSTORE_DCHECK(off < size_);
+    return mem_.get() + off;
+  }
+  template <typename T>
+  T* PtrAt(uint64_t off) const {
+    return reinterpret_cast<T*>(At(off));
+  }
+
+  // Flushes every cacheline overlapping [p, p+len): charges clwb issue
+  // cost, sends each line to the device model, and (in crash mode) copies
+  // the lines into the shadow image. Durability is only guaranteed after
+  // the next Fence().
+  void Persist(const void* p, uint64_t len);
+
+  // Charges a synchronous read of [p, p+len) from PM media: one device
+  // read per touched cacheline (capped at one 256 B block's worth of
+  // lines per call for large values — streaming reads pipeline), sharing
+  // DIMM bandwidth with writes. No-op without a bound clock/device.
+  void ChargeRead(const void* p, uint64_t len);
+
+  // Orders all previously issued flushes (sfence): advances the calling
+  // core's clock to the latest flush completion.
+  void Fence();
+
+  // Persist + Fence (the common "persist this datum now" pattern).
+  void PersistFence(const void* p, uint64_t len) {
+    Persist(p, len);
+    Fence();
+  }
+
+  // --- crash model ---
+
+  // True if this pool keeps a shadow image.
+  bool crash_tracking() const { return shadow_ != nullptr; }
+
+  // Rolls the live region back to the last persisted image. Caller must
+  // guarantee no concurrent access. Also resets the flush budget.
+  void SimulateCrash();
+
+  // After `n` more line flushes, the pool "loses power": subsequent
+  // flushes stop reaching the shadow image. Pass a negative value to
+  // disable the budget (default).
+  void SetFlushBudget(int64_t n) {
+    flush_budget_.store(n, std::memory_order_relaxed);
+  }
+
+  // True once the budget has been exhausted.
+  bool PowerLost() const {
+    return flush_budget_.load(std::memory_order_relaxed) == 0;
+  }
+
+  // --- stats ---
+  PmStats& stats() { return stats_; }
+  const PmStats& stats() const { return stats_; }
+
+ private:
+  uint64_t size_;
+  std::unique_ptr<char[]> mem_;
+  std::unique_ptr<char[]> shadow_;  // null unless crash_tracking
+  PmDevice* device_;
+  PmStats stats_;
+  std::atomic<int64_t> flush_budget_{-1};
+};
+
+}  // namespace pm
+}  // namespace flatstore
+
+#endif  // FLATSTORE_PM_PM_POOL_H_

@@ -1,0 +1,74 @@
+// Counters of persistence traffic issued against an emulated PM pool.
+//
+// Several of the paper's claims are about *counts* rather than time (e.g.,
+// batching reduces a batch of N Puts from 3N persists to N+2). Unit tests
+// assert those counts directly from these statistics.
+
+#ifndef FLATSTORE_PM_PM_STATS_H_
+#define FLATSTORE_PM_PM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace flatstore {
+namespace pm {
+
+// Thread-safe counters; cheap relaxed increments on the persist path.
+class PmStats {
+ public:
+  // Plain-value snapshot of the counters.
+  struct Snapshot {
+    uint64_t persist_calls = 0;   // Persist() invocations
+    uint64_t lines_flushed = 0;   // cachelines written to media
+    uint64_t fences = 0;          // Fence() invocations
+    uint64_t bytes_persisted = 0; // sum of Persist() range lengths
+  };
+
+  void AddPersist(uint64_t lines, uint64_t bytes) {
+    persist_calls_.fetch_add(1, std::memory_order_relaxed);
+    lines_flushed_.fetch_add(lines, std::memory_order_relaxed);
+    bytes_persisted_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void AddFence() { fences_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Returns current values.
+  Snapshot Get() const {
+    Snapshot s;
+    s.persist_calls = persist_calls_.load(std::memory_order_relaxed);
+    s.lines_flushed = lines_flushed_.load(std::memory_order_relaxed);
+    s.fences = fences_.load(std::memory_order_relaxed);
+    s.bytes_persisted = bytes_persisted_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Zeroes all counters.
+  void Reset() {
+    persist_calls_.store(0, std::memory_order_relaxed);
+    lines_flushed_.store(0, std::memory_order_relaxed);
+    fences_.store(0, std::memory_order_relaxed);
+    bytes_persisted_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> persist_calls_{0};
+  std::atomic<uint64_t> lines_flushed_{0};
+  std::atomic<uint64_t> fences_{0};
+  std::atomic<uint64_t> bytes_persisted_{0};
+};
+
+// Difference of two snapshots (after - before).
+inline PmStats::Snapshot Delta(const PmStats::Snapshot& before,
+                               const PmStats::Snapshot& after) {
+  PmStats::Snapshot d;
+  d.persist_calls = after.persist_calls - before.persist_calls;
+  d.lines_flushed = after.lines_flushed - before.lines_flushed;
+  d.fences = after.fences - before.fences;
+  d.bytes_persisted = after.bytes_persisted - before.bytes_persisted;
+  return d;
+}
+
+}  // namespace pm
+}  // namespace flatstore
+
+#endif  // FLATSTORE_PM_PM_STATS_H_

@@ -1,0 +1,19 @@
+#include "vt/clock.h"
+
+namespace flatstore {
+namespace vt {
+
+namespace {
+thread_local Clock* g_current_clock = nullptr;
+}  // namespace
+
+Clock* CurrentClock() { return g_current_clock; }
+
+Clock* SetCurrentClock(Clock* c) {
+  Clock* prev = g_current_clock;
+  g_current_clock = c;
+  return prev;
+}
+
+}  // namespace vt
+}  // namespace flatstore

@@ -1,0 +1,78 @@
+#include "workload/workload.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace flatstore {
+namespace workload {
+
+Generator::Generator(const Config& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  FLATSTORE_CHECK(config_.key_space > 0);
+  FLATSTORE_CHECK(config_.get_ratio + config_.delete_ratio <= 1.0);
+  etc_small_space_ = static_cast<uint64_t>(
+      static_cast<double>(config_.key_space) *
+      (kEtcTinyFrac + kEtcSmallFrac));
+  if (config_.dist == KeyDist::kZipfian) {
+    const uint64_t space =
+        config_.etc_values ? etc_small_space_ : config_.key_space;
+    zipf_ = std::make_unique<ZipfianGenerator>(space, config_.zipf_theta,
+                                               seed ^ 0x5EEDF00Dull);
+  }
+}
+
+uint32_t Generator::EtcValueLen(uint64_t key, uint64_t key_space) {
+  // Per-key stable size: the class comes from the key's position in the
+  // key space, the size within the class from a hash of the key.
+  const auto tiny_end = static_cast<uint64_t>(
+      static_cast<double>(key_space) * kEtcTinyFrac);
+  const auto small_end = static_cast<uint64_t>(
+      static_cast<double>(key_space) * (kEtcTinyFrac + kEtcSmallFrac));
+  const uint64_t h = HashKey(key, 0xE7C);
+  if (key < tiny_end) return 1 + static_cast<uint32_t>(h % kEtcTinyMax);
+  if (key < small_end) {
+    return kEtcTinyMax + 1 +
+           static_cast<uint32_t>(h % (kEtcSmallMax - kEtcTinyMax));
+  }
+  // Large: "much higher variability" — log-uniform in (300, 4096].
+  const double frac = static_cast<double>(h % 10000) / 10000.0;
+  const double lo = kEtcSmallMax + 1, hi = kEtcLargeMax;
+  return static_cast<uint32_t>(lo * std::pow(hi / lo, frac));
+}
+
+uint64_t Generator::NextKey() {
+  if (config_.etc_values) {
+    // 5 % of ops hit the uniformly-chosen large set; the rest follow the
+    // (possibly zipfian) distribution over tiny+small.
+    if (rng_.NextDouble() < 1.0 - kEtcTinyFrac - kEtcSmallFrac) {
+      return etc_small_space_ +
+             rng_.Uniform(config_.key_space - etc_small_space_);
+    }
+    if (zipf_ != nullptr) return zipf_->Next() % etc_small_space_;
+    return rng_.Uniform(etc_small_space_);
+  }
+  if (zipf_ != nullptr) return zipf_->Next();
+  return rng_.Uniform(config_.key_space);
+}
+
+Op Generator::Next() {
+  Op op;
+  op.key = NextKey();
+  const double r = rng_.NextDouble();
+  if (r < config_.get_ratio) {
+    op.type = OpType::kGet;
+    op.value_len = 0;
+  } else if (r < config_.get_ratio + config_.delete_ratio) {
+    op.type = OpType::kDelete;
+    op.value_len = 0;
+  } else {
+    op.type = OpType::kPut;
+    op.value_len = config_.etc_values
+                       ? EtcValueLen(op.key, config_.key_space)
+                       : config_.value_len;
+  }
+  return op;
+}
+
+}  // namespace workload
+}  // namespace flatstore

@@ -1,0 +1,82 @@
+// Workload generators for the paper's evaluation (§5).
+//
+// Two families:
+//  * YCSB-style microbenchmarks (§5.1): fixed value length, uniform or
+//    scrambled-zipfian (0.99) key popularity over a fixed key range,
+//    configurable Put/Get/Delete mix.
+//  * Facebook ETC pool emulation (§5.2): trimodal item sizes — 40 % tiny
+//    (1–13 B), 55 % small (14–300 B), 5 % large (> 300 B) — zipfian access
+//    over the tiny+small sets and uniform access over the large set, with
+//    per-key stable sizes.
+//
+// Generators are deterministic per seed so every engine under comparison
+// sees the same request stream.
+
+#ifndef FLATSTORE_WORKLOAD_WORKLOAD_H_
+#define FLATSTORE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+
+namespace flatstore {
+namespace workload {
+
+// One generated request.
+enum class OpType : uint8_t { kPut = 1, kGet = 2, kDelete = 3 };
+
+struct Op {
+  OpType type;
+  uint64_t key;
+  uint32_t value_len;  // Put only
+};
+
+// Key popularity distribution.
+enum class KeyDist { kUniform, kZipfian };
+
+// Generator configuration.
+struct Config {
+  uint64_t key_space = 1ull << 20;
+  KeyDist dist = KeyDist::kUniform;
+  double zipf_theta = 0.99;  // the paper's default skewness
+  double get_ratio = 0.0;    // fraction of Gets
+  double delete_ratio = 0.0; // fraction of Deletes
+  // Value sizing: fixed length, or the ETC trimodal distribution.
+  bool etc_values = false;
+  uint32_t value_len = 64;   // when !etc_values
+};
+
+// Deterministic request stream.
+class Generator {
+ public:
+  Generator(const Config& config, uint64_t seed);
+
+  // Next request.
+  Op Next();
+
+  // Stable ETC value length of `key` (also used to preload stores).
+  static uint32_t EtcValueLen(uint64_t key, uint64_t key_space);
+
+  const Config& config() const { return config_; }
+
+ private:
+  uint64_t NextKey();
+
+  Config config_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  uint64_t etc_small_space_;  // tiny+small portion of the key space
+};
+
+// ETC size-class boundaries (fractions of the key space, paper §5.2).
+inline constexpr double kEtcTinyFrac = 0.40;
+inline constexpr double kEtcSmallFrac = 0.55;  // tiny+small = 95 %
+inline constexpr uint32_t kEtcTinyMax = 13;
+inline constexpr uint32_t kEtcSmallMax = 300;
+inline constexpr uint32_t kEtcLargeMax = 4096;  // ring-transportable cap
+
+}  // namespace workload
+}  // namespace flatstore
+
+#endif  // FLATSTORE_WORKLOAD_WORKLOAD_H_

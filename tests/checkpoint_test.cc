@@ -1,0 +1,134 @@
+// Tests of the online-checkpoint extension (paper §3.5: "FlatStore also
+// supports to checkpoint the volatile index into PMs periodically when
+// the CPU is not busy"): a crash after an online checkpoint recovers via
+// checkpoint load + delta replay of the log suffix, and GC correctly
+// invalidates a checkpoint whose chunks it frees.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/flatstore.h"
+
+namespace flatstore {
+namespace core {
+namespace {
+
+std::string ValueFor(uint64_t key, uint64_t nonce) {
+  std::string v(32 + key % 200, char('a' + (key + nonce) % 26));
+  std::memcpy(&v[0], &key, 8);
+  return v;
+}
+
+FlatStoreOptions Opts() {
+  FlatStoreOptions fo;
+  fo.num_cores = 2;
+  fo.group_size = 2;
+  fo.hash_initial_depth = 4;
+  fo.gc_live_ratio = 0.9;
+  return fo;
+}
+
+std::unique_ptr<pm::PmPool> CrashPool() {
+  pm::PmPool::Options o;
+  o.size = 256ull << 20;
+  o.crash_tracking = true;
+  return std::make_unique<pm::PmPool>(o);
+}
+
+TEST(OnlineCheckpoint, CrashAfterCheckpointUsesDeltaReplay) {
+  auto pool = CrashPool();
+  auto store = FlatStore::Create(pool.get(), Opts());
+  std::map<uint64_t, std::string> model;
+  for (uint64_t k = 0; k < 1500; k++) {
+    store->Put(k, ValueFor(k, 0));
+    model[k] = ValueFor(k, 0);
+  }
+  store->CheckpointNow();
+
+  // Keep serving: overwrite some, add new, delete others.
+  for (uint64_t k = 0; k < 500; k++) {
+    store->Put(k, ValueFor(k, 1));
+    model[k] = ValueFor(k, 1);
+  }
+  for (uint64_t k = 2000; k < 2500; k++) {
+    store->Put(k, ValueFor(k, 2));
+    model[k] = ValueFor(k, 2);
+  }
+  for (uint64_t k = 600; k < 700; k++) {
+    store->Delete(k);
+    model.erase(k);
+  }
+  store.reset();
+  pool->SimulateCrash();
+
+  auto recovered = FlatStore::Open(pool.get(), Opts());
+  EXPECT_EQ(recovered->Size(), model.size());
+  for (const auto& [k, v] : model) {
+    std::string got;
+    ASSERT_TRUE(recovered->Get(k, &got)) << k;
+    ASSERT_EQ(got, v) << k;
+  }
+  std::string got;
+  EXPECT_FALSE(recovered->Get(650, &got));
+}
+
+TEST(OnlineCheckpoint, RepeatedCheckpointsLastOneWins) {
+  auto pool = CrashPool();
+  auto store = FlatStore::Create(pool.get(), Opts());
+  for (uint64_t k = 0; k < 500; k++) store->Put(k, ValueFor(k, 0));
+  store->CheckpointNow();
+  for (uint64_t k = 0; k < 500; k++) store->Put(k, ValueFor(k, 1));
+  store->CheckpointNow();
+  for (uint64_t k = 0; k < 100; k++) store->Put(k, ValueFor(k, 2));
+  store.reset();
+  pool->SimulateCrash();
+
+  auto recovered = FlatStore::Open(pool.get(), Opts());
+  std::string got;
+  ASSERT_TRUE(recovered->Get(50, &got));
+  EXPECT_EQ(got, ValueFor(50, 2));  // post-checkpoint delta applied
+  ASSERT_TRUE(recovered->Get(400, &got));
+  EXPECT_EQ(got, ValueFor(400, 1));
+}
+
+TEST(OnlineCheckpoint, GcInvalidatesArmedCheckpoint) {
+  auto pool = CrashPool();
+  auto store = FlatStore::Create(pool.get(), Opts());
+  for (uint64_t k = 0; k < 1000; k++) store->Put(k, ValueFor(k, 0));
+  store->CheckpointNow();
+  EXPECT_EQ(store->root()->superblock()->clean_shutdown, 1u);
+
+  // Churn until the cleaner frees chunks the checkpoint may reference.
+  for (int round = 1; round <= 100; round++) {
+    for (uint64_t k = 0; k < 1000; k++) {
+      store->Put(k, ValueFor(k, static_cast<uint64_t>(round)));
+    }
+    if (store->RunCleanersOnce() > 0) break;
+  }
+  ASSERT_GT(store->ChunksCleaned(), 0u);
+  EXPECT_EQ(store->root()->superblock()->clean_shutdown, 0u)
+      << "checkpoint must be invalidated once chunks are freed";
+
+  // Crash now: full replay (the checkpoint is gone) stays correct.
+  store.reset();
+  pool->SimulateCrash();
+  auto recovered = FlatStore::Open(pool.get(), Opts());
+  EXPECT_EQ(recovered->Size(), 1000u);
+}
+
+TEST(OnlineCheckpoint, ServingContinuesAfterCheckpoint) {
+  auto pool = CrashPool();
+  auto store = FlatStore::Create(pool.get(), Opts());
+  store->Put(1, "before");
+  store->CheckpointNow();
+  store->Put(1, "after");
+  std::string got;
+  ASSERT_TRUE(store->Get(1, &got));
+  EXPECT_EQ(got, "after");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace flatstore

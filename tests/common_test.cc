@@ -1,0 +1,221 @@
+// Unit tests for the src/common substrate: hashing, RNG and zipfian
+// distributions, histogram percentiles, bitmap view, cacheline math.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/cacheline.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/spin_lock.h"
+
+namespace flatstore {
+namespace {
+
+TEST(Cacheline, AlignmentHelpers) {
+  EXPECT_EQ(CachelineAlignDown(0), 0u);
+  EXPECT_EQ(CachelineAlignDown(63), 0u);
+  EXPECT_EQ(CachelineAlignDown(64), 64u);
+  EXPECT_EQ(CachelineAlignUp(0), 0u);
+  EXPECT_EQ(CachelineAlignUp(1), 64u);
+  EXPECT_EQ(CachelineAlignUp(64), 64u);
+  EXPECT_EQ(CachelineAlignUp(65), 128u);
+}
+
+TEST(Cacheline, SpanCounting) {
+  EXPECT_EQ(CachelineSpan(0, 0), 0u);
+  EXPECT_EQ(CachelineSpan(0, 1), 1u);
+  EXPECT_EQ(CachelineSpan(0, 64), 1u);
+  EXPECT_EQ(CachelineSpan(0, 65), 2u);
+  EXPECT_EQ(CachelineSpan(63, 2), 2u);   // straddles a boundary
+  EXPECT_EQ(CachelineSpan(60, 16), 2u);
+  EXPECT_EQ(CachelineSpan(0, 1024), 16u);
+}
+
+TEST(Cacheline, PmBlockIndex) {
+  EXPECT_EQ(PmBlockIndex(0), 0u);
+  EXPECT_EQ(PmBlockIndex(255), 0u);
+  EXPECT_EQ(PmBlockIndex(256), 1u);
+}
+
+TEST(Hash, DeterministicAndSeedSensitive) {
+  uint64_t a = Hash64("hello", 5);
+  EXPECT_EQ(a, Hash64("hello", 5));
+  EXPECT_NE(a, Hash64("hellp", 5));
+  EXPECT_NE(a, Hash64("hello", 5, /*seed=*/1));
+}
+
+TEST(Hash, MatchesBufferPathForKeys) {
+  // HashKey(k) must equal Hash64 over the 8 raw key bytes.
+  for (uint64_t k : {0ull, 1ull, 42ull, 0xDEADBEEFCAFEBABEull}) {
+    EXPECT_EQ(HashKey(k), Hash64(&k, sizeof(k)));
+  }
+}
+
+TEST(Hash, LongBufferCoversAllBranches) {
+  std::vector<uint8_t> buf(100);
+  for (size_t i = 0; i < buf.size(); i++) buf[i] = static_cast<uint8_t>(i);
+  // Lengths hitting the 32-byte loop, 8/4/1-byte tails.
+  std::set<uint64_t> seen;
+  for (size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u, 63u, 100u}) {
+    seen.insert(Hash64(buf.data(), len));
+  }
+  EXPECT_EQ(seen.size(), 12u);  // all distinct
+}
+
+TEST(Hash, Distribution) {
+  // Buckets of hashed sequential keys should be roughly uniform.
+  constexpr int kBuckets = 16;
+  constexpr int kKeys = 160000;
+  int counts[kBuckets] = {0};
+  for (uint64_t k = 0; k < kKeys; k++) counts[HashKey(k) % kBuckets]++;
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / kBuckets * 0.9);
+    EXPECT_LT(c, kKeys / kBuckets * 1.1);
+  }
+}
+
+TEST(Hash, FingerprintNeverZero) {
+  for (uint64_t k = 0; k < 10000; k++) EXPECT_NE(Fingerprint8(k), 0);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; i++) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  // Different seed diverges (overwhelmingly likely in first draw).
+  Rng a2(7);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(1);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+  double d = 0;
+  for (int i = 0; i < 10000; i++) d += r.NextDouble();
+  EXPECT_NEAR(d / 10000, 0.5, 0.02);
+}
+
+TEST(Zipfian, RanksAreSkewed) {
+  ZipfianGenerator z(1000000, 0.99);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; i++) counts[z.NextRank()]++;
+  // Rank 0 should be the most popular and take a few percent of draws.
+  int rank0 = counts[0];
+  EXPECT_GT(rank0, kDraws / 100);
+  for (const auto& [rank, c] : counts) {
+    EXPECT_LE(c, rank0 * 2) << "rank " << rank;
+  }
+}
+
+TEST(Zipfian, ScrambledSpreadsHotKeys) {
+  ZipfianGenerator z(100000, 0.99);
+  // The two hottest scrambled ids should not be adjacent small integers.
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[z.Next()]++;
+  uint64_t hottest = 0;
+  int best = 0;
+  for (const auto& [id, c] : counts) {
+    if (c > best) {
+      best = c;
+      hottest = id;
+    }
+  }
+  EXPECT_GT(best, 1000);          // skew survives scrambling
+  EXPECT_NE(hottest, 0u);         // ...but rank 0 is remapped
+}
+
+TEST(Zipfian, RespectsDomain) {
+  ZipfianGenerator z(100, 0.99);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(z.NextRank(), 100u);
+    EXPECT_LT(z.Next(), 100u);
+  }
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.01);
+  // Percentiles are bucket lower edges: allow the ~6 % bucket resolution.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500, 40);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 990, 70);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+}
+
+TEST(Histogram, LargeValuesClamp) {
+  Histogram h;
+  h.Record(UINT64_MAX);  // must not crash / overflow buckets
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Percentile(100), 0u);
+}
+
+TEST(Bitmap, SetTestClear) {
+  uint64_t words[BitmapView::WordsFor(130)] = {};
+  BitmapView bm(words, 130);
+  EXPECT_EQ(bm.CountSet(), 0u);
+  bm.Set(0);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(129));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.CountSet(), 3u);
+  bm.Clear(64);
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_EQ(bm.CountSet(), 2u);
+}
+
+TEST(Bitmap, FindFirstClear) {
+  uint64_t words[2] = {};
+  BitmapView bm(words, 100);
+  EXPECT_EQ(bm.FindFirstClear(), 0u);
+  for (uint64_t i = 0; i < 70; i++) bm.Set(i);
+  EXPECT_EQ(bm.FindFirstClear(), 70u);
+  for (uint64_t i = 70; i < 100; i++) bm.Set(i);
+  EXPECT_EQ(bm.FindFirstClear(), 100u);  // == size(): full
+}
+
+TEST(Bitmap, ResetZeroes) {
+  uint64_t words[1] = {};
+  BitmapView bm(words, 64);
+  for (uint64_t i = 0; i < 64; i++) bm.Set(i);
+  bm.Reset();
+  EXPECT_EQ(bm.CountSet(), 0u);
+}
+
+TEST(SpinLock, TryLockSemantics) {
+  SpinLock l;
+  EXPECT_TRUE(l.try_lock());
+  EXPECT_FALSE(l.try_lock());
+  l.unlock();
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+}  // namespace
+}  // namespace flatstore

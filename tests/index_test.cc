@@ -1,0 +1,361 @@
+// Parameterized correctness tests across all five index structures, plus
+// structure-specific and persistence-behaviour tests.
+//
+// The parameterized block runs the same behavioural contract (upsert
+// semantics, lookup, delete, CAS, size accounting, random interleavings
+// checked against std::map) against CCEH, Level-Hashing, FAST&FAIR,
+// FPTree, and Masstree in volatile mode.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "common/random.h"
+#include "index/cceh.h"
+#include "index/fast_fair.h"
+#include "index/fptree.h"
+#include "index/kv_index.h"
+#include "index/level_hashing.h"
+#include "index/masstree.h"
+
+namespace flatstore {
+namespace index {
+namespace {
+
+using Factory = std::unique_ptr<KvIndex> (*)(const PmContext&);
+
+struct IndexCase {
+  const char* name;
+  Factory make;
+  bool ordered;
+};
+
+std::unique_ptr<KvIndex> MakeCceh(const PmContext& ctx) {
+  return std::make_unique<Cceh>(ctx, /*initial_depth=*/2);
+}
+std::unique_ptr<KvIndex> MakeLevel(const PmContext& ctx) {
+  return std::make_unique<LevelHashing>(ctx, /*initial_level_bits=*/4);
+}
+std::unique_ptr<KvIndex> MakeFastFair(const PmContext& ctx) {
+  return std::make_unique<FastFair>(ctx);
+}
+std::unique_ptr<KvIndex> MakeFpTree(const PmContext& ctx) {
+  return std::make_unique<FpTree>(ctx);
+}
+std::unique_ptr<KvIndex> MakeMasstree(const PmContext& ctx) {
+  return std::make_unique<Masstree>(ctx);
+}
+
+const IndexCase kCases[] = {
+    {"CCEH", MakeCceh, false},
+    {"LevelHashing", MakeLevel, false},
+    {"FastFair", MakeFastFair, true},
+    {"FPTree", MakeFpTree, true},
+    {"Masstree", MakeMasstree, true},
+};
+
+class IndexContractTest : public ::testing::TestWithParam<IndexCase> {
+ protected:
+  std::unique_ptr<KvIndex> Make() { return GetParam().make(PmContext{}); }
+};
+
+TEST_P(IndexContractTest, InsertGetRoundTrip) {
+  auto idx = Make();
+  EXPECT_TRUE(idx->Insert(42, 1000));
+  uint64_t v = 0;
+  ASSERT_TRUE(idx->Get(42, &v));
+  EXPECT_EQ(v, 1000u);
+  EXPECT_FALSE(idx->Get(43, &v));
+}
+
+TEST_P(IndexContractTest, UpsertUpdatesInPlace) {
+  auto idx = Make();
+  EXPECT_TRUE(idx->Insert(7, 1));
+  EXPECT_FALSE(idx->Insert(7, 2));  // update, not new
+  uint64_t v = 0;
+  ASSERT_TRUE(idx->Get(7, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(idx->Size(), 1u);
+}
+
+TEST_P(IndexContractTest, DeleteRemoves) {
+  auto idx = Make();
+  idx->Insert(5, 50);
+  EXPECT_TRUE(idx->Delete(5));
+  uint64_t v;
+  EXPECT_FALSE(idx->Get(5, &v));
+  EXPECT_FALSE(idx->Delete(5));  // second delete is a miss
+  EXPECT_EQ(idx->Size(), 0u);
+}
+
+TEST_P(IndexContractTest, CompareExchangeSemantics) {
+  auto idx = Make();
+  idx->Insert(9, 100);
+  EXPECT_FALSE(idx->CompareExchange(9, 999, 200));  // wrong expected
+  uint64_t v;
+  idx->Get(9, &v);
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(idx->CompareExchange(9, 100, 200));
+  idx->Get(9, &v);
+  EXPECT_EQ(v, 200u);
+  EXPECT_FALSE(idx->CompareExchange(12345, 0, 1));  // absent key
+}
+
+TEST_P(IndexContractTest, ZeroKeyAndZeroValueAreLegal) {
+  auto idx = Make();
+  EXPECT_TRUE(idx->Insert(0, 0));
+  uint64_t v = 99;
+  ASSERT_TRUE(idx->Get(0, &v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST_P(IndexContractTest, BulkSequentialKeys) {
+  auto idx = Make();
+  constexpr uint64_t kN = 20000;
+  for (uint64_t k = 0; k < kN; k++) {
+    ASSERT_TRUE(idx->Insert(k, k * 3)) << "key " << k;
+  }
+  EXPECT_EQ(idx->Size(), kN);
+  for (uint64_t k = 0; k < kN; k++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(idx->Get(k, &v)) << "key " << k;
+    ASSERT_EQ(v, k * 3);
+  }
+}
+
+TEST_P(IndexContractTest, RandomizedAgainstStdMap) {
+  auto idx = Make();
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(2026);
+  for (int op = 0; op < 60000; op++) {
+    uint64_t key = rng.Uniform(3000);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // put
+        uint64_t val = rng.Next() >> 1;
+        bool fresh = idx->Insert(key, val);
+        EXPECT_EQ(fresh, model.find(key) == model.end());
+        model[key] = val;
+        break;
+      }
+      case 2: {  // get
+        uint64_t v = 0;
+        bool hit = idx->Get(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(hit, it != model.end()) << "key " << key;
+        if (hit) {
+      ASSERT_EQ(v, it->second);
+    }
+        break;
+      }
+      case 3: {  // delete
+        bool hit = idx->Delete(key);
+        EXPECT_EQ(hit, model.erase(key) == 1);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(idx->Size(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(idx->Get(k, &got));
+    ASSERT_EQ(got, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexContractTest,
+                         ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<IndexCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---- Ordered-index contract (scan) ------------------------------------
+
+class OrderedIndexTest : public ::testing::TestWithParam<IndexCase> {
+ protected:
+  std::unique_ptr<OrderedKvIndex> Make() {
+    auto base = GetParam().make(PmContext{});
+    auto* ordered = dynamic_cast<OrderedKvIndex*>(base.get());
+    EXPECT_NE(ordered, nullptr);
+    base.release();
+    return std::unique_ptr<OrderedKvIndex>(ordered);
+  }
+};
+
+TEST_P(OrderedIndexTest, ScanReturnsSortedRange) {
+  auto idx = Make();
+  // Insert shuffled keys 0,10,20,...
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 5000; k++) keys.push_back(k * 10);
+  std::mt19937_64 g(7);
+  std::shuffle(keys.begin(), keys.end(), g);
+  for (uint64_t k : keys) idx->Insert(k, k + 1);
+
+  std::vector<KvPair> out;
+  EXPECT_EQ(idx->Scan(1000, 100, &out), 100u);
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(out[0].key, 1000u);
+  for (size_t i = 0; i < out.size(); i++) {
+    ASSERT_EQ(out[i].key, 1000 + i * 10);
+    ASSERT_EQ(out[i].value, out[i].key + 1);
+  }
+}
+
+TEST_P(OrderedIndexTest, ScanFromMissingKeyStartsAtSuccessor) {
+  auto idx = Make();
+  for (uint64_t k = 0; k < 100; k++) idx->Insert(k * 10, k);
+  std::vector<KvPair> out;
+  EXPECT_EQ(idx->Scan(55, 3, &out), 3u);
+  EXPECT_EQ(out[0].key, 60u);
+  EXPECT_EQ(out[1].key, 70u);
+  EXPECT_EQ(out[2].key, 80u);
+}
+
+TEST_P(OrderedIndexTest, ScanPastEndTruncates) {
+  auto idx = Make();
+  for (uint64_t k = 0; k < 10; k++) idx->Insert(k, k);
+  std::vector<KvPair> out;
+  EXPECT_EQ(idx->Scan(5, 100, &out), 5u);  // keys 5..9
+}
+
+TEST_P(OrderedIndexTest, ScanSkipsDeleted) {
+  auto idx = Make();
+  for (uint64_t k = 0; k < 20; k++) idx->Insert(k, k);
+  idx->Delete(3);
+  idx->Delete(4);
+  std::vector<KvPair> out;
+  idx->Scan(0, 20, &out);
+  ASSERT_EQ(out.size(), 18u);
+  for (const auto& p : out) EXPECT_TRUE(p.key != 3 && p.key != 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderedIndexes, OrderedIndexTest,
+    ::testing::ValuesIn([] {
+      std::vector<IndexCase> ordered;
+      for (const auto& c : kCases) {
+        if (c.ordered) ordered.push_back(c);
+      }
+      return ordered;
+    }()),
+    [](const ::testing::TestParamInfo<IndexCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---- structure-specific tests ------------------------------------------
+
+TEST(CcehStructure, DirectoryDoublesUnderLoad) {
+  Cceh idx({}, /*initial_depth=*/2);
+  uint32_t depth0 = idx.global_depth();
+  for (uint64_t k = 0; k < 50000; k++) idx.Insert(k, k);
+  EXPECT_GT(idx.global_depth(), depth0);
+  EXPECT_GT(idx.segment_count(), 4u);
+  // Everything still reachable after many splits.
+  for (uint64_t k = 0; k < 50000; k += 97) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Get(k, &v));
+    ASSERT_EQ(v, k);
+  }
+}
+
+TEST(LevelHashingStructure, ResizesWhenFull) {
+  LevelHashing idx({}, /*initial_level_bits=*/4);  // 16+8 buckets = 96 slots
+  for (uint64_t k = 0; k < 5000; k++) idx.Insert(k, k);
+  EXPECT_GT(idx.resizes(), 0u);
+  EXPECT_GE(idx.top_buckets(), 1024u);
+  for (uint64_t k = 0; k < 5000; k++) {
+    uint64_t v;
+    ASSERT_TRUE(idx.Get(k, &v));
+  }
+}
+
+TEST(FastFairStructure, TreeGrowsInHeight) {
+  FastFair idx({});
+  EXPECT_EQ(idx.Height(), 1);
+  for (uint64_t k = 0; k < 10000; k++) idx.Insert(k, k);
+  EXPECT_GE(idx.Height(), 3);
+}
+
+// ---- persistent-mode flush behaviour ------------------------------------
+
+class PersistentIndexTest : public ::testing::Test {
+ protected:
+  PersistentIndexTest() {
+    pm::PmPool::Options o;
+    o.size = 512ull << 20;
+    pool_ = std::make_unique<pm::PmPool>(o);
+    alloc_ = std::make_unique<alloc::LazyAllocator>(
+        pool_.get(), alloc::kChunkSize, o.size - alloc::kChunkSize, 1);
+    ctx_ = PmContext{pool_.get(), alloc_.get(), 0};
+  }
+
+  uint64_t LinesFor(KvIndex* idx, uint64_t first_key, uint64_t n) {
+    auto before = pool_->stats().Get();
+    for (uint64_t k = 0; k < n; k++) idx->Insert(first_key + k, k);
+    return pm::Delta(before, pool_->stats().Get()).lines_flushed;
+  }
+
+  std::unique_ptr<pm::PmPool> pool_;
+  std::unique_ptr<alloc::LazyAllocator> alloc_;
+  PmContext ctx_;
+};
+
+TEST_F(PersistentIndexTest, VolatileModeNeverFlushes) {
+  auto before = pool_->stats().Get();
+  Cceh idx({}, 4);  // volatile: no pool
+  for (uint64_t k = 0; k < 1000; k++) idx.Insert(k, k);
+  EXPECT_EQ(pm::Delta(before, pool_->stats().Get()).lines_flushed, 0u);
+}
+
+TEST_F(PersistentIndexTest, HashInsertFlushesAtLeastOneLine) {
+  Cceh idx(ctx_, 8);
+  // Steady state (no splits with 256 segments / 1k keys): >= 1 line per
+  // insert.
+  uint64_t lines = LinesFor(&idx, 0, 1000);
+  EXPECT_GE(lines, 1000u);
+}
+
+TEST_F(PersistentIndexTest, TreeInsertFlushesMoreThanHash) {
+  // The motivating observation (§2.2): tree shifting amplifies flushes.
+  Cceh hash(ctx_, 8);
+  uint64_t hash_lines = LinesFor(&hash, 0, 5000);
+  FastFair tree(ctx_);
+  uint64_t tree_lines = LinesFor(&tree, 1ull << 32, 5000);
+  EXPECT_GT(tree_lines, hash_lines);
+}
+
+TEST_F(PersistentIndexTest, FpTreeCommitsViaBitmapWord) {
+  FpTree idx(ctx_);
+  idx.Insert(1, 10);
+  auto before = pool_->stats().Get();
+  idx.Insert(2, 20);  // same leaf: entry line + header line (+fence)
+  auto d = pm::Delta(before, pool_->stats().Get());
+  EXPECT_EQ(d.lines_flushed, 2u);
+  EXPECT_EQ(d.fences, 1u);
+}
+
+TEST_F(PersistentIndexTest, PersistentTreesRemainCorrect) {
+  FastFair ff(ctx_);
+  FpTree fp(ctx_);
+  for (uint64_t k = 0; k < 20000; k++) {
+    ff.Insert(k * 7 % 20011, k);
+    fp.Insert(k * 7 % 20011, k);
+  }
+  EXPECT_EQ(ff.Size(), fp.Size());
+  for (uint64_t k = 0; k < 20011; k += 13) {
+    uint64_t a = 0, b = 0;
+    bool ha = ff.Get(k, &a);
+    bool hb = fp.Get(k, &b);
+    ASSERT_EQ(ha, hb) << k;
+    if (ha) {
+      ASSERT_EQ(a, b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace flatstore

@@ -1,0 +1,189 @@
+// Tests of the FlatRPC simulation: SPSC rings, NIC QP-cache model, agent
+// delegation timing, request/response routing, and quiescence.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/flatrpc.h"
+
+namespace flatstore {
+namespace net {
+namespace {
+
+TEST(SpscRing, PushPopOrder) {
+  SpscRing<int, 4> ring;
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(ring.Front(), nullptr);
+  for (int i = 0; i < 4; i++) EXPECT_TRUE(ring.Push(i));
+  EXPECT_FALSE(ring.Push(99));  // full
+  for (int i = 0; i < 4; i++) {
+    int* v = ring.Front();
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+    ring.Pop();
+  }
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int, 4> ring;
+  for (int round = 0; round < 10; round++) {
+    EXPECT_TRUE(ring.Push(round));
+    int* v = ring.Front();
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, round);
+    ring.Pop();
+  }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  SpscRing<uint64_t, 64> ring;
+  constexpr uint64_t kN = 100000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kN; i++) {
+      while (!ring.Push(i)) std::this_thread::yield();
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kN) {
+    uint64_t* v = ring.Front();
+    if (v == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*v, expected);
+    ring.Pop();
+    expected++;
+  }
+  producer.join();
+}
+
+TEST(NicModel, NoMissCostWithinCache) {
+  NicModel nic(vt::kNicQpCacheEntries);
+  EXPECT_EQ(nic.PerMessageCost(), 0u);
+  NicModel small(4);
+  EXPECT_EQ(small.PerMessageCost(), 0u);
+}
+
+TEST(NicModel, MissCostGrowsWithQps) {
+  NicModel a(vt::kNicQpCacheEntries * 2);
+  NicModel b(vt::kNicQpCacheEntries * 8);
+  EXPECT_GT(a.PerMessageCost(), 0u);
+  EXPECT_GT(b.PerMessageCost(), a.PerMessageCost());
+  EXPECT_LT(b.PerMessageCost(), vt::kQpCacheMissCost);
+}
+
+TEST(NicModel, DelegatedVerbCost) {
+  // The agent charges a fixed per-verb cost (no cross-clock FIFO chain:
+  // see the comment in NicModel::PostDelegated).
+  NicModel nic(8);
+  EXPECT_EQ(nic.PostDelegated(1000), 1000 + vt::kAgentMmioCost);
+  NicModel busy_nic(vt::kNicQpCacheEntries * 4);
+  EXPECT_GT(busy_nic.PostDelegated(1000), 1000 + vt::kAgentMmioCost);
+}
+
+TEST(FlatRpc, RequestRoundTrip) {
+  FlatRpc::Options o;
+  o.num_cores = 2;
+  o.num_conns = 3;
+  FlatRpc rpc(o);
+
+  Request req{};
+  req.type = MsgType::kPut;
+  req.key = 42;
+  req.seq = 7;
+  req.post_time = 500;
+  ASSERT_TRUE(rpc.PostRequest(/*conn=*/1, /*core=*/0, req));
+  EXPECT_FALSE(rpc.Quiescent());
+
+  int conn = -1;
+  Request* got = rpc.PollRequest(0, &conn);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(conn, 1);
+  EXPECT_EQ(got->key, 42u);
+  EXPECT_GE(rpc.ArrivalTime(*got), 500 + vt::kNetOneWay);
+  rpc.PopRequest(0, conn);
+
+  // Nothing for core 1.
+  EXPECT_EQ(rpc.PollRequest(1, &conn), nullptr);
+
+  Response resp{};
+  resp.seq = 7;
+  vt::Clock clock;
+  clock.Advance(2000);
+  {
+    vt::ScopedClock bind(&clock);
+    rpc.PostResponse(/*core=*/0, /*conn=*/1, &resp);
+  }
+  EXPECT_GE(resp.nic_time, 2000u);
+
+  Response out;
+  EXPECT_FALSE(rpc.PollResponse(0, &out));  // wrong conn
+  ASSERT_TRUE(rpc.PollResponse(1, &out));
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_GE(FlatRpc::ResponseArrival(out), resp.nic_time + vt::kNetOneWay);
+  EXPECT_TRUE(rpc.Quiescent());
+}
+
+TEST(FlatRpc, RoundRobinAcrossConnections) {
+  FlatRpc::Options o;
+  o.num_cores = 1;
+  o.num_conns = 4;
+  FlatRpc rpc(o);
+  for (int c = 0; c < 4; c++) {
+    Request req{};
+    req.key = static_cast<uint64_t>(c);
+    ASSERT_TRUE(rpc.PostRequest(c, 0, req));
+  }
+  // Polling must visit all four connections, not starve any.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 4; i++) {
+    int conn;
+    Request* r = rpc.PollRequest(0, &conn);
+    ASSERT_NE(r, nullptr);
+    seen.insert(r->key);
+    rpc.PopRequest(0, conn);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(FlatRpc, DelegatedResponseCostsLessOnSender) {
+  // A non-agent core pays only the handoff; the agent core pays the MMIO.
+  FlatRpc::Options o;
+  o.num_cores = 2;
+  o.num_conns = 1;
+  FlatRpc rpc(o);
+  Response resp{};
+  vt::Clock agent_clock, other_clock;
+  {
+    vt::ScopedClock bind(&agent_clock);
+    rpc.PostResponse(/*core=*/0, 0, &resp);
+  }
+  Response out;
+  rpc.PollResponse(0, &out);
+  {
+    vt::ScopedClock bind(&other_clock);
+    rpc.PostResponse(/*core=*/1, 0, &resp);
+  }
+  EXPECT_EQ(agent_clock.now(), vt::kMmioPostCost);
+  EXPECT_EQ(other_clock.now(), vt::kDelegateHandoffCost);
+}
+
+TEST(FlatRpc, AllToAllUsesManyQps) {
+  FlatRpc::Options flat;
+  flat.num_cores = 16;
+  flat.num_conns = 32;
+  FlatRpc rpc_flat(flat);
+  EXPECT_EQ(rpc_flat.nic().active_qps(), 32);
+  EXPECT_EQ(rpc_flat.nic().PerMessageCost(), 0u);
+
+  flat.all_to_all = true;
+  FlatRpc rpc_all(flat);
+  EXPECT_EQ(rpc_all.nic().active_qps(), 512);
+  EXPECT_GT(rpc_all.nic().PerMessageCost(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace flatstore

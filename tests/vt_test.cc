@@ -1,0 +1,84 @@
+// Unit tests for the virtual-time clock and thread binding.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "vt/clock.h"
+
+namespace flatstore {
+namespace {
+
+TEST(Clock, AdvanceAndAdvanceTo) {
+  vt::Clock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.Advance(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.AdvanceTo(50);  // in the past: no-op
+  EXPECT_EQ(c.now(), 100u);
+  c.AdvanceTo(250);
+  EXPECT_EQ(c.now(), 250u);
+}
+
+TEST(Clock, PendingFenceHorizon) {
+  vt::Clock c;
+  c.RaisePendingFence(500);
+  c.RaisePendingFence(300);  // lower: ignored
+  EXPECT_EQ(c.pending_fence(), 500u);
+  c.AdvanceTo(c.pending_fence());
+  c.ClearPendingFence();
+  EXPECT_EQ(c.now(), 500u);
+  EXPECT_EQ(c.pending_fence(), 0u);
+}
+
+TEST(Clock, ResetZeroes) {
+  vt::Clock c;
+  c.Advance(10);
+  c.RaisePendingFence(20);
+  c.Reset();
+  EXPECT_EQ(c.now(), 0u);
+  EXPECT_EQ(c.pending_fence(), 0u);
+}
+
+TEST(CurrentClock, ChargeWithoutBindingIsNoop) {
+  EXPECT_EQ(vt::CurrentClock(), nullptr);
+  vt::Charge(100);  // must not crash
+  EXPECT_EQ(vt::Now(), 0u);
+}
+
+TEST(CurrentClock, ScopedBinding) {
+  vt::Clock c;
+  {
+    vt::ScopedClock bind(&c);
+    EXPECT_EQ(vt::CurrentClock(), &c);
+    vt::Charge(42);
+    EXPECT_EQ(vt::Now(), 42u);
+    {
+      vt::Clock inner;
+      vt::ScopedClock bind2(&inner);
+      vt::Charge(1);
+      EXPECT_EQ(vt::Now(), 1u);
+    }
+    EXPECT_EQ(vt::CurrentClock(), &c);  // restored
+  }
+  EXPECT_EQ(vt::CurrentClock(), nullptr);
+  EXPECT_EQ(c.now(), 42u);
+}
+
+TEST(CurrentClock, PerThreadIsolation) {
+  vt::Clock main_clock;
+  vt::ScopedClock bind(&main_clock);
+  std::thread t([] {
+    // A fresh thread has no binding regardless of the parent's.
+    EXPECT_EQ(vt::CurrentClock(), nullptr);
+    vt::Clock c;
+    vt::ScopedClock b(&c);
+    vt::Charge(7);
+    EXPECT_EQ(vt::Now(), 7u);
+  });
+  t.join();
+  EXPECT_EQ(main_clock.now(), 0u);
+}
+
+}  // namespace
+}  // namespace flatstore

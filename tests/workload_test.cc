@@ -1,0 +1,151 @@
+// Tests of the workload generators: determinism, op-mix ratios, key
+// distributions, and the ETC trimodal size model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.h"
+
+namespace flatstore {
+namespace workload {
+namespace {
+
+TEST(Generator, DeterministicPerSeed) {
+  Config cfg;
+  Generator a(cfg, 42), b(cfg, 42), c(cfg, 43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; i++) {
+    Op oa = a.Next(), ob = b.Next(), oc = c.Next();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(oa.type, ob.type);
+    diverged |= oa.key != oc.key;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Generator, OpMixRatios) {
+  Config cfg;
+  cfg.get_ratio = 0.5;
+  cfg.delete_ratio = 0.1;
+  Generator g(cfg, 7);
+  int gets = 0, dels = 0, puts = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; i++) {
+    switch (g.Next().type) {
+      case OpType::kGet:
+        gets++;
+        break;
+      case OpType::kDelete:
+        dels++;
+        break;
+      case OpType::kPut:
+        puts++;
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / kN, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(dels) / kN, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(puts) / kN, 0.4, 0.01);
+}
+
+TEST(Generator, UniformKeysCoverSpace) {
+  Config cfg;
+  cfg.key_space = 1000;
+  Generator g(cfg, 3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[g.Next().key]++;
+  EXPECT_GT(counts.size(), 990u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_LT(k, 1000u);
+    EXPECT_LT(c, 100000 / 1000 * 2);
+  }
+}
+
+TEST(Generator, ZipfianIsSkewed) {
+  Config cfg;
+  cfg.key_space = 1 << 20;
+  cfg.dist = KeyDist::kZipfian;
+  Generator g(cfg, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[g.Next().key]++;
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // The hottest key takes a few percent of all accesses at theta 0.99.
+  EXPECT_GT(max_count, 1000);
+}
+
+TEST(Generator, FixedValueLen) {
+  Config cfg;
+  cfg.value_len = 128;
+  Generator g(cfg, 1);
+  for (int i = 0; i < 100; i++) {
+    Op op = g.Next();
+    if (op.type == OpType::kPut) {
+      EXPECT_EQ(op.value_len, 128u);
+    }
+  }
+}
+
+TEST(Etc, StableSizesPerKey) {
+  constexpr uint64_t kSpace = 1 << 20;
+  for (uint64_t k : {0ull, 1000ull, 500000ull, 1000000ull}) {
+    EXPECT_EQ(Generator::EtcValueLen(k, kSpace),
+              Generator::EtcValueLen(k, kSpace));
+  }
+}
+
+TEST(Etc, TrimodalBoundaries) {
+  constexpr uint64_t kSpace = 1 << 20;
+  const auto tiny_end = static_cast<uint64_t>(kSpace * kEtcTinyFrac);
+  const auto small_end =
+      static_cast<uint64_t>(kSpace * (kEtcTinyFrac + kEtcSmallFrac));
+  for (uint64_t k = 0; k < tiny_end; k += 9973) {
+    uint32_t len = Generator::EtcValueLen(k, kSpace);
+    EXPECT_GE(len, 1u);
+    EXPECT_LE(len, kEtcTinyMax);
+  }
+  for (uint64_t k = tiny_end; k < small_end; k += 9973) {
+    uint32_t len = Generator::EtcValueLen(k, kSpace);
+    EXPECT_GT(len, kEtcTinyMax);
+    EXPECT_LE(len, kEtcSmallMax);
+  }
+  for (uint64_t k = small_end; k < kSpace; k += 997) {
+    uint32_t len = Generator::EtcValueLen(k, kSpace);
+    EXPECT_GT(len, kEtcSmallMax);
+    EXPECT_LE(len, kEtcLargeMax);
+  }
+}
+
+TEST(Etc, AccessMixFollowsKeyClasses) {
+  Config cfg;
+  cfg.key_space = 1 << 20;
+  cfg.etc_values = true;
+  cfg.dist = KeyDist::kZipfian;
+  Generator g(cfg, 11);
+  const auto small_end = static_cast<uint64_t>(
+      cfg.key_space * (kEtcTinyFrac + kEtcSmallFrac));
+  int large = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; i++) {
+    if (g.Next().key >= small_end) large++;
+  }
+  // ~5 % of accesses go to the large class.
+  EXPECT_NEAR(static_cast<double>(large) / kN, 0.05, 0.01);
+}
+
+TEST(Etc, PutsCarryEtcSizes) {
+  Config cfg;
+  cfg.key_space = 1 << 16;
+  cfg.etc_values = true;
+  Generator g(cfg, 13);
+  for (int i = 0; i < 1000; i++) {
+    Op op = g.Next();
+    if (op.type != OpType::kPut) continue;
+    EXPECT_EQ(op.value_len, Generator::EtcValueLen(op.key, cfg.key_space));
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace flatstore
