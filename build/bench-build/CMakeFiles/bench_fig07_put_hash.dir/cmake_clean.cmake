@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_put_hash"
+  "../bench/bench_fig07_put_hash.pdb"
+  "CMakeFiles/bench_fig07_put_hash.dir/bench_fig07_put_hash.cc.o"
+  "CMakeFiles/bench_fig07_put_hash.dir/bench_fig07_put_hash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_put_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_put_tree"
+  "../bench/bench_fig08_put_tree.pdb"
+  "CMakeFiles/bench_fig08_put_tree.dir/bench_fig08_put_tree.cc.o"
+  "CMakeFiles/bench_fig08_put_tree.dir/bench_fig08_put_tree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_put_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_etc"
+  "../bench/bench_fig09_etc.pdb"
+  "CMakeFiles/bench_fig09_etc.dir/bench_fig09_etc.cc.o"
+  "CMakeFiles/bench_fig09_etc.dir/bench_fig09_etc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_etc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_gc"
+  "../bench/bench_fig13_gc.pdb"
+  "CMakeFiles/bench_fig13_gc.dir/bench_fig13_gc.cc.o"
+  "CMakeFiles/bench_fig13_gc.dir/bench_fig13_gc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etc_cache.dir/etc_cache.cpp.o"
+  "CMakeFiles/etc_cache.dir/etc_cache.cpp.o.d"
+  "etc_cache"
+  "etc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

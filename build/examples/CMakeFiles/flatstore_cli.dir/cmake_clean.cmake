@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatstore_cli.dir/flatstore_cli.cpp.o"
+  "CMakeFiles/flatstore_cli.dir/flatstore_cli.cpp.o.d"
+  "flatstore_cli"
+  "flatstore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatstore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsck.dir/fsck.cpp.o"
+  "CMakeFiles/fsck.dir/fsck.cpp.o.d"
+  "fsck"
+  "fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_alloc.dir/alloc/lazy_allocator.cc.o"
+  "CMakeFiles/fs_alloc.dir/alloc/lazy_allocator.cc.o.d"
+  "libfs_alloc.a"
+  "libfs_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

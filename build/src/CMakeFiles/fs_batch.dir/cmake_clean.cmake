@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_batch.dir/batch/hb_engine.cc.o"
+  "CMakeFiles/fs_batch.dir/batch/hb_engine.cc.o.d"
+  "libfs_batch.a"
+  "libfs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_core.dir/core/baseline.cc.o"
+  "CMakeFiles/fs_core.dir/core/baseline.cc.o.d"
+  "CMakeFiles/fs_core.dir/core/flatstore.cc.o"
+  "CMakeFiles/fs_core.dir/core/flatstore.cc.o.d"
+  "CMakeFiles/fs_core.dir/core/fsck.cc.o"
+  "CMakeFiles/fs_core.dir/core/fsck.cc.o.d"
+  "libfs_core.a"
+  "libfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

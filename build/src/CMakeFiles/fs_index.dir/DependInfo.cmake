@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/cceh.cc" "src/CMakeFiles/fs_index.dir/index/cceh.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/index/cceh.cc.o.d"
+  "/root/repo/src/index/fast_fair.cc" "src/CMakeFiles/fs_index.dir/index/fast_fair.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/index/fast_fair.cc.o.d"
+  "/root/repo/src/index/fptree.cc" "src/CMakeFiles/fs_index.dir/index/fptree.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/index/fptree.cc.o.d"
+  "/root/repo/src/index/level_hashing.cc" "src/CMakeFiles/fs_index.dir/index/level_hashing.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/index/level_hashing.cc.o.d"
+  "/root/repo/src/index/masstree.cc" "src/CMakeFiles/fs_index.dir/index/masstree.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/index/masstree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_vt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

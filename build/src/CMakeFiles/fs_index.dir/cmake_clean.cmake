@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_index.dir/index/cceh.cc.o"
+  "CMakeFiles/fs_index.dir/index/cceh.cc.o.d"
+  "CMakeFiles/fs_index.dir/index/fast_fair.cc.o"
+  "CMakeFiles/fs_index.dir/index/fast_fair.cc.o.d"
+  "CMakeFiles/fs_index.dir/index/fptree.cc.o"
+  "CMakeFiles/fs_index.dir/index/fptree.cc.o.d"
+  "CMakeFiles/fs_index.dir/index/level_hashing.cc.o"
+  "CMakeFiles/fs_index.dir/index/level_hashing.cc.o.d"
+  "CMakeFiles/fs_index.dir/index/masstree.cc.o"
+  "CMakeFiles/fs_index.dir/index/masstree.cc.o.d"
+  "libfs_index.a"
+  "libfs_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

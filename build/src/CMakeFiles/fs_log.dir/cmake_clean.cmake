@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_log.dir/log/layout.cc.o"
+  "CMakeFiles/fs_log.dir/log/layout.cc.o.d"
+  "CMakeFiles/fs_log.dir/log/log_cleaner.cc.o"
+  "CMakeFiles/fs_log.dir/log/log_cleaner.cc.o.d"
+  "CMakeFiles/fs_log.dir/log/oplog.cc.o"
+  "CMakeFiles/fs_log.dir/log/oplog.cc.o.d"
+  "libfs_log.a"
+  "libfs_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

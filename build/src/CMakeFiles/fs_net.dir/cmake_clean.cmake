@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_net.dir/net/flatrpc.cc.o"
+  "CMakeFiles/fs_net.dir/net/flatrpc.cc.o.d"
+  "libfs_net.a"
+  "libfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_pm.dir/pm/pm_device.cc.o"
+  "CMakeFiles/fs_pm.dir/pm/pm_device.cc.o.d"
+  "CMakeFiles/fs_pm.dir/pm/pm_pool.cc.o"
+  "CMakeFiles/fs_pm.dir/pm/pm_pool.cc.o.d"
+  "libfs_pm.a"
+  "libfs_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_server.dir/core/server.cc.o"
+  "CMakeFiles/fs_server.dir/core/server.cc.o.d"
+  "libfs_server.a"
+  "libfs_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

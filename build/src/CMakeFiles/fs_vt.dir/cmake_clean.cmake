@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_vt.dir/vt/clock.cc.o"
+  "CMakeFiles/fs_vt.dir/vt/clock.cc.o.d"
+  "libfs_vt.a"
+  "libfs_vt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/fs_workload.dir/workload/workload.cc.o.d"
+  "libfs_workload.a"
+  "libfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
