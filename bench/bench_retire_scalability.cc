@@ -1,0 +1,195 @@
+// Read-path retirement-synchronization scalability (host wall-clock).
+//
+// Measures the real (not simulated) cost of the synchronization that
+// guards log-entry dereferences against cleaner frees, across serving
+// thread counts, for a 90/10 get/put mix:
+//
+//  * epoch — the engine as built: each dereference pins the current epoch
+//    with a store into a core-private cacheline (common/epoch.h).
+//  * lock  — emulation of the retired design: every op additionally takes
+//    a group-wide std::shared_mutex in shared mode (the atomic RMW on the
+//    shared lock line is the cost being measured; a background thread
+//    takes the lock exclusively at a cleaner-like cadence).
+//
+// Unlike the bench_fig* binaries this reports host wall-clock ops/s:
+// the contended cacheline is a host-hardware effect the virtual-time
+// model deliberately excludes (vt/costs.h kRetireSharedLockCost models
+// its simulated charge; this bench shows the real-machine shape).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flatstore.h"
+#include "pm/pm_pool.h"
+
+namespace flatstore {
+namespace {
+
+constexpr uint64_t kKeysPerCore = 4096;
+constexpr uint32_t kValueLen = 64;
+constexpr uint64_t kOpsPerThread = 300000;
+
+struct ModeResult {
+  double mops = 0;
+  double wall_ms = 0;
+};
+
+ModeResult RunMode(int threads, bool emulate_lock) {
+  pm::PmPool::Options po;
+  po.size = 1ull << 30;
+  pm::PmPool pool(po);
+  core::FlatStoreOptions fo;
+  fo.num_cores = threads;
+  fo.group_size = threads;  // one socket-sized group, like the paper
+  fo.hash_initial_depth = 6;
+  auto store = core::FlatStore::Create(&pool, fo);
+
+  // Per-core key sets (synchronous preload).
+  std::vector<std::vector<uint64_t>> keys(static_cast<size_t>(threads));
+  uint64_t k = 0;
+  uint8_t value[kValueLen];
+  std::memset(value, 0x42, sizeof(value));
+  while (true) {
+    const auto core = static_cast<size_t>(store->CoreForKey(k));
+    if (keys[core].size() < kKeysPerCore) {
+      keys[core].push_back(k);
+      store->Put(k, std::string_view(reinterpret_cast<char*>(value),
+                                     kValueLen));
+    }
+    bool full = true;
+    for (const auto& v : keys) full = full && v.size() >= kKeysPerCore;
+    if (full) break;
+    k++;
+  }
+
+  // The emulated retire lock of the old design, plus its "cleaner":
+  // a thread taking the lock exclusively every ~1 ms, as the unlink
+  // critical sections used to.
+  std::shared_mutex retire;
+  std::atomic<bool> stop_cleaner{false};
+  std::thread lock_cleaner;
+  if (emulate_lock) {
+    lock_cleaner = std::thread([&retire, &stop_cleaner] {
+      while (!stop_cleaner.load(std::memory_order_relaxed)) {
+        {
+          std::unique_lock<std::shared_mutex> g(retire);
+          std::this_thread::sleep_for(std::chrono::microseconds(5));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  store->StartCleaners();
+  std::atomic<uint64_t> total_ops{0};
+
+  auto serve = [&](int core) {
+    const auto& mine = keys[static_cast<size_t>(core)];
+    uint64_t rng = 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(core) + 1);
+    std::string v;
+    v.reserve(512);
+    uint64_t ops = 0;
+    for (uint64_t i = 0; i < kOpsPerThread; i++) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const uint64_t key = mine[(rng >> 33) % mine.size()];
+      const bool is_put = (rng >> 60) < 2;  // ~10 %
+      if (emulate_lock) {
+        std::shared_lock<std::shared_mutex> g(retire);
+        if (is_put) {
+          core::FlatStore::OpHandle h;
+          if (store->BeginPut(core, key, value, kValueLen, &h) !=
+              core::OpStatus::kOk) {
+            store->Pump(core);
+            store->Drain(core, SIZE_MAX, nullptr);
+            continue;
+          }
+        } else {
+          store->GetOnCore(core, key, &v);
+        }
+      } else {
+        if (is_put) {
+          core::FlatStore::OpHandle h;
+          if (store->BeginPut(core, key, value, kValueLen, &h) !=
+              core::OpStatus::kOk) {
+            store->Pump(core);
+            store->Drain(core, SIZE_MAX, nullptr);
+            continue;
+          }
+        } else {
+          store->GetOnCore(core, key, &v);
+        }
+      }
+      ops++;
+      if ((i & 31) == 0) {
+        store->Pump(core);
+        store->Drain(core, SIZE_MAX, nullptr);
+      }
+    }
+    while (store->Inflight(core) > 0) {
+      store->Pump(core);
+      store->Drain(core, SIZE_MAX, nullptr);
+    }
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> servers;
+  for (int c = 0; c < threads; c++) servers.emplace_back(serve, c);
+  for (auto& t : servers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  store->StopCleaners();
+  if (emulate_lock) {
+    stop_cleaner.store(true, std::memory_order_relaxed);
+    lock_cleaner.join();
+  }
+
+  ModeResult r;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.mops = static_cast<double>(total_ops.load()) / 1e6 /
+           (r.wall_ms / 1e3);
+  if (!emulate_lock) {
+    std::printf("    [epoch stats] advances=%llu deferred_frees=%llu "
+                "deferred_hwm=%llu\n",
+                static_cast<unsigned long long>(store->epochs()->advances()),
+                static_cast<unsigned long long>(
+                    store->epochs()->deferred_frees()),
+                static_cast<unsigned long long>(
+                    store->epochs()->deferred_hwm()));
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace flatstore
+
+int main(int argc, char** argv) {
+  std::printf("retire-path scalability, 90/10 get/put, %u B values, "
+              "host wall-clock\n",
+              flatstore::kValueLen);
+  std::printf("%-8s %-8s %12s %12s\n", "threads", "mode", "wall_ms",
+              "Mops/s");
+  // Thread counts above the machine's core count are skipped (the numbers
+  // would measure the scheduler, not the synchronization); pass a max
+  // thread count as argv[1] to force the sweep anyway.
+  const unsigned hw = argc > 1
+                          ? static_cast<unsigned>(std::atoi(argv[1]))
+                          : std::thread::hardware_concurrency();
+  for (int t : {1, 2, 4, 8}) {
+    if (hw != 0 && static_cast<unsigned>(t) > hw) break;
+    for (const bool lock_mode : {false, true}) {
+      const auto r = flatstore::RunMode(t, lock_mode);
+      std::printf("%-8d %-8s %12.1f %12.2f\n", t,
+                  lock_mode ? "lock" : "epoch", r.wall_ms, r.mops);
+    }
+  }
+  return 0;
+}

@@ -204,8 +204,7 @@ bench-build/CMakeFiles/bench_recovery.dir/bench_recovery.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/flatstore.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -218,11 +217,6 @@ bench-build/CMakeFiles/bench_recovery.dir/bench_recovery.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/shared_mutex /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/batch/hb_engine.h /root/repo/src/common/spin_lock.h \
  /root/repo/src/log/log_entry.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
@@ -233,8 +227,15 @@ bench-build/CMakeFiles/bench_recovery.dir/bench_recovery.cc.o: \
  /root/repo/src/common/cacheline.h /root/repo/src/pm/pm_device.h \
  /root/repo/src/vt/costs.h /root/repo/src/pm/pm_stats.h \
  /root/repo/src/vt/clock.h /root/repo/src/log/layout.h \
- /root/repo/src/index/kv_index.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /root/repo/src/log/log_cleaner.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/epoch.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/common/open_table.h /root/repo/src/common/hash.h \
+ /root/repo/src/index/kv_index.h /root/repo/src/log/log_cleaner.h \
  /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

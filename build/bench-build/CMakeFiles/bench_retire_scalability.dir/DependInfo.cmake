@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_retire_scalability.cc" "bench-build/CMakeFiles/bench_retire_scalability.dir/bench_retire_scalability.cc.o" "gcc" "bench-build/CMakeFiles/bench_retire_scalability.dir/bench_retire_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_common.dir/common/epoch.cc.o"
+  "CMakeFiles/fs_common.dir/common/epoch.cc.o.d"
+  "libfs_common.a"
+  "libfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

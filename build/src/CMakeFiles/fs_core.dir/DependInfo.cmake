@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fs_alloc.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fs_pm.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fs_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -293,14 +293,12 @@ tests/CMakeFiles/checkpoint_test.dir/checkpoint_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/flatstore.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/batch/hb_engine.h \
+ /root/repo/src/core/flatstore.h /root/repo/src/batch/hb_engine.h \
  /root/repo/src/common/spin_lock.h /root/repo/src/log/log_entry.h \
  /usr/include/c++/12/cstring /root/repo/src/common/logging.h \
  /root/repo/src/log/oplog.h /root/repo/src/alloc/lazy_allocator.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/bitmap.h /root/repo/src/pm/pm_pool.h \
  /root/repo/src/common/cacheline.h /root/repo/src/pm/pm_device.h \
  /root/repo/src/vt/costs.h /root/repo/src/pm/pm_stats.h \
@@ -308,7 +306,10 @@ tests/CMakeFiles/checkpoint_test.dir/checkpoint_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/log/layout.h /root/repo/src/index/kv_index.h \
+ /root/repo/src/log/layout.h /root/repo/src/common/epoch.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/open_table.h \
+ /root/repo/src/common/hash.h /root/repo/src/index/kv_index.h \
  /root/repo/src/log/log_cleaner.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -316,13 +316,11 @@ tests/CMakeFiles/crash_fuzz_test.dir/crash_fuzz_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
  /usr/include/c++/12/cstring /root/repo/src/common/logging.h \
- /root/repo/src/core/flatstore.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/batch/hb_engine.h \
+ /root/repo/src/core/flatstore.h /root/repo/src/batch/hb_engine.h \
  /root/repo/src/common/spin_lock.h /root/repo/src/log/log_entry.h \
  /root/repo/src/log/oplog.h /root/repo/src/alloc/lazy_allocator.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/bitmap.h /root/repo/src/pm/pm_pool.h \
  /root/repo/src/common/cacheline.h /root/repo/src/pm/pm_device.h \
  /root/repo/src/vt/costs.h /root/repo/src/pm/pm_stats.h \
@@ -330,10 +328,13 @@ tests/CMakeFiles/crash_fuzz_test.dir/crash_fuzz_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/log/layout.h /root/repo/src/index/kv_index.h \
- /root/repo/src/log/log_cleaner.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/log/layout.h /root/repo/src/common/epoch.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/open_table.h \
+ /root/repo/src/index/kv_index.h /root/repo/src/log/log_cleaner.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

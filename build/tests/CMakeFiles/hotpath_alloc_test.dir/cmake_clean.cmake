@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_alloc_test.dir/hotpath_alloc_test.cc.o"
+  "CMakeFiles/hotpath_alloc_test.dir/hotpath_alloc_test.cc.o.d"
+  "hotpath_alloc_test"
+  "hotpath_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/fs_net.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/fs_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -306,10 +306,11 @@ tests/CMakeFiles/server_test.dir/server_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/index/kv_index.h /root/repo/src/log/layout.h \
- /root/repo/src/core/flatstore.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/shared_mutex /root/repo/src/batch/hb_engine.h \
+ /root/repo/src/core/flatstore.h /root/repo/src/batch/hb_engine.h \
  /root/repo/src/log/log_entry.h /root/repo/src/log/oplog.h \
+ /root/repo/src/common/epoch.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/open_table.h /root/repo/src/common/hash.h \
  /root/repo/src/log/log_cleaner.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -340,4 +341,4 @@ tests/CMakeFiles/server_test.dir/server_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

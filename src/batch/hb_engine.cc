@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "vt/clock.h"
 #include "vt/costs.h"
@@ -54,52 +55,57 @@ bool HbEngine::Stage(int core, const uint8_t* entry, uint32_t len,
   return true;
 }
 
-void HbEngine::Collect(int core, uint64_t now,
-                       std::vector<log::OpLog::EntryRef>* refs,
-                       std::vector<Slot*>* claims) {
+void HbEngine::Collect(int core, uint64_t now, log::OpLog::EntryRef* refs,
+                       Slot** claims, size_t* n) {
   CorePool& pool = pools_[core];
   const uint64_t head = pool.head.load(std::memory_order_acquire);
-  if (pool.collected == head) return;  // idle scan: free (event-driven sim)
+  uint64_t collected = pool.collected.load(std::memory_order_relaxed);
+  if (collected == head) return;  // idle scan: free (event-driven sim)
   vt::Charge(vt::kStealScanCost);
-  while (pool.collected < head && refs->size() < kMaxBatch) {
-    Slot& slot = pool.slots[pool.collected % kPoolSlots];
+  while (collected < head && *n < kMaxBatch) {
+    Slot& slot = pool.slots[collected % kPoolSlots];
     FLATSTORE_DCHECK(slot.state.load(std::memory_order_relaxed) == kStaged);
     if (slot.stage_time > now) break;  // staged in this core's future
-    refs->push_back({slot.buf, slot.len});
-    claims->push_back(&slot);
-    pool.collected++;
+    refs[*n] = {slot.buf, slot.len};
+    claims[*n] = &slot;
+    (*n)++;
+    collected++;
     vt::Charge(vt::kPoolOpCost);
   }
+  pool.collected.store(collected, std::memory_order_relaxed);
 }
 
 uint64_t HbEngine::EarliestStaged(int core) const {
   const CorePool& pool = pools_[core];
   const uint64_t head = pool.head.load(std::memory_order_acquire);
-  if (pool.collected == head) return UINT64_MAX;
-  return pool.slots[pool.collected % kPoolSlots].stage_time;
+  const uint64_t collected = pool.collected.load(std::memory_order_relaxed);
+  if (collected == head) return UINT64_MAX;
+  return pool.slots[collected % kPoolSlots].stage_time;
 }
 
-size_t HbEngine::Commit(log::OpLog* log,
-                        std::vector<log::OpLog::EntryRef>& refs,
-                        std::vector<Slot*>& claims) {
-  if (refs.empty()) return 0;
-  std::vector<uint64_t> offsets(refs.size());
-  bool ok = log->AppendBatch(refs.data(), refs.size(), offsets.data());
+size_t HbEngine::Commit(log::OpLog* log, const log::OpLog::EntryRef* refs,
+                        Slot* const* claims, size_t n, uint64_t* offsets) {
+  if (n == 0) return 0;
+  bool ok = log->AppendBatch(refs, n, offsets);
   FLATSTORE_CHECK(ok) << "PM exhausted while appending a batch";
   const uint64_t done = vt::Now();
-  for (size_t i = 0; i < claims.size(); i++) {
+  for (size_t i = 0; i < n; i++) {
     claims[i]->entry_off = offsets[i];
     claims[i]->done_time = done;
     claims[i]->state.store(kDone, std::memory_order_release);
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_entries_.fetch_add(refs.size(), std::memory_order_relaxed);
-  return refs.size();
+  batched_entries_.fetch_add(n, std::memory_order_relaxed);
+  return n;
 }
 
 size_t HbEngine::TryPersist(int core) {
-  std::vector<log::OpLog::EntryRef> refs;
-  std::vector<Slot*> claims;
+  // Leader scratch lives in the core's own pool: only the owning serving
+  // thread runs TryPersist for `core`, and the hot loop stays heap-free.
+  CorePool& mine = pools_[core];
+  log::OpLog::EntryRef* refs = mine.refs;
+  Slot** claims = mine.claims;
+  size_t nref = 0;
 
   vt::Clock* clock = vt::CurrentClock();
   if (mode_ == BatchMode::kNone) {
@@ -110,13 +116,10 @@ size_t HbEngine::TryPersist(int core) {
       const uint64_t t = EarliestStaged(core);
       if (t == UINT64_MAX) break;
       if (clock != nullptr) clock->AdvanceTo(t);
-      refs.clear();
-      claims.clear();
-      Collect(core, t, &refs, &claims);
-      for (size_t i = 0; i < refs.size(); i++) {
-        std::vector<log::OpLog::EntryRef> one{refs[i]};
-        std::vector<Slot*> claim{claims[i]};
-        n += Commit(logs_[core], one, claim);
+      nref = 0;
+      Collect(core, t, refs, claims, &nref);
+      for (size_t i = 0; i < nref; i++) {
+        n += Commit(logs_[core], &refs[i], &claims[i], 1, &mine.offsets[i]);
       }
     }
     return n;
@@ -127,8 +130,8 @@ size_t HbEngine::TryPersist(int core) {
     const uint64_t t = EarliestStaged(core);
     if (t == UINT64_MAX) return 0;
     if (clock != nullptr) clock->AdvanceTo(t);
-    Collect(core, vt::Now(), &refs, &claims);
-    return Commit(logs_[core], refs, claims);
+    Collect(core, vt::Now(), refs, claims, &nref);
+    return Commit(logs_[core], refs, claims, nref, mine.offsets);
   }
 
   Group& group = *groups_[core / group_size_];
@@ -172,22 +175,22 @@ size_t HbEngine::TryPersist(int core) {
   // transferred between per-core clocks: clocks drift apart by more than
   // a collection takes, and chaining through a shared busy timestamp
   // would ratchet every core to the maximum clock — false serialization.)
-  for (int c = first_core; c < last && refs.size() < kMaxBatch; c++) {
-    Collect(c, vt::Now(), &refs, &claims);
+  for (int c = first_core; c < last && nref < kMaxBatch; c++) {
+    Collect(c, vt::Now(), refs, claims, &nref);
   }
-  if (refs.empty() && clock != nullptr) {
+  if (nref == 0 && clock != nullptr) {
     uint64_t earliest = UINT64_MAX;
     for (int c = first_core; c < last; c++) {
       earliest = std::min(earliest, EarliestStaged(c));
     }
     if (earliest != UINT64_MAX) {
       clock->AdvanceTo(earliest);
-      for (int c = first_core; c < last && refs.size() < kMaxBatch; c++) {
-        Collect(c, vt::Now(), &refs, &claims);
+      for (int c = first_core; c < last && nref < kMaxBatch; c++) {
+        Collect(c, vt::Now(), refs, claims, &nref);
       }
     }
   }
-  if (refs.empty()) {
+  if (nref == 0) {
     // Nothing collectible at this leader's clock.
     group.lock.unlock();
     return 0;
@@ -199,18 +202,12 @@ size_t HbEngine::TryPersist(int core) {
   if (mode_ == BatchMode::kPipelinedHB) {
     // Release the lock *before* persisting: the log-persist cost moves
     // out of the critical section and adjacent batches pipeline.
-    if (clock != nullptr) {
-      group.busy_until.store(clock->now(), std::memory_order_relaxed);
-    }
     group.lock.unlock();
-    return Commit(logs_[core], refs, claims);
+    return Commit(logs_[core], refs, claims, nref, mine.offsets);
   }
 
   // Naive HB: the lock covers the persist (Fig. 4(c)).
-  size_t n = Commit(logs_[core], refs, claims);
-  if (clock != nullptr) {
-    group.busy_until.store(clock->now(), std::memory_order_relaxed);
-  }
+  size_t n = Commit(logs_[core], refs, claims, nref, mine.offsets);
   group.lock.unlock();
   return n;
 }
@@ -232,8 +229,25 @@ void HbEngine::Release(int core, uint64_t handle) {
 
 std::pair<uint64_t, uint64_t> HbEngine::Wait(int core, uint64_t handle) {
   uint64_t off, done;
+  uint64_t spins = 0;
   while (!IsDone(core, handle, &off, &done)) {
-    TryPersist(core);
+    if (TryPersist(core) > 0) {
+      spins = 0;  // progress — someone's entries persisted
+      continue;
+    }
+    if (++spins >= kWaitSpinLimit) {
+      const Slot& slot = pools_[core].slots[handle % kPoolSlots];
+      FLATSTORE_CHECK(false)
+          << "HbEngine::Wait made no progress for " << kWaitSpinLimit
+          << " spins (live-lock?): core=" << core << " handle=" << handle
+          << " mode=" << BatchModeName(mode_)
+          << " pending=" << PendingCount(core)
+          << " slot_state=" << slot.state.load(std::memory_order_acquire)
+          << " slot_len=" << slot.len;
+    }
+    // A follower's completion is published by another thread's leader
+    // turn; give that thread the CPU now and then.
+    if ((spins & 0x3FF) == 0) std::this_thread::yield();
   }
   if (vt::Clock* clock = vt::CurrentClock()) clock->AdvanceTo(done);
   return {off, done};
@@ -241,7 +255,8 @@ std::pair<uint64_t, uint64_t> HbEngine::Wait(int core, uint64_t handle) {
 
 size_t HbEngine::PendingCount(int core) const {
   const CorePool& pool = pools_[core];
-  return pool.head.load(std::memory_order_relaxed) - pool.collected;
+  return pool.head.load(std::memory_order_relaxed) -
+         pool.collected.load(std::memory_order_relaxed);
 }
 
 }  // namespace batch

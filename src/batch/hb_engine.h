@@ -16,11 +16,10 @@
 //                   polling new requests instead of blocking.
 //
 // Virtual time: host-level locking only protects memory; the *simulated*
-// cost of the protocol is modelled by the group's `busy_until` timestamp
-// (collection is a serial resource; naive HB extends it across the
-// persist), the per-core scan/claim charges, and the leader's PM charges
-// inside OpLog::AppendBatch. A follower learns its entry's completion
-// timestamp from the slot and advances its own clock when it observes it.
+// cost of the protocol is modelled by the per-core scan/claim charges and
+// the leader's PM charges inside OpLog::AppendBatch. A follower learns
+// its entry's completion timestamp from the slot and advances its own
+// clock when it observes it.
 
 #ifndef FLATSTORE_BATCH_HB_ENGINE_H_
 #define FLATSTORE_BATCH_HB_ENGINE_H_
@@ -45,6 +44,15 @@ const char* BatchModeName(BatchMode mode);
 // The batching engine for one store instance.
 class HbEngine {
  public:
+  // Staged entries per core. Public: the engine's request pool bounds the
+  // store's per-core in-flight population, so FlatStore sizes its pending
+  // ring and in-flight key table from it.
+  static constexpr size_t kPoolSlots = 512;
+  // Upper bound on entries merged into one batch. Bounds the tail latency
+  // a stolen entry can accrue waiting for its batch to persist, and keeps
+  // several leaders' persists in flight concurrently under load.
+  static constexpr size_t kMaxBatch = 64;
+
   // `logs[c]` is core c's OpLog; `group_size` cores share one group lock
   // (the paper groups by socket).
   HbEngine(std::vector<log::OpLog*> logs, int group_size, BatchMode mode);
@@ -89,12 +97,12 @@ class HbEngine {
   }
 
  private:
-  static constexpr size_t kPoolSlots = 512;  // staged entries per core
-  // Upper bound on entries merged into one batch. Bounds the tail latency
-  // a stolen entry can accrue waiting for its batch to persist, and keeps
-  // several leaders' persists in flight concurrently under load.
-  static constexpr size_t kMaxBatch = 64;
   enum : uint32_t { kFree = 0, kStaged = 1, kDone = 2 };
+
+  // Spins of Wait()'s persist-poll loop without any progress before the
+  // engine declares a live-lock and aborts with diagnostics instead of
+  // hanging the caller forever.
+  static constexpr uint64_t kWaitSpinLimit = uint64_t{1} << 22;
 
   struct Slot {
     uint8_t buf[log::kMaxEntrySize];
@@ -108,12 +116,21 @@ class HbEngine {
   struct alignas(64) CorePool {
     std::unique_ptr<Slot[]> slots{new Slot[kPoolSlots]};
     std::atomic<uint64_t> head{0};    // owner: next stage position
-    uint64_t collected = 0;           // leader-only: next steal position
+    // Next steal position. Written only by the current leader (group lock
+    // held); read lock-free by every core's leader-election scan
+    // (PendingCount), so it must be atomic — relaxed suffices, the value
+    // is only an election heuristic there.
+    std::atomic<uint64_t> collected{0};
+    // Leader-side batch scratch: fixed arrays keep the g-persist hot loop
+    // off the heap (only the owning serving thread runs TryPersist for
+    // this core, so no synchronization is needed).
+    log::OpLog::EntryRef refs[kMaxBatch];
+    Slot* claims[kMaxBatch];
+    uint64_t offsets[kMaxBatch];
   };
 
   struct alignas(64) Group {
     SpinLock lock;
-    std::atomic<uint64_t> busy_until{0};  // simulated collection resource
     // Round-robin leadership preference (relative core within the group):
     // host-thread scheduling must not decide who leads, or one core's
     // virtual clock would absorb every batch's persist cost. A core
@@ -124,20 +141,21 @@ class HbEngine {
   };
 
   // Collects the entries of `core` staged at simulated time <= `now`
-  // into `refs`/`claims`. Batch composition must depend on *simulated*
-  // arrival order, not on host-thread scheduling, or results would vary
-  // run to run.
-  void Collect(int core, uint64_t now,
-               std::vector<log::OpLog::EntryRef>* refs,
-               std::vector<Slot*>* claims);
+  // into the leader's scratch arrays (capacity kMaxBatch; `*n` is the
+  // fill count, appended to). Batch composition must depend on
+  // *simulated* arrival order, not on host-thread scheduling, or results
+  // would vary run to run.
+  void Collect(int core, uint64_t now, log::OpLog::EntryRef* refs,
+               Slot** claims, size_t* n);
 
   // Earliest stage_time among `core`'s uncollected entries (UINT64_MAX
   // when none).
   uint64_t EarliestStaged(int core) const;
 
-  // Appends + publishes a collected batch through `log`.
-  size_t Commit(log::OpLog* log, std::vector<log::OpLog::EntryRef>& refs,
-                std::vector<Slot*>& claims);
+  // Appends + publishes a collected batch through `log`. `offsets` is
+  // leader scratch of at least `n` slots.
+  size_t Commit(log::OpLog* log, const log::OpLog::EntryRef* refs,
+                Slot* const* claims, size_t n, uint64_t* offsets);
 
   std::vector<log::OpLog*> logs_;
   int group_size_;

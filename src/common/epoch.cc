@@ -1,0 +1,154 @@
+#include "common/epoch.h"
+
+#include <utility>
+#include <vector>
+
+namespace flatstore {
+namespace common {
+
+EpochManager::EpochManager(int owned_slots, int guest_slots,
+                           pm::PmStats* stats)
+    : owned_slots_(owned_slots),
+      total_slots_(owned_slots + guest_slots),
+      slots_(new Slot[static_cast<size_t>(owned_slots + guest_slots)]),
+      stats_(stats) {
+  FLATSTORE_CHECK_GE(owned_slots, 0);
+  FLATSTORE_CHECK_GE(guest_slots, 1);
+}
+
+EpochManager::~EpochManager() {
+  // Deliberately do NOT run leftover deferrals: the objects they free may
+  // already be mid-destruction in the owner. Owners drain explicitly
+  // (FlatStore::StopCleaners / Shutdown) while their state is alive.
+}
+
+void EpochManager::Pin(int slot) {
+  FLATSTORE_DCHECK(slot >= 0 && slot < owned_slots_);
+  Slot& s = slots_[slot];
+  FLATSTORE_DCHECK(s.epoch.load(std::memory_order_relaxed) == kIdle)
+      << "nested pin on slot " << slot;
+  uint64_t e = global_.load(std::memory_order_relaxed);
+  while (true) {
+    // seq_cst store/load pair: either the reclaimer's TryAdvance sees
+    // this pin, or this load sees the advanced epoch and we re-pin.
+    s.epoch.store(e, std::memory_order_seq_cst);
+    const uint64_t g = global_.load(std::memory_order_seq_cst);
+    if (g == e) return;
+    e = g;
+  }
+}
+
+void EpochManager::Unpin(int slot) {
+  FLATSTORE_DCHECK(slot >= 0 && slot < total_slots_);
+  // Release: the reads performed inside the critical section happen
+  // before any reclaimer that observes the idle slot.
+  slots_[slot].epoch.store(kIdle, std::memory_order_release);
+}
+
+int EpochManager::PinGuest() {
+  uint64_t e = global_.load(std::memory_order_relaxed);
+  for (int i = owned_slots_; i < total_slots_; i++) {
+    uint64_t expected = kIdle;
+    if (slots_[i].epoch.compare_exchange_strong(
+            expected, e, std::memory_order_seq_cst)) {
+      // Same handshake as Pin: chase the global epoch until stable.
+      while (true) {
+        const uint64_t g = global_.load(std::memory_order_seq_cst);
+        if (g == e) return i;
+        e = g;
+        slots_[i].epoch.store(e, std::memory_order_seq_cst);
+      }
+    }
+  }
+  FLATSTORE_CHECK(false) << "epoch guest slots exhausted ("
+                         << (total_slots_ - owned_slots_)
+                         << " concurrent guest readers)";
+  return -1;
+}
+
+void EpochManager::UnpinGuest(int slot) {
+  FLATSTORE_DCHECK(slot >= owned_slots_ && slot < total_slots_);
+  Unpin(slot);  // kIdle also releases the claim
+}
+
+void EpochManager::Defer(std::function<void()> fn) {
+  const uint64_t e = global_.load(std::memory_order_seq_cst);
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> g(deferred_mu_);
+    deferred_.push_back({e, std::move(fn)});
+    depth = deferred_.size();
+  }
+  uint64_t hwm = deferred_hwm_.load(std::memory_order_relaxed);
+  while (depth > hwm &&
+         !deferred_hwm_.compare_exchange_weak(hwm, depth,
+                                              std::memory_order_relaxed)) {
+  }
+  if (stats_ != nullptr) stats_->UpdateEpochDeferredHwm(depth);
+}
+
+bool EpochManager::TryAdvance() {
+  uint64_t e = global_.load(std::memory_order_seq_cst);
+  for (int i = 0; i < total_slots_; i++) {
+    const uint64_t v = slots_[i].epoch.load(std::memory_order_seq_cst);
+    // A slot pinned at the current epoch does not block the advance (it
+    // blocks the *next* one — hence the E+2 free rule); a lagging slot
+    // does.
+    if (v != kIdle && v != e) return false;
+  }
+  if (!global_.compare_exchange_strong(e, e + 1,
+                                       std::memory_order_seq_cst)) {
+    return false;  // another reclaimer advanced first; that still counts
+  }
+  advances_.fetch_add(1, std::memory_order_relaxed);
+  if (stats_ != nullptr) stats_->AddEpochAdvance();
+  return true;
+}
+
+size_t EpochManager::ReclaimDeferred() {
+  // Two advances promote everything deferred at the pre-call epoch to
+  // safety in one pass when no readers lag.
+  TryAdvance();
+  TryAdvance();
+  const uint64_t g = global_.load(std::memory_order_seq_cst);
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lk(deferred_mu_);
+    while (!deferred_.empty() && deferred_.front().epoch + 2 <= g) {
+      ready.push_back(std::move(deferred_.front().fn));
+      deferred_.pop_front();
+    }
+  }
+  for (auto& fn : ready) fn();
+  if (!ready.empty()) {
+    deferred_frees_.fetch_add(ready.size(), std::memory_order_relaxed);
+    if (stats_ != nullptr) stats_->AddDeferredFrees(ready.size());
+  }
+  return ready.size();
+}
+
+size_t EpochManager::DrainDeferred(int max_rounds) {
+  size_t total = 0;
+  for (int round = 0; round < max_rounds; round++) {
+    total += ReclaimDeferred();
+    if (deferred_pending() == 0) break;
+  }
+  return total;
+}
+
+bool EpochManager::AnyPinned() const {
+  for (int i = 0; i < total_slots_; i++) {
+    if (slots_[i].epoch.load(std::memory_order_acquire) != kIdle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t EpochManager::deferred_pending() const {
+  std::lock_guard<std::mutex> g(deferred_mu_);
+  return deferred_.size();
+}
+
+}  // namespace common
+}  // namespace flatstore

@@ -72,11 +72,10 @@ FlatStore::FlatStore(pm::PmPool* pool, const FlatStoreOptions& options)
   hb_ = std::make_unique<batch::HbEngine>(std::move(raw_logs),
                                           options_.group_size,
                                           options_.batch_mode);
-  const int ngroups =
-      (options_.num_cores + options_.group_size - 1) / options_.group_size;
-  for (int g = 0; g < ngroups; g++) {
-    retire_locks_.push_back(std::make_unique<std::shared_mutex>());
-  }
+  // One owned epoch slot per serving core; Scan/Size and foreign threads
+  // use guest slots. Reclamation counters mirror into the pool's stats.
+  epochs_ = std::make_unique<common::EpochManager>(
+      options_.num_cores, /*guest_slots=*/16, &pool_->stats());
   BuildIndexes();
 }
 
@@ -154,9 +153,8 @@ OpStatus FlatStore::BeginPut(int core, uint64_t key,
   // Version chaining: continue from the newest in-flight write on this
   // key, else from the index.
   uint32_t version;
-  auto inflight = cs.inflight_keys.find(key);
-  if (inflight != cs.inflight_keys.end()) {
-    version = (inflight->second.last_version + 1) & log::kVersionMask;
+  if (const InflightKey* inflight = cs.inflight_keys.Find(key)) {
+    version = (inflight->last_version + 1) & log::kVersionMask;
   } else {
     uint64_t cur = 0;
     version = IndexForCore(core)->Get(key, &cur)
@@ -187,8 +185,8 @@ OpStatus FlatStore::BeginPut(int core, uint64_t key,
     if (block != 0) alloc_->Free(block);
     return OpStatus::kBackpressure;
   }
-  cs.pending.push_back({*handle, key, version, false, 0});
-  InflightKey& fly = cs.inflight_keys[key];
+  cs.Push({*handle, key, version, false, 0});
+  InflightKey& fly = cs.inflight_keys.GetOrInsert(key);
   fly.count++;
   fly.last_version = version;
   return OpStatus::kOk;
@@ -200,16 +198,17 @@ OpStatus FlatStore::BeginDelete(int core, uint64_t key,
   CoreState& cs = *cores_[core];
 
   uint32_t version;
-  auto inflight = cs.inflight_keys.find(key);
+  const InflightKey* inflight = cs.inflight_keys.Find(key);
   uint64_t cur = 0;
   const bool indexed = IndexForCore(core)->Get(key, &cur);
-  if (inflight != cs.inflight_keys.end()) {
+  if (inflight != nullptr) {
     // Chain behind the in-flight writes. (A delete behind a pending
     // delete is rare and resolves as a redundant tombstone.)
-    version = (inflight->second.last_version + 1) & log::kVersionMask;
+    version = (inflight->last_version + 1) & log::kVersionMask;
   } else {
     if (!indexed) return OpStatus::kNotFound;
-    std::shared_lock<std::shared_mutex> g(*RetireLock(core));
+    common::EpochManager::Guard g(epochs_.get(), core);
+    vt::Charge(vt::kEpochPinCost);
     log::DecodedEntry e;
     if (log::DecodeEntry(static_cast<const uint8_t*>(
                              pool_->At(log::UnpackOffset(cur))),
@@ -234,8 +233,8 @@ OpStatus FlatStore::BeginDelete(int core, uint64_t key,
   uint8_t buf[log::kPtrEntrySize];
   uint32_t elen = log::EncodeDelete(buf, key, version, covered_seq);
   if (!hb_->Stage(core, buf, elen, handle)) return OpStatus::kBackpressure;
-  cs.pending.push_back({*handle, key, version, true, covered_seq});
-  InflightKey& fly = cs.inflight_keys[key];
+  cs.Push({*handle, key, version, true, covered_seq});
+  InflightKey& fly = cs.inflight_keys.GetOrInsert(key);
   fly.count++;
   fly.last_version = version;
   return OpStatus::kOk;
@@ -265,8 +264,8 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
   CoreState& cs = *cores_[core];
   index::KvIndex* idx = IndexForCore(core);
   size_t n = 0;
-  while (n < max && !cs.pending.empty()) {
-    const PendingOp& op = cs.pending.front();
+  while (n < max && cs.pend_count > 0) {
+    const PendingOp& op = cs.Front();
     uint64_t off, done;
     if (!hb_->IsDone(core, op.handle, &off, &done)) break;
     // Follower semantics differ by mode (paper Fig. 4): under *naive* HB
@@ -280,7 +279,8 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
     }
 
     {
-      std::shared_lock<std::shared_mutex> g(*RetireLock(core));
+      common::EpochManager::Guard g(epochs_.get(), core);
+      vt::Charge(vt::kEpochPinCost);
       // Tombstones stay in the index (pointing at the delete entry) so
       // per-key versions remain monotonic across delete + re-put; reads
       // treat them as absent. The cleaner retires them (§3.4).
@@ -291,21 +291,21 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
     }
     if (out != nullptr) out->push_back({op.handle, op.key, done});
     hb_->Release(core, op.handle);
-    auto fly = cs.inflight_keys.find(op.key);
-    FLATSTORE_DCHECK(fly != cs.inflight_keys.end());
-    if (--fly->second.count == 0) cs.inflight_keys.erase(fly);
-    cs.pending.pop_front();
+    InflightKey* fly = cs.inflight_keys.Find(op.key);
+    FLATSTORE_DCHECK(fly != nullptr);
+    if (--fly->count == 0) cs.inflight_keys.Erase(op.key);
+    cs.Pop();
     n++;
   }
   return n;
 }
 
 size_t FlatStore::Inflight(int core) const {
-  return cores_[core]->pending.size();
+  return cores_[core]->pend_count;
 }
 
 bool FlatStore::KeyBusy(int core, uint64_t key) const {
-  return cores_[core]->inflight_keys.count(key) != 0;
+  return cores_[core]->inflight_keys.Contains(key);
 }
 
 void FlatStore::ReadValue(const log::DecodedEntry& e,
@@ -325,7 +325,11 @@ void FlatStore::ReadValue(const log::DecodedEntry& e,
 }
 
 bool FlatStore::GetOnCore(int core, uint64_t key, std::string* value) {
-  std::shared_lock<std::shared_mutex> g(*RetireLock(core));
+  // Pin before the index lookup: the entry pointer read from the index
+  // stays dereferenceable until Unpin even if the cleaner unlinks its
+  // chunk concurrently (the physical free waits a grace period).
+  common::EpochManager::Guard g(epochs_.get(), core);
+  vt::Charge(vt::kEpochPinCost);
   index::KvIndex* idx = IndexForCore(core);
   uint64_t packed;
   if (!idx->Get(key, &packed)) return false;
@@ -398,10 +402,10 @@ uint64_t FlatStore::Scan(uint64_t start_key, uint64_t count,
   auto* ordered = dynamic_cast<index::OrderedKvIndex*>(indexes_[0].get());
   FLATSTORE_CHECK(ordered != nullptr)
       << "Scan requires an ordered index (FlatStore-M / FlatStore-FF)";
-  // Scanned entries may live in any group's logs: hold every retire lock
-  // (shared) while dereferencing.
-  std::vector<std::shared_lock<std::shared_mutex>> guards;
-  for (auto& l : retire_locks_) guards.emplace_back(*l);
+  // Scanned entries may live in any group's logs; a single guest pin
+  // holds reclamation off store-wide for the scan's duration.
+  common::EpochManager::GuestGuard guard(epochs_.get());
+  vt::Charge(vt::kEpochPinCost);
   uint64_t produced = 0;
   uint64_t cursor = start_key;
   bool exhausted = false;
@@ -433,8 +437,8 @@ uint64_t FlatStore::Scan(uint64_t start_key, uint64_t count,
 
 uint64_t FlatStore::Size() const {
   // Tombstones live in the index, so count only Put-pointing entries.
-  std::vector<std::shared_lock<std::shared_mutex>> guards;
-  for (auto& l : retire_locks_) guards.emplace_back(*l);
+  // Size() may run from any thread: use a guest pin.
+  common::EpochManager::GuestGuard guard(epochs_.get());
   uint64_t n = 0;
   for (const auto& idx : indexes_) {
     idx->ForEach([&](uint64_t, uint64_t packed) {
@@ -466,7 +470,7 @@ void FlatStore::EnsureCleaners() {
   hooks.index_for_key = [this](uint64_t key) {
     return IndexForCore(CoreForKey(key));
   };
-  hooks.retire_lock = [this](int c) { return RetireLock(c); };
+  hooks.epochs = epochs_.get();
   log::LogCleaner::Options opts;
   opts.live_ratio = options_.gc_live_ratio;
   opts.free_chunk_watermark = options_.gc_free_chunk_watermark;
@@ -493,6 +497,10 @@ size_t FlatStore::RunCleanersOnce() {
 
 void FlatStore::StopCleaners() {
   for (auto& c : cleaners_) c->Stop();
+  // Run whatever frees the stopped cleaners left deferred, so shutdown /
+  // checkpoint paths see a settled chunk population (a ReleaseChunk
+  // running after a checkpoint would invalidate it).
+  if (epochs_ != nullptr) epochs_->DrainDeferred();
 }
 
 // ---- shutdown / recovery ---------------------------------------------------

@@ -32,14 +32,14 @@
 #ifndef FLATSTORE_CORE_FLATSTORE_H_
 #define FLATSTORE_CORE_FLATSTORE_H_
 
-#include <deque>
 #include <memory>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "batch/hb_engine.h"
+#include "common/epoch.h"
+#include "common/logging.h"
+#include "common/open_table.h"
 #include "index/kv_index.h"
 #include "log/layout.h"
 #include "log/log_cleaner.h"
@@ -155,7 +155,8 @@ class FlatStore {
   void StopCleaners();
   // Runs one synchronous cleaning pass on every group (deterministic
   // benchmarks drive GC this way instead of via background threads).
-  // Returns the number of chunks freed.
+  // Returns the amount of cleaning work done (victims unlinked plus
+  // epoch-deferred frees executed); 0 means nothing left to clean.
   size_t RunCleanersOnce();
 
   // Normal shutdown (§3.5): checkpoints the volatile index to PM, flushes
@@ -177,6 +178,9 @@ class FlatStore {
   batch::HbEngine* hb() { return hb_.get(); }
   alloc::LazyAllocator* allocator() { return alloc_.get(); }
   log::RootArea* root() { return root_.get(); }
+  // Epoch manager guarding log-entry dereferences (tests pin guest slots
+  // through it to hold reclamation off).
+  common::EpochManager* epochs() { return epochs_.get(); }
   const FlatStoreOptions& options() const { return options_; }
   uint64_t Size() const;
   // Total chunks cleaned by all cleaners (Fig. 13).
@@ -210,20 +214,36 @@ class FlatStore {
     uint32_t last_version = 0;
   };
 
+  // Per-core serving state. All containers are allocation-free in steady
+  // state: `pending` is a fixed FIFO ring (its population is bounded by
+  // the HB request pool, which backpressures Stage before overflow) and
+  // `inflight_keys` is an open-addressed table pre-sized for that same
+  // bound.
   struct alignas(64) CoreState {
-    std::deque<PendingOp> pending;
-    std::unordered_map<uint64_t, InflightKey> inflight_keys;
+    CoreState()
+        : pending(new PendingOp[batch::HbEngine::kPoolSlots]),
+          inflight_keys(2 * batch::HbEngine::kPoolSlots) {}
+
+    std::unique_ptr<PendingOp[]> pending;
+    size_t pend_head = 0;   // ring index of the oldest pending op
+    size_t pend_count = 0;
+    common::OpenTable<InflightKey> inflight_keys;
+
+    PendingOp& Front() { return pending[pend_head]; }
+    void Push(const PendingOp& op) {
+      FLATSTORE_DCHECK(pend_count < batch::HbEngine::kPoolSlots);
+      pending[(pend_head + pend_count) % batch::HbEngine::kPoolSlots] = op;
+      pend_count++;
+    }
+    void Pop() {
+      FLATSTORE_DCHECK(pend_count > 0);
+      pend_head = (pend_head + 1) % batch::HbEngine::kPoolSlots;
+      pend_count--;
+    }
   };
 
-  // Retire lock of `core`'s group (see log/log_cleaner.h).
-  std::shared_mutex* RetireLock(int core) const {
-    return retire_locks_[static_cast<size_t>(core) /
-                         static_cast<size_t>(options_.group_size)]
-        .get();
-  }
-
-  // Retires the superseded entry `old_packed` of `key` (caller holds the
-  // retire lock, shared).
+  // Retires the superseded entry `old_packed` of `key` (caller holds an
+  // epoch pin so the entry's chunk cannot be freed mid-decode).
   void RetireOld(uint64_t old_packed);
 
   // Reads the value of a decoded entry into `*value`.
@@ -237,7 +257,7 @@ class FlatStore {
   std::unique_ptr<batch::HbEngine> hb_;
   std::vector<std::unique_ptr<index::KvIndex>> indexes_;  // 1 or per-core
   std::vector<std::unique_ptr<CoreState>> cores_;
-  std::vector<std::unique_ptr<std::shared_mutex>> retire_locks_;
+  std::unique_ptr<common::EpochManager> epochs_;
   std::vector<std::unique_ptr<log::LogCleaner>> cleaners_;
 };
 

@@ -47,7 +47,8 @@ EngineAdapter::Submit FlatStoreAdapter::SubmitDelete(int core, uint64_t key,
 }
 
 size_t FlatStoreAdapter::Drain(int core, std::vector<Done>* done) {
-  std::vector<FlatStore::Completion> completions;
+  std::vector<FlatStore::Completion>& completions = completions_[core];
+  completions.clear();
   store_->Drain(core, SIZE_MAX, &completions);
   if (completions.empty()) return 0;
   // Completions come back in FIFO order, matching pending_.

@@ -103,6 +103,11 @@ class FlatStoreAdapter final : public EngineAdapter {
   FlatStore* store_;
   std::vector<std::vector<PendingTag>> pending_ =
       std::vector<std::vector<PendingTag>>(log::kMaxCores);
+  // Per-core completion scratch, reused across Drain calls so the serving
+  // loop stops heap-allocating a vector per drain (steady state: zero
+  // allocations once each core's vector reached its high-water capacity).
+  std::vector<std::vector<FlatStore::Completion>> completions_ =
+      std::vector<std::vector<FlatStore::Completion>>(log::kMaxCores);
 };
 
 // Adapter over the synchronous baseline engines.

@@ -20,6 +20,8 @@ LogCleaner::LogCleaner(std::vector<OpLog*> logs, int first_core,
       alloc_(alloc) {
   FLATSTORE_CHECK(first_core_ >= 0 &&
                   last_core_ <= static_cast<int>(logs_.size()));
+  FLATSTORE_CHECK(hooks_.epochs != nullptr)
+      << "LogCleaner requires an epoch manager for deferred chunk frees";
 }
 
 LogCleaner::~LogCleaner() { Stop(); }
@@ -49,20 +51,24 @@ void LogCleaner::Stop() {
 size_t LogCleaner::RunOnce() {
   if (options_.free_chunk_watermark != 0 &&
       alloc_->free_chunks() >= options_.free_chunk_watermark) {
-    return 0;
+    // Still reclaim what earlier passes deferred — readers may have
+    // advanced since.
+    return hooks_.epochs->ReclaimDeferred();
   }
-  size_t freed = 0;
+  size_t unlinked = 0;
   for (int core = first_core_; core < last_core_; core++) {
     auto victims =
         logs_[core]->PickVictims(options_.live_ratio, options_.max_victims);
     for (uint64_t chunk : victims) {
-      if (CleanChunk(core, chunk)) freed++;
+      if (CleanChunk(core, chunk)) unlinked++;
     }
     // Expose relocated survivors (tombstones in particular) to future
     // victim selection.
-    if (freed > 0) logs_[core]->RotateCleanerChunk();
+    if (unlinked > 0) logs_[core]->RotateCleanerChunk();
   }
-  return freed;
+  // Run the deferred frees that have become epoch-safe (including this
+  // pass's victims whenever no reader is currently pinned).
+  return unlinked + hooks_.epochs->ReclaimDeferred();
 }
 
 bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
@@ -128,11 +134,13 @@ bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
     }
   }
 
-  // Pass 3: physically retire the victim, excluding concurrent
-  // dereferences through the engine's retire lock.
-  std::shared_mutex* retire = hooks_.retire_lock(core);
-  std::unique_lock<std::shared_mutex> g(*retire);
-  log->ReleaseChunk(chunk_off);
+  // Pass 3: unlink now, free later. A serving core may still hold an
+  // entry pointer it decoded through the index *before* the CAS swings
+  // above, so the physical free waits until every core has advanced past
+  // the current epoch. BeginRetire keeps the chunk out of future victim
+  // selection while the free is in flight.
+  log->BeginRetire(chunk_off);
+  hooks_.epochs->Defer([log, chunk_off] { log->ReleaseChunk(chunk_off); });
   chunks_cleaned_.fetch_add(1, std::memory_order_relaxed);
   vt::Charge(vt::kCpuCas);
   return true;

@@ -19,20 +19,25 @@
 //    related to this KV item have been reclaimed").
 //
 // Synchronization with the serving core: index updates race benignly
-// through CAS; physically freeing a victim chunk additionally takes the
-// engine-provided per-core retire lock, which the engine holds whenever
-// it dereferences a log entry through the index (Get / supersede). This
-// closes the read-after-free window without epochs.
+// through CAS; physically freeing a victim chunk is deferred through the
+// engine's epoch manager (common/epoch.h). The cleaner *unlinks* the
+// victim (marks it retired, CAS-swings the index at the relocated
+// copies) and schedules the actual ReleaseChunk with Defer(); it runs
+// only after every serving core has advanced past the epoch in which the
+// unlink happened — so a reader that decoded an entry pointer before the
+// swing can never observe the chunk being freed under it. The read side
+// costs one core-local store per dereference instead of the shared-line
+// RMW the old per-group retire lock required.
 
 #ifndef FLATSTORE_LOG_LOG_CLEANER_H_
 #define FLATSTORE_LOG_LOG_CLEANER_H_
 
 #include <atomic>
 #include <functional>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
+#include "common/epoch.h"
 #include "index/kv_index.h"
 #include "log/oplog.h"
 
@@ -46,9 +51,9 @@ struct CleanerHooks {
   // the leader's log, so a chunk freely mixes keys owned by every core of
   // the group.
   std::function<index::KvIndex*(uint64_t key)> index_for_key;
-  // Per-core readers/writer lock serializing chunk release (writer, the
-  // cleaner) against the engine's entry dereferences (readers).
-  std::function<std::shared_mutex*(int core)> retire_lock;
+  // Epoch manager guarding the engine's log-entry dereferences. Victim
+  // chunks are freed through its deferred queue (see file comment).
+  common::EpochManager* epochs = nullptr;
 };
 
 // One group's cleaner.
@@ -71,7 +76,10 @@ class LogCleaner {
   LogCleaner(const LogCleaner&) = delete;
   LogCleaner& operator=(const LogCleaner&) = delete;
 
-  // One synchronous cleaning pass; returns the number of chunks freed.
+  // One synchronous cleaning pass: unlinks victims, then reclaims every
+  // deferred free that has become epoch-safe. Returns unlinked + freed
+  // chunk counts (victims unlinked this pass are freed by this same call
+  // when no reader is pinned — e.g. single-threaded benchmark drivers).
   size_t RunOnce();
 
   // Background-thread control (idempotent).

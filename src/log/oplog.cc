@@ -192,6 +192,7 @@ std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
     for (const auto& [off, u] : usage_) min_seq = std::min<uint64_t>(min_seq, u.seq);
     for (const auto& [off, u] : usage_) {
       if (!u.sealed) continue;                       // still being written
+      if (u.retired) continue;     // unlinked, free already in flight
       if (off == chunk_ || off == cleaner_chunk_) continue;
       if (u.total == 0) continue;
       // Tombstones whose covered chunks are all gone are as good as dead:
@@ -238,6 +239,15 @@ uint64_t OpLog::CommittedBytes(uint64_t chunk_off) const {
   return root_->pool()
       ->PtrAt<LogChunkHeader>(chunk_off + alloc::kChunkHeaderSize)
       ->used_final;
+}
+
+void OpLog::BeginRetire(uint64_t chunk_off) {
+  std::lock_guard<SpinLock> g(usage_lock_);
+  auto it = usage_.find(chunk_off);
+  FLATSTORE_CHECK(it != usage_.end());
+  FLATSTORE_CHECK(!it->second.retired) << "double retire of chunk "
+                                       << chunk_off;
+  it->second.retired = true;
 }
 
 void OpLog::ReleaseChunk(uint64_t chunk_off) {

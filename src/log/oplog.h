@@ -56,6 +56,7 @@ struct ChunkUsage {
   uint32_t max_covered_seq = 0;  // newest chunk any tombstone here covers
   bool sealed = false;       // used_final is the committed length
   bool cleaner = false;      // written by the cleaner path
+  bool retired = false;      // unlinked; physical free deferred (epochs)
   uint64_t registry_slot = 0;
 };
 
@@ -121,7 +122,14 @@ class OpLog {
   // Returns the committed data length of `chunk_off` ([0, kLogDataBytes]).
   uint64_t CommittedBytes(uint64_t chunk_off) const;
 
-  // Unregisters and frees a victim chunk after cleaning (§3.4 final step).
+  // Marks a victim as unlinked: the cleaner has re-pointed the index away
+  // from it and queued the physical free with the epoch manager. Keeps
+  // the chunk out of PickVictims until ReleaseChunk runs.
+  void BeginRetire(uint64_t chunk_off);
+
+  // Unregisters and frees a victim chunk after cleaning (§3.4 final
+  // step). With epoch-based retirement this runs from the deferred-free
+  // queue, one grace period after BeginRetire.
   void ReleaseChunk(uint64_t chunk_off);
 
   // Seals the cleaner's current chunk so future passes may victimize it

@@ -22,6 +22,12 @@ class PmStats {
     uint64_t lines_flushed = 0;   // cachelines written to media
     uint64_t fences = 0;          // Fence() invocations
     uint64_t bytes_persisted = 0; // sum of Persist() range lengths
+    // Epoch-based retirement (common/epoch.h): global-epoch advances,
+    // deferred chunk frees executed, and the deferred queue's high-water
+    // mark — the reclamation lag a stalled reader can build up.
+    uint64_t epoch_advances = 0;
+    uint64_t epoch_deferred_frees = 0;
+    uint64_t epoch_deferred_hwm = 0;
   };
 
   void AddPersist(uint64_t lines, uint64_t bytes) {
@@ -32,6 +38,19 @@ class PmStats {
 
   void AddFence() { fences_.fetch_add(1, std::memory_order_relaxed); }
 
+  void AddEpochAdvance() {
+    epoch_advances_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddDeferredFrees(uint64_t n) {
+    epoch_deferred_frees_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void UpdateEpochDeferredHwm(uint64_t depth) {
+    uint64_t hwm = epoch_deferred_hwm_.load(std::memory_order_relaxed);
+    while (depth > hwm && !epoch_deferred_hwm_.compare_exchange_weak(
+                              hwm, depth, std::memory_order_relaxed)) {
+    }
+  }
+
   // Returns current values.
   Snapshot Get() const {
     Snapshot s;
@@ -39,6 +58,11 @@ class PmStats {
     s.lines_flushed = lines_flushed_.load(std::memory_order_relaxed);
     s.fences = fences_.load(std::memory_order_relaxed);
     s.bytes_persisted = bytes_persisted_.load(std::memory_order_relaxed);
+    s.epoch_advances = epoch_advances_.load(std::memory_order_relaxed);
+    s.epoch_deferred_frees =
+        epoch_deferred_frees_.load(std::memory_order_relaxed);
+    s.epoch_deferred_hwm =
+        epoch_deferred_hwm_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -48,6 +72,9 @@ class PmStats {
     lines_flushed_.store(0, std::memory_order_relaxed);
     fences_.store(0, std::memory_order_relaxed);
     bytes_persisted_.store(0, std::memory_order_relaxed);
+    epoch_advances_.store(0, std::memory_order_relaxed);
+    epoch_deferred_frees_.store(0, std::memory_order_relaxed);
+    epoch_deferred_hwm_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -55,6 +82,9 @@ class PmStats {
   std::atomic<uint64_t> lines_flushed_{0};
   std::atomic<uint64_t> fences_{0};
   std::atomic<uint64_t> bytes_persisted_{0};
+  std::atomic<uint64_t> epoch_advances_{0};
+  std::atomic<uint64_t> epoch_deferred_frees_{0};
+  std::atomic<uint64_t> epoch_deferred_hwm_{0};
 };
 
 // Difference of two snapshots (after - before).

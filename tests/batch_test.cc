@@ -173,7 +173,6 @@ TEST_F(HbEngineTest, PipelinedReleasesLockBeforePersistInSimTime) {
     uint64_t h;
     EXPECT_TRUE(eng.Stage(0, e.data(), e.size(), &h));
     eng.TryPersist(0);
-    // busy_until exposure: approximate via a second immediate leader turn.
     return clock.now();
   };
   // Both modes do the same work for a single batch; this is a smoke check
@@ -188,7 +187,7 @@ TEST_F(HbEngineTest, PoolFullReportsBackpressure) {
   uint64_t h;
   size_t staged = 0;
   while (eng->Stage(0, e.data(), e.size(), &h)) staged++;
-  EXPECT_EQ(staged, 512u);  // kPoolSlots
+  EXPECT_EQ(staged, HbEngine::kPoolSlots);
   // Draining makes room again.
   EXPECT_GT(eng->TryPersist(0), 0u);
   uint64_t off, t;

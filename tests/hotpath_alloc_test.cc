@@ -1,0 +1,129 @@
+// Steady-state allocation test for the serving hot paths.
+//
+// The asynchronous protocol (BeginPut -> Pump -> Drain -> GetOnCore) must
+// not touch the heap once warm: the HB engine batches through fixed
+// per-core scratch arrays, the pending-op queue is a fixed ring, and the
+// in-flight key table is a pre-sized open-addressed table. This binary
+// overrides the global allocation functions to count every heap call and
+// asserts the steady-state delta is zero.
+//
+// Known cold-path allocations stay out of the measured window: chunk
+// rollover (a std::map insert in OpLog) is avoided by keeping the
+// measured write volume far below one 4 MB chunk, and out-of-log values
+// (> 256 B) are avoided by using inline-sized values.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/flatstore.h"
+#include "pm/pm_pool.h"
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace flatstore {
+namespace core {
+namespace {
+
+TEST(HotPathAlloc, PutGetDrainCycleIsAllocationFree) {
+  pm::PmPool::Options o;
+  o.size = 128ull << 20;
+  pm::PmPool pool(o);
+  FlatStoreOptions fo;
+  fo.num_cores = 1;
+  fo.group_size = 1;
+  fo.hash_initial_depth = 4;
+  auto store = FlatStore::Create(&pool, fo);
+
+  constexpr uint64_t kKeys = 64;
+  constexpr uint32_t kValueLen = 64;  // inline (<= 256 B): no block alloc
+  uint8_t value[kValueLen];
+  std::memset(value, 0x42, sizeof(value));
+
+  std::vector<FlatStore::Completion> done;
+  done.reserve(2 * batch::HbEngine::kPoolSlots);
+  std::string read_value;
+  read_value.reserve(512);
+
+  auto cycle = [&] {
+    for (uint64_t k = 0; k < kKeys; k++) {
+      FlatStore::OpHandle h;
+      ASSERT_EQ(store->BeginPut(0, k, value, kValueLen, &h), OpStatus::kOk);
+    }
+    store->Pump(0);
+    done.clear();
+    store->Drain(0, SIZE_MAX, &done);
+    ASSERT_EQ(done.size(), kKeys);
+    for (uint64_t k = 0; k < kKeys; k++) {
+      ASSERT_TRUE(store->GetOnCore(0, k, &read_value));
+      ASSERT_EQ(read_value.size(), kValueLen);
+    }
+  };
+
+  // Warm-up: index insertions, CCEH growth, ring/table/scratch
+  // high-water marks.
+  for (int i = 0; i < 10; i++) cycle();
+
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; i++) cycle();
+  const uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "serving hot loop heap-allocated " << (after - before)
+      << " times across 100 warm put/pump/drain/get cycles";
+}
+
+// Same engine, write volume crossing a chunk boundary: the rollover path
+// (registry + usage-map insert) is *allowed* to allocate — this guards
+// the test above against silently measuring too much volume, and
+// documents where the remaining cold-path allocations live.
+TEST(HotPathAlloc, ChunkRolloverIsTheColdPath) {
+  pm::PmPool::Options o;
+  o.size = 128ull << 20;
+  pm::PmPool pool(o);
+  FlatStoreOptions fo;
+  fo.num_cores = 1;
+  fo.group_size = 1;
+  fo.hash_initial_depth = 4;
+  auto store = FlatStore::Create(&pool, fo);
+
+  // ~64 KB per round with 256 B inline entries: a few hundred rounds
+  // cross several 4 MB chunk boundaries.
+  std::string v(250, 'x');
+  for (int round = 0; round < 400; round++) {
+    for (uint64_t k = 0; k < 64; k++) {
+      store->Put(k, v);
+    }
+  }
+  // The store survived multiple rollovers; the newest values are intact.
+  std::string rv;
+  for (uint64_t k = 0; k < 64; k++) {
+    ASSERT_TRUE(store->Get(k, &rv));
+    ASSERT_EQ(rv.size(), v.size());
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace flatstore
