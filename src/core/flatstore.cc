@@ -486,6 +486,7 @@ void FlatStore::EnsureCleaners() {
 void FlatStore::StartCleaners() {
   EnsureCleaners();
   for (auto& c : cleaners_) c->Start();
+  cleaners_running_ = true;
 }
 
 size_t FlatStore::RunCleanersOnce() {
@@ -495,8 +496,13 @@ size_t FlatStore::RunCleanersOnce() {
   return freed;
 }
 
+void FlatStore::SealActiveLogChunks() {
+  for (auto& l : logs_) l->SealActiveChunk();
+}
+
 void FlatStore::StopCleaners() {
   for (auto& c : cleaners_) c->Stop();
+  cleaners_running_ = false;
   // Run whatever frees the stopped cleaners left deferred, so shutdown /
   // checkpoint paths see a settled chunk population (a ReleaseChunk
   // running after a checkpoint would invalidate it).
@@ -506,8 +512,16 @@ void FlatStore::StopCleaners() {
 // ---- shutdown / recovery ---------------------------------------------------
 
 void FlatStore::WriteCheckpoint() {
-  // Record the per-core log positions the checkpoint covers.
+  // Disarm any previous checkpoint before touching the fields it covers.
+  // A crash mid-rewrite must fall back to full log replay — otherwise it
+  // could pair the *old* checkpoint chain with the *new* ckpt_tail[] and
+  // silently skip every acknowledged op between the two.
   log::Superblock* sb0 = root_->superblock();
+  if (sb0->clean_shutdown != 0) {
+    sb0->clean_shutdown = 0;
+    pool_->PersistFence(&sb0->clean_shutdown, 4);
+  }
+  // Record the per-core log positions the checkpoint covers.
   for (int c = 0; c < options_.num_cores; c++) {
     sb0->ckpt_tail[c] = logs_[c]->tail();
     uint32_t seq = 0;
@@ -584,7 +598,11 @@ void FlatStore::LoadCheckpoint() {
 
 void FlatStore::CheckpointNow() {
   // Pause cleaners: a chunk freed mid-checkpoint would leave the
-  // checkpointed index pointing at recycled memory.
+  // checkpointed index pointing at recycled memory. Resume afterwards
+  // only if background threads were actually running — RunCleanersOnce
+  // instantiates cleaner objects without threads, and spawning threads
+  // here would break callers relying on synchronous-only cleaning.
+  const bool resume = cleaners_running_;
   StopCleaners();
   for (int c = 0; c < options_.num_cores; c++) {
     FLATSTORE_CHECK_EQ(Inflight(c), 0u) << "CheckpointNow with in-flight ops";
@@ -593,7 +611,7 @@ void FlatStore::CheckpointNow() {
   log::Superblock* sb = root_->superblock();
   sb->clean_shutdown = 1;
   pool_->PersistFence(&sb->clean_shutdown, 4);
-  if (!cleaners_.empty()) StartCleaners();
+  if (resume) StartCleaners();
 }
 
 void FlatStore::Shutdown() {
@@ -609,6 +627,10 @@ void FlatStore::Shutdown() {
 }
 
 void FlatStore::Recover(bool rebuild_index) {
+  // A crash inside RegisterChunk can leave provisional records whose
+  // core/seq fields are garbage; free those slots before trusting the
+  // registry (their chunks were empty — nothing committed points there).
+  root_->ScrubProvisionalRecords();
   root_->RebuildMirror();
   alloc_->StartRecovery();
 

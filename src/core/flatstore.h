@@ -159,6 +159,11 @@ class FlatStore {
   // epoch-deferred frees executed); 0 means nothing left to clean.
   size_t RunCleanersOnce();
 
+  // Forces log rotation on every core (OpLog::SealActiveChunk): partially
+  // filled serving chunks become sealed and thus GC-eligible. Crash tests
+  // use this to stage deterministic cleaning scenarios cheaply.
+  void SealActiveLogChunks();
+
   // Normal shutdown (§3.5): checkpoints the volatile index to PM, flushes
   // allocator bitmaps, sets the shutdown flag. The store must be idle.
   void Shutdown();
@@ -259,6 +264,9 @@ class FlatStore {
   std::vector<std::unique_ptr<CoreState>> cores_;
   std::unique_ptr<common::EpochManager> epochs_;
   std::vector<std::unique_ptr<log::LogCleaner>> cleaners_;
+  // Whether StartCleaners' background threads are live (RunCleanersOnce
+  // instantiates cleaner objects without starting threads).
+  bool cleaners_running_ = false;
 };
 
 }  // namespace core

@@ -73,6 +73,18 @@ FsckReport FsckPool(const pm::PmPool& pool) {
   log::RootArea root(mutable_pool);
   std::vector<uint64_t> tails(static_cast<size_t>(cores));
   for (int core = 0; core < cores; core++) {
+    // Slots that fail their check word are torn-write artifacts: benign
+    // (ReadTail skips them and falls back to the previous record), but
+    // worth surfacing.
+    const log::CoreTailArea* area = root.tails(core);
+    for (int s = 0; s < log::kTailSlots; s++) {
+      const log::TailSlot& slot = area->lines[s].slot;
+      if ((slot.seq != 0 || slot.tail != 0 || slot.check != 0) &&
+          slot.check != log::TailCheck(slot.seq, slot.tail)) {
+        c.Warn("core " + std::to_string(core) + " tail slot " +
+               std::to_string(s) + " fails its check word (torn write)");
+      }
+    }
     uint64_t seq;
     tails[core] = root.ReadTail(core, &seq);
     if (tails[core] != 0 && tails[core] >= pool.size()) {
@@ -94,6 +106,13 @@ FsckReport FsckPool(const pm::PmPool& pool) {
   for (uint64_t s = 0; s < log::kRegistrySlots; s++) {
     if (regs[s].chunk_off == 0) continue;
     const uint64_t off = regs[s].chunk_off;
+    if (off & log::kChunkProvisional) {
+      // Crash mid-RegisterChunk: the slot was claimed but never committed
+      // (its core/seq may be garbage). Recovery scrubs these on open.
+      c.Warn("registry slot " + std::to_string(s) +
+             " is provisional (crash during chunk registration)");
+      continue;
+    }
     if (off % alloc::kChunkSize != 0 || off == 0 ||
         off + alloc::kChunkSize > pool.size()) {
       c.Fatal("registry slot " + std::to_string(s) +

@@ -28,9 +28,10 @@ uint64_t RootArea::ReadTail(int core, uint64_t* seq) const {
   const CoreTailArea* area = tails(core);
   uint64_t best_seq = 0, best_tail = 0;
   for (const auto& line : area->lines) {
-    if (line.slot.seq > best_seq) {
-      best_seq = line.slot.seq;
-      best_tail = line.slot.tail;
+    const TailSlot& slot = line.slot;
+    if (slot.seq > best_seq && slot.check == TailCheck(slot.seq, slot.tail)) {
+      best_seq = slot.seq;
+      best_tail = slot.tail;
     }
   }
   *seq = best_seq;
@@ -43,6 +44,7 @@ void RootArea::WriteTail(int core, uint64_t seq, uint64_t tail) {
   auto& line = area->lines[seq % kTailSlots];
   line.slot.seq = seq;
   line.slot.tail = tail;
+  line.slot.check = TailCheck(seq, tail);
   pool_->Persist(&line, sizeof(TailSlot));
 }
 
@@ -55,11 +57,17 @@ uint64_t RootArea::RegisterChunk(uint64_t chunk_off, int core, uint32_t seq) {
     uint64_t s = (start + i) % kRegistrySlots;
     uint64_t expected = 0;
     if (std::atomic_ref<uint64_t>(recs[s].chunk_off)
-            .compare_exchange_strong(expected, chunk_off,
+            .compare_exchange_strong(expected, chunk_off | kChunkProvisional,
                                      std::memory_order_acq_rel)) {
+      // Two-step durable commit (see kChunkProvisional): persist the full
+      // record while still provisional, then flip to the final offset with
+      // a single 8-byte — hence tear-proof — persist.
       recs[s].core = static_cast<uint32_t>(core);
       recs[s].seq = seq;
       pool_->PersistFence(&recs[s], sizeof(ChunkRecord));
+      std::atomic_ref<uint64_t>(recs[s].chunk_off)
+          .store(chunk_off, std::memory_order_release);
+      pool_->PersistFence(&recs[s].chunk_off, sizeof(uint64_t));
       vt::Charge(vt::kCpuCas);
       {
         std::lock_guard<SpinLock> g(mirror_lock_);
@@ -98,11 +106,25 @@ void RootArea::RebuildMirror() {
   mirror_.clear();
   const ChunkRecord* recs = registry();
   for (uint64_t s = 0; s < kRegistrySlots; s++) {
-    if (recs[s].chunk_off != 0) {
-      mirror_[recs[s].chunk_off] = {static_cast<int>(recs[s].core),
-                                    recs[s].seq};
+    const uint64_t off = recs[s].chunk_off;
+    if (off != 0 && (off & kChunkProvisional) == 0) {
+      mirror_[off] = {static_cast<int>(recs[s].core), recs[s].seq};
     }
   }
+}
+
+uint64_t RootArea::ScrubProvisionalRecords() {
+  ChunkRecord* recs = registry();
+  uint64_t scrubbed = 0;
+  for (uint64_t s = 0; s < kRegistrySlots; s++) {
+    if (recs[s].chunk_off & kChunkProvisional) {
+      std::atomic_ref<uint64_t>(recs[s].chunk_off)
+          .store(0, std::memory_order_release);
+      pool_->PersistFence(&recs[s], sizeof(ChunkRecord));
+      scrubbed++;
+    }
+  }
+  return scrubbed;
 }
 
 }  // namespace log

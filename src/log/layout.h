@@ -58,11 +58,27 @@ struct Superblock {
 };
 static_assert(sizeof(Superblock) <= 4096);
 
-// One rotating tail record. The record with the highest seq wins.
+// One rotating tail record. The record with the highest seq whose check
+// word validates wins. A tail record is 24 bytes but real PM only writes
+// 8 bytes atomically: a power cut can tear the slot's flush so that e.g.
+// the new seq persists while the new tail does not. The check word binds
+// seq and tail together — a torn slot fails validation and recovery falls
+// back to the best older slot, losing only unacknowledged batches.
 struct TailSlot {
   uint64_t seq;
-  uint64_t tail;  // pool offset one past the last committed log byte
+  uint64_t tail;   // pool offset one past the last committed log byte
+  uint64_t check;  // TailCheck(seq, tail)
 };
+
+// Mixes seq and tail into the slot check word (splitmix64 finalizer). The
+// |1 means an all-zero slot (never written, or fully torn away) can never
+// validate, since a valid check word is always odd and zero is not.
+inline constexpr uint64_t TailCheck(uint64_t seq, uint64_t tail) {
+  uint64_t z = seq * 0x9E3779B97F4A7C15ull + tail;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return (z ^ (z >> 31)) | 1ull;
+}
 
 // Per-core tail area: 8 slots, one per cacheline.
 struct alignas(64) CoreTailArea {
@@ -75,11 +91,21 @@ static_assert(sizeof(CoreTailArea) == 64 * kTailSlots);
 
 // Persistent registry record for one OpLog chunk.
 struct ChunkRecord {
-  uint64_t chunk_off;  // 0 = slot free
+  uint64_t chunk_off;  // 0 = slot free; low bit = provisional (see below)
   uint32_t core;
   uint32_t seq;        // per-core monotone sequence
 };
 static_assert(sizeof(ChunkRecord) == 16);
+
+// Low bit of ChunkRecord::chunk_off while the record's core/seq fields
+// have not yet been durably committed. Chunk offsets are 4 MB-aligned, so
+// the bit is free. RegisterChunk commits in two fenced steps: (1) claim
+// the slot as chunk_off|kChunkProvisional and persist the whole record,
+// (2) store the final chunk_off and persist that one word (8-byte atomic
+// even under torn writes). A crash can therefore never leave a committed
+// offset paired with garbage core/seq fields; recovery scrubs provisional
+// records and fsck reports them as benign crash artifacts.
+inline constexpr uint64_t kChunkProvisional = 1;
 
 inline constexpr uint64_t kTailAreaOff = 4096;
 inline constexpr uint64_t kRegistryOff =
@@ -136,7 +162,13 @@ class RootArea {
   bool ChunkInfo(uint64_t chunk_off, int* core, uint32_t* seq) const;
 
   // Rebuilds the DRAM mirror from the persistent registry (recovery).
+  // Provisional records are skipped — their core/seq may be garbage.
   void RebuildMirror();
+
+  // Frees registry slots left provisional by a crash mid-RegisterChunk
+  // (persist + fence per scrubbed slot). Returns how many were scrubbed.
+  // Recovery runs this before trusting the registry.
+  uint64_t ScrubProvisionalRecords();
 
   pm::PmPool* pool() const { return pool_; }
 

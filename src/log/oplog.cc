@@ -157,6 +157,13 @@ void OpLog::AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n) {
   u.max_covered_seq = std::max(u.max_covered_seq, max_covered);
 }
 
+void OpLog::SealActiveChunk() {
+  if (chunk_ == 0) return;
+  SealChunk(chunk_, cursor_ - (chunk_ + kLogDataOff));
+  chunk_ = 0;
+  cursor_ = 0;
+}
+
 void OpLog::RotateCleanerChunk() {
   if (cleaner_chunk_ == 0) return;
   SealChunk(cleaner_chunk_, cleaner_cursor_ - (cleaner_chunk_ + kLogDataOff));
@@ -194,6 +201,11 @@ std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
       if (!u.sealed) continue;                       // still being written
       if (u.retired) continue;     // unlinked, free already in flight
       if (off == chunk_ || off == cleaner_chunk_) continue;
+      // Never retire the chunk the durable tail record points into, even
+      // when it is sealed (forced rotation seals before the tail moves).
+      // Unregistering it would leave a crash-time tail referencing a
+      // freed — and possibly reused — chunk.
+      if (tail_ != 0 && AlignDown(tail_, alloc::kChunkSize) == off) continue;
       if (u.total == 0) continue;
       // Tombstones whose covered chunks are all gone are as good as dead:
       // discount them so tombstone-only chunks become victims too (the

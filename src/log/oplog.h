@@ -132,6 +132,13 @@ class OpLog {
   // queue, one grace period after BeginRetire.
   void ReleaseChunk(uint64_t chunk_off);
 
+  // Seals the current serving chunk at its present extent; the next
+  // append starts a fresh chunk. This is forced log rotation: it makes a
+  // partially filled chunk eligible for victim selection without writing
+  // 4 MB of traffic, which crash tests use to build small, deterministic
+  // GC scenarios. The committed tail is unaffected.
+  void SealActiveChunk();
+
   // Seals the cleaner's current chunk so future passes may victimize it
   // (relocated tombstones would otherwise hide in it forever). The next
   // cleaner append starts a fresh chunk. No-op when there is none.

@@ -1,14 +1,30 @@
 #include "pm/pm_pool.h"
 
+#include <mutex>
+
 namespace flatstore {
 namespace pm {
 
+const char* PmPool::CrashModeName(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kClean:
+      return "clean";
+    case CrashMode::kTorn:
+      return "torn";
+    case CrashMode::kUnordered:
+      return "unordered";
+    case CrashMode::kEviction:
+      return "eviction";
+  }
+  return "?";
+}
+
 PmPool::PmPool(const Options& options)
     : size_(AlignUp(options.size, 4ull << 20)), device_(options.device) {
-  mem_ = std::make_unique<char[]>(size_);
+  mem_ = std::make_unique_for_overwrite<char[]>(size_);
   std::memset(mem_.get(), 0, size_);
   if (options.crash_tracking) {
-    shadow_ = std::make_unique<char[]>(size_);
+    shadow_ = std::make_unique_for_overwrite<char[]>(size_);
     std::memset(shadow_.get(), 0, size_);
   }
 }
@@ -24,20 +40,8 @@ void PmPool::Persist(const void* p, uint64_t len) {
   vt::Clock* clock = vt::CurrentClock();
   for (uint64_t off = first; off <= last; off += kCachelineSize) {
     // Crash model: the line reaches the durable image only while the
-    // flush budget lasts.
-    if (shadow_) {
-      bool durable = true;
-      int64_t b = flush_budget_.load(std::memory_order_relaxed);
-      if (b >= 0) {
-        while (b > 0 && !flush_budget_.compare_exchange_weak(
-                            b, b - 1, std::memory_order_relaxed)) {
-        }
-        durable = b > 0;
-      }
-      if (durable) {
-        std::memcpy(shadow_.get() + off, mem_.get() + off, kCachelineSize);
-      }
-    }
+    // flush budget lasts, subject to the active crash mode.
+    if (shadow_) CrashTrackLine(off);
     // Timing model.
     if (clock != nullptr) {
       clock->Advance(vt::kClwbIssueCost);
@@ -47,6 +51,112 @@ void PmPool::Persist(const void* p, uint64_t len) {
       }
     }
   }
+}
+
+void PmPool::CrashTrackLine(uint64_t off) {
+  bool durable = true;
+  bool exhausted_now = false;
+  int64_t b = flush_budget_.load(std::memory_order_relaxed);
+  if (b >= 0) {
+    while (b > 0 && !flush_budget_.compare_exchange_weak(
+                        b, b - 1, std::memory_order_relaxed)) {
+    }
+    durable = b > 0;
+    // This flush took the budget from 1 to 0: it is the line the power
+    // cut catches, and the point where mode-specific damage resolves.
+    exhausted_now = (b == 1);
+  }
+  switch (crash_mode_) {
+    case CrashMode::kClean:
+      if (durable) {
+        std::memcpy(shadow_.get() + off, mem_.get() + off, kCachelineSize);
+      }
+      break;
+    case CrashMode::kTorn:
+      if (durable) {
+        if (exhausted_now) {
+          TearLineIntoShadow(off);
+        } else {
+          std::memcpy(shadow_.get() + off, mem_.get() + off, kCachelineSize);
+        }
+      }
+      break;
+    case CrashMode::kUnordered:
+      if (durable) {
+        std::lock_guard<SpinLock> g(pending_lock_);
+        PendingLine& pl = pending_.emplace_back();
+        pl.off = off;
+        std::memcpy(pl.data, mem_.get() + off, kCachelineSize);
+        if (exhausted_now) ResolvePendingAtLossLocked();
+      }
+      break;
+    case CrashMode::kEviction:
+      if (durable) {
+        std::memcpy(shadow_.get() + off, mem_.get() + off, kCachelineSize);
+      }
+      if (exhausted_now) ResolveEviction();
+      break;
+  }
+  if (exhausted_now) loss_resolved_ = true;
+}
+
+uint64_t PmPool::NextCrashRand() {
+  // splitmix64 — cheap, and a (mode, seed) pair fully determines every
+  // draw, which is what makes explorer repro lines deterministic.
+  uint64_t z = (crash_rng_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void PmPool::TearLineIntoShadow(uint64_t off) {
+  constexpr int kWords = kCachelineSize / 8;
+  const char* src = mem_.get() + off;
+  char* dst = shadow_.get() + off;
+  const uint64_t r = NextCrashRand();
+  if (r & 1) {
+    // Aligned prefix of 0..8 words — the common store-buffer drain shape.
+    const uint64_t words = (r >> 1) % (kWords + 1);
+    std::memcpy(dst, src, words * 8);
+  } else {
+    // Arbitrary 8-byte-word subset of the line.
+    const uint64_t mask = (r >> 1) & 0xFF;
+    for (int w = 0; w < kWords; w++) {
+      if (mask & (1ull << w)) std::memcpy(dst + w * 8, src + w * 8, 8);
+    }
+  }
+}
+
+void PmPool::CommitPendingLocked() {
+  for (const PendingLine& pl : pending_) {
+    std::memcpy(shadow_.get() + pl.off, pl.data, kCachelineSize);
+  }
+  pending_.clear();
+}
+
+void PmPool::ResolvePendingAtLossLocked() {
+  // The cut landed between a Persist and its Fence: each in-flight line
+  // independently may or may not have drained, still in issue order.
+  for (const PendingLine& pl : pending_) {
+    if (NextCrashRand() & 1) {
+      std::memcpy(shadow_.get() + pl.off, pl.data, kCachelineSize);
+    }
+  }
+  pending_.clear();
+}
+
+void PmPool::ResolveEviction() {
+  // Every line whose live content was never flushed may persist anyway.
+  // The RNG is consumed only for dirty lines, so the draw sequence depends
+  // only on the dirty set — deterministic for a deterministic workload.
+  for (uint64_t off = 0; off < size_; off += kCachelineSize) {
+    char* s = shadow_.get() + off;
+    const char* m = mem_.get() + off;
+    if (std::memcmp(m, s, kCachelineSize) != 0 && (NextCrashRand() & 1)) {
+      std::memcpy(s, m, kCachelineSize);
+    }
+  }
+  loss_resolved_ = true;
 }
 
 void PmPool::ChargeRead(const void* p, uint64_t len) {
@@ -70,6 +180,10 @@ void PmPool::ChargeRead(const void* p, uint64_t len) {
 
 void PmPool::Fence() {
   stats_.AddFence();
+  if (shadow_ && crash_mode_ == CrashMode::kUnordered) {
+    std::lock_guard<SpinLock> g(pending_lock_);
+    CommitPendingLocked();
+  }
   if (vt::Clock* clock = vt::CurrentClock()) {
     clock->AdvanceTo(clock->pending_fence());
     clock->ClearPendingFence();
@@ -77,11 +191,37 @@ void PmPool::Fence() {
   }
 }
 
+void PmPool::SetCrashMode(CrashMode mode, uint64_t seed) {
+  FLATSTORE_CHECK(shadow_ != nullptr) << "crash modes require crash_tracking";
+  crash_mode_ = mode;
+  // Decorrelate nearby seeds; seed 0 is as good as any other.
+  crash_rng_ = seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull;
+  loss_resolved_ = false;
+  std::lock_guard<SpinLock> g(pending_lock_);
+  pending_.clear();
+}
+
 void PmPool::SimulateCrash() {
   FLATSTORE_CHECK(shadow_ != nullptr)
       << "SimulateCrash requires crash_tracking";
+  // If the power cut is this crash itself (budget never exhausted),
+  // resolve in-flight adversarial state as of this instant: unfenced
+  // flushes may drain in any subset, dirty lines may evict.
+  if (!loss_resolved_) {
+    if (crash_mode_ == CrashMode::kUnordered) {
+      std::lock_guard<SpinLock> g(pending_lock_);
+      ResolvePendingAtLossLocked();
+    } else if (crash_mode_ == CrashMode::kEviction) {
+      ResolveEviction();
+    }
+  }
+  {
+    std::lock_guard<SpinLock> g(pending_lock_);
+    pending_.clear();
+  }
   std::memcpy(mem_.get(), shadow_.get(), size_);
   flush_budget_.store(-1, std::memory_order_relaxed);
+  loss_resolved_ = false;
 }
 
 }  // namespace pm

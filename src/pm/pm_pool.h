@@ -13,11 +13,18 @@
 //  * Crash model (optional `crash_tracking`): the pool keeps a shadow image
 //    holding only data that was explicitly persisted. SimulateCrash()
 //    rolls the live region back to the shadow — every store that was not
-//    followed by Persist()+Fence() is lost, at cacheline granularity. This
-//    is the *adversarial* persistence model (real hardware may persist
-//    more via cache evictions, never less), which is exactly what crash-
-//    consistency tests want. A flush *budget* lets tests cut power after
-//    an arbitrary number of line flushes, including mid-operation.
+//    followed by Persist()+Fence() is lost. A flush *budget* lets tests
+//    cut power after an arbitrary number of line flushes, including
+//    mid-operation.
+//
+// The default crash mode (kClean) loses unflushed data atomically at 64 B
+// granularity. Real PM is nastier in three ways, each modelled by an
+// adversarial CrashMode (see the enum): flushes caught by the cut persist
+// 8-byte subsets (torn lines), flushes between a Persist and its Fence
+// complete in any order (unordered persistence), and dirty lines the code
+// never flushed may persist anyway via cache eviction. The crash-state
+// explorer (tests/harness/crash_explorer.h) enumerates power cuts at every
+// flush index under each of these modes.
 
 #ifndef FLATSTORE_PM_PM_POOL_H_
 #define FLATSTORE_PM_PM_POOL_H_
@@ -26,9 +33,11 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "common/cacheline.h"
 #include "common/logging.h"
+#include "common/spin_lock.h"
 #include "pm/pm_device.h"
 #include "pm/pm_stats.h"
 #include "vt/clock.h"
@@ -39,6 +48,8 @@ namespace pm {
 
 // An emulated PM region. Thread-safe for Persist/Fence on disjoint lines
 // (concurrent persists of the same line would be an engine-level race).
+// The adversarial crash modes are test-orchestration state: arm them from
+// the single thread that drives a crash scenario.
 class PmPool {
  public:
   struct Options {
@@ -49,6 +60,33 @@ class PmPool {
     // Optional timing model; flushes are free when null.
     PmDevice* device = nullptr;
   };
+
+  // How the shadow image behaves around the flush-budget power cut.
+  // `seed` makes every random choice deterministic: a failing (mode,
+  // budget, seed) triple is a complete repro.
+  enum class CrashMode : uint8_t {
+    // Budgeted flushes reach the shadow whole-line, in issue order; the
+    // cut happens cleanly after the budget-th flush. (Default; this is
+    // the historical model.)
+    kClean = 0,
+    // The line whose flush exhausts the budget is *caught* by the cut:
+    // only a seed-chosen 8-byte-aligned subset (often a prefix) of it
+    // persists, modelling PM's 8-byte atomic write unit. Earlier flushes
+    // persist whole, later ones not at all.
+    kTorn = 1,
+    // Flushed lines are buffered and only reach the shadow at the next
+    // Fence(), mirroring clwb's weak ordering: when the cut lands between
+    // a Persist and its Fence, a seed-chosen *subset* of the in-flight
+    // lines persists, in issue order. Lines fenced before the cut persist
+    // whole.
+    kUnordered = 2,
+    // Budgeted flushes behave like kClean, but at the cut every dirty
+    // line the code never flushed *may* persist too (seed-chosen),
+    // modelling cache evictions. Recovery must never depend on
+    // unflushed data being lost.
+    kEviction = 3,
+  };
+  static const char* CrashModeName(CrashMode mode);
 
   explicit PmPool(const Options& options);
   PmPool(const PmPool&) = delete;
@@ -87,7 +125,8 @@ class PmPool {
   void ChargeRead(const void* p, uint64_t len);
 
   // Orders all previously issued flushes (sfence): advances the calling
-  // core's clock to the latest flush completion.
+  // core's clock to the latest flush completion. In kUnordered mode this
+  // is also the point where buffered flushes commit to the shadow.
   void Fence();
 
   // Persist + Fence (the common "persist this datum now" pattern).
@@ -101,15 +140,20 @@ class PmPool {
   // True if this pool keeps a shadow image.
   bool crash_tracking() const { return shadow_ != nullptr; }
 
-  // Rolls the live region back to the last persisted image. Caller must
-  // guarantee no concurrent access. Also resets the flush budget.
+  // Rolls the live region back to the last persisted image (resolving any
+  // still-in-flight unordered/eviction state first — an unfenced flush is
+  // never guaranteed). Caller must guarantee no concurrent access. Also
+  // resets the flush budget and re-arms the cut for the next cycle; the
+  // crash mode and its seed stream carry over.
   void SimulateCrash();
 
   // After `n` more line flushes, the pool "loses power": subsequent
   // flushes stop reaching the shadow image. Pass a negative value to
-  // disable the budget (default).
+  // disable the budget (default). Re-arming also re-enables the
+  // mode-specific cut behaviour for the next exhaustion.
   void SetFlushBudget(int64_t n) {
     flush_budget_.store(n, std::memory_order_relaxed);
+    loss_resolved_ = false;
   }
 
   // True once the budget has been exhausted.
@@ -117,17 +161,56 @@ class PmPool {
     return flush_budget_.load(std::memory_order_relaxed) == 0;
   }
 
+  // Selects the adversarial behaviour applied at the next budget
+  // exhaustion. Requires crash_tracking. The seed fully determines the
+  // torn subset / in-flight subset / evicted set.
+  void SetCrashMode(CrashMode mode, uint64_t seed);
+  CrashMode crash_mode() const { return crash_mode_; }
+
   // --- stats ---
   PmStats& stats() { return stats_; }
   const PmStats& stats() const { return stats_; }
 
  private:
+  // A flush buffered between Persist and Fence (kUnordered only). The
+  // snapshot is taken at issue time, as clwb may write back any content
+  // the line held between issue and fence.
+  struct PendingLine {
+    uint64_t off;
+    uint8_t data[kCachelineSize];
+  };
+
+  // Crash-model bookkeeping for one line flush (only called with a
+  // shadow). Returns whether the flush was within budget.
+  void CrashTrackLine(uint64_t off);
+
+  uint64_t NextCrashRand();
+  // Copies a seed-chosen 8-byte-aligned subset of the line at `off` into
+  // the shadow (the torn-write model).
+  void TearLineIntoShadow(uint64_t off);
+  // Commits / coin-flips the kUnordered pending buffer (caller holds
+  // pending_lock_).
+  void CommitPendingLocked();
+  void ResolvePendingAtLossLocked();
+  // kEviction: every line whose live content differs from the shadow may
+  // persist, per seeded coin flip.
+  void ResolveEviction();
+
   uint64_t size_;
   std::unique_ptr<char[]> mem_;
   std::unique_ptr<char[]> shadow_;  // null unless crash_tracking
   PmDevice* device_;
   PmStats stats_;
   std::atomic<int64_t> flush_budget_{-1};
+
+  CrashMode crash_mode_ = CrashMode::kClean;
+  uint64_t crash_rng_ = 0x9E3779B97F4A7C15ull;
+  // Set once the budget exhaustion has been acted on (torn line written,
+  // pending subset chosen, evictions applied); later flushes are dropped
+  // without further side effects until the budget is re-armed.
+  bool loss_resolved_ = false;
+  SpinLock pending_lock_;
+  std::vector<PendingLine> pending_;
 };
 
 }  // namespace pm

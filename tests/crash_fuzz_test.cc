@@ -1,17 +1,25 @@
 // Crash-schedule fuzzer: randomized workloads with power cuts at random
 // flush counts, multiple crash/recover cycles per seed, GC churn in the
-// loop, and an fsck pass over every crash image. The durability oracle
-// tracks acknowledged state exactly as recovery_test does, across cycles.
+// loop, and an fsck pass over every crash image. Complements the
+// exhaustive (but small-workload) enumeration in crash_explorer_test with
+// long random trajectories: each cycle draws one of the four PmPool crash
+// modes, so torn tail records, reordered unfenced flushes, and spurious
+// cache evictions all land on organically grown multi-chunk states.
+//
+// The DurabilityOracle from the crash harness does the bookkeeping the
+// old hand-rolled maps did: acked ops must survive exactly, the boundary
+// op may resolve either way, and whichever side won is folded back in so
+// checking continues across cycles.
 
 #include <gtest/gtest.h>
 
 #include <map>
-#include <optional>
 #include <string>
 
 #include "common/random.h"
 #include "core/flatstore.h"
 #include "core/fsck.h"
+#include "harness/crash_explorer.h"
 
 namespace flatstore {
 namespace core {
@@ -32,6 +40,15 @@ FlatStoreOptions Opts() {
   return fo;
 }
 
+pm::PmPool::CrashMode DrawMode(Rng* rng) {
+  switch (rng->Uniform(4)) {
+    case 0: return pm::PmPool::CrashMode::kClean;
+    case 1: return pm::PmPool::CrashMode::kTorn;
+    case 2: return pm::PmPool::CrashMode::kUnordered;
+    default: return pm::PmPool::CrashMode::kEviction;
+  }
+}
+
 class CrashFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CrashFuzzTest, MultiCycleDurability) {
@@ -42,45 +59,45 @@ TEST_P(CrashFuzzTest, MultiCycleDurability) {
   pm::PmPool pool(po);
   auto store = FlatStore::Create(&pool, Opts());
 
-  // Oracle: required state (fully acked) and boundary ops (either/or).
-  std::map<uint64_t, std::optional<std::string>> durable;
+  testing::DurabilityOracle oracle;
+  testing::WorkloadCtx ctx;
+  ctx.pool = &pool;
+  ctx.oracle = &oracle;
   uint64_t nonce = 0;
 
   for (int cycle = 0; cycle < 4; cycle++) {
+    ctx.store = store.get();
     // Phase A: guaranteed-durable traffic (plus occasional GC / ckpt).
     const uint64_t key_range = 150 + rng.Uniform(150);
     for (uint64_t i = 0; i < 400; i++) {
       uint64_t k = rng.Uniform(key_range);
       nonce++;
-      if (rng.Uniform(5) == 0 && durable.count(k) != 0 && durable[k]) {
-        store->Delete(k);
-        durable[k] = std::nullopt;
+      if (rng.Uniform(5) == 0) {
+        ctx.Delete(k);
       } else {
-        std::string v = ValueFor(k, nonce);
-        store->Put(k, v);
-        durable[k] = v;
+        ctx.Put(k, ValueFor(k, nonce));
       }
     }
-    if (rng.Uniform(2) == 0) store->RunCleanersOnce();
+    // Force a rotation so even a slow-growing log hands the cleaner a
+    // sealed victim; then let GC / checkpoints churn durable state.
+    if (rng.Uniform(2) == 0) {
+      store->SealActiveLogChunks();
+      store->RunCleanersOnce();
+    }
     if (rng.Uniform(3) == 0) store->CheckpointNow();
 
-    // Phase B: cut power after a random number of line flushes.
+    // Phase B: arm one of the four crash modes and cut power after a
+    // random number of line flushes.
+    const pm::PmPool::CrashMode mode = DrawMode(&rng);
+    pool.SetCrashMode(mode, rng.Next());
     pool.SetFlushBudget(1 + static_cast<int64_t>(rng.Uniform(600)));
-    std::map<uint64_t, std::optional<std::string>> boundary;
     for (uint64_t i = 0; i < 500 && !pool.PowerLost(); i++) {
       uint64_t k = rng.Uniform(key_range);
       nonce++;
-      if (rng.Uniform(5) == 0 && durable.count(k) != 0 && durable[k]) {
-        store->Delete(k);
-        boundary[k] = std::nullopt;
+      if (rng.Uniform(5) == 0) {
+        ctx.Delete(k);
       } else {
-        std::string v = ValueFor(k, nonce);
-        store->Put(k, v);
-        boundary[k] = v;
-      }
-      if (!pool.PowerLost()) {
-        durable[k] = boundary[k];
-        boundary.erase(k);
+        ctx.Put(k, ValueFor(k, nonce));
       }
     }
 
@@ -89,29 +106,19 @@ TEST_P(CrashFuzzTest, MultiCycleDurability) {
 
     // The crash image itself must be structurally sound.
     FsckReport fsck = FsckPool(pool);
-    ASSERT_TRUE(fsck.ok) << "cycle " << cycle << ": " << fsck.Summary();
+    std::string issues;
+    for (const auto& issue : fsck.issues) {
+      if (issue.fatal) issues += "\n  " + issue.what;
+    }
+    ASSERT_TRUE(fsck.ok) << "cycle " << cycle << " mode "
+                         << pm::PmPool::CrashModeName(mode) << ": "
+                         << fsck.Summary() << issues;
 
     store = FlatStore::Open(&pool, Opts());
-
-    for (const auto& [k, expect] : durable) {
-      std::string got;
-      const bool present = store->Get(k, &got);
-      if (boundary.count(k) != 0) {
-        const auto& alt = boundary.at(k);
-        bool old_ok = expect ? (present && got == *expect) : !present;
-        bool new_ok = alt ? (present && got == *alt) : !present;
-        ASSERT_TRUE(old_ok || new_ok)
-            << "cycle " << cycle << " torn key " << k;
-        // Whichever state we observed is the durable one going forward.
-        if (new_ok && !old_ok) durable[k] = alt;
-      } else if (expect) {
-        ASSERT_TRUE(present) << "cycle " << cycle << " lost key " << k;
-        ASSERT_EQ(got, *expect) << "cycle " << cycle << " key " << k;
-      } else {
-        ASSERT_FALSE(present)
-            << "cycle " << cycle << " resurrected key " << k;
-      }
-    }
+    const std::string err = oracle.Check(store.get());
+    ASSERT_TRUE(err.empty()) << "cycle " << cycle << " mode "
+                             << pm::PmPool::CrashModeName(mode) << ": "
+                             << err;
   }
 }
 

@@ -382,6 +382,86 @@ TEST_F(OpLogTest, ReusedChunkDoesNotResurrectStaleEntries) {
   EXPECT_EQ(n, 2);
 }
 
+TEST_F(OpLogTest, VictimSelectionSparesTheTailChunk) {
+  // Forced rotation seals the active chunk while the durable tail record
+  // still points into it. Even fully dead it must not become a victim:
+  // retiring it would leave a crash-time tail referencing a freed chunk.
+  auto offs = AppendPtrBatch(4);
+  const uint64_t chunk = AlignDown(offs[0], alloc::kChunkSize);
+  for (uint64_t off : offs) log_->NoteDead(off);
+  log_->SealActiveChunk();
+  EXPECT_TRUE(log_->PickVictims(1.0, 8).empty());
+  // Once the tail moves to a fresh chunk the old one is fair game.
+  AppendPtrBatch(1);
+  auto victims = log_->PickVictims(1.0, 8);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], chunk);
+}
+
+TEST_F(OpLogTest, TornTailSlotFailsCheckAndFallsBack) {
+  AppendPtrBatch(4);
+  const uint64_t good_tail = log_->tail();
+  const uint64_t good_seq = log_->tail_seq();
+  AppendPtrBatch(2);
+  // Tear the newest tail record the way an 8-byte-atomic medium can: its
+  // seq word persisted but its tail word did not. The check word no
+  // longer validates, so recovery must fall back to the previous slot.
+  auto* area = root_->tails(0);
+  TailSlot& newest = area->lines[2].slot;
+  ASSERT_EQ(newest.seq, 2u);
+  newest.tail = 0;  // torn away
+  uint64_t seq;
+  EXPECT_EQ(root_->ReadTail(0, &seq), good_tail);
+  EXPECT_EQ(seq, good_seq);
+}
+
+TEST_F(OpLogTest, GarbageTailSlotsNeverValidate) {
+  AppendPtrBatch(3);
+  const uint64_t good_tail = log_->tail();
+  auto* area = root_->tails(0);
+  // A slot full of stale garbage with a huge seq must lose to the honest
+  // record: without the check word it would hijack recovery.
+  TailSlot& junk = area->lines[5].slot;
+  junk.seq = ~0ull;
+  junk.tail = 0xDEAD000;
+  junk.check = 12345;  // not TailCheck(seq, tail)
+  uint64_t seq;
+  EXPECT_EQ(root_->ReadTail(0, &seq), good_tail);
+  EXPECT_EQ(seq, 1u);
+}
+
+TEST_F(OpLogTest, ProvisionalRegistryRecordIsScrubbedAndSkipped) {
+  auto offs = AppendPtrBatch(2);  // one real, committed chunk
+  const uint64_t real_chunk = AlignDown(offs[0], alloc::kChunkSize);
+  // Forge the crash state RegisterChunk's step (1) leaves behind: the
+  // slot is claimed provisional but the final offset was never stored.
+  ChunkRecord* recs = root_->registry();
+  uint64_t slot = kRegistrySlots;
+  for (uint64_t s = 0; s < kRegistrySlots; s++) {
+    if (recs[s].chunk_off == 0) {
+      slot = s;
+      break;
+    }
+  }
+  ASSERT_LT(slot, kRegistrySlots);
+  const uint64_t ghost_chunk = real_chunk + alloc::kChunkSize;
+  recs[slot].chunk_off = ghost_chunk | kChunkProvisional;
+  recs[slot].core = 99;  // garbage — never durably committed
+  recs[slot].seq = 7;
+
+  // The mirror must not believe in the ghost chunk...
+  root_->RebuildMirror();
+  int core;
+  uint32_t cseq;
+  EXPECT_FALSE(root_->ChunkInfo(ghost_chunk, &core, &cseq));
+  EXPECT_TRUE(root_->ChunkInfo(real_chunk, &core, &cseq));
+  // ...and the scrub frees exactly the forged slot.
+  EXPECT_EQ(root_->ScrubProvisionalRecords(), 1u);
+  EXPECT_EQ(recs[slot].chunk_off, 0u);
+  EXPECT_EQ(root_->ScrubProvisionalRecords(), 0u);
+  EXPECT_TRUE(root_->ChunkInfo(real_chunk, &core, &cseq));
+}
+
 TEST_F(OpLogTest, AdoptRecoveredStateResumesAppend) {
   AppendPtrBatch(5);
   uint64_t tail = log_->tail();

@@ -172,6 +172,205 @@ TEST(PmPool, ZeroLengthPersistIsNoop) {
   EXPECT_EQ(d.lines_flushed, 0u);
 }
 
+// --- flush-budget edge semantics -------------------------------------------
+
+TEST(PmPool, BudgetExhaustsMidMultiLinePersist) {
+  // A single Persist spanning four lines with budget 2: exactly the first
+  // two lines become durable, and the cut is visible (PowerLost) already
+  // inside the call's effects — not only at the next SetFlushBudget poll.
+  PmPool pool(CrashOpts());
+  char* p = pool.base();
+  std::memset(p, 0x5A, 256);
+  pool.SetFlushBudget(2);
+  pool.PersistFence(p, 256);
+  EXPECT_TRUE(pool.PowerLost());
+  pool.SimulateCrash();
+  EXPECT_EQ(static_cast<unsigned char>(p[0]), 0x5A);
+  EXPECT_EQ(static_cast<unsigned char>(p[127]), 0x5A);
+  EXPECT_EQ(p[128], 0);
+  EXPECT_EQ(p[255], 0);
+}
+
+TEST(PmPool, ZeroBudgetLosesPowerBeforeAnyFlush) {
+  PmPool pool(CrashOpts());
+  char* p = pool.base();
+  pool.SetFlushBudget(0);
+  EXPECT_TRUE(pool.PowerLost());
+  p[0] = 1;
+  pool.PersistFence(p, 1);
+  pool.SimulateCrash();
+  EXPECT_EQ(p[0], 0);
+}
+
+TEST(PmPool, BudgetReArmsAfterSimulateCrash) {
+  PmPool pool(CrashOpts());
+  char* p = pool.base();
+  pool.SetFlushBudget(1);
+  p[0] = 1;
+  pool.PersistFence(p, 1);
+  EXPECT_TRUE(pool.PowerLost());
+  pool.SimulateCrash();
+  // The crash disables the budget: recovery-time persists are unlimited.
+  EXPECT_FALSE(pool.PowerLost());
+  p[64] = 2;
+  pool.PersistFence(p + 64, 1);
+  // A new budget must arm a fresh cut cycle (loss state fully reset).
+  pool.SetFlushBudget(1);
+  p[128] = 3;
+  pool.PersistFence(p + 128, 1);
+  p[192] = 4;
+  pool.PersistFence(p + 192, 1);
+  EXPECT_TRUE(pool.PowerLost());
+  pool.SimulateCrash();
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[64], 2);
+  EXPECT_EQ(p[128], 3);
+  EXPECT_EQ(p[192], 0);  // beyond the re-armed budget
+}
+
+// --- adversarial crash modes ------------------------------------------------
+
+TEST(PmPool, TornModeTearsExactlyTheCutLine) {
+  // Budget 2 under kTorn: line 0 persists whole, line 1 (the exhausting
+  // flush) keeps an 8-byte-word subset, line 2 is lost entirely.
+  bool saw_partial = false;
+  for (uint64_t seed = 0; seed < 24; seed++) {
+    PmPool pool(CrashOpts());
+    char* p = pool.base();
+    std::memset(p, 0x11, 3 * 64);
+    pool.SetCrashMode(PmPool::CrashMode::kTorn, seed);
+    pool.SetFlushBudget(2);
+    for (int i = 0; i < 3; i++) pool.PersistFence(p + i * 64, 1);
+    pool.SimulateCrash();
+    for (int b = 0; b < 64; b++) EXPECT_EQ(p[b], 0x11);
+    for (int b = 128; b < 192; b++) EXPECT_EQ(p[b], 0);
+    int new_words = 0;
+    for (int w = 0; w < 8; w++) {
+      uint64_t word;
+      std::memcpy(&word, p + 64 + 8 * w, 8);
+      // Every word is atomically old (zero) or new — never shredded.
+      EXPECT_TRUE(word == 0 || word == 0x1111111111111111ull);
+      if (word != 0) new_words++;
+    }
+    if (new_words > 0 && new_words < 8) saw_partial = true;
+  }
+  EXPECT_TRUE(saw_partial) << "no seed in the sweep produced a torn line";
+}
+
+TEST(PmPool, TornModeIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    PmPool pool(CrashOpts());
+    char* p = pool.base();
+    std::memset(p, 0x77, 64);
+    pool.SetCrashMode(PmPool::CrashMode::kTorn, seed);
+    pool.SetFlushBudget(1);
+    pool.PersistFence(p, 1);
+    pool.SimulateCrash();
+    return std::vector<char>(p, p + 64);
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_EQ(run(9), run(9));
+}
+
+TEST(PmPool, UnorderedModeFencedLinesAlwaysPersist) {
+  PmPool pool(CrashOpts());
+  char* p = pool.base();
+  pool.SetCrashMode(PmPool::CrashMode::kUnordered, 3);
+  std::memset(p, 0x33, 128);
+  pool.Persist(p, 128);
+  pool.Fence();  // both lines ordered and committed
+  pool.SetFlushBudget(1);
+  p[256] = 1;
+  pool.Persist(p + 256, 1);  // exhausts the budget, unfenced
+  pool.SimulateCrash();
+  EXPECT_EQ(static_cast<unsigned char>(p[0]), 0x33);
+  EXPECT_EQ(static_cast<unsigned char>(p[127]), 0x33);
+}
+
+TEST(PmPool, UnorderedModeUnfencedSubsetPersists) {
+  // Four lines flushed, power cut before the fence: each line
+  // independently persists whole or not at all. Some seed in the sweep
+  // must drop a line while keeping a later one (the reordering kClean can
+  // never produce).
+  bool saw_reorder = false;
+  for (uint64_t seed = 0; seed < 32; seed++) {
+    PmPool pool(CrashOpts());
+    char* p = pool.base();
+    std::memset(p, 0x44, 4 * 64);
+    pool.SetCrashMode(PmPool::CrashMode::kUnordered, seed);
+    pool.SetFlushBudget(4);
+    pool.Persist(p, 4 * 64);  // budget exhausts on the 4th line
+    pool.SimulateCrash();
+    bool persisted[4], dropped_before_persisted = false;
+    for (int i = 0; i < 4; i++) {
+      const unsigned char first = p[i * 64];
+      EXPECT_TRUE(first == 0 || first == 0x44);
+      for (int b = 0; b < 64; b++) EXPECT_EQ(p[i * 64 + b], first);
+      persisted[i] = first != 0;
+    }
+    for (int i = 0; i < 4; i++) {
+      for (int j = i + 1; j < 4; j++) {
+        if (!persisted[i] && persisted[j]) dropped_before_persisted = true;
+      }
+    }
+    if (dropped_before_persisted) saw_reorder = true;
+  }
+  EXPECT_TRUE(saw_reorder) << "no seed reordered the unfenced flushes";
+}
+
+TEST(PmPool, EvictionModeMayPersistUnflushedLines) {
+  // A dirty-but-never-flushed line must sometimes survive the cut: code
+  // that relies on unflushed data being LOST is broken on real PM.
+  bool saw_eviction = false;
+  for (uint64_t seed = 0; seed < 32; seed++) {
+    PmPool pool(CrashOpts());
+    char* p = pool.base();
+    p[0] = 1;
+    pool.PersistFence(p, 1);   // durable regardless
+    std::memset(p + 64, 0x66, 64);  // dirty, never flushed
+    pool.SetCrashMode(PmPool::CrashMode::kEviction, seed);
+    pool.SetFlushBudget(1);
+    p[128] = 2;
+    pool.PersistFence(p + 128, 1);  // exhausts the budget
+    pool.SimulateCrash();
+    EXPECT_EQ(p[0], 1);
+    const unsigned char dirty = p[64];
+    EXPECT_TRUE(dirty == 0 || dirty == 0x66);
+    for (int b = 0; b < 64; b++) EXPECT_EQ(p[64 + b], dirty);
+    if (dirty == 0x66) saw_eviction = true;
+  }
+  EXPECT_TRUE(saw_eviction) << "no seed ever evicted the dirty line";
+}
+
+TEST(PmPool, EvictionResolvesAtSimulateCrashWithoutBudget) {
+  // Even without a flush budget, a SimulateCrash in eviction mode treats
+  // itself as the power cut: dirty lines may persist.
+  bool saw_eviction = false;
+  for (uint64_t seed = 0; seed < 32; seed++) {
+    PmPool pool(CrashOpts());
+    char* p = pool.base();
+    std::memset(p, 0x29, 64);  // dirty
+    pool.SetCrashMode(PmPool::CrashMode::kEviction, seed);
+    pool.SimulateCrash();
+    const unsigned char dirty = p[0];
+    EXPECT_TRUE(dirty == 0 || dirty == 0x29);
+    if (dirty == 0x29) saw_eviction = true;
+  }
+  EXPECT_TRUE(saw_eviction);
+}
+
+TEST(PmPool, CrashModeSurvivesAcrossCutCycles) {
+  // The mode and its seed stream carry over SimulateCrash so multi-cycle
+  // scenarios (crash fuzzing) stay in the adversarial regime.
+  PmPool pool(CrashOpts());
+  pool.SetCrashMode(PmPool::CrashMode::kTorn, 1);
+  pool.SetFlushBudget(1);
+  pool.base()[0] = 1;
+  pool.PersistFence(pool.base(), 1);
+  pool.SimulateCrash();
+  EXPECT_EQ(pool.crash_mode(), PmPool::CrashMode::kTorn);
+}
+
 }  // namespace
 }  // namespace pm
 }  // namespace flatstore

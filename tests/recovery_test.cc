@@ -19,6 +19,7 @@
 
 #include "common/random.h"
 #include "core/flatstore.h"
+#include "harness/crash_explorer.h"
 
 namespace flatstore {
 namespace core {
@@ -134,70 +135,39 @@ TEST(Recovery, AllocatorBitmapsRebuiltFromLog) {
 }
 
 TEST(Recovery, MidOperationPowerCutIsAtomic) {
-  // Repeatedly cut power after a random number of flushes and verify the
-  // prefix contract. This is the main crash-injection property test.
-  Rng rng(0xC8A54);
-  for (int round = 0; round < 12; round++) {
-    auto pool = CrashPool(128ull << 20);
-    auto store = FlatStore::Create(pool.get(), SmallOptions());
-    std::map<uint64_t, std::optional<std::string>> durable;  // acked state
+  // The main crash-injection property test. Formerly 12 rounds with a
+  // randomly drawn flush budget; now the CrashExplorer cuts power at
+  // EVERY flush index of a fixed mixed workload (clean cuts — the
+  // adversarial torn/unordered/eviction modes run in
+  // crash_explorer_test), verifying the prefix contract each time.
+  testing::ExplorerOptions opts;
+  opts.pool_size = 128ull << 20;
+  opts.store = SmallOptions();
+  opts.modes = {pm::PmPool::CrashMode::kClean};
+  testing::Workload w = [](testing::WorkloadCtx& ctx) {
+    // Warm-up phase fully durable, outside the enumerated window.
+    Rng rng(0xC8A54);
     uint64_t nonce = 0;
-
-    // Warm-up phase fully durable.
     for (uint64_t k = 0; k < 64; k++) {
-      std::string v = ValueFor(k, nonce, 16 + k * 7 % 500);
-      store->Put(k, v);
-      durable[k] = v;
+      ctx.Put(k, ValueFor(k, nonce, 16 + k * 7 % 500));
     }
-    // Cut power somewhere inside the next phase.
-    pool->SetFlushBudget(1 + static_cast<int64_t>(rng.Uniform(400)));
-    std::map<uint64_t, std::optional<std::string>> maybe;  // not-yet-durable
-    for (uint64_t i = 0; i < 300 && !pool->PowerLost(); i++) {
+    ctx.Arm();
+    // Fixed-seed mixed traffic: same op sequence in every replay, so the
+    // flush at index N is always issued by the same operation.
+    for (uint64_t i = 0; i < 40; i++) {
       uint64_t k = rng.Uniform(96);
       nonce++;
-      if (rng.Uniform(4) == 0 && durable.count(k) != 0 && durable[k]) {
-        store->Delete(k);
-        maybe[k] = std::nullopt;
+      if (rng.Uniform(4) == 0 && k < 64) {
+        ctx.Delete(k);
       } else {
-        std::string v = ValueFor(k, nonce, 8 + rng.Uniform(500));
-        store->Put(k, v);
-        maybe[k] = v;
-      }
-      if (!pool->PowerLost()) {
-        // Fully durable: promote to the required set.
-        durable[k] = maybe[k];
-        maybe.erase(k);
+        ctx.Put(k, ValueFor(k, nonce, 8 + rng.Uniform(500)));
       }
     }
-    store.reset();
-    pool->SimulateCrash();
-    auto recovered = FlatStore::Open(pool.get(), SmallOptions());
-
-    for (const auto& [k, expect] : durable) {
-      std::string got;
-      if (maybe.count(k) != 0) {
-        // The boundary op targeted this key: old or new state is legal,
-        // but it must be one of them, exactly.
-        bool present = recovered->Get(k, &got);
-        const auto& alt = maybe.at(k);
-        bool matches_old = expect ? (present && got == *expect) : !present;
-        bool matches_new = alt ? (present && got == *alt) : !present;
-        EXPECT_TRUE(matches_old || matches_new)
-            << "round " << round << " key " << k << " torn state";
-      } else if (expect) {
-        ASSERT_TRUE(recovered->Get(k, &got))
-            << "round " << round << " lost acked key " << k;
-        ASSERT_EQ(got, *expect) << "round " << round;
-      } else {
-        EXPECT_FALSE(recovered->Get(k, &got))
-            << "round " << round << " deleted key resurrected: " << k;
-      }
-    }
-    // The store stays usable after recovery.
-    recovered->Put(12345, "post-crash");
-    std::string got;
-    ASSERT_TRUE(recovered->Get(12345, &got));
-  }
+  };
+  testing::CrashExplorer explorer("recovery-mixed", opts);
+  testing::ExplorerResult res = explorer.Explore(w);
+  EXPECT_GT(res.total_flushes, 40u);
+  EXPECT_TRUE(res.ok()) << res.Summary();
 }
 
 TEST(Recovery, DoubleCrashIsIdempotent) {
