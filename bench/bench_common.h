@@ -13,7 +13,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,14 +69,101 @@ inline constexpr int kConns = 96;
 inline constexpr uint64_t kKeySpace = 1ull << 20;
 inline constexpr uint64_t kOpsPerPoint = 48000;
 
+// Scale knobs for CI smoke runs: FLATSTORE_BENCH_OPS overrides the ops
+// per point, FLATSTORE_BENCH_KEYS caps preloaded key ranges. Unset (the
+// normal case) leaves the defaults above untouched.
+inline uint64_t EnvScale(const char* name, uint64_t def) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || *e == '\0') return def;
+  const uint64_t v = std::strtoull(e, nullptr, 10);
+  return v > 0 ? v : def;
+}
+inline uint64_t OpsPerPoint() {
+  static const uint64_t v = EnvScale("FLATSTORE_BENCH_OPS", kOpsPerPoint);
+  return v;
+}
+inline uint64_t BenchKeys(uint64_t def) {
+  static const uint64_t cap = EnvScale("FLATSTORE_BENCH_KEYS", 0);
+  return cap > 0 && cap < def ? cap : def;
+}
+
 // One measured row.
 struct Row {
   std::string system;
   std::string config;
   double mops = 0;
+  uint64_t ops = 0;      // completed operations behind `mops`
+  uint64_t sim_ns = 0;   // max simulated core time
   uint64_t p50_ns = 0;
   uint64_t p99_ns = 0;
   double avg_batch = 0;
+};
+
+// Machine-readable results: every bench binary drops BENCH_<name>.json
+// into its working directory so CI can smoke-check results without
+// scraping stdout tables. Schema:
+//   {"bench": "<name>", "rows": [{"<metric>": <value>, ...}, ...]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  // Starts a new row; chain Str/Num/Int to populate it.
+  BenchJson& AddRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJson& Str(const char* key, const std::string& v) {
+    Field(key, "\"" + Escaped(v) + "\"");
+    return *this;
+  }
+  BenchJson& Num(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    Field(key, buf);
+    return *this;
+  }
+  BenchJson& Int(const char* key, uint64_t v) {
+    Field(key, std::to_string(v));
+    return *this;
+  }
+
+  // Writes BENCH_<name>.json (overwriting a previous run's file).
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", Escaped(name_).c_str());
+    for (size_t i = 0; i < rows_.size(); i++) {
+      std::fprintf(f, "%s{%s}", i == 0 ? "" : ", ", rows_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  void Field(const char* key, const std::string& value) {
+    std::string& row = rows_.back();
+    if (!row.empty()) row += ", ";
+    row += "\"";
+    row += key;
+    row += "\": ";
+    row += value;
+  }
+
+  std::string name_;
+  std::vector<std::string> rows_;
 };
 
 // Accumulates rows for the end-of-run table.
@@ -96,6 +185,23 @@ class Table {
                   static_cast<double>(r.p99_ns) / 1000.0);
     }
     std::fflush(stdout);
+  }
+
+  // Dumps every row into BENCH_<bench_name>.json.
+  void WriteJson(const std::string& bench_name) const {
+    BenchJson j(bench_name);
+    for (const Row& r : rows_) {
+      j.AddRow()
+          .Str("system", r.system)
+          .Str("config", r.config)
+          .Num("mops", r.mops)
+          .Int("ops", r.ops)
+          .Int("sim_ns", r.sim_ns)
+          .Int("p50_ns", r.p50_ns)
+          .Int("p99_ns", r.p99_ns)
+          .Num("avg_batch", r.avg_batch);
+    }
+    j.Write();
   }
 
  private:
@@ -122,9 +228,11 @@ inline void RunPoint(benchmark::State& state, core::EngineAdapter* adapter,
   row.system = system;
   row.config = label;
   row.mops = result.mops;
+  row.ops = result.ops;
+  row.sim_ns = result.sim_ns;
   row.p50_ns = result.latency.Percentile(50);
   row.p99_ns = result.latency.Percentile(99);
-  row.avg_batch = avg_batch;
+  row.avg_batch = avg_batch != 0 ? avg_batch : result.avg_batch;
   table->Add(row);
 }
 

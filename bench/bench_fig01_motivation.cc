@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/hash.h"
 #include "core/baseline.h"
 #include "pm/pm_pool.h"
@@ -192,5 +193,27 @@ int main(int argc, char** argv) {
   std::printf("\n== Figure 1(c): write latency (ns) ==\n");
   std::printf("seq=%0.f rnd=%0.f in-place=%0.f\n", flatstore::g_lat_seq,
               flatstore::g_lat_rnd, flatstore::g_lat_inplace);
+
+  flatstore::bench::BenchJson j("fig01_motivation");
+  for (const auto& r : flatstore::g_a) {
+    j.AddRow()
+        .Str("figure", "1a")
+        .Int("threads", static_cast<uint64_t>(r.threads))
+        .Num("optane_mops", r.optane_mops)
+        .Num("fastfair_mops", r.ff_mops);
+  }
+  for (const auto& r : flatstore::g_b) {
+    j.AddRow()
+        .Str("figure", "1b")
+        .Int("threads", static_cast<uint64_t>(r.threads))
+        .Num("seq_gbps", r.seq_gbps)
+        .Num("rnd_gbps", r.rnd_gbps);
+  }
+  j.AddRow()
+      .Str("figure", "1c")
+      .Num("seq_ns", flatstore::g_lat_seq)
+      .Num("rnd_ns", flatstore::g_lat_rnd)
+      .Num("inplace_ns", flatstore::g_lat_inplace);
+  j.Write();
   return 0;
 }

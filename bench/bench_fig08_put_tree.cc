@@ -20,7 +20,7 @@ core::ServerConfig Config(uint32_t vlen, bool skew) {
   core::ServerConfig cfg;
   cfg.num_conns = kConns;
   cfg.client_window = 8;
-  cfg.ops_per_conn = kOpsPerPoint / kConns;
+  cfg.ops_per_conn = OpsPerPoint() / kConns;
   cfg.workload.key_space = kKeySpace;
   cfg.workload.value_len = vlen;
   cfg.workload.dist =
@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   flatstore::bench::g_table.Print();
+  flatstore::bench::g_table.WriteJson("fig08_put_tree");
   return 0;
 }

@@ -23,7 +23,7 @@ core::ServerConfig Config(int put_pct) {
   core::ServerConfig cfg;
   cfg.num_conns = kConns;
   cfg.client_window = 8;
-  cfg.ops_per_conn = kOpsPerPoint / kConns;
+  cfg.ops_per_conn = OpsPerPoint() / kConns;
   cfg.workload.key_space = kEtcKeys;
   cfg.workload.etc_values = true;
   cfg.workload.dist = workload::KeyDist::kZipfian;
@@ -39,7 +39,7 @@ void RunEtc(benchmark::State& state, Rig& rig, const char* name) {
   const int put_pct = static_cast<int>(state.range(0));
   auto cfg = Config(put_pct);
   // The pool is preloaded so Gets hit (the paper preloads the key range).
-  Preload(rig.adapter.get(), cfg.workload, kEtcKeys);
+  Preload(rig.adapter.get(), cfg.workload, BenchKeys(kEtcKeys));
   RunPoint(state, rig.adapter.get(), cfg, &g_table, name, Label(put_pct));
 }
 
@@ -100,5 +100,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   flatstore::bench::g_table.Print();
+  flatstore::bench::g_table.WriteJson("fig09_etc");
   return 0;
 }

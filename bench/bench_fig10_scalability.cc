@@ -20,7 +20,7 @@ core::ServerConfig Config(bool skew, int cores) {
   core::ServerConfig cfg;
   cfg.num_conns = std::max(8, cores * 3);
   cfg.client_window = 8;
-  cfg.ops_per_conn = kOpsPerPoint / static_cast<uint64_t>(cfg.num_conns);
+  cfg.ops_per_conn = OpsPerPoint() / static_cast<uint64_t>(cfg.num_conns);
   cfg.workload.key_space = kKeySpace;
   cfg.workload.value_len = 64;
   cfg.workload.dist =
@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   flatstore::bench::g_table.Print();
+  flatstore::bench::g_table.WriteJson("fig10_scalability");
   return 0;
 }

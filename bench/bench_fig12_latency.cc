@@ -31,7 +31,8 @@ void BM_Lat(benchmark::State& state, batch::BatchMode mode,
   core::ServerConfig cfg;
   cfg.num_conns = conns;
   cfg.client_window = window;
-  cfg.ops_per_conn = 32000 / static_cast<uint64_t>(conns);
+  cfg.ops_per_conn =
+      std::min<uint64_t>(32000, OpsPerPoint()) / static_cast<uint64_t>(conns);
   cfg.workload.key_space = kKeySpace;
   cfg.workload.value_len = 64;
   RunPoint(state, rig.adapter.get(), cfg, &g_table, name,
@@ -61,5 +62,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   flatstore::bench::g_table.Print();
+  flatstore::bench::g_table.WriteJson("fig12_latency");
   return 0;
 }

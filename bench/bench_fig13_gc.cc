@@ -81,5 +81,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long>(s.chunks_cleaned),
                 static_cast<unsigned long>(s.free_chunks));
   }
+  flatstore::bench::BenchJson j("fig13_gc");
+  for (const auto& s : flatstore::bench::g_segments) {
+    j.AddRow()
+        .Int("segment", static_cast<uint64_t>(s.id))
+        .Num("mops", s.mops)
+        .Int("chunks_cleaned", s.chunks_cleaned)
+        .Int("free_chunks", s.free_chunks);
+  }
+  j.Write();
   return 0;
 }

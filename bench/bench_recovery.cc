@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/flatstore.h"
 
 namespace flatstore {
@@ -87,5 +88,15 @@ int main(int argc, char** argv) {
               flatstore::g_crash_items_per_sec / 1e6);
   std::printf("checkpoint (clean):  %.1f M items/s\n",
               flatstore::g_clean_items_per_sec / 1e6);
+  flatstore::bench::BenchJson j("recovery");
+  j.AddRow()
+      .Str("mode", "crash_replay")
+      .Int("items", flatstore::kItems)
+      .Num("items_per_sec", flatstore::g_crash_items_per_sec);
+  j.AddRow()
+      .Str("mode", "clean_checkpoint")
+      .Int("items", flatstore::kItems)
+      .Num("items_per_sec", flatstore::g_clean_items_per_sec);
+  j.Write();
   return 0;
 }

@@ -183,13 +183,31 @@ int main(int argc, char** argv) {
   const unsigned hw = argc > 1
                           ? static_cast<unsigned>(std::atoi(argv[1]))
                           : std::thread::hardware_concurrency();
+  // Machine-readable mirror of the table (no bench_common.h here — this
+  // binary doesn't link google-benchmark).
+  std::FILE* json = std::fopen("BENCH_retire_scalability.json", "w");
+  if (json != nullptr) std::fprintf(json, "{\"bench\": \"retire_scalability\", \"rows\": [");
+  bool first = true;
   for (int t : {1, 2, 4, 8}) {
     if (hw != 0 && static_cast<unsigned>(t) > hw) break;
     for (const bool lock_mode : {false, true}) {
       const auto r = flatstore::RunMode(t, lock_mode);
       std::printf("%-8d %-8s %12.1f %12.2f\n", t,
                   lock_mode ? "lock" : "epoch", r.wall_ms, r.mops);
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "%s{\"threads\": %d, \"mode\": \"%s\", "
+                     "\"wall_ms\": %.3f, \"mops\": %.6g}",
+                     first ? "" : ", ", t, lock_mode ? "lock" : "epoch",
+                     r.wall_ms, r.mops);
+        first = false;
+      }
     }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "]}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_retire_scalability.json\n");
   }
   return 0;
 }

@@ -26,11 +26,13 @@ void BM_Rpc(benchmark::State& state, bool all_to_all, const char* name) {
   core::ServerConfig cfg;
   cfg.num_conns = conns;
   cfg.client_window = 8;
-  cfg.ops_per_conn = 64000 / static_cast<uint64_t>(conns);
+  cfg.ops_per_conn =
+      std::min<uint64_t>(64000, OpsPerPoint()) / static_cast<uint64_t>(conns);
   cfg.workload.key_space = 1 << 16;
   cfg.workload.get_ratio = 1.0;  // pure RPC exercise
   cfg.all_to_all_qps = all_to_all;
-  Preload(rig.adapter.get(), cfg.workload, cfg.workload.key_space);
+  Preload(rig.adapter.get(), cfg.workload,
+          BenchKeys(cfg.workload.key_space));
   RunPoint(state, rig.adapter.get(), cfg, &g_table, name,
            "conns=" + std::to_string(conns));
 }
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   flatstore::bench::g_table.Print();
+  flatstore::bench::g_table.WriteJson("rpc");
   return 0;
 }

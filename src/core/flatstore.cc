@@ -355,6 +355,106 @@ bool FlatStore::GetOnCore(int core, uint64_t key, std::string* value) {
   return true;
 }
 
+size_t FlatStore::MultiGetOnCore(int core, const uint64_t* keys, size_t n,
+                                 ReadResult* results) {
+  FLATSTORE_CHECK_LE(n, kMaxReadBatch);
+  if (n == 0) return 0;
+  // One pin covers every entry dereference in the batch.
+  common::EpochManager::Guard g(epochs_.get(), core);
+  vt::Charge(vt::kEpochPinCost);
+  index::KvIndex* idx = IndexForCore(core);
+  CoreState& cs = *cores_[core];
+
+  index::LookupHint hints[kMaxReadBatch];
+  uint64_t packed[kMaxReadBatch];
+  uint64_t ready[kMaxReadBatch];  // read-completion times (phases C/D)
+  const int ways =
+      n > static_cast<size_t>(vt::kMemParallelism)
+          ? vt::kMemParallelism
+          : static_cast<int>(n);
+
+  size_t served = 0;
+  {
+    vt::ScopedOverlap overlap(ways);
+    // Phase A: conflict check + locate/prefetch every key.
+    for (size_t i = 0; i < n; i++) {
+      results[i].value.clear();
+      if (cs.inflight_keys.Contains(keys[i])) {
+        results[i].status = GetResult::kDeferred;
+        continue;
+      }
+      results[i].status = GetResult::kAbsent;  // provisional until phase B
+      idx->PrefetchGet(keys[i], &hints[i]);
+    }
+    // Phase B: finish the probes on (mostly) warm lines.
+    for (size_t i = 0; i < n; i++) {
+      if (results[i].status == GetResult::kDeferred) continue;
+      results[i].status = idx->GetWithHint(keys[i], hints[i], &packed[i])
+                              ? GetResult::kFound
+                              : GetResult::kAbsent;
+      served++;
+    }
+  }
+
+  // Phase C: issue every log-entry header read at one instant; advance to
+  // each completion only when that entry is decoded, so independent PM/
+  // DRAM fetches overlap instead of serializing as in GetOnCore.
+  vt::Clock* clock = vt::CurrentClock();
+  const uint64_t issue = clock != nullptr ? clock->now() : 0;
+  for (size_t i = 0; i < n; i++) {
+    if (results[i].status != GetResult::kFound) continue;
+    const void* entry = pool_->At(log::UnpackOffset(packed[i]));
+    __builtin_prefetch(entry, 0, 3);
+    if (clock != nullptr) {
+      vt::Charge(vt::kPrefetchIssueCost);
+      ready[i] = pool_->ChargeReadAt(entry, log::kPtrEntrySize, issue);
+    }
+  }
+
+  // Decode in order; embedded values complete here, out-of-log blocks are
+  // issued as a second overlapped read wave (phase D) and consumed below.
+  log::DecodedEntry entries[kMaxReadBatch];
+  for (size_t i = 0; i < n; i++) {
+    if (results[i].status != GetResult::kFound) continue;
+    if (clock != nullptr) clock->AdvanceTo(ready[i]);
+    const uint64_t off = log::UnpackOffset(packed[i]);
+    log::DecodedEntry& e = entries[i];
+    bool ok = log::DecodeEntry(static_cast<const uint8_t*>(pool_->At(off)),
+                               log::kMaxEntrySize, &e);
+    FLATSTORE_CHECK(ok) << "index pointed at an invalid entry: key="
+                        << keys[i] << " off=" << off;
+    if (e.op == log::OpType::kDelete) {
+      results[i].status = GetResult::kAbsent;  // tombstone
+      continue;
+    }
+    if (e.embedded) {
+      vt::Charge(vt::CostMemcpy(e.value_len));
+      results[i].value.assign(reinterpret_cast<const char*>(e.value),
+                              e.value_len);
+      e.ptr = 0;  // no phase-D read
+    } else if (clock != nullptr) {
+      const char* block = static_cast<const char*>(pool_->At(e.ptr));
+      uint64_t len;
+      std::memcpy(&len, block, 8);
+      ready[i] = pool_->ChargeReadAt(block, len + 8, clock->now());
+    }
+  }
+
+  // Phase D: consume the out-of-log value blocks.
+  for (size_t i = 0; i < n; i++) {
+    if (results[i].status != GetResult::kFound) continue;
+    const log::DecodedEntry& e = entries[i];
+    if (e.embedded || e.ptr == 0) continue;
+    if (clock != nullptr) clock->AdvanceTo(ready[i]);
+    const char* block = static_cast<const char*>(pool_->At(e.ptr));
+    uint64_t len;
+    std::memcpy(&len, block, 8);
+    vt::Charge(vt::CostMemcpy(len));
+    results[i].value.assign(block + 8, len);
+  }
+  return served;
+}
+
 // ---- synchronous wrappers ------------------------------------------------
 
 void FlatStore::Put(uint64_t key, std::string_view value) {

@@ -82,6 +82,22 @@ enum class OpStatus {
   kNoSpace,       // PM exhausted
 };
 
+// Per-key outcome of a MultiGet batch.
+enum class GetResult : uint8_t {
+  kFound,     // value filled
+  kAbsent,    // no live version (missing key or tombstone)
+  kDeferred,  // write in flight on this key — retry after the next drain
+};
+
+struct ReadResult {
+  GetResult status = GetResult::kAbsent;
+  std::string value;
+};
+
+// Upper bound on one MultiGet batch, fixed so all per-batch state (hints,
+// packed values, read completions) lives on the stack.
+inline constexpr size_t kMaxReadBatch = 64;
+
 // The engine.
 class FlatStore {
  public:
@@ -147,6 +163,19 @@ class FlatStore {
   bool KeyBusy(int core, uint64_t key) const;
   // Read on the owning core (immediate; volatile index + log/block read).
   bool GetOnCore(int core, uint64_t key, std::string* value);
+  // Batched read on the owning core: one epoch pin per batch, then a
+  // prefetch-interleaved pipeline — phase A hashes/routes every key and
+  // issues software prefetches (index::KvIndex::PrefetchGet), phase B
+  // completes the probes on warm lines, phase C issues all log-entry
+  // header reads back-to-back and consumes them in order, phase D does
+  // the same for out-of-log value blocks. Independent misses are
+  // amortized by min(n, vt::kMemParallelism). Keys with in-flight writes
+  // come back kDeferred (the same conflict rule GetOnCore's callers
+  // enforce via KeyBusy) and must be retried after a drain. Requires
+  // n <= kMaxReadBatch. Returns the number of keys served (i.e. with
+  // status != kDeferred).
+  size_t MultiGetOnCore(int core, const uint64_t* keys, size_t n,
+                        ReadResult* results);
 
   // ---- lifecycle ----
 

@@ -1,7 +1,8 @@
 #include "core/server.h"
 
+#include <algorithm>
 #include <cstring>
-#include <unordered_map>
+#include <deque>
 
 #include "vt/clock.h"
 #include "vt/costs.h"
@@ -18,7 +19,7 @@ EngineAdapter::Submit FlatStoreAdapter::SubmitPut(int core, uint64_t key,
   FlatStore::OpHandle h;
   switch (store_->BeginPut(core, key, value, len, &h)) {
     case OpStatus::kOk:
-      pending_[core].push_back({h, tag});
+      pending_[core].Push({h, tag});
       return Submit::kPending;
     case OpStatus::kBusy:
       return Submit::kBusy;
@@ -35,7 +36,7 @@ EngineAdapter::Submit FlatStoreAdapter::SubmitDelete(int core, uint64_t key,
   FlatStore::OpHandle h;
   switch (store_->BeginDelete(core, key, &h)) {
     case OpStatus::kOk:
-      pending_[core].push_back({h, tag});
+      pending_[core].Push({h, tag});
       return Submit::kPending;
     case OpStatus::kNotFound:
       return Submit::kNotFound;
@@ -52,14 +53,13 @@ size_t FlatStoreAdapter::Drain(int core, std::vector<Done>* done) {
   store_->Drain(core, SIZE_MAX, &completions);
   if (completions.empty()) return 0;
   // Completions come back in FIFO order, matching pending_.
-  auto& pend = pending_[core];
-  FLATSTORE_CHECK_GE(pend.size(), completions.size());
+  TagRing& pend = pending_[core];
+  FLATSTORE_CHECK_GE(pend.count, completions.size());
   for (size_t i = 0; i < completions.size(); i++) {
-    FLATSTORE_DCHECK(pend[i].handle == completions[i].handle);
-    done->push_back({pend[i].tag, completions[i].done_time});
+    FLATSTORE_DCHECK(pend.At(i).handle == completions[i].handle);
+    done->push_back({pend.At(i).tag, completions[i].done_time});
   }
-  pend.erase(pend.begin(),
-             pend.begin() + static_cast<long>(completions.size()));
+  pend.PopN(completions.size());
   return completions.size();
 }
 
@@ -70,10 +70,51 @@ namespace {
 // Per-core server state across scheduling quanta.
 struct CoreLoop {
   vt::Clock clock;
-  std::unordered_map<uint64_t, std::pair<int, net::Request>> pending;
+  // In-flight writes in submission order. Tags are assigned sequentially
+  // and the engine drains FIFO, so completions always match the front —
+  // a deque replaces the old per-op hash-map insert/erase.
+  struct PendingWrite {
+    uint64_t tag;
+    int conn;
+    net::Request req;
+  };
+  std::deque<PendingWrite> pending;
+  // Read batch for the MultiGet path: Gets admitted this quantum plus
+  // deferred leftovers (keys whose writes were in flight) carried over.
+  struct ReadSlot {
+    int conn;
+    net::Request req;
+  };
+  std::vector<ReadSlot> reads;
+  std::vector<uint64_t> read_keys;       // scratch, sized kMaxReadBatch
+  std::vector<ReadResult> read_results;  // scratch, sized kMaxReadBatch
   uint64_t next_tag = 1;
   uint64_t completed = 0;
+
+  CoreLoop() {
+    reads.reserve(kMaxReadBatch);
+    read_keys.resize(kMaxReadBatch);
+    read_results.resize(kMaxReadBatch);
+  }
 };
+
+// Posts the response for an already-served read.
+void PostReadResponse(net::FlatRpc& rpc, int core, int conn,
+                      const net::Request& req, const ReadResult& r) {
+  net::Response resp;
+  resp.type = req.type;
+  resp.seq = req.seq;
+  resp.value_len = 0;
+  if (r.status == GetResult::kFound) {
+    resp.status = net::MsgStatus::kOk;
+    resp.value_len = static_cast<uint32_t>(
+        std::min<size_t>(r.value.size(), net::kMaxMsgValue));
+    std::memcpy(resp.value, r.value.data(), resp.value_len);
+  } else {
+    resp.status = net::MsgStatus::kNotFound;
+  }
+  rpc.PostResponse(core, conn, &resp, 0);
+}
 
 void RespondNow(net::FlatRpc& rpc, int core, int conn,
                 const net::Request& req, EngineAdapter* engine,
@@ -107,9 +148,10 @@ void RespondNow(net::FlatRpc& rpc, int core, int conn,
 // deterministic for a given seed (host scheduling must not leak into the
 // model; the concurrent deployment is exercised by the test suite).
 bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
-                  CoreLoop& state) {
+                  CoreLoop& state, int read_batch) {
   vt::ScopedClock bind(&state.clock);
   bool progress = false;
+  const bool batched = read_batch > 1;
 
   // Poll and admit a bounded burst (user-level polling, per-core
   // processing -- paper 3.1).
@@ -117,10 +159,24 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
     int conn;
     net::Request* req = rpc.PollRequest(core, &conn);
     if (req == nullptr) break;
+    if (batched && req->type == net::MsgType::kGet &&
+        state.reads.size() >= static_cast<size_t>(read_batch)) {
+      // Batch full: the Get stays at its ring head for the next quantum.
+      break;
+    }
     state.clock.AdvanceTo(rpc.ArrivalTime(*req));
     vt::Charge(vt::kRpcProcessCost);
 
     if (req->type == net::MsgType::kGet) {
+      if (batched) {
+        // Admit into this quantum's read batch; the conflict check runs
+        // inside MultiGet (busy keys come back kDeferred and are carried
+        // to the next quantum instead of head-of-line-blocking the ring).
+        state.reads.push_back({conn, *req});
+        rpc.PopRequest(core, conn);
+        progress = true;
+        continue;
+      }
       if (engine->KeyBusy(core, req->key)) continue;  // conflict queue
       RespondNow(rpc, core, conn, *req, engine);
       rpc.PopRequest(core, conn);
@@ -139,7 +195,7 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
     }
     switch (st) {
       case EngineAdapter::Submit::kPending:
-        state.pending.emplace(tag, std::make_pair(conn, *req));
+        state.pending.push_back({tag, conn, *req});
         rpc.PopRequest(core, conn);
         progress = true;
         break;
@@ -163,6 +219,32 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
     }
   }
 
+  // Serve the accumulated read batch in one prefetch-interleaved pass.
+  // Deferred keys (write in flight) stay in `reads` and retry next
+  // quantum, after the persist step has had a chance to drain the
+  // blocking write; they never livelock because persist steps always
+  // make progress on staged writes.
+  if (batched && !state.reads.empty()) {
+    const size_t n = state.reads.size();
+    for (size_t i = 0; i < n; i++) {
+      state.read_keys[i] = state.reads[i].req.key;
+    }
+    engine->MultiGet(core, state.read_keys.data(), n,
+                     state.read_results.data());
+    size_t kept = 0;
+    for (size_t i = 0; i < n; i++) {
+      if (state.read_results[i].status == GetResult::kDeferred) {
+        state.reads[kept++] = state.reads[i];
+        continue;
+      }
+      PostReadResponse(rpc, core, state.reads[i].conn, state.reads[i].req,
+                       state.read_results[i]);
+      state.completed++;
+      progress = true;
+    }
+    state.reads.resize(kept);
+  }
+
   return progress;
 }
 
@@ -178,11 +260,11 @@ bool CorePersistStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
   done_scratch.clear();
   if (engine->Drain(core, &done_scratch) > 0) {
     for (const auto& d : done_scratch) {
-      auto it = state.pending.find(d.tag);
-      FLATSTORE_CHECK(it != state.pending.end());
-      RespondNow(rpc, core, it->second.first, it->second.second, engine,
-                 d.done_time);
-      state.pending.erase(it);
+      FLATSTORE_CHECK(!state.pending.empty());
+      const CoreLoop::PendingWrite& w = state.pending.front();
+      FLATSTORE_CHECK_EQ(w.tag, d.tag);  // drains complete in submit order
+      RespondNow(rpc, core, w.conn, w.req, engine, d.done_time);
+      state.pending.pop_front();
       state.completed++;
     }
     progress = true;
@@ -192,12 +274,22 @@ bool CorePersistStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
 
 // One simulated client connection.
 struct Conn {
+  // In-flight window is capped at 8 (the response ring size, checked in
+  // RunServer), so a fixed array with swap-erase replaces the old
+  // seq->post-time hash map and its per-request node allocations.
+  static constexpr size_t kMaxWindow = 8;
+  struct Posted {
+    uint64_t seq;
+    uint64_t post_time;
+  };
+
   int id;
   uint64_t clock = 0;  // connection-local simulated time
   uint64_t issued = 0;
   uint64_t completed = 0;
   uint64_t next_seq = 1;
-  std::unordered_map<uint64_t, uint64_t> post_times;  // seq -> post time
+  Posted posted[kMaxWindow];
+  size_t nposted = 0;
   std::unique_ptr<workload::Generator> gen;
   Histogram latency;
 };
@@ -208,10 +300,11 @@ void DrainResponses(net::FlatRpc& rpc, Conn* conn) {
   while (rpc.PollResponse(conn->id, &resp)) {
     const uint64_t arrival = net::FlatRpc::ResponseArrival(resp);
     conn->clock = std::max(conn->clock, arrival);
-    auto it = conn->post_times.find(resp.seq);
-    FLATSTORE_CHECK(it != conn->post_times.end());
-    conn->latency.Record(arrival - it->second);
-    conn->post_times.erase(it);
+    size_t i = 0;
+    while (i < conn->nposted && conn->posted[i].seq != resp.seq) i++;
+    FLATSTORE_CHECK_LT(i, conn->nposted) << "response for unknown seq";
+    conn->latency.Record(arrival - conn->posted[i].post_time);
+    conn->posted[i] = conn->posted[--conn->nposted];
     conn->completed++;
   }
 }
@@ -221,8 +314,7 @@ void DrainResponses(net::FlatRpc& rpc, Conn* conn) {
 bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
               const ServerConfig& config, const uint8_t* value) {
   while (conn->issued < config.ops_per_conn &&
-         conn->post_times.size() <
-             static_cast<size_t>(config.client_window)) {
+         conn->nposted < static_cast<size_t>(config.client_window)) {
     workload::Op op = conn->gen->Next();
     net::Request req;
     req.seq = conn->next_seq;
@@ -248,7 +340,7 @@ bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
       conn->clock -= vt::kClientPostCost;
       break;  // ring full; retry after draining responses
     }
-    conn->post_times.emplace(req.seq, req.post_time);
+    conn->posted[conn->nposted++] = {req.seq, req.post_time};
     conn->next_seq++;
     conn->issued++;
   }
@@ -261,6 +353,8 @@ bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
 ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
   FLATSTORE_CHECK_LE(config.client_window, 8)
       << "client window exceeds the response ring size";
+  const int read_batch =
+      std::min(config.read_batch, static_cast<int>(kMaxReadBatch));
   net::FlatRpc::Options ro;
   ro.num_cores = engine->num_cores();
   ro.num_conns = config.num_conns;
@@ -296,7 +390,7 @@ ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
     while (round_progress) {
       round_progress = false;
       for (int c = 0; c < ncores; c++) {
-        if (CorePollStep(engine, rpc, c, core_state[c])) {
+        if (CorePollStep(engine, rpc, c, core_state[c], read_batch)) {
           round_progress = true;
         }
       }
@@ -319,7 +413,9 @@ ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
   while (progress) {
     progress = false;
     for (int c = 0; c < ncores; c++) {
-      if (CorePollStep(engine, rpc, c, core_state[c])) progress = true;
+      if (CorePollStep(engine, rpc, c, core_state[c], read_batch)) {
+        progress = true;
+      }
       if (CorePersistStep(engine, rpc, c, core_state[c], done_scratch)) {
         progress = true;
       }

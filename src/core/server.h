@@ -57,6 +57,28 @@ class EngineAdapter {
     return false;
   }
 
+  // Batched immediate read: fills results[i] for keys[i]; keys with an
+  // in-flight write come back GetResult::kDeferred and must be retried
+  // after a drain. Returns the number of keys served (non-deferred).
+  // Default: per-key KeyBusy + Get — engines without a batched pipeline
+  // stay correct (and measurably serial). Requires n <= kMaxReadBatch.
+  virtual size_t MultiGet(int core, const uint64_t* keys, size_t n,
+                          ReadResult* results) {
+    size_t served = 0;
+    for (size_t i = 0; i < n; i++) {
+      results[i].value.clear();
+      if (KeyBusy(core, keys[i])) {
+        results[i].status = GetResult::kDeferred;
+        continue;
+      }
+      results[i].status = Get(core, keys[i], &results[i].value)
+                              ? GetResult::kFound
+                              : GetResult::kAbsent;
+      served++;
+    }
+    return served;
+  }
+
   // One g-persist attempt (no-op for synchronous engines). Returns the
   // number of entries persisted by this call.
   virtual size_t Pump(int core) = 0;
@@ -89,6 +111,10 @@ class FlatStoreAdapter final : public EngineAdapter {
   bool Get(int core, uint64_t key, std::string* value) override {
     return store_->GetOnCore(core, key, value);
   }
+  size_t MultiGet(int core, const uint64_t* keys, size_t n,
+                  ReadResult* results) override {
+    return store_->MultiGetOnCore(core, keys, n, results);
+  }
   bool KeyBusy(int core, uint64_t key) const override {
     return store_->KeyBusy(core, key);
   }
@@ -100,9 +126,32 @@ class FlatStoreAdapter final : public EngineAdapter {
     FlatStore::OpHandle handle;
     uint64_t tag;
   };
+  // FIFO ring of in-flight tags per core. Population is bounded by the
+  // HB request pool (Stage backpressures before overflow), so a fixed
+  // ring replaces the old vector whose front-erase was O(n) per drain.
+  struct TagRing {
+    std::unique_ptr<PendingTag[]> slots{
+        new PendingTag[batch::HbEngine::kPoolSlots]};
+    size_t head = 0;
+    size_t count = 0;
+
+    void Push(const PendingTag& t) {
+      FLATSTORE_DCHECK(count < batch::HbEngine::kPoolSlots);
+      slots[(head + count) % batch::HbEngine::kPoolSlots] = t;
+      count++;
+    }
+    const PendingTag& At(size_t i) const {
+      FLATSTORE_DCHECK(i < count);
+      return slots[(head + i) % batch::HbEngine::kPoolSlots];
+    }
+    void PopN(size_t n) {
+      FLATSTORE_DCHECK(n <= count);
+      head = (head + n) % batch::HbEngine::kPoolSlots;
+      count -= n;
+    }
+  };
   FlatStore* store_;
-  std::vector<std::vector<PendingTag>> pending_ =
-      std::vector<std::vector<PendingTag>>(log::kMaxCores);
+  std::vector<TagRing> pending_ = std::vector<TagRing>(log::kMaxCores);
   // Per-core completion scratch, reused across Drain calls so the serving
   // loop stops heap-allocating a vector per drain (steady state: zero
   // allocations once each core's vector reached its high-water capacity).
@@ -146,6 +195,10 @@ struct ServerConfig {
   int client_threads = 2;     // host threads driving the connections
   int client_window = 8;      // async requests in flight per connection
   uint64_t ops_per_conn = 10000;
+  // Gets polled by a core in one quantum are served as a single MultiGet
+  // batch of (up to) this size; <= 1 selects the legacy per-request read
+  // path. Clamped to kMaxReadBatch.
+  int read_batch = 16;
   workload::Config workload;
   bool all_to_all_qps = false;
   uint64_t seed = 1;

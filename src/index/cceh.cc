@@ -189,6 +189,34 @@ bool Cceh::Get(uint64_t key, uint64_t* value) const {
   return true;
 }
 
+void Cceh::PrefetchGet(uint64_t key, LookupHint* hint) const {
+  vt::Charge(vt::kCpuHash);
+  hint->hash = HashKey(key);
+  Segment* seg = SegmentFor(hint->hash);
+  vt::Charge(vt::kCpuSlotProbe);  // directory lookup (cached)
+  for (uint32_t b = 0; b < kProbeBuckets; b++) {
+    __builtin_prefetch(&seg->buckets[BucketIndex(hint->hash, b)], 0, 3);
+  }
+  vt::Charge(kProbeBuckets * vt::kPrefetchIssueCost);
+  hint->node = seg;
+  hint->valid = true;
+}
+
+bool Cceh::GetWithHint(uint64_t key, const LookupHint& hint,
+                       uint64_t* value) const {
+  // A split between the phases moves the directory entry off the hinted
+  // segment (only the single writer splits, so within one MultiGet batch
+  // this never fires); stale hints take the serial fallback.
+  if (!hint.valid || SegmentFor(hint.hash) != hint.node) {
+    return KvIndex::GetWithHint(key, hint, value);
+  }
+  SlotRef ref = FindSlot(key, hint.hash);  // hash charged in phase A
+  if (ref.bucket == nullptr) return false;
+  *value = std::atomic_ref<uint64_t>(ref.bucket->values[ref.slot])
+               .load(std::memory_order_acquire);
+  return true;
+}
+
 bool Cceh::Erase(uint64_t key, uint64_t* old_value) {
   vt::Charge(vt::kCpuHash);
   std::lock_guard<SpinLock> g(mutate_lock_);

@@ -194,6 +194,41 @@ bool FastFair::Get(uint64_t key, uint64_t* value) const {
   return false;
 }
 
+void FastFair::PrefetchGet(uint64_t key, LookupHint* hint) const {
+  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  const Node* leaf = FindLeaf(key);
+  // Pull the whole 512 B node so the phase-B linear scan stays on warm
+  // lines.
+  const char* base = reinterpret_cast<const char*>(leaf);
+  for (uint64_t off = 0; off < sizeof(Node); off += 64) {
+    __builtin_prefetch(base + off, 0, 3);
+  }
+  vt::Charge((sizeof(Node) / 64) * vt::kPrefetchIssueCost);
+  hint->node = leaf;
+  hint->valid = true;
+}
+
+bool FastFair::GetWithHint(uint64_t key, const LookupHint& hint,
+                           uint64_t* value) const {
+  if (!hint.valid) return KvIndex::GetWithHint(key, hint, value);
+  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  const Node* leaf = static_cast<const Node*>(hint.node);
+  // FAIR sibling links: a split between the phases moves the upper half
+  // right, never left (no merges), and nodes are never freed — so a stale
+  // hint is repaired by walking right. Each hop is an un-prefetched node.
+  while (leaf->count > 0 && leaf->sibling != nullptr &&
+         key > leaf->entries[leaf->count - 1].key) {
+    leaf = leaf->sibling;
+    arena_.ctx().ChargeNodeRead(leaf);
+  }
+  int i = LowerBound(leaf, key);
+  if (i < static_cast<int>(leaf->count) && leaf->entries[i].key == key) {
+    *value = leaf->entries[i].value;
+    return true;
+  }
+  return false;
+}
+
 bool FastFair::Erase(uint64_t key, uint64_t* old_value) {
   std::unique_lock<std::shared_mutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);

@@ -38,6 +38,9 @@ class FastFair final : public OrderedKvIndex {
   bool Upsert(uint64_t key, uint64_t value,
               uint64_t* old_value) override;
   bool Get(uint64_t key, uint64_t* value) const override;
+  void PrefetchGet(uint64_t key, LookupHint* hint) const override;
+  bool GetWithHint(uint64_t key, const LookupHint& hint,
+                   uint64_t* value) const override;
   bool Erase(uint64_t key, uint64_t* old_value) override;
   bool CompareExchange(uint64_t key, uint64_t expected,
                        uint64_t desired) override;

@@ -28,6 +28,7 @@
 
 #include "alloc/lazy_allocator.h"
 #include "pm/pm_pool.h"
+#include "vt/clock.h"
 #include "vt/costs.h"
 
 namespace flatstore {
@@ -49,12 +50,14 @@ struct PmContext {
   bool persistent() const { return pool != nullptr; }
   // Charges the fetch of one node/bucket line at `p`: an Optane media
   // read (through the device's bandwidth model) in persistent mode, a
-  // DRAM cache miss in volatile mode.
+  // DRAM cache miss in volatile mode. The volatile miss is amortized by
+  // the active vt overlap factor (1 — i.e. unchanged — outside a batched
+  // MultiGet's prefetch-interleaved probe phase).
   void ChargeNodeRead(const void* p) const {
     if (pool != nullptr) {
       pool->ChargeRead(p, 64);
     } else {
-      vt::Charge(vt::kCpuCacheMiss);
+      vt::ChargeMiss(vt::kCpuCacheMiss);
     }
   }
   // Flush helpers that collapse to no-ops in volatile mode.
@@ -76,6 +79,19 @@ struct KvPair {
   uint64_t value;
 };
 
+// Opaque two-phase lookup state handed from PrefetchGet to GetWithHint.
+// Plain POD so MultiGet batches keep arrays of hints without allocating;
+// field meaning is private to each index. A hint is only valid for the
+// key PrefetchGet produced it for, and only until the next structural
+// mutation by the owning writer (GetWithHint revalidates cheaply and
+// falls back to a plain probe when stale).
+struct LookupHint {
+  uint64_t hash = 0;         // primary hash (hash indexes)
+  uint64_t hash2 = 0;        // secondary hash (level hashing)
+  const void* node = nullptr;  // located bucket/segment/leaf
+  bool valid = false;        // phase A located something prefetchable
+};
+
 // Abstract point-query index.
 class KvIndex {
  public:
@@ -90,6 +106,32 @@ class KvIndex {
 
   // Looks up `key`; fills `*value` and returns true if present.
   virtual bool Get(uint64_t key, uint64_t* value) const = 0;
+
+  // ---- two-phase lookup (the batched-read pipeline, ISSUE 3) ----
+  //
+  // Phase A: hash/route `key`, issue software prefetches for the memory
+  // the probe will touch, and record what was located in `*hint`. Must
+  // not block and must not depend on the prefetched lines having
+  // arrived. Base-class default: no-op (the hint stays invalid), so
+  // indexes without a two-phase implementation remain correct through
+  // the GetWithHint fallback.
+  virtual void PrefetchGet(uint64_t key, LookupHint* hint) const {
+    (void)key;
+    hint->valid = false;
+  }
+
+  // Phase B: completes the lookup started by PrefetchGet(key, hint).
+  // With a valid, still-fresh hint the probe touches prefetched lines —
+  // charged as overlapped misses under the caller's vt overlap window.
+  // Base-class default (also the stale-hint fallback): a plain Get()
+  // inside a serial overlap scope, so an un-prefetched probe pays full
+  // miss latency and cannot free-ride on the batch.
+  virtual bool GetWithHint(uint64_t key, const LookupHint& hint,
+                           uint64_t* value) const {
+    (void)hint;
+    vt::ScopedOverlap serial(1);
+    return Get(key, value);
+  }
 
   // Removes `key`; the removed value is returned through `*old_value`.
   // Returns true iff the key was present.

@@ -23,19 +23,22 @@ LevelHashing::Bucket* LevelHashing::NewLevel(uint64_t buckets) {
   return level;
 }
 
-LevelHashing::Bucket& LevelHashing::Cand(bool top, int which,
-                                         uint64_t key) const {
-  const uint64_t h = which == 0 ? HashKey(key) : HashKey2(key);
+LevelHashing::Bucket& LevelHashing::BucketAt(bool top, uint64_t h) const {
   const uint64_t mask =
       (top ? (1ull << level_bits_) : (1ull << (level_bits_ - 1))) - 1;
   return (top ? top_ : bottom_)[h & mask];
 }
 
-LevelHashing::SlotRef LevelHashing::FindSlot(uint64_t key) const {
-  vt::Charge(2 * vt::kCpuHash);
+LevelHashing::Bucket& LevelHashing::Cand(bool top, int which,
+                                         uint64_t key) const {
+  return BucketAt(top, which == 0 ? HashKey(key) : HashKey2(key));
+}
+
+LevelHashing::SlotRef LevelHashing::FindSlotHashed(uint64_t key, uint64_t h1,
+                                                   uint64_t h2) const {
   for (bool top : {true, false}) {
-    for (int which = 0; which < 2; which++) {
-      Bucket& b = Cand(top, which, key);
+    for (uint64_t h : {h1, h2}) {
+      Bucket& b = BucketAt(top, h);
       arena_.ctx().ChargeNodeRead(&b);
       for (int i = 0; i < kSlots; i++) {
         vt::Charge(vt::kCpuSlotProbe);
@@ -44,6 +47,11 @@ LevelHashing::SlotRef LevelHashing::FindSlot(uint64_t key) const {
     }
   }
   return {};
+}
+
+LevelHashing::SlotRef LevelHashing::FindSlot(uint64_t key) const {
+  vt::Charge(2 * vt::kCpuHash);
+  return FindSlotHashed(key, HashKey(key), HashKey2(key));
 }
 
 bool LevelHashing::TryInsert(Bucket& bucket, uint64_t key, uint64_t value) {
@@ -166,6 +174,32 @@ void LevelHashing::ForEach(
 
 bool LevelHashing::Get(uint64_t key, uint64_t* value) const {
   SlotRef ref = FindSlot(key);
+  if (ref.bucket == nullptr) return false;
+  *value = std::atomic_ref<uint64_t>(ref.bucket->values[ref.slot])
+               .load(std::memory_order_acquire);
+  return true;
+}
+
+void LevelHashing::PrefetchGet(uint64_t key, LookupHint* hint) const {
+  vt::Charge(2 * vt::kCpuHash);
+  hint->hash = HashKey(key);
+  hint->hash2 = HashKey2(key);
+  for (bool top : {true, false}) {
+    for (uint64_t h : {hint->hash, hint->hash2}) {
+      __builtin_prefetch(&BucketAt(top, h), 0, 3);
+    }
+  }
+  vt::Charge(4 * vt::kPrefetchIssueCost);
+  hint->node = top_;  // resize swaps levels; used as a freshness stamp
+  hint->valid = true;
+}
+
+bool LevelHashing::GetWithHint(uint64_t key, const LookupHint& hint,
+                               uint64_t* value) const {
+  if (!hint.valid || hint.node != top_) {
+    return KvIndex::GetWithHint(key, hint, value);
+  }
+  SlotRef ref = FindSlotHashed(key, hint.hash, hint.hash2);
   if (ref.bucket == nullptr) return false;
   *value = std::atomic_ref<uint64_t>(ref.bucket->values[ref.slot])
                .load(std::memory_order_acquire);

@@ -35,6 +35,9 @@ class LevelHashing final : public KvIndex {
   bool Upsert(uint64_t key, uint64_t value,
               uint64_t* old_value) override;
   bool Get(uint64_t key, uint64_t* value) const override;
+  void PrefetchGet(uint64_t key, LookupHint* hint) const override;
+  bool GetWithHint(uint64_t key, const LookupHint& hint,
+                   uint64_t* value) const override;
   bool Erase(uint64_t key, uint64_t* old_value) override;
   bool CompareExchange(uint64_t key, uint64_t expected,
                        uint64_t desired) override;
@@ -65,6 +68,11 @@ class LevelHashing final : public KvIndex {
     int slot = 0;
   };
   SlotRef FindSlot(uint64_t key) const;
+  // Probe with precomputed hashes (two-phase lookups hash in phase A).
+  SlotRef FindSlotHashed(uint64_t key, uint64_t h1, uint64_t h2) const;
+
+  // Bucket addressed by hash `h` in the given level.
+  Bucket& BucketAt(bool top, uint64_t h) const;
 
   // Tries to place (key, value) in `bucket`; persists and returns true on
   // success.

@@ -63,7 +63,9 @@ Masstree::Leaf* Masstree::Descend(uint64_t key,
                                   std::vector<Inner*>* path) const {
   void* n = root_;
   for (uint32_t h = height_; h > 1; h--) {
-    vt::Charge(vt::kCpuCacheMiss);
+    // Amortized under a MultiGet overlap window (descents of independent
+    // keys are independent pointer chases); serial cost otherwise.
+    vt::ChargeMiss(vt::kCpuCacheMiss);
     Inner* inner = static_cast<Inner*>(n);
     if (path != nullptr) path->push_back(inner);
     int i = 0;
@@ -73,7 +75,7 @@ Masstree::Leaf* Masstree::Descend(uint64_t key,
     }
     n = i == 0 ? inner->leftmost : inner->entries[i - 1].child;
   }
-  vt::Charge(vt::kCpuCacheMiss);
+  vt::ChargeMiss(vt::kCpuCacheMiss);
   return static_cast<Leaf*>(n);
 }
 
@@ -227,6 +229,49 @@ bool Masstree::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
 bool Masstree::Get(uint64_t key, uint64_t* value) const {
   std::shared_lock<std::shared_mutex> g(rw_lock_);
   const Leaf* leaf = Descend(key, nullptr);
+  bool found;
+  int pos = LeafPosition(leaf, key, &found);
+  if (!found) return false;
+  int slot = Permuter::At(leaf->permutation, pos);
+  *value = std::atomic_ref<const uint64_t>(leaf->values[slot])
+               .load(std::memory_order_acquire);
+  return true;
+}
+
+void Masstree::PrefetchGet(uint64_t key, LookupHint* hint) const {
+  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  const Leaf* leaf = Descend(key, nullptr);
+  // Pull the whole 256 B leaf (permuter word + key/value arrays) so the
+  // phase-B binary search touches warm lines only.
+  const char* base = reinterpret_cast<const char*>(leaf);
+  for (uint64_t off = 0; off < sizeof(Leaf); off += 64) {
+    __builtin_prefetch(base + off, 0, 3);
+  }
+  vt::Charge((sizeof(Leaf) / 64) * vt::kPrefetchIssueCost);
+  hint->node = leaf;
+  hint->valid = true;
+}
+
+bool Masstree::GetWithHint(uint64_t key, const LookupHint& hint,
+                           uint64_t* value) const {
+  if (!hint.valid) return KvIndex::GetWithHint(key, hint, value);
+  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  const Leaf* leaf = static_cast<const Leaf*>(hint.node);
+  // A split between the phases moves the upper half of the hinted leaf to
+  // a fresh right sibling; keys never move left (no merges) and leaves are
+  // never freed, so walking the sibling chain re-finds them. Each hop is
+  // an un-prefetched line, charged at full serial price.
+  while (true) {
+    const uint64_t p = leaf->permutation;
+    const int count = Permuter::Count(p);
+    if (count > 0 && leaf->next != nullptr &&
+        key > leaf->keys[Permuter::At(p, count - 1)]) {
+      leaf = leaf->next;
+      vt::Charge(vt::kCpuCacheMiss);
+      continue;
+    }
+    break;
+  }
   bool found;
   int pos = LeafPosition(leaf, key, &found);
   if (!found) return false;

@@ -162,20 +162,22 @@ void PmPool::ResolveEviction() {
 void PmPool::ChargeRead(const void* p, uint64_t len) {
   vt::Clock* clock = vt::CurrentClock();
   if (clock == nullptr) return;
-  if (device_ == nullptr) {
-    clock->Advance(vt::kPmReadLatency);
-    return;
-  }
+  clock->AdvanceTo(ChargeReadAt(p, len, clock->now()));
+}
+
+uint64_t PmPool::ChargeReadAt(const void* p, uint64_t len,
+                              uint64_t issue_time) {
+  if (device_ == nullptr) return issue_time + vt::kPmReadLatency;
   const uint64_t begin = OffsetOf(p);
   uint64_t lines = len == 0 ? 1 : CachelineSpan(begin, len);
   if (lines > 4) lines = 4;  // streaming reads pipeline beyond one block
-  uint64_t completion = 0;
+  uint64_t completion = issue_time;
   for (uint64_t i = 0; i < lines; i++) {
     completion = device_->ReadLine(CachelineAlignDown(begin) +
                                        i * kCachelineSize,
-                                   clock->now());
+                                   issue_time);
   }
-  clock->AdvanceTo(completion);
+  return completion;
 }
 
 void PmPool::Fence() {

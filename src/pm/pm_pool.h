@@ -124,6 +124,13 @@ class PmPool {
   // DIMM bandwidth with writes. No-op without a bound clock/device.
   void ChargeRead(const void* p, uint64_t len);
 
+  // Like ChargeRead, but issues the media reads stamped at `issue_time`
+  // and returns the completion instant WITHOUT advancing the calling
+  // clock. Batched reads (MultiGet) overlap independent dereferences by
+  // issuing them back-to-back at one instant and advancing to each
+  // completion only as the data is consumed.
+  uint64_t ChargeReadAt(const void* p, uint64_t len, uint64_t issue_time);
+
   // Orders all previously issued flushes (sfence): advances the calling
   // core's clock to the latest flush completion. In kUnordered mode this
   // is also the point where buffered flushes commit to the shadow.

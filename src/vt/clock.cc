@@ -5,6 +5,7 @@ namespace vt {
 
 namespace {
 thread_local Clock* g_current_clock = nullptr;
+thread_local int g_current_overlap = 1;
 }  // namespace
 
 Clock* CurrentClock() { return g_current_clock; }
@@ -12,6 +13,14 @@ Clock* CurrentClock() { return g_current_clock; }
 Clock* SetCurrentClock(Clock* c) {
   Clock* prev = g_current_clock;
   g_current_clock = c;
+  return prev;
+}
+
+int CurrentOverlap() { return g_current_overlap; }
+
+int SetCurrentOverlap(int ways) {
+  int prev = g_current_overlap;
+  g_current_overlap = ways < 1 ? 1 : ways;
   return prev;
 }
 

@@ -20,6 +20,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "vt/costs.h"
+
 namespace flatstore {
 namespace vt {
 
@@ -73,6 +75,40 @@ inline uint64_t Now() {
   Clock* c = CurrentClock();
   return c ? c->now() : 0;
 }
+
+// ---- interleaved-lookup overlap (the MultiGet prefetch pipeline) ------
+//
+// While a batched read interleaves independent, prefetch-covered lookup
+// chains, cache-miss-class charges are amortized across the chains
+// instead of summing their full latencies. The factor is thread-local,
+// like the clock binding: 1 (the default) means serial execution and
+// leaves every charge untouched.
+
+// Overlap factor active on this thread (>= 1).
+int CurrentOverlap();
+
+// Sets the overlap factor; returns the previous value.
+int SetCurrentOverlap(int ways);
+
+// Advances the current clock by one cache-miss-class stall, amortized by
+// the active overlap factor (full latency when serial).
+inline void ChargeMiss(uint64_t miss) {
+  Charge(OverlappedMissCost(CurrentOverlap(), miss));
+}
+
+// RAII overlap window. MultiGet opens one for its prefetch + probe
+// phases; un-hinted fallback probes open a ScopedOverlap(1) inside it so
+// they cannot free-ride on a batch they did not prefetch for.
+class ScopedOverlap {
+ public:
+  explicit ScopedOverlap(int ways) : prev_(SetCurrentOverlap(ways)) {}
+  ~ScopedOverlap() { SetCurrentOverlap(prev_); }
+  ScopedOverlap(const ScopedOverlap&) = delete;
+  ScopedOverlap& operator=(const ScopedOverlap&) = delete;
+
+ private:
+  int prev_;
+};
 
 // RAII binding of the current thread to a clock.
 class ScopedClock {

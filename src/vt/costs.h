@@ -87,6 +87,30 @@ inline constexpr uint64_t kCpuCas = 20;
 // Cost of copying `len` bytes (fixed overhead + streaming bandwidth).
 inline constexpr uint64_t CostMemcpy(uint64_t len) { return 8 + len / 16; }
 
+// ---- Batched reads (MultiGet prefetch pipeline) -----------------------
+
+// CPU cost of issuing one software prefetch: address computation plus the
+// prefetch instruction itself; the line arrives asynchronously.
+inline constexpr uint64_t kPrefetchIssueCost = 4;
+
+// Demand misses one core can keep in flight when independent lookup
+// chains are interleaved (line-fill buffers bound memory-level
+// parallelism; ~10 on current x86, kept conservative).
+inline constexpr int kMemParallelism = 8;
+
+// Effective stall of one cache-miss-class access when `ways` independent
+// prefetch-covered lookup chains are interleaved on the core: the miss
+// latency is amortized across the overlapping chains, floored at the
+// slot-probe cost of consuming a line that already arrived. ways <= 1
+// (serial execution, or an un-prefetched probe) degenerates to the full
+// latency, so single-request paths are charged exactly as before.
+inline constexpr uint64_t OverlappedMissCost(int ways, uint64_t miss) {
+  const int overlap =
+      ways < 1 ? 1 : (ways > kMemParallelism ? kMemParallelism : ways);
+  const uint64_t amortized = miss / static_cast<uint64_t>(overlap);
+  return amortized > kCpuSlotProbe ? amortized : kCpuSlotProbe;
+}
+
 // ---- RPC / network (see net/) -----------------------------------------
 
 // One-way network latency of an RDMA write message.

@@ -94,6 +94,47 @@ TEST(HotPathAlloc, PutGetDrainCycleIsAllocationFree) {
       << " times across 100 warm put/pump/drain/get cycles";
 }
 
+// The batched read pipeline: once the ReadResult strings reached their
+// high-water capacity, repeated MultiGet batches (epoch pin, prefetch
+// hints, probes, log/block reads) must not touch the heap — all per-batch
+// state is stack-resident (kMaxReadBatch bounds it).
+TEST(HotPathAlloc, MultiGetBatchIsAllocationFree) {
+  pm::PmPool::Options o;
+  o.size = 128ull << 20;
+  pm::PmPool pool(o);
+  FlatStoreOptions fo;
+  fo.num_cores = 1;
+  fo.group_size = 1;
+  fo.hash_initial_depth = 4;
+  auto store = FlatStore::Create(&pool, fo);
+
+  constexpr size_t kBatch = 32;
+  std::string value(64, 'v');  // inline-sized
+  for (uint64_t k = 0; k < kBatch; k++) store->Put(k, value);
+
+  uint64_t keys[kBatch];
+  for (size_t i = 0; i < kBatch; i++) {
+    // Mix in absent keys: the kAbsent path must be alloc-free too.
+    keys[i] = (i % 5 == 4) ? 1000 + i : i;
+  }
+  std::vector<ReadResult> results(kBatch);
+
+  // Warm-up: result strings grow to their steady capacity.
+  for (int i = 0; i < 10; i++) {
+    store->MultiGetOnCore(0, keys, kBatch, results.data());
+  }
+
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; i++) {
+    store->MultiGetOnCore(0, keys, kBatch, results.data());
+  }
+  const uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "MultiGet heap-allocated " << (after - before)
+      << " times across 100 warm batches";
+}
+
 // Same engine, write volume crossing a chunk boundary: the rollover path
 // (registry + usage-map insert) is *allowed* to allocate — this guards
 // the test above against silently measuring too much volume, and
