@@ -47,7 +47,7 @@ size_t LazyAllocator::ClassIndex(uint32_t cls) {
 }
 
 int64_t LazyAllocator::PopFreeChunk() {
-  std::lock_guard<SpinLock> g(free_lock_);
+  LockGuard<SpinLock> g(free_lock_);
   if (free_list_.empty()) return -1;
   int64_t id = free_list_.back();
   free_list_.pop_back();
@@ -59,12 +59,19 @@ void LazyAllocator::FormatValueChunk(int64_t chunk, uint32_t cls, int core) {
   h->magic = kChunkMagic;
   h->size_class = cls;
   h->owner_core = static_cast<uint32_t>(core);
+  // fs-lint: pm-write(bitmap is lazy by design — rebuilt from the log on recovery, paper section 3.2; the header fields are fenced below)
   std::memset(h->bitmap, 0, sizeof(h->bitmap));
   // The paper persists the cutting size when the chunk becomes ready for
   // allocation; the bitmap itself stays lazy.
   pool_->PersistFence(h, 16);
 
+  // The chunk just left the free list, so no other thread allocates from
+  // it yet — but the introspection helpers (IsAllocated, allocated_bytes)
+  // iterate every chunk under its lock concurrently, so the volatile
+  // state must be written under the lock too. (These stores were
+  // unlocked before the thread-safety pass.)
   ChunkState& st = *chunks_[chunk];
+  LockGuard<SpinLock> g(st.lock);
   st.size_class = cls;
   st.used = 0;
   st.owner = core;
@@ -73,9 +80,7 @@ void LazyAllocator::FormatValueChunk(int64_t chunk, uint32_t cls, int core) {
   st.next_free_hint = 0;
 }
 
-int64_t LazyAllocator::TakeBlock(int64_t chunk) {
-  ChunkState& st = *chunks_[chunk];
-  ChunkHeader* h = HeaderOf(chunk);
+int64_t LazyAllocator::TakeBlock(ChunkState& st, ChunkHeader* h) {
   const uint32_t blocks = BlocksPerChunk(st.size_class);
   const uint32_t words = static_cast<uint32_t>(BitmapView::WordsFor(blocks));
   uint32_t w = st.next_free_hint;
@@ -84,6 +89,7 @@ int64_t LazyAllocator::TakeBlock(int64_t chunk) {
     uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(~h->bitmap[w]));
     uint32_t idx = w * 64 + bit;
     if (idx >= blocks) continue;  // tail bits of the last word
+    // fs-lint: pm-write(the lazy-persist trick, paper section 3.2: the bitmap is never flushed on allocation — the OpLog durably holds every live pointer and recovery recomputes the bitmap)
     h->bitmap[w] |= (1ull << bit);
     st.used++;
     st.next_free_hint = w;
@@ -109,11 +115,11 @@ uint64_t LazyAllocator::Alloc(int core, uint64_t size) {
     if (ccs.current < 0) {
       // Refill: a partially-free chunk we own, else a fresh chunk.
       {
-        std::lock_guard<SpinLock> g(ccs.partial_lock);
+        LockGuard<SpinLock> g(ccs.partial_lock);
         while (!ccs.partial.empty() && ccs.current < 0) {
           int64_t cand = ccs.partial.back();
           ccs.partial.pop_back();
-          std::lock_guard<SpinLock> cg(chunks_[cand]->lock);
+          LockGuard<SpinLock> cg(chunks_[cand]->lock);
           chunks_[cand]->in_partial_list = false;
           if (chunks_[cand]->used < BlocksPerChunk(cls)) {
             ccs.current = cand;
@@ -128,8 +134,8 @@ uint64_t LazyAllocator::Alloc(int core, uint64_t size) {
       }
     }
     int64_t chunk = ccs.current;
-    std::lock_guard<SpinLock> g(chunks_[chunk]->lock);
-    int64_t idx = TakeBlock(chunk);
+    LockGuard<SpinLock> g(chunks_[chunk]->lock);
+    int64_t idx = TakeBlock(*chunks_[chunk], HeaderOf(chunk));
     if (idx >= 0) {
       return ChunkOffset(chunk) + kChunkHeaderSize +
              static_cast<uint64_t>(idx) * cls;
@@ -143,7 +149,15 @@ void LazyAllocator::Free(uint64_t off) {
   int64_t chunk = ChunkIdOf(off);
   FLATSTORE_CHECK(chunk >= 0 && static_cast<uint64_t>(chunk) < num_chunks_);
   ChunkState& st = *chunks_[chunk];
-  if (st.raw) {
+  // `raw` must be read under the chunk lock like every other ChunkState
+  // field (the unlocked fast-path read here predated the thread-safety
+  // pass and raced with AllocRawChunk formatting a recycled chunk).
+  bool raw;
+  {
+    LockGuard<SpinLock> g(st.lock);
+    raw = st.raw;
+  }
+  if (raw) {
     FreeRawChunk(ChunkOffset(chunk));
     return;
   }
@@ -152,13 +166,14 @@ void LazyAllocator::Free(uint64_t off) {
   int owner;
   uint32_t cls;
   {
-    std::lock_guard<SpinLock> g(st.lock);
+    LockGuard<SpinLock> g(st.lock);
     FLATSTORE_CHECK(st.formatted);
     cls = st.size_class;
     uint64_t idx = (off - ChunkOffset(chunk) - kChunkHeaderSize) / cls;
     FLATSTORE_DCHECK((off - ChunkOffset(chunk) - kChunkHeaderSize) % cls == 0);
     BitmapView bm(h->bitmap, BlocksPerChunk(cls));
     FLATSTORE_CHECK(bm.Test(idx)) << "double free at offset " << off;
+    // fs-lint: pm-write(lazy persist: free only clears the volatile-for-now bitmap bit; recovery recomputes it from the log)
     bm.Clear(idx);
     st.used--;
     // Re-expose the chunk to its owner if it was invisible (not anyone's
@@ -171,7 +186,7 @@ void LazyAllocator::Free(uint64_t off) {
   }
   if (add_partial) {
     CoreClassState& ccs = cores_[owner].classes[ClassIndex(cls)];
-    std::lock_guard<SpinLock> g(ccs.partial_lock);
+    LockGuard<SpinLock> g(ccs.partial_lock);
     ccs.partial.push_back(chunk);
   }
 }
@@ -186,7 +201,7 @@ uint64_t LazyAllocator::AllocRawChunk(int core) {
   h->owner_core = static_cast<uint32_t>(core);
   pool_->PersistFence(h, 16);
   ChunkState& st = *chunks_[id];
-  std::lock_guard<SpinLock> g(st.lock);
+  LockGuard<SpinLock> g(st.lock);
   st.size_class = 0;
   st.used = 1;
   st.owner = core;
@@ -199,28 +214,33 @@ void LazyAllocator::FreeRawChunk(uint64_t chunk_off) {
   int64_t id = ChunkIdOf(chunk_off);
   {
     ChunkState& st = *chunks_[id];
-    std::lock_guard<SpinLock> g(st.lock);
+    LockGuard<SpinLock> g(st.lock);
     FLATSTORE_CHECK(st.raw) << "FreeRawChunk on non-raw chunk";
     st.raw = false;
     st.used = 0;
   }
-  std::lock_guard<SpinLock> g(free_lock_);
+  LockGuard<SpinLock> g(free_lock_);
   free_list_.push_back(id);
 }
 
 void LazyAllocator::StartRecovery() {
+  // Recovery is single-threaded (no serving cores or cleaners run yet),
+  // but the locks are taken anyway so the analysis can prove the guarded
+  // fields are never touched bare — the cost is irrelevant off-line.
   {
-    std::lock_guard<SpinLock> g(free_lock_);
+    LockGuard<SpinLock> g(free_lock_);
     free_list_.clear();
   }
   for (auto& core : cores_) {
     for (auto& ccs : core.classes) {
       ccs.current = -1;
+      LockGuard<SpinLock> g(ccs.partial_lock);
       ccs.partial.clear();
     }
   }
   for (uint64_t i = 0; i < num_chunks_; i++) {
     ChunkState& st = *chunks_[i];
+    LockGuard<SpinLock> g(st.lock);
     st.size_class = 0;
     st.used = 0;
     st.owner = -1;
@@ -229,6 +249,7 @@ void LazyAllocator::StartRecovery() {
     st.in_partial_list = false;
     st.next_free_hint = 0;
     // Bitmaps are reconstructed from the log; drop whatever survived.
+    // fs-lint: pm-write(recovery-time bitmap scrub: replay re-marks live blocks, then PersistMetadata or further lazy operation governs durability)
     std::memset(HeaderOf(i)->bitmap, 0, sizeof(ChunkHeader::bitmap));
   }
 }
@@ -243,13 +264,14 @@ void LazyAllocator::MarkBlockAllocated(uint64_t off) {
     MarkRawChunkAllocated(ChunkOffset(chunk));
     return;
   }
-  std::lock_guard<SpinLock> g(st.lock);
+  LockGuard<SpinLock> g(st.lock);
   st.formatted = true;
   st.size_class = h->size_class;
   st.owner = static_cast<int>(h->owner_core) % num_cores_;
   uint64_t idx = (off - ChunkOffset(chunk) - kChunkHeaderSize) / h->size_class;
   BitmapView bm(h->bitmap, BlocksPerChunk(h->size_class));
   if (!bm.Test(idx)) {
+    // fs-lint: pm-write(replay re-marks a live block in the lazy bitmap; durability comes from the log entry being replayed, not the bitmap)
     bm.Set(idx);
     st.used++;
   }
@@ -259,22 +281,23 @@ void LazyAllocator::MarkRawChunkAllocated(uint64_t chunk_off) {
   int64_t chunk = ChunkIdOf(chunk_off);
   ChunkHeader* h = HeaderOf(chunk);
   ChunkState& st = *chunks_[chunk];
-  std::lock_guard<SpinLock> g(st.lock);
+  LockGuard<SpinLock> g(st.lock);
   st.raw = true;
   st.used = 1;
   st.owner = static_cast<int>(h->owner_core) % num_cores_;
 }
 
 void LazyAllocator::FinishRecovery() {
-  std::lock_guard<SpinLock> g(free_lock_);
+  LockGuard<SpinLock> g(free_lock_);
   for (uint64_t i = 0; i < num_chunks_; i++) {
     ChunkState& st = *chunks_[i];
+    LockGuard<SpinLock> cg(st.lock);
     if (st.raw) continue;
     if (st.formatted && st.used > 0) {
       st.in_partial_list = true;
       CoreClassState& ccs =
           cores_[st.owner].classes[ClassIndex(st.size_class)];
-      std::lock_guard<SpinLock> pg(ccs.partial_lock);
+      LockGuard<SpinLock> pg(ccs.partial_lock);
       ccs.partial.push_back(static_cast<int64_t>(i));
     } else {
       st.formatted = false;
@@ -286,6 +309,7 @@ void LazyAllocator::FinishRecovery() {
 void LazyAllocator::PersistMetadata() {
   for (uint64_t i = 0; i < num_chunks_; i++) {
     ChunkState& st = *chunks_[i];
+    LockGuard<SpinLock> cg(st.lock);
     if (st.formatted) {
       pool_->Persist(HeaderOf(i), sizeof(ChunkHeader));
     }
@@ -294,7 +318,7 @@ void LazyAllocator::PersistMetadata() {
 }
 
 uint64_t LazyAllocator::free_chunks() const {
-  std::lock_guard<SpinLock> g(free_lock_);
+  LockGuard<SpinLock> g(free_lock_);
   return free_list_.size();
 }
 
@@ -302,7 +326,7 @@ uint64_t LazyAllocator::allocated_bytes() const {
   uint64_t total = 0;
   for (uint64_t i = 0; i < num_chunks_; i++) {
     ChunkState& st = *chunks_[i];
-    std::lock_guard<SpinLock> g(st.lock);
+    LockGuard<SpinLock> g(st.lock);
     if (st.raw) {
       total += kChunkSize;
     } else if (st.formatted) {
@@ -316,7 +340,7 @@ bool LazyAllocator::IsAllocated(uint64_t off) const {
   int64_t chunk = ChunkIdOf(off);
   if (chunk < 0 || static_cast<uint64_t>(chunk) >= num_chunks_) return false;
   ChunkState& st = *chunks_[chunk];
-  std::lock_guard<SpinLock> g(st.lock);
+  LockGuard<SpinLock> g(st.lock);
   if (st.raw) return true;
   if (!st.formatted) return false;
   uint64_t rel = off - ChunkOffset(chunk);

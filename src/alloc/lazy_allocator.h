@@ -27,11 +27,11 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bitmap.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "pm/pm_pool.h"
 
 namespace flatstore {
@@ -126,23 +126,27 @@ class LazyAllocator {
   pm::PmPool* pool() const { return pool_; }
 
  private:
-  // Volatile per-chunk bookkeeping.
+  // Volatile per-chunk bookkeeping. Every field is guarded by `lock`:
+  // frees arrive from any thread (the log cleaner), and the introspection
+  // helpers iterate chunks concurrently with allocation.
   struct ChunkState {
     SpinLock lock;
-    uint32_t size_class = 0;   // mirror of the persistent header
-    uint32_t used = 0;         // live blocks (1 for raw chunks)
-    int owner = -1;
-    bool formatted = false;    // handed out as value chunk
-    bool raw = false;          // handed out as raw chunk
-    bool in_partial_list = false;
-    uint32_t next_free_hint = 0;
+    uint32_t size_class GUARDED_BY(lock) = 0;  // mirrors persistent header
+    uint32_t used GUARDED_BY(lock) = 0;  // live blocks (1 for raw chunks)
+    int owner GUARDED_BY(lock) = -1;
+    bool formatted GUARDED_BY(lock) = false;  // handed out as value chunk
+    bool raw GUARDED_BY(lock) = false;        // handed out as raw chunk
+    bool in_partial_list GUARDED_BY(lock) = false;
+    uint32_t next_free_hint GUARDED_BY(lock) = 0;
   };
 
-  // Per-core, per-class allocation state.
+  // Per-core, per-class allocation state. `current` is owned by the
+  // core's serving thread (single writer/reader) and deliberately not
+  // guarded; `partial` takes pushes from cleaner frees on any thread.
   struct CoreClassState {
     int64_t current = -1;               // chunk id being filled
-    std::vector<int64_t> partial;       // chunks with free blocks
     SpinLock partial_lock;              // frees may push from cleaners
+    std::vector<int64_t> partial GUARDED_BY(partial_lock);
   };
 
   struct CoreState {
@@ -167,9 +171,9 @@ class LazyAllocator {
   // header fields (not the bitmap).
   void FormatValueChunk(int64_t chunk, uint32_t cls, int core);
 
-  // Allocates one block from `chunk` (its lock must be held); returns the
-  // block index or -1 if full.
-  int64_t TakeBlock(int64_t chunk);
+  // Allocates one block from the chunk owning `st` (header `h`); the
+  // caller holds the chunk lock. Returns the block index or -1 if full.
+  int64_t TakeBlock(ChunkState& st, ChunkHeader* h) REQUIRES(st.lock);
 
   pm::PmPool* pool_;
   uint64_t region_off_;
@@ -179,7 +183,7 @@ class LazyAllocator {
   std::vector<std::unique_ptr<ChunkState>> chunks_;
   std::vector<CoreState> cores_;
   mutable SpinLock free_lock_;
-  std::vector<int64_t> free_list_;
+  std::vector<int64_t> free_list_ GUARDED_BY(free_lock_);
 };
 
 }  // namespace alloc

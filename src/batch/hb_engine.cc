@@ -38,10 +38,11 @@ HbEngine::HbEngine(std::vector<log::OpLog*> logs, int group_size,
   }
 }
 
-bool HbEngine::Stage(int core, const uint8_t* entry, uint32_t len,
-                     uint64_t* handle) {
+FS_HOT bool HbEngine::Stage(int core, const uint8_t* entry, uint32_t len,
+                            uint64_t* handle) {
   FLATSTORE_DCHECK(len <= log::kMaxEntrySize);
   CorePool& pool = pools_[core];
+  // relaxed: head has a single writer — this core's serving thread.
   const uint64_t h = pool.head.load(std::memory_order_relaxed);
   Slot& slot = pool.slots[h % kPoolSlots];
   if (slot.state.load(std::memory_order_acquire) != kFree) return false;
@@ -55,15 +56,21 @@ bool HbEngine::Stage(int core, const uint8_t* entry, uint32_t len,
   return true;
 }
 
-void HbEngine::Collect(int core, uint64_t now, log::OpLog::EntryRef* refs,
-                       Slot** claims, size_t* n) {
+FS_HOT void HbEngine::Collect(int core, uint64_t now,
+                              log::OpLog::EntryRef* refs, Slot** claims,
+                              size_t* n) {
   CorePool& pool = pools_[core];
   const uint64_t head = pool.head.load(std::memory_order_acquire);
+  // relaxed: collected is written only under the group lock (HB modes) or
+  // by the owning core (vertical/none); this caller is that writer, so it
+  // reads its own — or its lock predecessor's — store.
   uint64_t collected = pool.collected.load(std::memory_order_relaxed);
   if (collected == head) return;  // idle scan: free (event-driven sim)
   vt::Charge(vt::kStealScanCost);
   while (collected < head && *n < kMaxBatch) {
     Slot& slot = pool.slots[collected % kPoolSlots];
+    // relaxed: debug-only sanity check; the acquire on head above already
+    // ordered the slot contents.
     FLATSTORE_DCHECK(slot.state.load(std::memory_order_relaxed) == kStaged);
     if (slot.stage_time > now) break;  // staged in this core's future
     refs[*n] = {slot.buf, slot.len};
@@ -72,12 +79,17 @@ void HbEngine::Collect(int core, uint64_t now, log::OpLog::EntryRef* refs,
     collected++;
     vt::Charge(vt::kPoolOpCost);
   }
+  // relaxed: see the load above — the next reader is the next leader
+  // (ordered by the group lock) or the owner itself; lock-free readers
+  // (PendingCount) use it only as an election heuristic.
   pool.collected.store(collected, std::memory_order_relaxed);
 }
 
-uint64_t HbEngine::EarliestStaged(int core) const {
+FS_HOT uint64_t HbEngine::EarliestStaged(int core) const {
   const CorePool& pool = pools_[core];
   const uint64_t head = pool.head.load(std::memory_order_acquire);
+  // relaxed: stale reads only delay a steal by one scan; the group lock
+  // orders the authoritative read in Collect.
   const uint64_t collected = pool.collected.load(std::memory_order_relaxed);
   if (collected == head) return UINT64_MAX;
   return pool.slots[collected % kPoolSlots].stage_time;
@@ -94,12 +106,13 @@ size_t HbEngine::Commit(log::OpLog* log, const log::OpLog::EntryRef* refs,
     claims[i]->done_time = done;
     claims[i]->state.store(kDone, std::memory_order_release);
   }
+  // relaxed: stat counters, ordering irrelevant.
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_entries_.fetch_add(n, std::memory_order_relaxed);
   return n;
 }
 
-size_t HbEngine::TryPersist(int core) {
+FS_HOT size_t HbEngine::TryPersist(int core) {
   // Leader scratch lives in the core's own pool: only the owning serving
   // thread runs TryPersist for `core`, and the hot loop stays heap-free.
   CorePool& mine = pools_[core];
@@ -146,6 +159,8 @@ size_t HbEngine::TryPersist(int core) {
     // host-thread scheduling nor dispatch order biases which core's
     // virtual clock absorbs the batch persists.
     const int gsize = last - first_core;
+    // relaxed: leadership preference is a heuristic; any stale value
+    // still yields exactly one leader via the try_lock below.
     const int designated =
         group.next_leader.load(std::memory_order_relaxed);
     int chosen = -1;
@@ -196,6 +211,7 @@ size_t HbEngine::TryPersist(int core) {
     return 0;
   }
   // Pass the leadership baton.
+  // relaxed: written under the group lock; readers treat it as a hint.
   group.next_leader.store((core - first_core + 1) % (last - first_core),
                           std::memory_order_relaxed);
 
@@ -212,8 +228,8 @@ size_t HbEngine::TryPersist(int core) {
   return n;
 }
 
-bool HbEngine::IsDone(int core, uint64_t handle, uint64_t* entry_off,
-                      uint64_t* done_time) const {
+FS_HOT bool HbEngine::IsDone(int core, uint64_t handle, uint64_t* entry_off,
+                             uint64_t* done_time) const {
   const Slot& slot = pools_[core].slots[handle % kPoolSlots];
   if (slot.state.load(std::memory_order_acquire) != kDone) return false;
   *entry_off = slot.entry_off;
@@ -221,8 +237,10 @@ bool HbEngine::IsDone(int core, uint64_t handle, uint64_t* entry_off,
   return true;
 }
 
-void HbEngine::Release(int core, uint64_t handle) {
+FS_HOT void HbEngine::Release(int core, uint64_t handle) {
   Slot& slot = pools_[core].slots[handle % kPoolSlots];
+  // relaxed: debug-only owner-side check; the caller already observed
+  // kDone through IsDone's acquire.
   FLATSTORE_DCHECK(slot.state.load(std::memory_order_relaxed) == kDone);
   slot.state.store(kFree, std::memory_order_release);
 }
@@ -253,8 +271,10 @@ std::pair<uint64_t, uint64_t> HbEngine::Wait(int core, uint64_t handle) {
   return {off, done};
 }
 
-size_t HbEngine::PendingCount(int core) const {
+FS_HOT size_t HbEngine::PendingCount(int core) const {
   const CorePool& pool = pools_[core];
+  // relaxed: election heuristic — a stale count only shifts which core
+  // volunteers first; correctness comes from the group lock.
   return pool.head.load(std::memory_order_relaxed) -
          pool.collected.load(std::memory_order_relaxed);
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "log/log_entry.h"
 #include "log/oplog.h"
 
@@ -91,8 +92,12 @@ class HbEngine {
   int num_cores() const { return static_cast<int>(logs_.size()); }
 
   // Aggregate batch-size statistics (Fig. 11/12 analysis).
-  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t batches() const {
+    // relaxed: stat counter read after the run quiesces.
+    return batches_.load(std::memory_order_relaxed);
+  }
   uint64_t batched_entries() const {
+    // relaxed: stat counter read after the run quiesces.
     return batched_entries_.load(std::memory_order_relaxed);
   }
 

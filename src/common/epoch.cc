@@ -22,11 +22,15 @@ EpochManager::~EpochManager() {
   // (FlatStore::StopCleaners / Shutdown) while their state is alive.
 }
 
-void EpochManager::Pin(int slot) {
+FS_HOT void EpochManager::Pin(int slot) {
   FLATSTORE_DCHECK(slot >= 0 && slot < owned_slots_);
   Slot& s = slots_[slot];
+  // relaxed: debug-only self-check of the caller's own slot; the seq_cst
+  // handshake below provides all cross-thread ordering.
   FLATSTORE_DCHECK(s.epoch.load(std::memory_order_relaxed) == kIdle)
       << "nested pin on slot " << slot;
+  // relaxed: only a starting guess; the store/load handshake re-reads
+  // global_ with seq_cst until it is stable.
   uint64_t e = global_.load(std::memory_order_relaxed);
   while (true) {
     // seq_cst store/load pair: either the reclaimer's TryAdvance sees
@@ -38,7 +42,7 @@ void EpochManager::Pin(int slot) {
   }
 }
 
-void EpochManager::Unpin(int slot) {
+FS_HOT void EpochManager::Unpin(int slot) {
   FLATSTORE_DCHECK(slot >= 0 && slot < total_slots_);
   // Release: the reads performed inside the critical section happen
   // before any reclaimer that observes the idle slot.
@@ -46,6 +50,7 @@ void EpochManager::Unpin(int slot) {
 }
 
 int EpochManager::PinGuest() {
+  // relaxed: starting guess only; the CAS + seq_cst chase below settles it.
   uint64_t e = global_.load(std::memory_order_relaxed);
   for (int i = owned_slots_; i < total_slots_; i++) {
     uint64_t expected = kIdle;
@@ -75,10 +80,12 @@ void EpochManager::Defer(std::function<void()> fn) {
   const uint64_t e = global_.load(std::memory_order_seq_cst);
   size_t depth;
   {
-    std::lock_guard<std::mutex> g(deferred_mu_);
+    LockGuard<Mutex> g(deferred_mu_);
     deferred_.push_back({e, std::move(fn)});
     depth = deferred_.size();
   }
+  // relaxed: high-water stat; monotonic max maintained by CAS, readers
+  // need no ordering with the deferral itself.
   uint64_t hwm = deferred_hwm_.load(std::memory_order_relaxed);
   while (depth > hwm &&
          !deferred_hwm_.compare_exchange_weak(hwm, depth,
@@ -100,6 +107,7 @@ bool EpochManager::TryAdvance() {
                                        std::memory_order_seq_cst)) {
     return false;  // another reclaimer advanced first; that still counts
   }
+  // relaxed: stat counter, ordering irrelevant.
   advances_.fetch_add(1, std::memory_order_relaxed);
   if (stats_ != nullptr) stats_->AddEpochAdvance();
   return true;
@@ -113,7 +121,7 @@ size_t EpochManager::ReclaimDeferred() {
   const uint64_t g = global_.load(std::memory_order_seq_cst);
   std::vector<std::function<void()>> ready;
   {
-    std::lock_guard<std::mutex> lk(deferred_mu_);
+    LockGuard<Mutex> lk(deferred_mu_);
     while (!deferred_.empty() && deferred_.front().epoch + 2 <= g) {
       ready.push_back(std::move(deferred_.front().fn));
       deferred_.pop_front();
@@ -121,6 +129,7 @@ size_t EpochManager::ReclaimDeferred() {
   }
   for (auto& fn : ready) fn();
   if (!ready.empty()) {
+    // relaxed: stat counter, ordering irrelevant.
     deferred_frees_.fetch_add(ready.size(), std::memory_order_relaxed);
     if (stats_ != nullptr) stats_->AddDeferredFrees(ready.size());
   }
@@ -146,7 +155,7 @@ bool EpochManager::AnyPinned() const {
 }
 
 size_t EpochManager::deferred_pending() const {
-  std::lock_guard<std::mutex> g(deferred_mu_);
+  LockGuard<Mutex> g(deferred_mu_);
   return deferred_.size();
 }
 

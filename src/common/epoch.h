@@ -38,9 +38,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "pm/pm_stats.h"
 
 namespace flatstore {
@@ -68,9 +68,9 @@ class EpochManager {
 
   // Pins `slot` to the current global epoch. The caller must be the
   // slot's single owner and the slot must not already be pinned.
-  void Pin(int slot);
+  FS_HOT void Pin(int slot);
   // Ends `slot`'s critical section.
-  void Unpin(int slot);
+  FS_HOT void Unpin(int slot);
 
   // Claims and pins a guest slot; returns its id. Aborts if every guest
   // slot is simultaneously pinned (bound the number of concurrent guest
@@ -137,12 +137,15 @@ class EpochManager {
   bool AnyPinned() const;
   size_t deferred_pending() const;
   uint64_t advances() const {
+    // relaxed: monotonic stat counter, no ordering required.
     return advances_.load(std::memory_order_relaxed);
   }
   uint64_t deferred_frees() const {
+    // relaxed: monotonic stat counter, no ordering required.
     return deferred_frees_.load(std::memory_order_relaxed);
   }
   uint64_t deferred_hwm() const {
+    // relaxed: monotonic stat counter, no ordering required.
     return deferred_hwm_.load(std::memory_order_relaxed);
   }
   int owned_slots() const { return owned_slots_; }
@@ -164,8 +167,8 @@ class EpochManager {
   alignas(64) std::atomic<uint64_t> global_{1};
 
   // Reclaim side is cold: a mutex-protected FIFO is plenty.
-  mutable std::mutex deferred_mu_;
-  std::deque<DeferredOp> deferred_;
+  mutable Mutex deferred_mu_;
+  std::deque<DeferredOp> deferred_ GUARDED_BY(deferred_mu_);
 
   std::atomic<uint64_t> advances_{0};
   std::atomic<uint64_t> deferred_frees_{0};

@@ -22,6 +22,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace flatstore {
 namespace common {
@@ -48,7 +49,7 @@ class OpenTable {
   }
 
   // Pointer to the value of `key`, or nullptr.
-  V* Find(uint64_t key) {
+  FS_HOT V* Find(uint64_t key) {
     const size_t i = FindSlot(key);
     return slots_[i].full ? &slots_[i].value : nullptr;
   }
@@ -56,11 +57,11 @@ class OpenTable {
     return const_cast<OpenTable*>(this)->Find(key);
   }
 
-  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+  FS_HOT bool Contains(uint64_t key) const { return Find(key) != nullptr; }
 
   // Value of `key`, default-constructing it if absent (the analogue of
   // unordered_map::operator[]).
-  V& GetOrInsert(uint64_t key) {
+  FS_HOT V& GetOrInsert(uint64_t key) {
     size_t i = FindSlot(key);
     if (slots_[i].full) return slots_[i].value;
     if ((size_ + 1) * 2 > cap_) {
@@ -76,7 +77,7 @@ class OpenTable {
 
   // Removes `key`; false if absent. Backward-shift deletion keeps probe
   // chains intact without tombstones.
-  bool Erase(uint64_t key) {
+  FS_HOT bool Erase(uint64_t key) {
     size_t i = FindSlot(key);
     if (!slots_[i].full) return false;
     size_--;

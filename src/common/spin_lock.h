@@ -11,19 +11,24 @@
 
 #include <atomic>
 
+#include "common/thread_annotations.h"
+
 namespace flatstore {
 
 // A spin lock satisfying the Lockable requirements (usable with
-// std::lock_guard). Not recursive.
-class SpinLock {
+// LockGuard). Not recursive. Declared as a thread-safety capability so
+// clang's -Wthread-safety tracks acquisition through lock/try_lock.
+class CAPABILITY("spinlock") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
   // Acquires the lock, spinning until available.
-  void lock() {
+  void lock() ACQUIRE() {
     while (true) {
+      // relaxed: the exchange's acquire ordering publishes the critical
+      // section; the inner spin only polls for a release candidate.
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
         // busy wait; callers hold this lock only for nanoseconds
@@ -32,13 +37,15 @@ class SpinLock {
   }
 
   // Attempts to acquire the lock; returns true on success.
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
+    // relaxed: the load is only a fast-path filter; acquisition ordering
+    // comes from the exchange that follows.
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
   // Releases the lock.
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() RELEASE() { flag_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> flag_{false};

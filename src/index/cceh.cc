@@ -65,7 +65,7 @@ bool Cceh::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
   FLATSTORE_DCHECK(key != kReservedKey);
   vt::Charge(vt::kCpuHash);
   const uint64_t hash = HashKey(key);
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
 
   while (true) {
     // In-place update of an existing key.
@@ -90,6 +90,7 @@ bool Cceh::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
           std::atomic_ref<uint64_t>(bucket.keys[i])
               .store(key, std::memory_order_release);
           arena_.ctx().PersistFence(&bucket, sizeof(Bucket));
+          // relaxed: size_ is an approximate stat counter, no ordering.
           size_.fetch_add(1, std::memory_order_relaxed);
           return false;  // no previous value
         }
@@ -219,13 +220,14 @@ bool Cceh::GetWithHint(uint64_t key, const LookupHint& hint,
 
 bool Cceh::Erase(uint64_t key, uint64_t* old_value) {
   vt::Charge(vt::kCpuHash);
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
   SlotRef ref = FindSlot(key, HashKey(key));
   if (ref.bucket == nullptr) return false;
   *old_value = ref.bucket->values[ref.slot];
   std::atomic_ref<uint64_t>(ref.bucket->keys[ref.slot])
       .store(kReservedKey, std::memory_order_release);
   arena_.ctx().PersistFence(&ref.bucket->keys[ref.slot], 8);
+  // relaxed: size_ is an approximate stat counter, no ordering.
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
@@ -233,7 +235,7 @@ bool Cceh::Erase(uint64_t key, uint64_t* old_value) {
 bool Cceh::CompareExchange(uint64_t key, uint64_t expected,
                            uint64_t desired) {
   vt::Charge(vt::kCpuHash + vt::kCpuCas);
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
   SlotRef ref = FindSlot(key, HashKey(key));
   if (ref.bucket == nullptr) return false;
   bool ok = std::atomic_ref<uint64_t>(ref.bucket->values[ref.slot])
@@ -246,7 +248,7 @@ bool Cceh::CompareExchange(uint64_t key, uint64_t expected,
 
 bool Cceh::EraseIfEqual(uint64_t key, uint64_t expected) {
   vt::Charge(vt::kCpuHash + vt::kCpuCas);
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
   SlotRef ref = FindSlot(key, HashKey(key));
   if (ref.bucket == nullptr || ref.bucket->values[ref.slot] != expected) {
     return false;
@@ -254,6 +256,7 @@ bool Cceh::EraseIfEqual(uint64_t key, uint64_t expected) {
   std::atomic_ref<uint64_t>(ref.bucket->keys[ref.slot])
       .store(kReservedKey, std::memory_order_release);
   arena_.ctx().PersistFence(&ref.bucket->keys[ref.slot], 8);
+  // relaxed: size_ is an approximate stat counter, no ordering.
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }

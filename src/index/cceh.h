@@ -54,7 +54,10 @@ class Cceh final : public KvIndex {
   bool EraseIfEqual(uint64_t key, uint64_t expected) override;
   void ForEach(
       const std::function<void(uint64_t, uint64_t)>& fn) const override;
-  uint64_t Size() const override { return size_.load(std::memory_order_relaxed); }
+  uint64_t Size() const override {
+    // relaxed: size_ is an approximate stat counter, no ordering.
+    return size_.load(std::memory_order_relaxed);
+  }
   const char* Name() const override { return "CCEH"; }
 
   // Structure introspection (tests).

@@ -163,7 +163,7 @@ FastFair::SplitResult FastFair::InsertRecursive(Node* n, uint64_t key,
 
 bool FastFair::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
   FLATSTORE_DCHECK(key != kReservedKey);
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);  // writer latch
   bool updated = false;
   SplitResult r = InsertRecursive(root_, key, value, old_value, &updated);
@@ -184,7 +184,7 @@ bool FastFair::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
 }
 
 bool FastFair::Get(uint64_t key, uint64_t* value) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   Node* leaf = FindLeaf(key);
   int i = LowerBound(leaf, key);
   if (i < static_cast<int>(leaf->count) && leaf->entries[i].key == key) {
@@ -195,7 +195,7 @@ bool FastFair::Get(uint64_t key, uint64_t* value) const {
 }
 
 void FastFair::PrefetchGet(uint64_t key, LookupHint* hint) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   const Node* leaf = FindLeaf(key);
   // Pull the whole 512 B node so the phase-B linear scan stays on warm
   // lines.
@@ -211,7 +211,7 @@ void FastFair::PrefetchGet(uint64_t key, LookupHint* hint) const {
 bool FastFair::GetWithHint(uint64_t key, const LookupHint& hint,
                            uint64_t* value) const {
   if (!hint.valid) return KvIndex::GetWithHint(key, hint, value);
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   const Node* leaf = static_cast<const Node*>(hint.node);
   // FAIR sibling links: a split between the phases moves the upper half
   // right, never left (no merges), and nodes are never freed — so a stale
@@ -230,7 +230,7 @@ bool FastFair::GetWithHint(uint64_t key, const LookupHint& hint,
 }
 
 bool FastFair::Erase(uint64_t key, uint64_t* old_value) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);
   Node* leaf = FindLeaf(key);
   int pos = LowerBound(leaf, key);
@@ -257,7 +257,7 @@ bool FastFair::Erase(uint64_t key, uint64_t* old_value) {
 
 bool FastFair::CompareExchange(uint64_t key, uint64_t expected,
                                uint64_t desired) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);
   Node* leaf = FindLeaf(key);
   int i = LowerBound(leaf, key);
@@ -272,7 +272,7 @@ bool FastFair::CompareExchange(uint64_t key, uint64_t expected,
 
 uint64_t FastFair::Scan(uint64_t start_key, uint64_t count,
                         std::vector<KvPair>* out) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   uint64_t n = 0;
   Node* leaf = FindLeaf(start_key);
   int i = LowerBound(leaf, start_key);
@@ -291,7 +291,7 @@ uint64_t FastFair::Scan(uint64_t start_key, uint64_t count,
 
 void FastFair::ForEach(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   const Node* n = root_;
   while (n->is_leaf == 0) n = n->leftmost;
   for (; n != nullptr; n = n->sibling) {
@@ -313,7 +313,7 @@ int FastFair::Height() const {
 
 
 bool FastFair::EraseIfEqual(uint64_t key, uint64_t expected) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);
   Node* leaf = FindLeaf(key);
   int pos = LowerBound(leaf, key);

@@ -22,8 +22,8 @@
 #ifndef FLATSTORE_INDEX_FAST_FAIR_H_
 #define FLATSTORE_INDEX_FAST_FAIR_H_
 
-#include <shared_mutex>
 
+#include "common/thread_annotations.h"
 #include "index/kv_index.h"
 #include "index/node_arena.h"
 
@@ -49,7 +49,10 @@ class FastFair final : public OrderedKvIndex {
                 std::vector<KvPair>* out) const override;
   void ForEach(
       const std::function<void(uint64_t, uint64_t)>& fn) const override;
-  uint64_t Size() const override { return size_; }
+  uint64_t Size() const override {
+    SharedLockGuard<SharedMutex> g(rw_lock_);
+    return size_;
+  }
   const char* Name() const override { return "FAST&FAIR"; }
 
   // Tree height (tests).
@@ -73,7 +76,7 @@ class FastFair final : public OrderedKvIndex {
   static_assert(sizeof(Node) == 32 + 16 * kCard);
 
   Node* NewNode(bool leaf);
-  Node* FindLeaf(uint64_t key) const;
+  Node* FindLeaf(uint64_t key) const REQUIRES_SHARED(rw_lock_);
   static int LowerBound(const Node* n, uint64_t key);
 
   // Inserts into a non-full sorted node with FAST shifting and persists
@@ -91,12 +94,13 @@ class FastFair final : public OrderedKvIndex {
     uint64_t up_key = 0;
   };
   SplitResult InsertRecursive(Node* n, uint64_t key, uint64_t value,
-                              uint64_t* old_value, bool* updated);
+                              uint64_t* old_value, bool* updated)
+      REQUIRES(rw_lock_);
 
   NodeArena arena_;
-  Node* root_;
-  uint64_t size_ = 0;
-  mutable std::shared_mutex rw_lock_;
+  mutable SharedMutex rw_lock_;
+  Node* root_ GUARDED_BY(rw_lock_);
+  uint64_t size_ GUARDED_BY(rw_lock_) = 0;
 };
 
 }  // namespace index

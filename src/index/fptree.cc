@@ -166,7 +166,7 @@ void FpTree::InsertInner(uint64_t up_key, void* right,
 
 bool FpTree::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
   FLATSTORE_DCHECK(key != kReservedKey);
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuHash + vt::kCpuCas);
   const uint8_t fp = Fingerprint8(key);
 
@@ -211,7 +211,7 @@ bool FpTree::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
 }
 
 bool FpTree::Get(uint64_t key, uint64_t* value) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuHash);
   const Leaf* leaf = FindLeaf(key);
   int i = FindInLeaf(leaf, key, Fingerprint8(key));
@@ -221,7 +221,7 @@ bool FpTree::Get(uint64_t key, uint64_t* value) const {
 }
 
 bool FpTree::Erase(uint64_t key, uint64_t* old_value) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuHash + vt::kCpuCas);
   Leaf* leaf = FindLeaf(key);
   int i = FindInLeaf(leaf, key, Fingerprint8(key));
@@ -235,7 +235,7 @@ bool FpTree::Erase(uint64_t key, uint64_t* old_value) {
 
 bool FpTree::CompareExchange(uint64_t key, uint64_t expected,
                              uint64_t desired) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);
   Leaf* leaf = FindLeaf(key);
   int i = FindInLeaf(leaf, key, Fingerprint8(key));
@@ -247,7 +247,7 @@ bool FpTree::CompareExchange(uint64_t key, uint64_t expected,
 
 void FpTree::ForEach(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   for (const Leaf* leaf = FindLeaf(0); leaf != nullptr; leaf = leaf->next) {
     for (int i = 0; i < kLeafSlots; i++) {
       if ((leaf->bitmap >> i) & 1) {
@@ -259,7 +259,7 @@ void FpTree::ForEach(
 
 uint64_t FpTree::Scan(uint64_t start_key, uint64_t count,
                       std::vector<KvPair>* out) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   uint64_t n = 0;
   const Leaf* leaf = FindLeaf(start_key);
   while (leaf != nullptr && n < count) {
@@ -286,7 +286,7 @@ uint64_t FpTree::Scan(uint64_t start_key, uint64_t count,
 
 
 bool FpTree::EraseIfEqual(uint64_t key, uint64_t expected) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuHash + vt::kCpuCas);
   Leaf* leaf = FindLeaf(key);
   int i = FindInLeaf(leaf, key, Fingerprint8(key));

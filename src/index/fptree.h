@@ -16,8 +16,8 @@
 #ifndef FLATSTORE_INDEX_FPTREE_H_
 #define FLATSTORE_INDEX_FPTREE_H_
 
-#include <shared_mutex>
 
+#include "common/thread_annotations.h"
 #include "index/kv_index.h"
 #include "index/node_arena.h"
 
@@ -41,7 +41,10 @@ class FpTree final : public OrderedKvIndex {
                 std::vector<KvPair>* out) const override;
   void ForEach(
       const std::function<void(uint64_t, uint64_t)>& fn) const override;
-  uint64_t Size() const override { return size_; }
+  uint64_t Size() const override {
+    SharedLockGuard<SharedMutex> g(rw_lock_);
+    return size_;
+  }
   const char* Name() const override { return "FPTree"; }
 
  private:
@@ -75,7 +78,7 @@ class FpTree final : public OrderedKvIndex {
   };
 
   Leaf* NewLeaf();
-  Leaf* FindLeaf(uint64_t key) const;
+  Leaf* FindLeaf(uint64_t key) const REQUIRES_SHARED(rw_lock_);
   static int FindInLeaf(const Leaf* l, uint64_t key, uint8_t fp);
   static int FreeSlot(const Leaf* l);
 
@@ -85,16 +88,18 @@ class FpTree final : public OrderedKvIndex {
 
   // Inserts (separator, right_child) into the inner tree above a leaf
   // split; grows the tree as needed.
-  void InsertInner(uint64_t up_key, void* right, const std::vector<Inner*>& path);
+  void InsertInner(uint64_t up_key, void* right,
+                   const std::vector<Inner*>& path) REQUIRES(rw_lock_);
 
   NodeArena arena_;
   std::vector<std::unique_ptr<Inner>> inner_pool_;  // DRAM inner nodes
   Inner* NewInner(uint32_t level);
 
-  void* root_;       // Inner* or Leaf* (leaf when height == 1)
-  uint32_t height_;  // 1 = root is a leaf
-  uint64_t size_ = 0;
-  mutable std::shared_mutex rw_lock_;
+  mutable SharedMutex rw_lock_;
+  // Inner* or Leaf* (leaf when height == 1).
+  void* root_ GUARDED_BY(rw_lock_);
+  uint32_t height_ GUARDED_BY(rw_lock_);  // 1 = root is a leaf
+  uint64_t size_ GUARDED_BY(rw_lock_) = 0;
 };
 
 }  // namespace index

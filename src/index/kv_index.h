@@ -61,6 +61,7 @@ struct PmContext {
     }
   }
   // Flush helpers that collapse to no-ops in volatile mode.
+  // fs-lint: deferred-fence(thin forwarder to the pool primitive; every caller owns its own fence placement)
   void Persist(const void* p, uint64_t len) const {
     if (pool != nullptr) pool->Persist(p, len);
   }

@@ -61,6 +61,7 @@ bool LevelHashing::TryInsert(Bucket& bucket, uint64_t key, uint64_t value) {
       std::atomic_ref<uint64_t>(bucket.keys[i])
           .store(key, std::memory_order_release);
       arena_.ctx().PersistFence(&bucket, sizeof(Bucket));
+      // relaxed: size_ is an approximate stat counter, no ordering.
       size_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -128,7 +129,7 @@ bool LevelHashing::InsertNoResize(uint64_t key, uint64_t value,
 bool LevelHashing::Upsert(uint64_t key, uint64_t value,
                           uint64_t* old_value) {
   FLATSTORE_DCHECK(key != kReservedKey);
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
   bool updated = false;
   while (!InsertNoResize(key, value, old_value, &updated)) Resize();
   return updated;
@@ -148,6 +149,7 @@ void LevelHashing::Resize() {
     for (int i = 0; i < kSlots; i++) {
       const uint64_t k = old_bottom[b].keys[i];
       if (k == kReservedKey) continue;
+      // relaxed: size_ is an approximate stat counter, no ordering.
       size_.fetch_sub(1, std::memory_order_relaxed);  // re-counted below
       vt::Charge(vt::kCpuCacheMiss);
       uint64_t unused_old;
@@ -207,13 +209,14 @@ bool LevelHashing::GetWithHint(uint64_t key, const LookupHint& hint,
 }
 
 bool LevelHashing::Erase(uint64_t key, uint64_t* old_value) {
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
   SlotRef ref = FindSlot(key);
   if (ref.bucket == nullptr) return false;
   *old_value = ref.bucket->values[ref.slot];
   std::atomic_ref<uint64_t>(ref.bucket->keys[ref.slot])
       .store(kReservedKey, std::memory_order_release);
   arena_.ctx().PersistFence(&ref.bucket->keys[ref.slot], 8);
+  // relaxed: size_ is an approximate stat counter, no ordering.
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
@@ -221,7 +224,7 @@ bool LevelHashing::Erase(uint64_t key, uint64_t* old_value) {
 bool LevelHashing::CompareExchange(uint64_t key, uint64_t expected,
                                    uint64_t desired) {
   vt::Charge(vt::kCpuCas);
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
   SlotRef ref = FindSlot(key);
   if (ref.bucket == nullptr) return false;
   bool ok = std::atomic_ref<uint64_t>(ref.bucket->values[ref.slot])
@@ -234,7 +237,7 @@ bool LevelHashing::CompareExchange(uint64_t key, uint64_t expected,
 
 bool LevelHashing::EraseIfEqual(uint64_t key, uint64_t expected) {
   vt::Charge(vt::kCpuCas);
-  std::lock_guard<SpinLock> g(mutate_lock_);
+  LockGuard<SpinLock> g(mutate_lock_);
   SlotRef ref = FindSlot(key);
   if (ref.bucket == nullptr || ref.bucket->values[ref.slot] != expected) {
     return false;
@@ -242,6 +245,7 @@ bool LevelHashing::EraseIfEqual(uint64_t key, uint64_t expected) {
   std::atomic_ref<uint64_t>(ref.bucket->keys[ref.slot])
       .store(kReservedKey, std::memory_order_release);
   arena_.ctx().PersistFence(&ref.bucket->keys[ref.slot], 8);
+  // relaxed: size_ is an approximate stat counter, no ordering.
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }

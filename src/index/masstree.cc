@@ -193,7 +193,7 @@ void Masstree::InsertInner(uint64_t up_key, void* right,
 
 bool Masstree::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
   FLATSTORE_DCHECK(key != kReservedKey);
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);  // leaf latch (fine grained in the original)
 
   while (true) {
@@ -227,7 +227,7 @@ bool Masstree::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
 }
 
 bool Masstree::Get(uint64_t key, uint64_t* value) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   const Leaf* leaf = Descend(key, nullptr);
   bool found;
   int pos = LeafPosition(leaf, key, &found);
@@ -239,7 +239,7 @@ bool Masstree::Get(uint64_t key, uint64_t* value) const {
 }
 
 void Masstree::PrefetchGet(uint64_t key, LookupHint* hint) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   const Leaf* leaf = Descend(key, nullptr);
   // Pull the whole 256 B leaf (permuter word + key/value arrays) so the
   // phase-B binary search touches warm lines only.
@@ -255,7 +255,7 @@ void Masstree::PrefetchGet(uint64_t key, LookupHint* hint) const {
 bool Masstree::GetWithHint(uint64_t key, const LookupHint& hint,
                            uint64_t* value) const {
   if (!hint.valid) return KvIndex::GetWithHint(key, hint, value);
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   const Leaf* leaf = static_cast<const Leaf*>(hint.node);
   // A split between the phases moves the upper half of the hinted leaf to
   // a fresh right sibling; keys never move left (no merges) and leaves are
@@ -282,7 +282,7 @@ bool Masstree::GetWithHint(uint64_t key, const LookupHint& hint,
 }
 
 bool Masstree::Erase(uint64_t key, uint64_t* old_value) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);
   Leaf* leaf = Descend(key, nullptr);
   bool found;
@@ -298,7 +298,7 @@ bool Masstree::Erase(uint64_t key, uint64_t* old_value) {
 
 bool Masstree::CompareExchange(uint64_t key, uint64_t expected,
                                uint64_t desired) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);
   Leaf* leaf = Descend(key, nullptr);
   bool found;
@@ -311,7 +311,7 @@ bool Masstree::CompareExchange(uint64_t key, uint64_t expected,
 
 void Masstree::ForEach(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   for (const Leaf* leaf = Descend(0, nullptr); leaf != nullptr;
        leaf = leaf->next) {
     const uint64_t p = leaf->permutation;
@@ -324,7 +324,7 @@ void Masstree::ForEach(
 
 uint64_t Masstree::Scan(uint64_t start_key, uint64_t count,
                         std::vector<KvPair>* out) const {
-  std::shared_lock<std::shared_mutex> g(rw_lock_);
+  SharedLockGuard<SharedMutex> g(rw_lock_);
   uint64_t n = 0;
   const Leaf* leaf = Descend(start_key, nullptr);
   bool found;
@@ -346,7 +346,7 @@ uint64_t Masstree::Scan(uint64_t start_key, uint64_t count,
 
 
 bool Masstree::EraseIfEqual(uint64_t key, uint64_t expected) {
-  std::unique_lock<std::shared_mutex> g(rw_lock_);
+  LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);
   Leaf* leaf = Descend(key, nullptr);
   bool found;

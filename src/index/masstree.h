@@ -22,8 +22,8 @@
 #ifndef FLATSTORE_INDEX_MASSTREE_H_
 #define FLATSTORE_INDEX_MASSTREE_H_
 
-#include <shared_mutex>
 
+#include "common/thread_annotations.h"
 #include "index/kv_index.h"
 #include "index/node_arena.h"
 
@@ -49,7 +49,10 @@ class Masstree final : public OrderedKvIndex {
                 std::vector<KvPair>* out) const override;
   void ForEach(
       const std::function<void(uint64_t, uint64_t)>& fn) const override;
-  uint64_t Size() const override { return size_; }
+  uint64_t Size() const override {
+    SharedLockGuard<SharedMutex> g(rw_lock_);
+    return size_;
+  }
   const char* Name() const override { return "Masstree"; }
 
  private:
@@ -97,20 +100,21 @@ class Masstree final : public OrderedKvIndex {
   Inner* NewInner();
 
   // Descends to the leaf for `key`, filling `path` with inner nodes.
-  Leaf* Descend(uint64_t key, std::vector<Inner*>* path) const;
+  Leaf* Descend(uint64_t key, std::vector<Inner*>* path) const
+      REQUIRES_SHARED(rw_lock_);
 
   // Sorted position of `key` in `leaf`; sets `*found` if the key exists.
   static int LeafPosition(const Leaf* l, uint64_t key, bool* found);
 
   Leaf* SplitLeaf(Leaf* leaf, uint64_t* up_key);
   void InsertInner(uint64_t up_key, void* right,
-                   const std::vector<Inner*>& path);
+                   const std::vector<Inner*>& path) REQUIRES(rw_lock_);
 
   NodeArena arena_;
-  void* root_;
-  uint32_t height_ = 1;  // 1 = root is a leaf
-  uint64_t size_ = 0;
-  mutable std::shared_mutex rw_lock_;
+  mutable SharedMutex rw_lock_;
+  void* root_ GUARDED_BY(rw_lock_);
+  uint32_t height_ GUARDED_BY(rw_lock_) = 1;  // 1 = root is a leaf
+  uint64_t size_ GUARDED_BY(rw_lock_) = 0;
 };
 
 }  // namespace index

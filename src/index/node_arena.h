@@ -10,11 +10,13 @@
 #ifndef FLATSTORE_INDEX_NODE_ARENA_H_
 #define FLATSTORE_INDEX_NODE_ARENA_H_
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <vector>
 
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "index/kv_index.h"
 
 namespace flatstore {
@@ -33,13 +35,19 @@ class NodeArena {
       uint64_t off = ctx_.alloc->Alloc(ctx_.core, size);
       FLATSTORE_CHECK_NE(off, 0u) << "index node allocation failed";
       void* p = ctx_.pool->At(off);
+      // fs-lint: pm-write(fresh index-node zero-fill; each persistent-index baseline persists node contents at its own commit points)
       std::memset(p, 0, size);
       return p;
     }
-    std::lock_guard<SpinLock> g(lock_);
-    blocks_.push_back(std::make_unique<char[]>(size));
-    std::memset(blocks_.back().get(), 0, size);
-    return blocks_.back().get();
+    LockGuard<SpinLock> g(lock_);
+    // Index nodes declare alignas(64) (cacheline-sized buckets); plain
+    // new char[] only guarantees 16, so over-allocate and round up.
+    blocks_.push_back(std::make_unique<char[]>(size + 63));
+    char* raw = blocks_.back().get();
+    char* aligned =
+        raw + ((64 - (reinterpret_cast<uintptr_t>(raw) & 63)) & 63);
+    std::memset(aligned, 0, size);
+    return aligned;
   }
 
   // Releases a node. No-op in volatile mode (see header comment).
@@ -52,7 +60,7 @@ class NodeArena {
  private:
   PmContext ctx_;
   SpinLock lock_;
-  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<std::unique_ptr<char[]>> blocks_ GUARDED_BY(lock_);
 };
 
 }  // namespace index

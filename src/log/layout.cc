@@ -45,6 +45,7 @@ void RootArea::WriteTail(int core, uint64_t seq, uint64_t tail) {
   line.slot.seq = seq;
   line.slot.tail = tail;
   line.slot.check = TailCheck(seq, tail);
+  // fs-lint: deferred-fence(the tail record is the batch commit point — AppendBatch issues the fence so one sfence covers the whole g-persist, paper section 3.3)
   pool_->Persist(&line, sizeof(TailSlot));
 }
 
@@ -70,7 +71,7 @@ uint64_t RootArea::RegisterChunk(uint64_t chunk_off, int core, uint32_t seq) {
       pool_->PersistFence(&recs[s].chunk_off, sizeof(uint64_t));
       vt::Charge(vt::kCpuCas);
       {
-        std::lock_guard<SpinLock> g(mirror_lock_);
+        LockGuard<SpinLock> g(mirror_lock_);
         mirror_[chunk_off] = {core, seq};
       }
       return s;
@@ -84,7 +85,7 @@ void RootArea::UnregisterChunk(uint64_t slot_index) {
   FLATSTORE_DCHECK(slot_index < kRegistrySlots);
   ChunkRecord* rec = &registry()[slot_index];
   {
-    std::lock_guard<SpinLock> g(mirror_lock_);
+    LockGuard<SpinLock> g(mirror_lock_);
     mirror_.erase(rec->chunk_off);
   }
   std::atomic_ref<uint64_t>(rec->chunk_off)
@@ -93,7 +94,7 @@ void RootArea::UnregisterChunk(uint64_t slot_index) {
 }
 
 bool RootArea::ChunkInfo(uint64_t chunk_off, int* core, uint32_t* seq) const {
-  std::lock_guard<SpinLock> g(mirror_lock_);
+  LockGuard<SpinLock> g(mirror_lock_);
   auto it = mirror_.find(chunk_off);
   if (it == mirror_.end()) return false;
   *core = it->second.first;
@@ -102,7 +103,7 @@ bool RootArea::ChunkInfo(uint64_t chunk_off, int* core, uint32_t* seq) const {
 }
 
 void RootArea::RebuildMirror() {
-  std::lock_guard<SpinLock> g(mirror_lock_);
+  LockGuard<SpinLock> g(mirror_lock_);
   mirror_.clear();
   const ChunkRecord* recs = registry();
   for (uint64_t s = 0; s < kRegistrySlots; s++) {

@@ -32,6 +32,7 @@
 #include "common/cacheline.h"
 #include "common/logging.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "pm/pm_pool.h"
 
 namespace flatstore {
@@ -175,7 +176,8 @@ class RootArea {
  private:
   pm::PmPool* pool_;
   mutable SpinLock mirror_lock_;
-  std::unordered_map<uint64_t, std::pair<int, uint32_t>> mirror_;
+  std::unordered_map<uint64_t, std::pair<int, uint32_t>> mirror_
+      GUARDED_BY(mirror_lock_);
 };
 
 }  // namespace log

@@ -35,6 +35,7 @@ void LogCleaner::Start() {
     // through the shared PmDevice (the Fig. 13 interference).
     vt::Clock clock;
     vt::ScopedClock bind(&clock);
+    // relaxed: run flag; Stop() joins the thread, which orders everything.
     while (running_.load(std::memory_order_relaxed)) {
       if (RunOnce() == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -44,6 +45,7 @@ void LogCleaner::Start() {
 }
 
 void LogCleaner::Stop() {
+  // relaxed: run flag; the join below is the ordering point.
   running_.store(false, std::memory_order_relaxed);
   if (thread_.joinable()) thread_.join();
 }
@@ -103,6 +105,7 @@ bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
       if (index->EraseIfEqual(e.key, packed)) live = false;
     }
     if (!live) {
+      // relaxed: monotonic stat counter, no ordering required.
       entries_dropped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -125,11 +128,13 @@ bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
       const uint64_t desired = PackIndexValue(new_offs[i], s.version);
       if (hooks_.index_for_key(s.key)->CompareExchange(s.key, expected,
                                                        desired)) {
+        // relaxed: monotonic stat counter, no ordering required.
         entries_copied_.fetch_add(1, std::memory_order_relaxed);
       } else {
         // Superseded while we copied: the copy is garbage.
         log->NoteDead(new_offs[i]);
-        entries_dropped_.fetch_add(1, std::memory_order_relaxed);
+        // relaxed: monotonic stat counter, no ordering required.
+      entries_dropped_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -141,6 +146,7 @@ bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
   // selection while the free is in flight.
   log->BeginRetire(chunk_off);
   hooks_.epochs->Defer([log, chunk_off] { log->ReleaseChunk(chunk_off); });
+  // relaxed: monotonic stat counter, no ordering required.
   chunks_cleaned_.fetch_add(1, std::memory_order_relaxed);
   vt::Charge(vt::kCpuCas);
   return true;

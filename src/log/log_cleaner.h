@@ -88,12 +88,15 @@ class LogCleaner {
 
   // --- statistics (Fig. 13) ---
   uint64_t chunks_cleaned() const {
+    // relaxed: monotonic stat counter, no ordering required.
     return chunks_cleaned_.load(std::memory_order_relaxed);
   }
   uint64_t entries_copied() const {
+    // relaxed: monotonic stat counter, no ordering required.
     return entries_copied_.load(std::memory_order_relaxed);
   }
   uint64_t entries_dropped() const {
+    // relaxed: monotonic stat counter, no ordering required.
     return entries_dropped_.load(std::memory_order_relaxed);
   }
 

@@ -19,15 +19,19 @@ OpLog::OpLog(RootArea* root, alloc::LazyAllocator* alloc, int core)
 
 bool OpLog::EnsureRoom(uint64_t bytes, bool cleaner) {
   FLATSTORE_CHECK_LE(bytes, kLogDataBytes) << "batch larger than a chunk";
-  uint64_t& chunk = cleaner ? cleaner_chunk_ : chunk_;
+  std::atomic<uint64_t>& chunk = cleaner ? cleaner_chunk_ : chunk_;
   uint64_t& cursor = cleaner ? cleaner_cursor_ : cursor_;
+  // relaxed: each cursor has exactly one writer (this thread); the load
+  // reads our own previous store. Cross-thread readers go through the
+  // acquire accessors.
+  const uint64_t cur = chunk.load(std::memory_order_relaxed);
 
-  if (chunk != 0) {
-    const uint64_t used = cursor - (chunk + kLogDataOff);
+  if (cur != 0) {
+    const uint64_t used = cursor - (cur + kLogDataOff);
     if (used + bytes <= kLogDataBytes) return true;
     // Rollover: seal the full chunk so recovery knows its extent even
     // after the tail record moves on.
-    SealChunk(chunk, used);
+    SealChunk(cur, used);
   }
 
   uint64_t fresh = alloc_->AllocRawChunk(core_);
@@ -41,16 +45,23 @@ bool OpLog::EnsureRoom(uint64_t bytes, bool cleaner) {
   hdr->used_final = 0;
   root_->pool()->PersistFence(hdr, sizeof(LogChunkHeader));
 
-  const uint32_t seq = next_chunk_seq_++;
+  // relaxed: the fetch_add only needs atomicity — serving and cleaner
+  // rollovers may race here; uniqueness is the contract, not ordering.
+  // (This was a plain `next_chunk_seq_++` before the thread-safety pass:
+  // a lost update could hand two chunks the same sequence number and
+  // break the tombstone-liveness bound in PickVictims.)
+  const uint32_t seq = next_chunk_seq_.fetch_add(1, std::memory_order_relaxed);
   uint64_t slot = root_->RegisterChunk(fresh, core_, seq);
   {
-    std::lock_guard<SpinLock> g(usage_lock_);
+    LockGuard<SpinLock> g(usage_lock_);
     ChunkUsage& u = usage_[fresh];
     u.seq = seq;
     u.cleaner = cleaner;
     u.registry_slot = slot;
   }
-  chunk = fresh;
+  // Release publishes the zeroed data region and usage record to the
+  // cleaner's acquire loads before it can see the new chunk offset.
+  chunk.store(fresh, std::memory_order_release);
   cursor = fresh + kLogDataOff;
   return true;
 }
@@ -60,7 +71,7 @@ void OpLog::SealChunk(uint64_t chunk_off, uint64_t used) {
                                                    alloc::kChunkHeaderSize);
   hdr->used_final = used;
   root_->pool()->PersistFence(hdr, sizeof(uint64_t));
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   auto it = usage_.find(chunk_off);
   FLATSTORE_CHECK(it != usage_.end());
   it->second.sealed = true;
@@ -87,6 +98,7 @@ uint64_t OpLog::WriteEntries(uint64_t* cursor, const EntryRef* entries,
   // One persist sweep over every touched line — this is where batching
   // pays: 16-byte entries share lines, so N entries cost ~N/4 line
   // flushes instead of N.
+  // fs-lint: deferred-fence(callers fence the batch: AppendBatch before moving the tail record, CleanerAppendBatch before committing used_final)
   pool->Persist(pool->At(start), padded - start);
   // Cacheline-align the next batch so it never re-flushes our last line
   // (§3.2 "Padding"; the ablation bench disables this).
@@ -104,12 +116,17 @@ bool OpLog::AppendBatch(const EntryRef* entries, size_t n,
   const uint64_t end = WriteEntries(&cursor_, entries, n, offsets);
   root_->pool()->Fence();  // entries durable before the tail moves
 
-  tail_ = end;
-  tail_seq_++;
-  root_->WriteTail(core_, tail_seq_, tail_);
+  // relaxed: single writer — reads our own previous store.
+  const uint64_t seq = tail_seq_.load(std::memory_order_relaxed) + 1;
+  // Release: the cleaner's acquire load of tail_ must observe the entry
+  // bytes written above before it trusts the extent.
+  tail_.store(end, std::memory_order_release);
+  tail_seq_.store(seq, std::memory_order_release);
+  root_->WriteTail(core_, seq, end);
   root_->pool()->Fence();
 
-  AccountBatch(chunk_, entries, n);
+  // relaxed: our own store from EnsureRoom this batch.
+  AccountBatch(chunk_.load(std::memory_order_relaxed), entries, n);
   batches_++;
   entries_ += n;
   return true;
@@ -124,15 +141,17 @@ bool OpLog::CleanerAppendBatch(const EntryRef* entries, size_t n,
 
   const uint64_t end = WriteEntries(&cleaner_cursor_, entries, n, offsets);
   root_->pool()->Fence();
+  // relaxed: cleaner_chunk_ has a single writer — the cleaner itself.
+  const uint64_t cchunk = cleaner_chunk_.load(std::memory_order_relaxed);
   // Commit through the chunk's used_final (the cleaner has no tail
   // record); must be durable before the index is re-pointed at the
   // copies.
-  auto* hdr = root_->pool()->PtrAt<LogChunkHeader>(cleaner_chunk_ +
-                                                   alloc::kChunkHeaderSize);
-  hdr->used_final = end - (cleaner_chunk_ + kLogDataOff);
+  auto* hdr =
+      root_->pool()->PtrAt<LogChunkHeader>(cchunk + alloc::kChunkHeaderSize);
+  hdr->used_final = end - (cchunk + kLogDataOff);
   root_->pool()->PersistFence(hdr, sizeof(uint64_t));
 
-  AccountBatch(cleaner_chunk_, entries, n);
+  AccountBatch(cchunk, entries, n);
   return true;
 }
 
@@ -149,7 +168,7 @@ void OpLog::AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n) {
       max_covered = std::max(max_covered, covered);
     }
   }
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   ChunkUsage& u = usage_[chunk];
   u.total += static_cast<uint32_t>(n);
   u.live += static_cast<uint32_t>(n);
@@ -158,54 +177,64 @@ void OpLog::AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n) {
 }
 
 void OpLog::SealActiveChunk() {
-  if (chunk_ == 0) return;
-  SealChunk(chunk_, cursor_ - (chunk_ + kLogDataOff));
-  chunk_ = 0;
+  // relaxed: serving-thread-owned cursor; see EnsureRoom.
+  const uint64_t chunk = chunk_.load(std::memory_order_relaxed);
+  if (chunk == 0) return;
+  SealChunk(chunk, cursor_ - (chunk + kLogDataOff));
+  chunk_.store(0, std::memory_order_release);
   cursor_ = 0;
 }
 
 void OpLog::RotateCleanerChunk() {
-  if (cleaner_chunk_ == 0) return;
-  SealChunk(cleaner_chunk_, cleaner_cursor_ - (cleaner_chunk_ + kLogDataOff));
-  cleaner_chunk_ = 0;
+  // relaxed: cleaner-thread-owned cursor; see EnsureRoom.
+  const uint64_t chunk = cleaner_chunk_.load(std::memory_order_relaxed);
+  if (chunk == 0) return;
+  SealChunk(chunk, cleaner_cursor_ - (chunk + kLogDataOff));
+  cleaner_chunk_.store(0, std::memory_order_release);
   cleaner_cursor_ = 0;
 }
 
 void OpLog::NoteDead(uint64_t entry_off) {
   const uint64_t chunk_off = AlignDown(entry_off, alloc::kChunkSize);
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   auto it = usage_.find(chunk_off);
   if (it != usage_.end() && it->second.live > 0) it->second.live--;
 }
 
 void OpLog::NoteLiveLost(uint64_t entry_off) {
   const uint64_t chunk_off = AlignDown(entry_off, alloc::kChunkSize);
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   auto it = usage_.find(chunk_off);
   if (it != usage_.end()) it->second.live++;
 }
 
 std::map<uint64_t, ChunkUsage> OpLog::UsageSnapshot() const {
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   return usage_;
 }
 
 std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
                                          size_t max) const {
   std::vector<std::pair<uint32_t, uint64_t>> candidates;  // (seq, chunk)
+  // Acquire snapshot of the serving cursor: the serving thread publishes
+  // these with release stores (they are NOT protected by usage_lock_).
+  const uint64_t active_chunk = chunk_.load(std::memory_order_acquire);
+  const uint64_t active_cleaner =
+      cleaner_chunk_.load(std::memory_order_acquire);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
   {
-    std::lock_guard<SpinLock> g(usage_lock_);
+    LockGuard<SpinLock> g(usage_lock_);
     uint64_t min_seq = UINT64_MAX;
     for (const auto& [off, u] : usage_) min_seq = std::min<uint64_t>(min_seq, u.seq);
     for (const auto& [off, u] : usage_) {
       if (!u.sealed) continue;                       // still being written
       if (u.retired) continue;     // unlinked, free already in flight
-      if (off == chunk_ || off == cleaner_chunk_) continue;
+      if (off == active_chunk || off == active_cleaner) continue;
       // Never retire the chunk the durable tail record points into, even
       // when it is sealed (forced rotation seals before the tail moves).
       // Unregistering it would leave a crash-time tail referencing a
       // freed — and possibly reused — chunk.
-      if (tail_ != 0 && AlignDown(tail_, alloc::kChunkSize) == off) continue;
+      if (tail != 0 && AlignDown(tail, alloc::kChunkSize) == off) continue;
       if (u.total == 0) continue;
       // Tombstones whose covered chunks are all gone are as good as dead:
       // discount them so tombstone-only chunks become victims too (the
@@ -228,7 +257,7 @@ std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
 }
 
 uint64_t OpLog::MinSeq() const {
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   uint64_t min_seq = UINT64_MAX;
   for (const auto& [off, u] : usage_) {
     if (u.seq < min_seq) min_seq = u.seq;
@@ -238,13 +267,17 @@ uint64_t OpLog::MinSeq() const {
 
 uint64_t OpLog::CommittedBytes(uint64_t chunk_off) const {
   {
-    std::lock_guard<SpinLock> g(usage_lock_);
+    // Acquire pairs with the serving path's release stores: observing
+    // tail_ >= an entry's end implies the entry bytes are visible.
+    const uint64_t active_chunk = chunk_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    LockGuard<SpinLock> g(usage_lock_);
     auto it = usage_.find(chunk_off);
     if (it != usage_.end() && !it->second.sealed) {
       // The serving chunk's extent is bounded by the tail; the cleaner
       // chunk's by used_final (maintained per cleaner batch).
-      if (chunk_off == chunk_) {
-        return tail_ == 0 ? 0 : tail_ - (chunk_off + kLogDataOff);
+      if (chunk_off == active_chunk) {
+        return tail == 0 ? 0 : tail - (chunk_off + kLogDataOff);
       }
     }
   }
@@ -254,7 +287,7 @@ uint64_t OpLog::CommittedBytes(uint64_t chunk_off) const {
 }
 
 void OpLog::BeginRetire(uint64_t chunk_off) {
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   auto it = usage_.find(chunk_off);
   FLATSTORE_CHECK(it != usage_.end());
   FLATSTORE_CHECK(!it->second.retired) << "double retire of chunk "
@@ -265,7 +298,7 @@ void OpLog::BeginRetire(uint64_t chunk_off) {
 void OpLog::ReleaseChunk(uint64_t chunk_off) {
   uint64_t slot;
   {
-    std::lock_guard<SpinLock> g(usage_lock_);
+    LockGuard<SpinLock> g(usage_lock_);
     auto it = usage_.find(chunk_off);
     FLATSTORE_CHECK(it != usage_.end());
     slot = it->second.registry_slot;
@@ -284,23 +317,25 @@ void OpLog::ReleaseChunk(uint64_t chunk_off) {
 
 void OpLog::AdoptRecoveredState(uint64_t tail, uint64_t tail_seq,
                                 std::map<uint64_t, ChunkUsage> usage) {
-  std::lock_guard<SpinLock> g(usage_lock_);
+  LockGuard<SpinLock> g(usage_lock_);
   usage_ = std::move(usage);
-  tail_ = tail;
-  tail_seq_ = tail_seq;
-  chunk_ = 0;
+  // Recovery is single-threaded (no cleaner or serving threads yet), but
+  // release keeps the publication contract uniform.
+  tail_.store(tail, std::memory_order_release);
+  tail_seq_.store(tail_seq, std::memory_order_release);
+  chunk_.store(0, std::memory_order_release);
   cursor_ = 0;
-  cleaner_chunk_ = 0;
+  cleaner_chunk_.store(0, std::memory_order_release);
   cleaner_cursor_ = 0;
   uint32_t max_seq = 0;
   for (const auto& [off, u] : usage_) {
     max_seq = std::max(max_seq, u.seq);
     if (tail != 0 && off == AlignDown(tail, alloc::kChunkSize) && !u.sealed) {
-      chunk_ = off;
+      chunk_.store(off, std::memory_order_release);
       cursor_ = options_.pad_batches ? CachelineAlignUp(tail) : tail;
     }
   }
-  next_chunk_seq_ = max_seq + 1;
+  next_chunk_seq_.store(max_seq + 1, std::memory_order_release);
 }
 
 }  // namespace log

@@ -20,12 +20,14 @@
 #ifndef FLATSTORE_LOG_OPLOG_H_
 #define FLATSTORE_LOG_OPLOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
 
 #include "alloc/lazy_allocator.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "log/layout.h"
 #include "log/log_entry.h"
 
@@ -102,9 +104,13 @@ class OpLog {
 
   // --- introspection / GC support ---
 
-  // Committed tail (pool offset; 0 before the first append).
-  uint64_t tail() const { return tail_; }
-  uint64_t tail_seq() const { return tail_seq_; }
+  // Committed tail (pool offset; 0 before the first append). Written by
+  // the serving path, read by the cleaner (victim selection must spare
+  // the tail chunk) — acquire pairs with AppendBatch's release.
+  uint64_t tail() const { return tail_.load(std::memory_order_acquire); }
+  uint64_t tail_seq() const {
+    return tail_seq_.load(std::memory_order_acquire);
+  }
   int core() const { return core_; }
 
   // Snapshot of per-chunk usage, keyed by chunk offset.
@@ -178,22 +184,35 @@ class OpLog {
   int core_;
   Options options_;
 
-  // Serving cursor.
-  uint64_t chunk_ = 0;        // current serving chunk offset (0 = none)
-  uint64_t cursor_ = 0;       // next write position (pool offset)
-  uint64_t tail_ = 0;
-  uint64_t tail_seq_ = 0;
+  // Serving cursor. `chunk_`, `tail_` and `tail_seq_` have a single
+  // writer (the serving path) but are read concurrently by the cleaner
+  // thread (PickVictims must spare the active and tail chunks;
+  // CommittedBytes bounds the serving chunk's extent by the tail), so
+  // they are atomics: the serving path publishes with release stores and
+  // the cleaner reads with acquire. They used to be plain uint64_t —
+  // a data race the thread-safety pass surfaced (the old code read them
+  // under usage_lock_, which the writer never held).
+  std::atomic<uint64_t> chunk_{0};   // current serving chunk (0 = none)
+  uint64_t cursor_ = 0;  // next write position; serving-thread-confined
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> tail_seq_{0};
 
-  // Cleaner cursor.
-  uint64_t cleaner_chunk_ = 0;
+  // Cleaner cursor. `cleaner_chunk_` is read by PickVictims and written
+  // on rollover; `cleaner_cursor_` is cleaner-thread-confined.
+  std::atomic<uint64_t> cleaner_chunk_{0};
   uint64_t cleaner_cursor_ = 0;
 
-  uint32_t next_chunk_seq_ = 1;
-  uint64_t batches_ = 0;
+  // Chunk allocation sequence. fetch_add'ed by BOTH append paths'
+  // rollovers (serving leader and cleaner run concurrently); the old
+  // plain `next_chunk_seq_++` could hand two chunks the same sequence
+  // number, corrupting the tombstone-liveness bound (MinSeq vs
+  // max_covered_seq) that victim selection relies on.
+  std::atomic<uint32_t> next_chunk_seq_{1};
+  uint64_t batches_ = 0;   // serving-thread stats
   uint64_t entries_ = 0;
 
   mutable SpinLock usage_lock_;
-  std::map<uint64_t, ChunkUsage> usage_;
+  std::map<uint64_t, ChunkUsage> usage_ GUARDED_BY(usage_lock_);
 };
 
 }  // namespace log

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <memory>
 
+#include "common/thread_annotations.h"
+
 namespace flatstore {
 namespace net {
 
@@ -26,7 +28,8 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   // Producer: copies `v` in; false when full.
-  bool Push(const T& v) {
+  FS_HOT bool Push(const T& v) {
+    // relaxed: head_ is producer-owned; only the producer writes it.
     const uint64_t h = head_.load(std::memory_order_relaxed);
     if (h - tail_.load(std::memory_order_acquire) == N) return false;
     slots_[h & (N - 1)] = v;
@@ -36,14 +39,16 @@ class SpscRing {
 
   // Consumer: pointer to the oldest message, or nullptr when empty. The
   // slot stays valid until Pop().
-  T* Front() {
+  FS_HOT T* Front() {
+    // relaxed: tail_ is consumer-owned; only the consumer writes it.
     const uint64_t t = tail_.load(std::memory_order_relaxed);
     if (head_.load(std::memory_order_acquire) == t) return nullptr;
     return &slots_[t & (N - 1)];
   }
 
   // Consumer: releases the slot returned by Front().
-  void Pop() {
+  FS_HOT void Pop() {
+    // relaxed: tail_ is consumer-owned; only the consumer writes it.
     tail_.store(tail_.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
   }

@@ -1,3 +1,5 @@
+// fs-lint: relaxed-default(every atomic here is emulated-device timing state — per-DIMM work/tmax clocks and write-cache slots of the latency model; the model is advisory and tolerates stale reads by design, so no site implies cross-thread ordering)
+
 #include "pm/pm_device.h"
 
 #include <algorithm>

@@ -21,11 +21,9 @@ const char* PmPool::CrashModeName(CrashMode mode) {
 
 PmPool::PmPool(const Options& options)
     : size_(AlignUp(options.size, 4ull << 20)), device_(options.device) {
-  mem_ = std::make_unique_for_overwrite<char[]>(size_);
-  std::memset(mem_.get(), 0, size_);
+  mem_ = NewPageAlignedZeroed(size_);
   if (options.crash_tracking) {
-    shadow_ = std::make_unique_for_overwrite<char[]>(size_);
-    std::memset(shadow_.get(), 0, size_);
+    shadow_ = NewPageAlignedZeroed(size_);
   }
 }
 
@@ -56,6 +54,8 @@ void PmPool::Persist(const void* p, uint64_t len) {
 void PmPool::CrashTrackLine(uint64_t off) {
   bool durable = true;
   bool exhausted_now = false;
+  // relaxed: the budget is a test-only flush counter; the CAS below only
+  // needs atomicity, not ordering with the data being flushed.
   int64_t b = flush_budget_.load(std::memory_order_relaxed);
   if (b >= 0) {
     while (b > 0 && !flush_budget_.compare_exchange_weak(
@@ -83,7 +83,7 @@ void PmPool::CrashTrackLine(uint64_t off) {
       break;
     case CrashMode::kUnordered:
       if (durable) {
-        std::lock_guard<SpinLock> g(pending_lock_);
+        LockGuard<SpinLock> g(pending_lock_);
         PendingLine& pl = pending_.emplace_back();
         pl.off = off;
         std::memcpy(pl.data, mem_.get() + off, kCachelineSize);
@@ -183,7 +183,7 @@ uint64_t PmPool::ChargeReadAt(const void* p, uint64_t len,
 void PmPool::Fence() {
   stats_.AddFence();
   if (shadow_ && crash_mode_ == CrashMode::kUnordered) {
-    std::lock_guard<SpinLock> g(pending_lock_);
+    LockGuard<SpinLock> g(pending_lock_);
     CommitPendingLocked();
   }
   if (vt::Clock* clock = vt::CurrentClock()) {
@@ -199,7 +199,7 @@ void PmPool::SetCrashMode(CrashMode mode, uint64_t seed) {
   // Decorrelate nearby seeds; seed 0 is as good as any other.
   crash_rng_ = seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull;
   loss_resolved_ = false;
-  std::lock_guard<SpinLock> g(pending_lock_);
+  LockGuard<SpinLock> g(pending_lock_);
   pending_.clear();
 }
 
@@ -211,17 +211,18 @@ void PmPool::SimulateCrash() {
   // flushes may drain in any subset, dirty lines may evict.
   if (!loss_resolved_) {
     if (crash_mode_ == CrashMode::kUnordered) {
-      std::lock_guard<SpinLock> g(pending_lock_);
+      LockGuard<SpinLock> g(pending_lock_);
       ResolvePendingAtLossLocked();
     } else if (crash_mode_ == CrashMode::kEviction) {
       ResolveEviction();
     }
   }
   {
-    std::lock_guard<SpinLock> g(pending_lock_);
+    LockGuard<SpinLock> g(pending_lock_);
     pending_.clear();
   }
   std::memcpy(mem_.get(), shadow_.get(), size_);
+  // relaxed: re-arming the test budget; no ordering required.
   flush_budget_.store(-1, std::memory_order_relaxed);
   loss_resolved_ = false;
 }

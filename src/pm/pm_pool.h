@@ -33,11 +33,13 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "common/cacheline.h"
 #include "common/logging.h"
 #include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "pm/pm_device.h"
 #include "pm/pm_stats.h"
 #include "vt/clock.h"
@@ -159,12 +161,14 @@ class PmPool {
   // disable the budget (default). Re-arming also re-enables the
   // mode-specific cut behaviour for the next exhaustion.
   void SetFlushBudget(int64_t n) {
+    // relaxed: test-orchestration knob, set while the engine is quiesced.
     flush_budget_.store(n, std::memory_order_relaxed);
     loss_resolved_ = false;
   }
 
   // True once the budget has been exhausted.
   bool PowerLost() const {
+    // relaxed: test-orchestration read; no ordering with flush traffic.
     return flush_budget_.load(std::memory_order_relaxed) == 0;
   }
 
@@ -197,15 +201,32 @@ class PmPool {
   void TearLineIntoShadow(uint64_t off);
   // Commits / coin-flips the kUnordered pending buffer (caller holds
   // pending_lock_).
-  void CommitPendingLocked();
-  void ResolvePendingAtLossLocked();
+  void CommitPendingLocked() REQUIRES(pending_lock_);
+  void ResolvePendingAtLossLocked() REQUIRES(pending_lock_);
   // kEviction: every line whose live content differs from the shadow may
   // persist, per seeded coin flip.
   void ResolveEviction();
 
+  // The pool buffer emulates a DAX mapping, which is page-aligned; the
+  // alignas(64) PM-resident structs (tail lines, index buckets) rely on
+  // it. Plain new char[] only guarantees 16 bytes (UBSan catches the
+  // resulting misaligned member accesses), hence the aligned allocation.
+  struct PageAlignedDeleter {
+    void operator()(char* p) const {
+      ::operator delete[](p, std::align_val_t{4096});
+    }
+  };
+  using PageAlignedBuf = std::unique_ptr<char[], PageAlignedDeleter>;
+  static PageAlignedBuf NewPageAlignedZeroed(uint64_t size) {
+    auto* p = static_cast<char*>(
+        ::operator new[](size, std::align_val_t{4096}));
+    std::memset(p, 0, size);
+    return PageAlignedBuf(p);
+  }
+
   uint64_t size_;
-  std::unique_ptr<char[]> mem_;
-  std::unique_ptr<char[]> shadow_;  // null unless crash_tracking
+  PageAlignedBuf mem_;
+  PageAlignedBuf shadow_;  // null unless crash_tracking
   PmDevice* device_;
   PmStats stats_;
   std::atomic<int64_t> flush_budget_{-1};
@@ -217,7 +238,7 @@ class PmPool {
   // without further side effects until the budget is re-armed.
   bool loss_resolved_ = false;
   SpinLock pending_lock_;
-  std::vector<PendingLine> pending_;
+  std::vector<PendingLine> pending_ GUARDED_BY(pending_lock_);
 };
 
 }  // namespace pm

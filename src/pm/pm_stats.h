@@ -3,6 +3,8 @@
 // Several of the paper's claims are about *counts* rather than time (e.g.,
 // batching reduces a batch of N Puts from 3N persists to N+2). Unit tests
 // assert those counts directly from these statistics.
+//
+// fs-lint: relaxed-default(every atomic in this file is a monotonic stat counter read after the measured phase quiesces; no cross-thread ordering is implied by any of them)
 
 #ifndef FLATSTORE_PM_PM_STATS_H_
 #define FLATSTORE_PM_PM_STATS_H_

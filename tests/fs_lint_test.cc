@@ -1,0 +1,143 @@
+// Tests of tools/fs_lint: every seeded fixture under tests/lint_fixtures
+// must be flagged with the expected rule, the clean fixture must produce
+// zero violations, and the waiver/window semantics documented in
+// tools/fs_lint/lint.h must hold exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fslint {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(FS_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Violation> RunFixture(const std::string& name) {
+  return LintPath(Fixture(name));
+}
+
+size_t CountRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const Violation& v) { return v.rule == rule; }));
+}
+
+// --- fixture files ---
+
+TEST(FsLintFixtures, MissingFenceFlagsBothUnfencedPaths) {
+  auto vs = RunFixture("missing_fence.cc");
+  EXPECT_EQ(CountRule(vs, "fence-after-persist"), 2u);
+  // The early return and the fall-off-the-end function; the properly
+  // fenced CommitProperly contributes nothing.
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST(FsLintFixtures, PmRawStoreFlagsMemcpyAndFieldStore) {
+  auto vs = RunFixture("pm_raw_store.cc");
+  EXPECT_EQ(CountRule(vs, "pm-store"), 2u);
+  // The persisted and the waived variants are both clean.
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST(FsLintFixtures, UnjustifiedRelaxedFlagsOnlyTheUntaggedSite) {
+  auto vs = RunFixture("unjustified_relaxed.cc");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "relaxed-needs-reason");
+}
+
+TEST(FsLintFixtures, HotAllocFlagsLockAndAllocation) {
+  auto vs = RunFixture("hot_alloc.cc");
+  EXPECT_EQ(CountRule(vs, "hot-path"), 2u);
+  // try_lock in ServeWell and reserve() in the cold SetupPath are fine.
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST(FsLintFixtures, CleanFixtureHasZeroViolations) {
+  auto vs = RunFixture("clean.cc");
+  EXPECT_TRUE(vs.empty()) << (vs.empty() ? "" : Format(vs[0]));
+}
+
+TEST(FsLintFixtures, TreeWalkAggregatesEveryFixture) {
+  auto vs = LintTree(FS_LINT_FIXTURE_DIR);
+  EXPECT_EQ(vs.size(), 7u);
+  EXPECT_EQ(CountRule(vs, "fence-after-persist"), 2u);
+  EXPECT_EQ(CountRule(vs, "pm-store"), 2u);
+  EXPECT_EQ(CountRule(vs, "relaxed-needs-reason"), 1u);
+  EXPECT_EQ(CountRule(vs, "hot-path"), 2u);
+}
+
+// --- rule semantics on inline snippets ---
+
+TEST(FsLintRules, PmLayerIsExemptFromFenceAndStoreRules) {
+  const std::string code =
+      "struct P { void* At(unsigned long); void Persist(const void*, int); };\n"
+      "void F(P* p) {\n"
+      "  char* d = static_cast<char*>(p->At(0));\n"
+      "  d[0] = 1;\n"
+      "  p->Persist(d, 1);\n"
+      "}\n";
+  // Outside src/pm this has an unfenced Persist; inside src/pm both
+  // rules are off (the layer implements the primitives themselves).
+  EXPECT_EQ(LintFile("src/log/f.cc", code).size(), 1u);
+  EXPECT_TRUE(LintFile("src/pm/f.cc", code).empty());
+}
+
+TEST(FsLintRules, EmptyWaiverReasonIsItselfAViolation) {
+  const std::string code =
+      "// fs-lint: deferred-fence()\n"
+      "void F(int* p) { *p = 1; }\n";
+  auto vs = LintFile("src/log/f.cc", code);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "waiver-needs-reason");
+}
+
+TEST(FsLintRules, RelaxedTagWindowIsExactlyFiveLines) {
+  const std::string tag = "// relaxed: single-writer cursor.\n";
+  const std::string site = "int F(std::atomic<int>* a) {\n"
+                           "  return a->load(std::memory_order_relaxed);\n"
+                           "}\n";
+  // 3 blank lines + the signature line: tag sits 5 lines above the
+  // relaxed site — covered.
+  EXPECT_TRUE(LintFile("src/net/f.cc", tag + "\n\n\n" + site).empty());
+  // One more blank line: tag sits 6 lines above — out of the window.
+  EXPECT_EQ(LintFile("src/net/f.cc", tag + "\n\n\n\n" + site).size(), 1u);
+}
+
+TEST(FsLintRules, TokensInCommentsAndStringsAreIgnored) {
+  const std::string code =
+      "void F(const char** out) {\n"
+      "  // Persist(x) then memory_order_relaxed — just prose.\n"
+      "  *out = \"Persist( memory_order_relaxed lock_guard\";\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/log/f.cc", code).empty());
+}
+
+TEST(FsLintRules, BlanketRelaxedDefaultCoversWholeFile) {
+  const std::string code =
+      "// fs-lint: relaxed-default(stat counters only)\n"
+      "unsigned long F(std::atomic<unsigned long>* a) {\n"
+      "  return a->load(std::memory_order_relaxed);\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/log/f.cc", code).empty());
+}
+
+TEST(FsLintRules, PersistFenceAloneSatisfiesTheFenceRule) {
+  const std::string code =
+      "void F(Pool* p, void* r) { p->PersistFence(r, 8); }\n";
+  EXPECT_TRUE(LintFile("src/log/f.cc", code).empty());
+}
+
+TEST(FsLintRules, MissingFileReportsIoViolation) {
+  auto vs = LintPath(Fixture("does_not_exist.cc"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "io");
+}
+
+}  // namespace
+}  // namespace fslint

@@ -1,0 +1,56 @@
+// Fixture: the negative case — exercises every rule's *compliant* form;
+// fs_lint must report zero violations here. Not compiled — parsed by
+// fs_lint_test only.
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#define FS_HOT
+
+struct Pool {
+  void* At(unsigned long off);
+  void Persist(const void* p, unsigned long len);
+  void Fence();
+  void PersistFence(const void* p, unsigned long len);
+};
+
+std::atomic<unsigned long> stat{0};
+
+void CommitFenced(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+  pool->Fence();
+}
+
+void CommitCombined(Pool* pool, void* rec, unsigned long len) {
+  pool->PersistFence(rec, len);
+}
+
+// fs-lint: deferred-fence(the caller batches several records under one fence)
+void CommitDeferred(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+}
+
+void WritePersisted(Pool* pool, unsigned long off, const char* src) {
+  char* dst = static_cast<char*>(pool->At(off));
+  std::memcpy(dst, src, 64);
+  pool->PersistFence(dst, 64);
+}
+
+void WriteWaived(Pool* pool, unsigned long off) {
+  char* dst = static_cast<char*>(pool->At(off));
+  // fs-lint: pm-write(scratch region; recovery never reads it)
+  std::memset(dst, 0, 64);
+}
+
+void BumpTagged() {
+  // relaxed: monotonic stat counter, no ordering required.
+  stat.fetch_add(1, std::memory_order_relaxed);
+}
+
+FS_HOT unsigned long ServeClean() {
+  // relaxed: stat read, no ordering required.
+  return stat.load(std::memory_order_relaxed);
+}
+
+void ColdSetup(std::vector<int>* v) { v->reserve(128); }

@@ -1,0 +1,27 @@
+// Fixture: heap allocation and blocking locks inside an FS_HOT function
+// must be flagged by hot-path. Not compiled — parsed by fs_lint_test
+// only (FS_HOT and the lock types are recognized lexically).
+
+#include <mutex>
+#include <vector>
+
+#define FS_HOT
+
+std::mutex mu;
+std::vector<int> backlog;
+
+FS_HOT void ServeBadly(int v) {
+  std::lock_guard<std::mutex> g(mu);  // VIOLATION: blocking lock in FS_HOT
+  backlog.push_back(v);               // VIOLATION: allocation in FS_HOT
+}
+
+FS_HOT bool ServeWell(int* out) {
+  if (!mu.try_lock()) return false;  // ok: try_lock never blocks
+  *out = backlog.empty() ? 0 : backlog.back();
+  mu.unlock();
+  return true;
+}
+
+void SetupPath(int n) {
+  backlog.reserve(static_cast<unsigned long>(n));  // ok: not FS_HOT
+}

@@ -1,0 +1,24 @@
+// Fixture: Persist() reaching a return with no Fence()/PersistFence()
+// must be flagged by fence-after-persist. Not compiled — parsed by
+// fs_lint_test only.
+
+struct Pool {
+  void Persist(const void* p, unsigned long len);
+  void Fence();
+};
+
+bool CommitRecord(Pool* pool, void* rec, unsigned long len, bool fast) {
+  pool->Persist(rec, len);
+  if (fast) return true;  // VIOLATION: unfenced path out
+  pool->Fence();
+  return true;
+}
+
+void CommitNoFenceAtAll(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+}  // VIOLATION: falls off the end unfenced
+
+void CommitProperly(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+  pool->Fence();
+}  // ok: fenced before the end

@@ -1,0 +1,38 @@
+// Fixture: raw writes through PM-derived pointers that never reach a
+// Persist must be flagged by pm-store. Not compiled — parsed by
+// fs_lint_test only.
+
+#include <cstring>
+
+struct Header {
+  unsigned long used;
+};
+
+struct Pool {
+  void* At(unsigned long off);
+  void Persist(const void* p, unsigned long len);
+  void Fence();
+};
+
+void ScribbleUnpersisted(Pool* pool, unsigned long off, const char* src) {
+  char* dst = static_cast<char*>(pool->At(off));
+  std::memcpy(dst, src, 64);  // VIOLATION: PM write, no Persist follows
+}
+
+void StoreFieldUnpersisted(Pool* pool, unsigned long off) {
+  Header* h = static_cast<Header*>(pool->At(off));
+  h->used = 42;  // VIOLATION: PM field store, no Persist follows
+}
+
+void ScribblePersisted(Pool* pool, unsigned long off, const char* src) {
+  char* dst = static_cast<char*>(pool->At(off));
+  std::memcpy(dst, src, 64);
+  pool->Persist(dst, 64);  // ok: the write reaches a Persist
+  pool->Fence();
+}
+
+void ScribbleWaived(Pool* pool, unsigned long off, const char* src) {
+  char* dst = static_cast<char*>(pool->At(off));
+  // fs-lint: pm-write(recovery scan rebuilds this field; durability not required)
+  std::memcpy(dst, src, 64);  // ok: waived with a reason
+}

@@ -1,0 +1,20 @@
+// Fixture: memory_order_relaxed without a `// relaxed: <reason>` tag
+// must be flagged by relaxed-needs-reason. Not compiled — parsed by
+// fs_lint_test only.
+
+#include <atomic>
+
+std::atomic<unsigned long> counter{0};
+
+void BumpUntagged() {
+  counter.fetch_add(1, std::memory_order_relaxed);  // VIOLATION: no tag
+}
+
+void BumpTagged() {
+  // relaxed: monotonic stat counter, no ordering required.
+  counter.fetch_add(1, std::memory_order_relaxed);  // ok: tagged above
+}
+
+unsigned long ReadTaggedInline() {
+  return counter.load(std::memory_order_relaxed);  // relaxed: stat read, ok
+}

@@ -1,0 +1,580 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace fslint {
+namespace {
+
+// How many lines above a site a `// relaxed:` / waiver comment may sit
+// and still cover it (multi-line statements and a short comment block).
+constexpr int kWaiverWindow = 5;
+
+// One source line split into executable code and comment text. String
+// and character literals are blanked out of `code` so tokens inside them
+// never match; comments are collected separately for waiver detection.
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+std::vector<Line> SplitLines(const std::string& contents) {
+  std::vector<Line> lines;
+  Line cur;
+  enum class St { kCode, kString, kChar, kLineComment, kBlockComment };
+  St st = St::kCode;
+  for (size_t i = 0; i < contents.size(); i++) {
+    char c = contents[i];
+    char n = i + 1 < contents.size() ? contents[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kCode;
+      // Unterminated strings/chars at EOL (shouldn't happen in valid
+      // C++) reset to code so one bad line can't poison the file.
+      if (st == St::kString || st == St::kChar) st = St::kCode;
+      lines.push_back(std::move(cur));
+      cur = Line();
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLineComment;
+          i++;  // skip second '/'
+        } else if (c == '/' && n == '*') {
+          st = St::kBlockComment;
+          i++;
+        } else if (c == '"') {
+          st = St::kString;
+          cur.code += ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          cur.code += ' ';
+        } else {
+          cur.code += c;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          i++;
+        } else if (c == '"') {
+          st = St::kCode;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          i++;
+        } else if (c == '\'') {
+          st = St::kCode;
+        }
+        break;
+      case St::kLineComment:
+        cur.comment += c;
+        break;
+      case St::kBlockComment:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          i++;
+        } else {
+          cur.comment += c;
+        }
+        break;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+bool ContainsWord(const std::string& s, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                    s[pos - 1])) &&
+                                s[pos - 1] != '_');
+    size_t end = pos + word.size();
+    bool right_ok =
+        end >= s.size() ||
+        (!std::isalnum(static_cast<unsigned char>(s[end])) && s[end] != '_');
+    if (left_ok && right_ok) return true;
+    pos++;
+  }
+  return false;
+}
+
+// True when `s` contains `name` immediately followed by '(' (allowing
+// whitespace) at a word boundary — a call or declaration of `name`.
+bool ContainsCall(const std::string& s, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = s.find(name, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                    s[pos - 1])) &&
+                                s[pos - 1] != '_');
+    size_t end = pos + name.size();
+    while (end < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[end]))) {
+      end++;
+    }
+    if (left_ok && end < s.size() && s[end] == '(') return true;
+    pos++;
+  }
+  return false;
+}
+
+// Waiver / tag lookup: `marker` on the same line or up to kWaiverWindow
+// comment-bearing lines above `line` (0-based index into `lines`).
+bool HasNearbyComment(const std::vector<Line>& lines, int line,
+                      const std::string& marker) {
+  for (int l = line; l >= 0 && l >= line - kWaiverWindow; l--) {
+    if (lines[static_cast<size_t>(l)].comment.find(marker) !=
+        std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Extracts the reason inside the parentheses following `marker`; returns
+// false when the marker is absent.
+bool WaiverReason(const std::string& comment, const std::string& marker,
+                  std::string* reason) {
+  size_t pos = comment.find(marker);
+  if (pos == std::string::npos) return false;
+  size_t open = comment.find('(', pos + marker.size() - 1);
+  if (open == std::string::npos) {
+    reason->clear();
+    return true;
+  }
+  size_t close = comment.find(')', open);
+  *reason = comment.substr(open + 1, close == std::string::npos
+                                         ? std::string::npos
+                                         : close - open - 1);
+  // Trim whitespace.
+  while (!reason->empty() && std::isspace(static_cast<unsigned char>(
+                                 reason->front()))) {
+    reason->erase(reason->begin());
+  }
+  while (!reason->empty() &&
+         std::isspace(static_cast<unsigned char>(reason->back()))) {
+    reason->pop_back();
+  }
+  return true;
+}
+
+bool IsPmLayer(const std::string& path) {
+  std::filesystem::path p(path);
+  for (const auto& part : p.parent_path()) {
+    if (part == "pm") return true;
+  }
+  return false;
+}
+
+// First argument of the call to `fn` found in `code`, or "" when absent.
+std::string FirstArgOf(const std::string& code, const std::string& fn) {
+  size_t pos = 0;
+  while ((pos = code.find(fn, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                    code[pos - 1])) &&
+                                code[pos - 1] != '_');
+    size_t i = pos + fn.size();
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i]))) {
+      i++;
+    }
+    if (!left_ok || i >= code.size() || code[i] != '(') {
+      pos++;
+      continue;
+    }
+    int depth = 0;
+    size_t start = i + 1;
+    for (size_t j = start; j < code.size(); j++) {
+      char c = code[j];
+      if (c == '(' || c == '[' || c == '{' || c == '<') depth++;
+      if (c == ')' || c == ']' || c == '}' || c == '>') {
+        if (c == ')' && depth == 0) return code.substr(start, j - start);
+        depth--;
+      }
+      if (c == ',' && depth == 0) return code.substr(start, j - start);
+    }
+    return code.substr(start);
+  }
+  return "";
+}
+
+const char* const kTaintSources[] = {"->At",     ".At",          "PtrAt",
+                                     "base",     "superblock",   "registry",
+                                     "tails",    "HeaderOf"};
+
+bool MentionsTaintSource(const std::string& expr) {
+  for (const char* src : kTaintSources) {
+    size_t pos = expr.find(src);
+    if (pos == std::string::npos) continue;
+    // `PtrAt` is a template call (`PtrAt<T>(...)`); the rest must be
+    // calls. Either way the next non-name char being '(' or '<' is
+    // enough for a lexical check.
+    size_t end = pos + std::strlen(src);
+    if (end < expr.size() && (expr[end] == '(' || expr[end] == '<')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct PendingPmStore {
+  int line;  // 0-based
+  std::string what;
+};
+
+struct FunctionState {
+  int start_line = 0;        // 0-based line of the opening brace
+  int body_depth = 0;        // brace depth of the body
+  bool is_hot = false;
+  std::string name_hint;     // signature text, for messages
+  int unfenced_persist = -1;  // 0-based line of the last unfenced Persist
+  bool fence_waived = false;
+  std::vector<int> pending_returns;  // returns seen while unfenced
+  std::vector<PendingPmStore> pm_stores;
+  std::vector<int> persist_lines;  // every Persist/PersistFence call line
+  std::vector<std::string> tainted;  // identifiers bound to PM pointers
+};
+
+bool IsTainted(const FunctionState& fn, const std::string& expr) {
+  if (MentionsTaintSource(expr)) return true;
+  for (const auto& v : fn.tainted) {
+    if (ContainsWord(expr, v)) return true;
+  }
+  return false;
+}
+
+// Truncates and cleans a signature for use in messages.
+std::string NameHint(std::string sig) {
+  // Collapse whitespace runs.
+  std::string out;
+  bool ws = false;
+  for (char c : sig) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty()) out += ' ';
+    ws = false;
+    out += c;
+  }
+  if (out.size() > 60) out = out.substr(0, 57) + "...";
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> LintFile(const std::string& path,
+                                const std::string& contents) {
+  std::vector<Violation> out;
+  const bool pm_layer = IsPmLayer(path);
+  const std::vector<Line> lines = SplitLines(contents);
+
+  // File-level blanket waiver for the relaxed rule.
+  bool relaxed_blanket = false;
+  for (const Line& l : lines) {
+    std::string reason;
+    if (WaiverReason(l.comment, "fs-lint: relaxed-default(", &reason)) {
+      relaxed_blanket = true;
+      if (reason.empty()) {
+        out.push_back({path,
+                       static_cast<int>(&l - lines.data()) + 1,
+                       "waiver-needs-reason",
+                       "fs-lint: relaxed-default waiver without a reason"});
+      }
+    }
+  }
+
+  // Scope tracking. `scopes` mirrors brace depth; FunctionState is live
+  // while inside a function body.
+  enum class Scope { kNamespace, kType, kFunction, kOther };
+  std::vector<Scope> scopes;
+  FunctionState fn;
+  bool in_function = false;
+  std::string header;  // code accumulated since the last ';' / '{' / '}'
+
+  static const std::regex kTaintDef(
+      R"(([A-Za-z_][A-Za-z0-9_]*)\s*=\s*[^=;]*(->At\s*\(|\.At\s*\(|PtrAt\s*<|->base\s*\(\s*\)|superblock\s*\(\s*\)|registry\s*\(\s*\)|tails\s*\(|HeaderOf\s*\())");
+  static const std::regex kTemplateHdr(R"(template\s*<[^<>]*>)");
+
+  auto finish_function = [&](int end_line) {
+    if (fn.unfenced_persist >= 0) fn.pending_returns.push_back(end_line);
+    if (!fn.fence_waived) {
+      for (int r : fn.pending_returns) {
+        out.push_back(
+            {path, r + 1, "fence-after-persist",
+             "Persist() is not followed by Fence()/PersistFence() on this "
+             "path out of '" +
+                 fn.name_hint +
+                 "'; fence it or waive with // fs-lint: "
+                 "deferred-fence(<reason>)"});
+      }
+    }
+    for (const PendingPmStore& st : fn.pm_stores) {
+      bool persisted_later = false;
+      for (int pl : fn.persist_lines) {
+        if (pl >= st.line) {
+          persisted_later = true;
+          break;
+        }
+      }
+      if (persisted_later) continue;
+      if (HasNearbyComment(lines, st.line, "fs-lint: pm-write(")) continue;
+      out.push_back({path, st.line + 1, "pm-store",
+                     st.what +
+                         " writes a PM-derived pointer without reaching a "
+                         "Persist in '" +
+                         fn.name_hint +
+                         "'; persist it or waive with // fs-lint: "
+                         "pm-write(<reason>)"});
+    }
+  };
+
+  bool pp_continuation = false;  // previous line was a '\'-continued #directive
+
+  for (size_t li = 0; li < lines.size(); li++) {
+    std::string code = lines[li].code;
+    const std::string& comment = lines[li].comment;
+
+    // Preprocessor lines (and their backslash continuations) are invisible
+    // to every rule and to brace/scope tracking: macro definitions contain
+    // parens and braces that are not code in this translation unit.
+    {
+      size_t first = code.find_first_not_of(" \t");
+      bool is_pp = pp_continuation ||
+                   (first != std::string::npos && code[first] == '#');
+      size_t last = code.find_last_not_of(" \t");
+      pp_continuation =
+          is_pp && last != std::string::npos && code[last] == '\\';
+      if (is_pp) code.clear();
+    }
+
+    // --- waiver bookkeeping (reasons must be non-empty) ---
+    for (const char* marker :
+         {"fs-lint: deferred-fence(", "fs-lint: pm-write(",
+          "fs-lint: hot-ok("}) {
+      std::string reason;
+      if (WaiverReason(comment, marker, &reason) && reason.empty()) {
+        out.push_back({path, static_cast<int>(li) + 1, "waiver-needs-reason",
+                       std::string(marker) + "...) waiver without a reason"});
+      }
+    }
+    if (in_function &&
+        comment.find("fs-lint: deferred-fence(") != std::string::npos) {
+      fn.fence_waived = true;
+    }
+
+    // --- rule 3: relaxed-needs-reason (applies everywhere) ---
+    if (!relaxed_blanket &&
+        code.find("memory_order_relaxed") != std::string::npos &&
+        !HasNearbyComment(lines, static_cast<int>(li), "relaxed:")) {
+      out.push_back({path, static_cast<int>(li) + 1, "relaxed-needs-reason",
+                     "memory_order_relaxed without a '// relaxed: <reason>' "
+                     "justification (or file-level fs-lint: "
+                     "relaxed-default)"});
+    }
+
+    // --- in-function token rules ---
+    if (in_function) {
+      // rule 1: fence-after-persist.
+      if (!pm_layer) {
+        if (ContainsCall(code, "PersistFence") || ContainsCall(code, "Fence")) {
+          fn.unfenced_persist = -1;
+          fn.persist_lines.push_back(static_cast<int>(li));
+        }
+        if (ContainsCall(code, "Persist")) {
+          fn.unfenced_persist = static_cast<int>(li);
+          fn.persist_lines.push_back(static_cast<int>(li));
+        }
+        if (ContainsWord(code, "return") && fn.unfenced_persist >= 0) {
+          fn.pending_returns.push_back(static_cast<int>(li));
+          // One report per un-fenced Persist, not per return.
+          fn.unfenced_persist = -1;
+        }
+
+        // rule 2: pm-store. New taints first, then violating stores.
+        std::smatch m;
+        std::string rest = code;
+        std::vector<std::string> tainted_here;
+        while (std::regex_search(rest, m, kTaintDef)) {
+          fn.tainted.push_back(m[1].str());
+          tainted_here.push_back(m[1].str());
+          rest = m.suffix().str();
+        }
+        for (const char* f : {"memcpy", "memset"}) {
+          std::string arg = FirstArgOf(code, f);
+          if (!arg.empty() && IsTainted(fn, arg)) {
+            fn.pm_stores.push_back(
+                {static_cast<int>(li), std::string(f) + "()"});
+          }
+        }
+        // Raw stores through a tainted pointer: `v->f = `, `v[i] = `,
+        // `*v = ` (compound assignments included; == excluded). A line
+        // that taints `v` IS its declaration/rebinding — the `*` there is
+        // the declarator, not a dereference — so it is never a store.
+        for (const std::string& v : fn.tainted) {
+          if (std::find(tainted_here.begin(), tainted_here.end(), v) !=
+              tainted_here.end()) {
+            continue;
+          }
+          std::regex store(
+              R"((\*\s*)?\b)" + v +
+              R"(\b\s*(->\s*[A-Za-z_][A-Za-z0-9_]*|\[[^\]]*\])*\s*([|&^+\-*\/%]?=)([^=]|$))");
+          std::smatch sm;
+          if (std::regex_search(code, sm, store)) {
+            // Require either a dereference form or a plain `*v =`.
+            bool deref = sm[1].matched || sm[2].matched;
+            if (deref) {
+              fn.pm_stores.push_back({static_cast<int>(li),
+                                      "store through '" + v + "'"});
+              break;
+            }
+          }
+        }
+      }
+
+      // rule 4: hot-path.
+      if (fn.is_hot &&
+          !HasNearbyComment(lines, static_cast<int>(li), "fs-lint: hot-ok(")) {
+        static const char* const kAllocCalls[] = {
+            "malloc", "calloc", "realloc", "push_back", "emplace_back",
+            "resize", "reserve"};
+        for (const char* f : kAllocCalls) {
+          if (ContainsCall(code, f)) {
+            out.push_back({path, static_cast<int>(li) + 1, "hot-path",
+                           std::string(f) +
+                               "() in FS_HOT function '" + fn.name_hint +
+                               "' (serving paths are allocation-free)"});
+          }
+        }
+        if (ContainsWord(code, "new") &&
+            code.find("new_") == std::string::npos) {
+          out.push_back({path, static_cast<int>(li) + 1, "hot-path",
+                         "operator new in FS_HOT function '" + fn.name_hint +
+                             "'"});
+        }
+        static const char* const kLockTokens[] = {
+            "lock_guard", "unique_lock", "shared_lock", "scoped_lock",
+            "LockGuard",  "SharedLockGuard"};
+        for (const char* t : kLockTokens) {
+          if (ContainsWord(code, t)) {
+            out.push_back({path, static_cast<int>(li) + 1, "hot-path",
+                           std::string(t) + " in FS_HOT function '" +
+                               fn.name_hint +
+                               "' (blocking locks are banned; try_lock is "
+                               "allowed)"});
+          }
+        }
+        // `.lock()` / `->lock()` but not `try_lock()` / `unlock()`.
+        static const std::regex kBlockingLock(
+            R"((\.|->)lock\s*\(\s*\))");
+        if (std::regex_search(code, kBlockingLock)) {
+          out.push_back({path, static_cast<int>(li) + 1, "hot-path",
+                         "blocking lock() call in FS_HOT function '" +
+                             fn.name_hint + "'"});
+        }
+      }
+    }
+
+    // --- brace / scope tracking ---
+    for (char c : code) {
+      if (c == '{') {
+        if (in_function) {
+          scopes.push_back(Scope::kOther);  // plain block inside a body
+        } else {
+          std::string h = std::regex_replace(header, kTemplateHdr, " ");
+          bool type_kw = ContainsWord(h, "class") ||
+                         ContainsWord(h, "struct") ||
+                         ContainsWord(h, "union") || ContainsWord(h, "enum");
+          bool ns_kw = ContainsWord(h, "namespace");
+          // Trailing '=' marks a brace initializer.
+          std::string t = h;
+          while (!t.empty() && std::isspace(static_cast<unsigned char>(
+                                   t.back()))) {
+            t.pop_back();
+          }
+          bool initializer = !t.empty() && t.back() == '=';
+          bool has_parens = h.find('(') != std::string::npos;
+          if (ns_kw) {
+            scopes.push_back(Scope::kNamespace);
+          } else if (type_kw) {
+            scopes.push_back(Scope::kType);
+          } else if (has_parens && !initializer) {
+            scopes.push_back(Scope::kFunction);
+            in_function = true;
+            fn = FunctionState();
+            fn.start_line = static_cast<int>(li);
+            fn.body_depth = static_cast<int>(scopes.size());
+            fn.is_hot = ContainsWord(h, "FS_HOT");
+            fn.name_hint = NameHint(h);
+            // A deferred-fence waiver may sit just above the signature
+            // as well as anywhere in the body.
+            fn.fence_waived = HasNearbyComment(
+                lines, static_cast<int>(li), "fs-lint: deferred-fence(");
+          } else {
+            scopes.push_back(Scope::kOther);
+          }
+        }
+        header.clear();
+      } else if (c == '}') {
+        if (!scopes.empty()) {
+          if (scopes.back() == Scope::kFunction) {
+            finish_function(static_cast<int>(li));
+            in_function = false;
+          }
+          scopes.pop_back();
+        }
+        header.clear();
+      } else if (c == ';') {
+        header.clear();
+      } else {
+        header += c;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> LintPath(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot open file"}};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return LintFile(path, ss.str());
+}
+
+std::vector<Violation> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  std::vector<std::string> files;
+  if (fs::is_directory(root)) {
+    for (const auto& e : fs::recursive_directory_iterator(root)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(e.path().string());
+    }
+  } else {
+    files.push_back(root);
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    std::vector<Violation> v = LintPath(f);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::string Format(const Violation& v) {
+  std::ostringstream ss;
+  ss << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return ss.str();
+}
+
+}  // namespace fslint

@@ -1,0 +1,71 @@
+// fs_lint — FlatStore's project-specific persist-protocol / concurrency
+// lint (see DESIGN.md "Static analysis").
+//
+// A deliberately simple lexical analyzer (no clang AST) that enforces the
+// four rules no generic tool knows about this codebase:
+//
+//  1. fence-after-persist: every `Persist(...)` in a function must be
+//     followed by a `Fence()` / `PersistFence(...)` before any `return`
+//     (or the function end), or the function carries an explicit
+//     `// fs-lint: deferred-fence(<reason>)` waiver. Persist without an
+//     ordering point is the dominant PM bug class; the crash explorer can
+//     only find the interleavings it happens to probe — this rule covers
+//     every call site on every commit.
+//
+//  2. pm-store: outside `src/pm`, raw `memcpy`/`memset` into — or raw
+//     pointer stores through — a PM-derived pointer (anything obtained
+//     via `At()`, `PtrAt<>()`, `base()`, `superblock()`, `registry()`,
+//     `tails()`, `HeaderOf()`) must reach a Persist-family call later in
+//     the same function or carry `// fs-lint: pm-write(<reason>)`. The
+//     allocator's lazily-persisted bitmap is the showcase waiver.
+//
+//  3. relaxed-needs-reason: every `memory_order_relaxed` must carry a
+//     `// relaxed: <reason>` tag on the same line or within the five
+//     preceding lines, unless the file declares a blanket
+//     `// fs-lint: relaxed-default(<reason>)`.
+//
+//  4. hot-path: a function marked `FS_HOT` (the PR 1 allocation-free
+//     serving paths) must not heap-allocate or block on a lock
+//     (`new`, `malloc`, `push_back`, `emplace_back`, `resize`, `reserve`,
+//     `lock_guard`/`unique_lock`/`shared_lock`/`scoped_lock`/`LockGuard`,
+//     `.lock()`); `try_lock` is allowed (HB leader election never
+//     blocks). Waive with `// fs-lint: hot-ok(<reason>)`.
+//
+// Every waiver must carry a non-empty reason inside the parentheses; an
+// empty waiver is itself a violation.
+
+#ifndef FLATSTORE_TOOLS_FS_LINT_LINT_H_
+#define FLATSTORE_TOOLS_FS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace fslint {
+
+struct Violation {
+  std::string file;  // path as given
+  int line = 0;      // 1-based
+  std::string rule;  // rule slug, e.g. "fence-after-persist"
+  std::string message;
+};
+
+// Lints one translation unit. `path` is used for reporting and for the
+// src/pm exemption (rules 1 and 2 are skipped for files whose path has a
+// "pm" directory component — the persistence layer itself implements the
+// primitives the rules are about).
+std::vector<Violation> LintFile(const std::string& path,
+                                const std::string& contents);
+
+// Reads and lints the file at `path`. Missing files produce a violation.
+std::vector<Violation> LintPath(const std::string& path);
+
+// Recursively lints every .h/.cc file under `root` (or the single file
+// `root` itself).
+std::vector<Violation> LintTree(const std::string& root);
+
+// "file:line: [rule] message" formatting.
+std::string Format(const Violation& v);
+
+}  // namespace fslint
+
+#endif  // FLATSTORE_TOOLS_FS_LINT_LINT_H_

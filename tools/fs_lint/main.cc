@@ -1,0 +1,27 @@
+// fs_lint CLI: lints each path argument (file or directory tree) and
+// prints one line per violation; exit status 1 when any were found.
+//
+// Usage: fs_lint <path>...
+
+#include <cstdio>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path>...\n", argv[0]);
+    return 2;
+  }
+  size_t total = 0;
+  for (int i = 1; i < argc; i++) {
+    for (const fslint::Violation& v : fslint::LintTree(argv[i])) {
+      std::printf("%s\n", fslint::Format(v).c_str());
+      total++;
+    }
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "fs_lint: %zu violation(s)\n", total);
+    return 1;
+  }
+  return 0;
+}
