@@ -1,69 +1,146 @@
-// Figure 13 — garbage-collection efficiency: FlatStore-H under the ETC
-// workload (50 % Get) in a deliberately small pool, measured in time
-// segments. Each segment reports the serving throughput and the log-
-// cleaning rate (chunks/segment); GC is driven synchronously between
-// segments so the run stays deterministic.
+// Figure 13 — garbage-collection efficiency, reworked as a sweep:
+// update ratio {25, 50, 75 %} x cleaning threshold {0.6, 0.8, 0.9} under
+// the ETC value mix in a deliberately small pool, plus a policy A/B at
+// the 50 %-update point (cost-benefit + hot/cold segregation vs the
+// legacy oldest-first live-ratio cleaner).
 //
-// Expected shape: throughput dips mildly (the paper reports ~10 %) once
-// cleaning starts, then both the throughput and the cleaning rate hold
-// steady — the cleaner keeps up without stalling the serving cores.
+// Each point runs in time segments: serve, then one synchronous cleaner
+// pass whose PM traffic lands at the head of the *next* segment's device
+// window — the cleaner/serving interference of the paper's Fig. 13. The
+// row reports steady-state throughput (mean of the final segments, once
+// cleaning has ramped) and the cleaner's write-amplification ratio
+// (bytes relocated / bytes reclaimed, from PmStats).
+//
+// Expected shape: WA grows with both knobs (more updates -> more
+// survivors per victim at pick time; higher threshold -> fuller
+// victims), and at every shared point cost-benefit beats the legacy
+// policy on WA — it spends its budget on old, empty chunks first.
 
 #include "bench_common.h"
+#include "pm/pm_stats.h"
 
 namespace flatstore {
 namespace bench {
 namespace {
 
-struct Segment {
-  int id;
-  double mops;
+struct GcPoint {
+  std::string policy;
+  double update_ratio;
+  double live_ratio;
+  double steady_mops;      // mean of the last kSteadyTail segments
+  double wa_ratio;         // relocated / reclaimed
   uint64_t chunks_cleaned;
-  uint64_t free_chunks;
+  uint64_t bytes_relocated;
+  uint64_t bytes_reclaimed;
+  uint64_t survivor_bytes_hot;
+  uint64_t survivor_bytes_cold;
 };
-std::vector<Segment> g_segments;
+std::vector<GcPoint> g_points;
 
-void BM_GcTimeline(benchmark::State& state) {
+constexpr int kSegments = 12;
+constexpr int kSteadyTail = 3;
+
+GcPoint RunGcPoint(log::VictimQuery::Policy policy, bool segregate,
+                   double update_ratio, double live_ratio) {
+  core::FlatStoreOptions fo;
+  fo.num_cores = 2;
+  fo.group_size = 2;
+  fo.hash_initial_depth = 6;
+  fo.gc_policy = policy;
+  fo.gc_segregate = segregate;
+  fo.gc_live_ratio = live_ratio;
+  fo.gc_cold_age = 256;
+  // Pace the cleaner: one bounded pass per segment, below the churn
+  // rate, so a victim backlog persists and selection ORDER matters (an
+  // unpaced cleaner drains every eligible chunk each pass, making all
+  // policies converge on the same cumulative totals). One victim in
+  // flight per core keeps every pick a fresh, policy-driven choice over
+  // the current backlog rather than a slot pinned at segment 1.
+  fo.gc_quantum_bytes = 8ull << 20;
+  fo.gc_max_victims = 1;
+  Rig rig = MakeFlatRig(fo, /*pool_mb=*/256);
+
+  core::ServerConfig cfg;
+  cfg.num_conns = 8;
+  cfg.client_window = 8;
+  cfg.ops_per_conn = std::max<uint64_t>(200, OpsPerPoint() / 4);
+  cfg.workload.key_space = BenchKeys(1 << 15);
+  cfg.workload.etc_values = true;
+  cfg.workload.dist = workload::KeyDist::kZipfian;
+  cfg.workload.get_ratio = 1.0 - update_ratio;
+  Preload(rig.adapter.get(), cfg.workload, cfg.workload.key_space);
+
+  double steady_sum = 0;
+  for (int seg = 0; seg < kSegments; seg++) {
+    // Shift the working set every quarter of the run: the scrambled-
+    // zipfian hot set is a function of the key-space modulus, so
+    // shrinking it by one remaps every hot rank to a different key.
+    // Each phase strands its chunks at whatever liveness they reached —
+    // stable cold garbage at a spread of fullness levels. That is what
+    // separates the policies: a FIFO cleaner plows through the stranded
+    // cohort in seal order, paying up to the threshold's worth of
+    // survivor copies per chunk, while cost-benefit spends the same
+    // scarce budget on the emptiest stable chunks first (and segregation
+    // keeps the relocated cold survivors out of future victims).
+    cfg.workload.key_space =
+        BenchKeys(1 << 15) - static_cast<uint64_t>(seg / (kSegments / 4));
+    cfg.seed = static_cast<uint64_t>(seg) + 1;
+    core::ServerResult r = core::RunServer(rig.adapter.get(), cfg);
+    if (seg >= kSegments - kSteadyTail) steady_sum += r.mops;
+    // Core clocks restart at zero each segment; clear the device window
+    // *before* the cleaner pass so its PM traffic overlaps the next
+    // segment's serving traffic (the interference under measurement).
+    rig.device->Reset();
+    vt::Clock cleaner_clock;
+    vt::ScopedClock bind(&cleaner_clock);
+    rig.flat->RunCleanersOnce();
+  }
+
+  const auto s = rig.pool->stats().Get();
+  GcPoint p;
+  p.policy =
+      policy == log::VictimQuery::Policy::kCostBenefit ? "cost_benefit"
+                                                       : "live_ratio";
+  p.update_ratio = update_ratio;
+  p.live_ratio = live_ratio;
+  p.steady_mops = steady_sum / kSteadyTail;
+  p.wa_ratio = pm::GcWriteAmp(s);
+  p.chunks_cleaned = rig.flat->ChunksCleaned();
+  p.bytes_relocated = s.gc_bytes_relocated;
+  p.bytes_reclaimed = s.gc_bytes_reclaimed;
+  p.survivor_bytes_hot = s.gc_survivor_bytes_hot;
+  p.survivor_bytes_cold = s.gc_survivor_bytes_cold;
+  return p;
+}
+
+void BM_GcSweep(benchmark::State& state) {
   for (auto _ : state) {
-    core::FlatStoreOptions fo;
-    fo.num_cores = 8;
-    fo.group_size = 8;
-    fo.hash_initial_depth = 6;
-    fo.gc_live_ratio = 0.9;  // small pool: clean aggressively
-    Rig rig = MakeFlatRig(fo, /*pool_mb=*/768);
-
-    core::ServerConfig cfg;
-    cfg.num_conns = 24;
-    cfg.client_window = 8;
-    cfg.ops_per_conn = 4000;
-    cfg.workload.key_space = 1 << 17;
-    cfg.workload.etc_values = true;
-    cfg.workload.dist = workload::KeyDist::kZipfian;
-    cfg.workload.get_ratio = 0.5;
-    Preload(rig.adapter.get(), cfg.workload, cfg.workload.key_space);
-
-    uint64_t cleaned_before = 0;
-    for (int seg = 0; seg < 12; seg++) {
-      cfg.seed = static_cast<uint64_t>(seg) + 1;
-      core::ServerResult r = core::RunServer(rig.adapter.get(), cfg);
-      // Synchronous cleaning between segments (one simulated-core pass).
-      vt::Clock cleaner_clock;
-      {
-        vt::ScopedClock bind(&cleaner_clock);
-        rig.flat->RunCleanersOnce();
+    g_points.clear();
+    // Main sweep: the cost-benefit + segregation cleaner.
+    for (double update : {0.25, 0.5, 0.75}) {
+      for (double lr : {0.6, 0.8, 0.9}) {
+        g_points.push_back(RunGcPoint(log::VictimQuery::Policy::kCostBenefit,
+                                      /*segregate=*/true, update, lr));
       }
-      uint64_t cleaned_now = rig.flat->ChunksCleaned();
-      g_segments.push_back({seg, r.mops, cleaned_now - cleaned_before,
-                            rig.flat->allocator()->free_chunks()});
-      cleaned_before = cleaned_now;
-      // Core clocks restart at zero every segment; reset the device's
-      // utilization window to match.
-      rig.device->Reset();
     }
-    state.counters["final_mops"] = g_segments.back().mops;
-    state.counters["chunks_cleaned"] = static_cast<double>(cleaned_before);
+    // Legacy arm at the 50 %-update column (the acceptance A/B).
+    for (double lr : {0.6, 0.8, 0.9}) {
+      g_points.push_back(RunGcPoint(log::VictimQuery::Policy::kLiveRatio,
+                                    /*segregate=*/false, 0.5, lr));
+    }
+  }
+  // Headline counters: the 50 % update / 0.9 threshold pair.
+  for (const GcPoint& p : g_points) {
+    if (p.update_ratio == 0.5 && p.live_ratio == 0.9) {
+      const char* tag =
+          p.policy == "cost_benefit" ? "cb_mops" : "legacy_mops";
+      state.counters[tag] = p.steady_mops;
+      const char* wtag = p.policy == "cost_benefit" ? "cb_wa" : "legacy_wa";
+      state.counters[wtag] = p.wa_ratio;
+    }
   }
 }
-BENCHMARK(BM_GcTimeline)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GcSweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bench
@@ -73,21 +150,32 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  std::printf("\n== Figure 13: GC timeline (ETC 50%% Get, small pool) ==\n");
-  std::printf("%8s %10s %16s %12s\n", "segment", "Mops/s", "chunks cleaned",
-              "free chunks");
-  for (const auto& s : flatstore::bench::g_segments) {
-    std::printf("%8d %10.2f %16lu %12lu\n", s.id, s.mops,
-                static_cast<unsigned long>(s.chunks_cleaned),
-                static_cast<unsigned long>(s.free_chunks));
+  std::printf(
+      "\n== Figure 13: GC sweep (ETC values, zipfian, 256 MB pool) ==\n");
+  std::printf("%-14s %8s %6s %10s %8s %10s %14s %14s\n", "policy", "update",
+              "thresh", "Mops/s", "WA", "cleaned", "surv hot B",
+              "surv cold B");
+  for (const auto& p : flatstore::bench::g_points) {
+    std::printf("%-14s %8.2f %6.2f %10.2f %8.3f %10lu %14lu %14lu\n",
+                p.policy.c_str(), p.update_ratio, p.live_ratio,
+                p.steady_mops, p.wa_ratio,
+                static_cast<unsigned long>(p.chunks_cleaned),
+                static_cast<unsigned long>(p.survivor_bytes_hot),
+                static_cast<unsigned long>(p.survivor_bytes_cold));
   }
   flatstore::bench::BenchJson j("fig13_gc");
-  for (const auto& s : flatstore::bench::g_segments) {
+  for (const auto& p : flatstore::bench::g_points) {
     j.AddRow()
-        .Int("segment", static_cast<uint64_t>(s.id))
-        .Num("mops", s.mops)
-        .Int("chunks_cleaned", s.chunks_cleaned)
-        .Int("free_chunks", s.free_chunks);
+        .Str("policy", p.policy)
+        .Num("update_ratio", p.update_ratio)
+        .Num("live_ratio", p.live_ratio)
+        .Num("mops", p.steady_mops)
+        .Num("wa_ratio", p.wa_ratio)
+        .Int("chunks_cleaned", p.chunks_cleaned)
+        .Int("bytes_relocated", p.bytes_relocated)
+        .Int("bytes_reclaimed", p.bytes_reclaimed)
+        .Int("survivor_bytes_hot", p.survivor_bytes_hot)
+        .Int("survivor_bytes_cold", p.survivor_bytes_cold);
   }
   j.Write();
   return 0;

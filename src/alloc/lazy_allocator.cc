@@ -51,7 +51,33 @@ int64_t LazyAllocator::PopFreeChunk() {
   if (free_list_.empty()) return -1;
   int64_t id = free_list_.back();
   free_list_.pop_back();
+  UpdatePressure();
   return id;
+}
+
+void LazyAllocator::UpdatePressure() {
+  // relaxed: advisory signal read by the cleaner's MemoryPressure poll;
+  // no ordering is implied with the free-list contents.
+  const uint64_t wm = low_watermark_.load(std::memory_order_relaxed);
+  int level = 0;
+  if (wm > 0) {
+    const uint64_t n = free_list_.size();
+    if (n <= wm / 4) {
+      level = 2;
+    } else if (n <= wm) {
+      level = 1;
+    }
+  }
+  // relaxed: advisory signal; see the load above.
+  pressure_.store(level, std::memory_order_relaxed);
+}
+
+void LazyAllocator::SetFreeChunkLowWatermark(uint64_t n) {
+  // relaxed: configuration word; UpdatePressure below republishes the
+  // derived level under free_lock_.
+  low_watermark_.store(n, std::memory_order_relaxed);
+  LockGuard<SpinLock> g(free_lock_);
+  UpdatePressure();
 }
 
 void LazyAllocator::FormatValueChunk(int64_t chunk, uint32_t cls, int core) {
@@ -221,6 +247,7 @@ void LazyAllocator::FreeRawChunk(uint64_t chunk_off) {
   }
   LockGuard<SpinLock> g(free_lock_);
   free_list_.push_back(id);
+  UpdatePressure();
 }
 
 void LazyAllocator::StartRecovery() {
@@ -230,6 +257,7 @@ void LazyAllocator::StartRecovery() {
   {
     LockGuard<SpinLock> g(free_lock_);
     free_list_.clear();
+    UpdatePressure();
   }
   for (auto& core : cores_) {
     for (auto& ccs : core.classes) {
@@ -304,6 +332,7 @@ void LazyAllocator::FinishRecovery() {
       free_list_.push_back(static_cast<int64_t>(i));
     }
   }
+  UpdatePressure();
 }
 
 void LazyAllocator::PersistMetadata() {

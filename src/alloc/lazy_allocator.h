@@ -25,6 +25,7 @@
 #define FLATSTORE_ALLOC_LAZY_ALLOCATOR_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -114,6 +115,23 @@ class LazyAllocator {
   // Persists every formatted chunk's bitmap (normal-shutdown path).
   void PersistMetadata();
 
+  // --- cleaner backpressure (§3.4) ---
+
+  // Arms the low-free-space signal: MemoryPressure() reports 1 once the
+  // free list shrinks to `n` chunks and 2 at n/4 (imminent exhaustion).
+  // 0 disables the signal (the default). The log cleaner polls this to
+  // raise its per-quantum byte budget *before* the pool runs dry.
+  void SetFreeChunkLowWatermark(uint64_t n);
+
+  // Current pressure level: 0 = fine, 1 = below watermark, 2 = nearly
+  // exhausted. Lock-free read of a value maintained at every free-list
+  // transition.
+  int MemoryPressure() const {
+    // relaxed: advisory signal; the cleaner tolerates reading one
+    // transition late.
+    return pressure_.load(std::memory_order_relaxed);
+  }
+
   // --- introspection ---
   uint64_t free_chunks() const;
   uint64_t total_chunks() const { return num_chunks_; }
@@ -167,6 +185,10 @@ class LazyAllocator {
   // Pops a free chunk id or -1. Caller formats it.
   int64_t PopFreeChunk();
 
+  // Recomputes pressure_ from free_list_.size(); call after every
+  // free-list mutation.
+  void UpdatePressure() REQUIRES(free_lock_);
+
   // Formats `chunk` as a value chunk of `cls` for `core` and persists the
   // header fields (not the bitmap).
   void FormatValueChunk(int64_t chunk, uint32_t cls, int core);
@@ -184,6 +206,10 @@ class LazyAllocator {
   std::vector<CoreState> cores_;
   mutable SpinLock free_lock_;
   std::vector<int64_t> free_list_ GUARDED_BY(free_lock_);
+  // Backpressure signal (see MemoryPressure). The watermark is atomic so
+  // SetFreeChunkLowWatermark need not take free_lock_.
+  std::atomic<uint64_t> low_watermark_{0};
+  std::atomic<int> pressure_{0};
 };
 
 }  // namespace alloc

@@ -60,6 +60,9 @@ FlatStore::FlatStore(pm::PmPool* pool, const FlatStoreOptions& options)
   alloc_ = std::make_unique<alloc::LazyAllocator>(
       pool, alloc::kChunkSize, pool->size() - alloc::kChunkSize,
       options_.num_cores);
+  if (options_.gc_backpressure_watermark > 0) {
+    alloc_->SetFreeChunkLowWatermark(options_.gc_backpressure_watermark);
+  }
   log::OpLog::Options log_opts;
   log_opts.pad_batches = options_.pad_batches;
   std::vector<log::OpLog*> raw_logs;
@@ -245,15 +248,19 @@ size_t FlatStore::Pump(int core) { return hb_->TryPersist(core); }
 void FlatStore::RetireOld(uint64_t old_packed) {
   const uint64_t old_off = log::UnpackOffset(old_packed);
   const uint64_t chunk = AlignDown(old_off, alloc::kChunkSize);
+  log::DecodedEntry e;
+  const bool decoded =
+      log::DecodeEntry(static_cast<const uint8_t*>(pool_->At(old_off)),
+                       log::kMaxEntrySize, &e);
   int owner;
   uint32_t seq;
   if (root_->ChunkInfo(chunk, &owner, &seq)) {
-    logs_[owner]->NoteDead(old_off);
+    // Decode-before-NoteDead hands the entry length down so the chunk's
+    // live-byte counter (cost-benefit victim selection) stays exact
+    // without a second in-place decode.
+    logs_[owner]->NoteDead(old_off, decoded ? e.entry_len : 0);
   }
-  log::DecodedEntry e;
-  if (log::DecodeEntry(static_cast<const uint8_t*>(pool_->At(old_off)),
-                       log::kMaxEntrySize, &e) &&
-      e.op == log::OpType::kPut && !e.embedded) {
+  if (decoded && e.op == log::OpType::kPut && !e.embedded) {
     // "The freed data block can be reused immediately" (§3.2): the
     // conflict queue serializes same-key ops, so no reader still needs it.
     alloc_->Free(e.ptr);
@@ -572,8 +579,13 @@ void FlatStore::EnsureCleaners() {
   };
   hooks.epochs = epochs_.get();
   log::LogCleaner::Options opts;
+  opts.policy = options_.gc_policy;
   opts.live_ratio = options_.gc_live_ratio;
   opts.free_chunk_watermark = options_.gc_free_chunk_watermark;
+  opts.quantum_bytes = options_.gc_quantum_bytes;
+  opts.max_victims = options_.gc_max_victims;
+  opts.segregate = options_.gc_segregate;
+  opts.cold_age = options_.gc_cold_age;
   for (int first = 0; first < options_.num_cores;
        first += options_.group_size) {
     const int last = std::min(first + options_.group_size,
@@ -739,6 +751,7 @@ void FlatStore::Recover(bool rebuild_index) {
     uint64_t slot;
     uint64_t chunk;
     uint32_t seq;
+    bool cleaner;  // persisted kChunkCleaner flag (relocation chunk)
   };
   std::vector<std::vector<Rec>> per_core(
       static_cast<size_t>(options_.num_cores));
@@ -747,7 +760,9 @@ void FlatStore::Recover(bool rebuild_index) {
     if (regs[s].chunk_off == 0) continue;
     FLATSTORE_CHECK_LT(regs[s].core,
                        static_cast<uint32_t>(options_.num_cores));
-    per_core[regs[s].core].push_back({s, regs[s].chunk_off, regs[s].seq});
+    per_core[regs[s].core].push_back(
+        {s, regs[s].chunk_off & ~log::kChunkFlagsMask, regs[s].seq,
+         (regs[s].chunk_off & log::kChunkCleaner) != 0});
   }
   for (auto& v : per_core) {
     std::sort(v.begin(), v.end(),
@@ -847,6 +862,7 @@ void FlatStore::Recover(bool rebuild_index) {
       log::ChunkUsage u;
       u.seq = r.seq;
       u.sealed = !is_tail_chunk;
+      u.cleaner = r.cleaner;
       u.registry_slot = r.slot;
 
       log::LogChunkReader reader(pool_, r.chunk, committed);
@@ -854,6 +870,7 @@ void FlatStore::Recover(bool rebuild_index) {
       uint64_t off;
       while (reader.Next(&e, &off)) {
         u.total++;
+        u.total_bytes += e.entry_len;
         uint64_t cur = 0;
         const bool live =
             IndexForCore(CoreForKey(e.key))->Get(e.key, &cur) &&
@@ -866,7 +883,10 @@ void FlatStore::Recover(bool rebuild_index) {
           u.max_covered_seq =
               std::max(u.max_covered_seq, static_cast<uint32_t>(e.ptr));
         }
-        if (live) u.live++;
+        if (live) {
+          u.live++;
+          u.live_bytes += e.entry_len;
+        }
       }
 
       if (u.total == 0 && !is_tail_chunk) {

@@ -68,9 +68,17 @@ struct FlatStoreOptions {
   uint32_t hash_initial_depth = 6;
   // Pad log batches to cachelines (§3.2); ablation toggle.
   bool pad_batches = true;
-  // Log cleaning (§3.4).
+  // Log cleaning (§3.4). See log::LogCleaner::Options for semantics.
+  log::VictimQuery::Policy gc_policy = log::VictimQuery::Policy::kCostBenefit;
   double gc_live_ratio = 0.6;
   uint64_t gc_free_chunk_watermark = 0;  // 0 = clean whenever possible
+  uint64_t gc_quantum_bytes = 0;         // 0 = unbounded passes
+  size_t gc_max_victims = 4;             // in-flight cleaning jobs per core
+  bool gc_segregate = true;              // hot/cold survivor lanes
+  uint64_t gc_cold_age = 512;            // write-clock ticks
+  // Arms allocator backpressure: at this many free chunks the cleaner's
+  // quantum budget is boosted; at a quarter of it, unbounded. 0 = off.
+  uint64_t gc_backpressure_watermark = 0;
 };
 
 // Result of Begin* calls.

@@ -99,20 +99,23 @@ FsckReport FsckPool(const pm::PmPool& pool) {
     uint64_t off;
     int core;
     uint32_t seq;
+    bool cleaner;  // persisted kChunkCleaner flag (relocation chunk)
   };
   std::vector<ChunkRec> chunks;
   std::set<uint64_t> chunk_offs;
+  std::map<uint64_t, bool> cleaner_chunks;  // chunk off -> cleaner flag
   const log::ChunkRecord* regs = root.registry();
   for (uint64_t s = 0; s < log::kRegistrySlots; s++) {
     if (regs[s].chunk_off == 0) continue;
-    const uint64_t off = regs[s].chunk_off;
-    if (off & log::kChunkProvisional) {
+    if (regs[s].chunk_off & log::kChunkProvisional) {
       // Crash mid-RegisterChunk: the slot was claimed but never committed
       // (its core/seq may be garbage). Recovery scrubs these on open.
       c.Warn("registry slot " + std::to_string(s) +
              " is provisional (crash during chunk registration)");
       continue;
     }
+    const uint64_t off = regs[s].chunk_off & ~log::kChunkFlagsMask;
+    const bool cleaner = (regs[s].chunk_off & log::kChunkCleaner) != 0;
     if (off % alloc::kChunkSize != 0 || off == 0 ||
         off + alloc::kChunkSize > pool.size()) {
       c.Fatal("registry slot " + std::to_string(s) +
@@ -138,7 +141,9 @@ FsckReport FsckPool(const pm::PmPool& pool) {
       c.Warn("registered log chunk " + std::to_string(off) +
              " carries a value size class");
     }
-    chunks.push_back({off, static_cast<int>(regs[s].core), regs[s].seq});
+    chunks.push_back(
+        {off, static_cast<int>(regs[s].core), regs[s].seq, cleaner});
+    cleaner_chunks[off] = cleaner;
   }
   c.report.log_chunks = chunks.size();
 
@@ -222,7 +227,12 @@ FsckReport FsckPool(const pm::PmPool& pool) {
                          e.embedded ? 0 : e.ptr};
       } else if (it->second.version == e.version &&
                  it->second.off != off) {
-        // Cleaner duplicates are legal only if byte-identical.
+        // Half-relocated-victim rule: a crash between a relocation
+        // sub-batch's used_final commit and the victim's retirement
+        // legally leaves the same version at two offsets — but only as
+        // byte-identical copies, at least one of which sits in a chunk
+        // carrying the persistent cleaner flag. Replay is idempotent
+        // over such pairs (same key, version, and value).
         const auto* a =
             static_cast<const uint8_t*>(mutable_pool->At(it->second.off));
         const auto* b = static_cast<const uint8_t*>(mutable_pool->At(off));
@@ -230,6 +240,16 @@ FsckReport FsckPool(const pm::PmPool& pool) {
           c.Fatal("key " + std::to_string(e.key) +
                   ": two different entries share version " +
                   std::to_string(e.version));
+        } else {
+          const uint64_t other_chunk =
+              AlignDown(it->second.off, alloc::kChunkSize);
+          const bool other_cleaner = cleaner_chunks.count(other_chunk) != 0 &&
+                                     cleaner_chunks[other_chunk];
+          if (!r.cleaner && !other_cleaner) {
+            c.Warn("key " + std::to_string(e.key) + " version " +
+                   std::to_string(e.version) +
+                   " duplicated outside any cleaner-flagged chunk");
+          }
         }
       }
     }

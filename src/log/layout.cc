@@ -49,8 +49,10 @@ void RootArea::WriteTail(int core, uint64_t seq, uint64_t tail) {
   pool_->Persist(&line, sizeof(TailSlot));
 }
 
-uint64_t RootArea::RegisterChunk(uint64_t chunk_off, int core, uint32_t seq) {
+uint64_t RootArea::RegisterChunk(uint64_t chunk_off, int core, uint32_t seq,
+                                 bool cleaner) {
   ChunkRecord* recs = registry();
+  const uint64_t flagged = chunk_off | (cleaner ? kChunkCleaner : 0);
   // Claim a free slot; CAS-protected so concurrent cores don't collide.
   // Start probing at a hash of the chunk offset to spread occupancy.
   uint64_t start = (chunk_off / alloc::kChunkSize) % kRegistrySlots;
@@ -58,7 +60,7 @@ uint64_t RootArea::RegisterChunk(uint64_t chunk_off, int core, uint32_t seq) {
     uint64_t s = (start + i) % kRegistrySlots;
     uint64_t expected = 0;
     if (std::atomic_ref<uint64_t>(recs[s].chunk_off)
-            .compare_exchange_strong(expected, chunk_off | kChunkProvisional,
+            .compare_exchange_strong(expected, flagged | kChunkProvisional,
                                      std::memory_order_acq_rel)) {
       // Two-step durable commit (see kChunkProvisional): persist the full
       // record while still provisional, then flip to the final offset with
@@ -67,7 +69,7 @@ uint64_t RootArea::RegisterChunk(uint64_t chunk_off, int core, uint32_t seq) {
       recs[s].seq = seq;
       pool_->PersistFence(&recs[s], sizeof(ChunkRecord));
       std::atomic_ref<uint64_t>(recs[s].chunk_off)
-          .store(chunk_off, std::memory_order_release);
+          .store(flagged, std::memory_order_release);
       pool_->PersistFence(&recs[s].chunk_off, sizeof(uint64_t));
       vt::Charge(vt::kCpuCas);
       {
@@ -86,7 +88,7 @@ void RootArea::UnregisterChunk(uint64_t slot_index) {
   ChunkRecord* rec = &registry()[slot_index];
   {
     LockGuard<SpinLock> g(mirror_lock_);
-    mirror_.erase(rec->chunk_off);
+    mirror_.erase(rec->chunk_off & ~kChunkFlagsMask);
   }
   std::atomic_ref<uint64_t>(rec->chunk_off)
       .store(0, std::memory_order_release);
@@ -109,7 +111,8 @@ void RootArea::RebuildMirror() {
   for (uint64_t s = 0; s < kRegistrySlots; s++) {
     const uint64_t off = recs[s].chunk_off;
     if (off != 0 && (off & kChunkProvisional) == 0) {
-      mirror_[off] = {static_cast<int>(recs[s].core), recs[s].seq};
+      mirror_[off & ~kChunkFlagsMask] = {static_cast<int>(recs[s].core),
+                                         recs[s].seq};
     }
   }
 }

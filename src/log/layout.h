@@ -108,6 +108,17 @@ static_assert(sizeof(ChunkRecord) == 16);
 // records and fsck reports them as benign crash artifacts.
 inline constexpr uint64_t kChunkProvisional = 1;
 
+// Bit 1 of ChunkRecord::chunk_off marks a chunk written by the log
+// cleaner's relocation path. Persisted so fsck can apply the
+// half-relocated-victim rule after a crash: a key appearing at the same
+// version in two chunks is a legal cleaner artifact only when the copies
+// are byte-identical AND at least one sits in a cleaner-flagged chunk.
+inline constexpr uint64_t kChunkCleaner = 2;
+
+// All flag bits stashed in the 4 MB-aligned chunk_off. Every registry
+// reader must mask these before treating the value as an offset.
+inline constexpr uint64_t kChunkFlagsMask = kChunkProvisional | kChunkCleaner;
+
 inline constexpr uint64_t kTailAreaOff = 4096;
 inline constexpr uint64_t kRegistryOff =
     kTailAreaOff + sizeof(CoreTailArea) * kMaxCores;
@@ -154,8 +165,10 @@ class RootArea {
   void WriteTail(int core, uint64_t seq, uint64_t tail);
 
   // Registers / unregisters an OpLog chunk. Persist + fence included.
-  // Returns the registry slot index.
-  uint64_t RegisterChunk(uint64_t chunk_off, int core, uint32_t seq);
+  // Returns the registry slot index. `cleaner` stamps the persistent
+  // kChunkCleaner flag (relocation chunks; see the flag comment).
+  uint64_t RegisterChunk(uint64_t chunk_off, int core, uint32_t seq,
+                         bool cleaner = false);
   void UnregisterChunk(uint64_t slot_index);
 
   // DRAM-mirror lookup: fills {core, seq} of a registered log chunk.

@@ -3,11 +3,20 @@
 #include <chrono>
 
 #include "log/log_reader.h"
+#include "pm/pm_stats.h"
 #include "vt/clock.h"
 #include "vt/costs.h"
 
 namespace flatstore {
 namespace log {
+
+namespace {
+// Pipeline slice bounds: one scan slice / relocation sub-batch per
+// AdvanceJob call, so a bounded RunOnce interleaves stages across
+// victims instead of draining one victim end-to-end.
+constexpr uint64_t kScanSliceBytes = 256 * 1024;
+constexpr size_t kRelocSubBatch = 32;
+}  // namespace
 
 LogCleaner::LogCleaner(std::vector<OpLog*> logs, int first_core,
                        int last_core, CleanerHooks hooks,
@@ -50,80 +59,185 @@ void LogCleaner::Stop() {
   if (thread_.joinable()) thread_.join();
 }
 
-size_t LogCleaner::RunOnce() {
-  if (options_.free_chunk_watermark != 0 &&
-      alloc_->free_chunks() >= options_.free_chunk_watermark) {
-    // Still reclaim what earlier passes deferred — readers may have
-    // advanced since.
-    return hooks_.epochs->ReclaimDeferred();
-  }
-  size_t unlinked = 0;
-  for (int core = first_core_; core < last_core_; core++) {
-    auto victims =
-        logs_[core]->PickVictims(options_.live_ratio, options_.max_victims);
-    for (uint64_t chunk : victims) {
-      if (CleanChunk(core, chunk)) unlinked++;
-    }
-    // Expose relocated survivors (tombstones in particular) to future
-    // victim selection.
-    if (unlinked > 0) logs_[core]->RotateCleanerChunk();
-  }
-  // Run the deferred frees that have become epoch-safe (including this
-  // pass's victims whenever no reader is currently pinned).
-  return unlinked + hooks_.epochs->ReclaimDeferred();
+size_t LogCleaner::jobs_in_flight() const {
+  LockGuard<SpinLock> g(run_lock_);
+  return jobs_.size();
 }
 
-bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
-  OpLog* log = logs_[core];
-  pm::PmPool* pool = log->root()->pool();
-
-  // Pass 1: collect the survivors.
-  struct Survivor {
-    uint64_t old_off;
-    uint64_t key;
-    uint32_t version;
-    bool tombstone;
-  };
-  std::vector<Survivor> survivors;
-  std::vector<OpLog::EntryRef> refs;
-
-  const uint64_t committed = log->CommittedBytes(chunk_off);
-  const uint64_t min_seq = log->MinSeq();
-  LogChunkReader reader(pool, chunk_off, committed);
-  DecodedEntry e;
-  uint64_t off;
-  while (reader.Next(&e, &off)) {
-    vt::Charge(vt::kCpuSlotProbe + vt::kPmReadLatency / 8);
-    const uint64_t packed = PackIndexValue(off, e.version);
-    index::KvIndex* index = hooks_.index_for_key(e.key);
-    uint64_t cur = 0;
-    bool live = index->Get(e.key, &cur) && cur == packed;
-    if (live && e.op == OpType::kDelete && e.ptr < min_seq) {
-      // Tombstone whose covered chunk is gone: no stale Put can
-      // resurrect the key anymore, so both the tombstone and its index
-      // entry may die (paper §3.4's "safely reclaimed" condition).
-      if (index->EraseIfEqual(e.key, packed)) live = false;
-    }
-    if (!live) {
-      // relaxed: monotonic stat counter, no ordering required.
-      entries_dropped_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    survivors.push_back({off, e.key, e.version, e.op == OpType::kDelete});
-    refs.push_back({static_cast<const uint8_t*>(pool->At(off)),
-                    e.entry_len});
+size_t LogCleaner::RunOnce() {
+  LockGuard<SpinLock> g(run_lock_);
+  const int pressure = alloc_->MemoryPressure();
+  if (jobs_.empty() && pressure == 0 &&
+      options_.free_chunk_watermark != 0 &&
+      alloc_->free_chunks() >= options_.free_chunk_watermark) {
+    // Nothing to clean yet. Still reclaim what earlier passes deferred —
+    // readers may have advanced since.
+    return hooks_.epochs->ReclaimDeferred();
   }
 
-  // Pass 2: relocate the survivors (one batched copy into the cleaner
-  // chain), then swing the index with CAS.
-  std::vector<uint64_t> new_offs(refs.size());
-  if (!refs.empty()) {
-    if (!log->CleanerAppendBatch(refs.data(), refs.size(),
-                                 new_offs.data())) {
-      return false;  // PM pressure: abort this victim
+  // Backpressure: the byte budget grows with allocator pressure — boost
+  // below the watermark, unbounded when the pool is nearly dry (level 2:
+  // reclaiming beats pacing).
+  uint64_t budget = UINT64_MAX;
+  if (options_.quantum_bytes != 0 && pressure < 2) {
+    budget = options_.quantum_bytes *
+             (pressure == 1 ? options_.pressure_boost : 1);
+  }
+
+  size_t retired = 0;
+  std::vector<int> rotate_cores;
+  bool progressed = true;
+  while (budget > 0 && progressed) {
+    // Top up to max_victims in-flight jobs per core. Re-refilling every
+    // round (not just once per pass) makes max_victims an in-flight cap
+    // rather than a per-pass total: a boosted or unbounded budget can
+    // retire many victims in one pass even with max_victims = 1.
+    RefillJobs();
+    if (jobs_.empty()) break;
+    progressed = false;
+    for (auto it = jobs_.begin(); it != jobs_.end() && budget > 0;) {
+      if (AdvanceJob(*it, &budget)) progressed = true;
+      if (it->stage == Stage::kDone) {
+        retired++;
+        rotate_cores.push_back(it->core);
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
     }
-    for (size_t i = 0; i < survivors.size(); i++) {
-      const Survivor& s = survivors[i];
+  }
+
+  // Expose relocated survivors (tombstones in particular) to future
+  // victim selection.
+  for (size_t i = 0; i < rotate_cores.size(); i++) {
+    const int core = rotate_cores[i];
+    bool seen = false;
+    for (size_t j = 0; j < i; j++) seen = seen || rotate_cores[j] == core;
+    if (!seen) logs_[core]->RotateCleanerChunk();
+  }
+
+  // Run the deferred frees that have become epoch-safe (including this
+  // pass's victims whenever no reader is currently pinned).
+  return retired + hooks_.epochs->ReclaimDeferred();
+}
+
+void LogCleaner::RefillJobs() {
+  for (int core = first_core_; core < last_core_; core++) {
+    size_t in_flight = 0;
+    for (const CleaningJob& j : jobs_) {
+      if (j.core == core) in_flight++;
+    }
+    if (in_flight >= options_.max_victims) continue;
+
+    VictimQuery q;
+    q.policy = options_.policy;
+    q.live_ratio = options_.live_ratio;
+    q.max = options_.max_victims;
+    for (const VictimInfo& v : logs_[core]->PickVictims(q)) {
+      if (in_flight >= options_.max_victims) break;
+      bool dup = false;
+      for (const CleaningJob& j : jobs_) {
+        dup = dup || (j.core == core && j.chunk_off == v.chunk_off);
+      }
+      if (dup) continue;
+      CleaningJob job;
+      job.core = core;
+      job.chunk_off = v.chunk_off;
+      job.committed = logs_[core]->CommittedBytes(v.chunk_off);
+      job.age_clock = v.last_write_clock;
+      job.pick_live_ratio = v.live_ratio;
+      // Temperature classification (§3.4): survivors of a long-stable
+      // victim — or of a chunk already in the cold lane — are cold. The
+      // cleaner-chunk rule is generational: an entry relocated a second
+      // time has already outlived one full decay cycle, so it is demoted
+      // regardless of its chunk's write-clock age (with large chunks the
+      // tail of a zipfian keeps restamping even stone-cold victims).
+      job.cold = options_.segregate &&
+                 (v.from_cold_chunk || v.from_cleaner_chunk ||
+                  v.age >= options_.cold_age);
+      jobs_.push_back(std::move(job));
+      in_flight++;
+    }
+  }
+}
+
+bool LogCleaner::AdvanceJob(CleaningJob& job, uint64_t* budget) {
+  OpLog* log = logs_[job.core];
+  pm::PmPool* pool = log->root()->pool();
+
+  if (job.stage == Stage::kScan) {
+    // One bounded scan slice: collect survivors, resumable at any entry
+    // boundary via the saved reader position.
+    const uint64_t slice = std::min<uint64_t>(*budget, kScanSliceBytes);
+    if (slice == 0) return false;
+    LogChunkReader reader(pool, job.chunk_off, job.committed);
+    reader.SeekTo(job.scan_pos);
+    const uint64_t min_seq = log->MinSeq();
+    const uint64_t start = reader.position();
+    DecodedEntry e;
+    uint64_t off;
+    bool end_of_chunk = false;
+    while (reader.position() - start < slice) {
+      if (!reader.Next(&e, &off)) {
+        end_of_chunk = true;
+        break;
+      }
+      vt::Charge(vt::kCpuSlotProbe + vt::kPmReadLatency / 8);
+      const uint64_t packed = PackIndexValue(off, e.version);
+      index::KvIndex* index = hooks_.index_for_key(e.key);
+      uint64_t cur = 0;
+      bool live = index->Get(e.key, &cur) && cur == packed;
+      if (live && e.op == OpType::kDelete && e.ptr < min_seq) {
+        // Tombstone whose covered chunk is gone: no stale Put can
+        // resurrect the key anymore, so both the tombstone and its index
+        // entry may die (paper §3.4's "safely reclaimed" condition).
+        if (index->EraseIfEqual(e.key, packed)) live = false;
+      }
+      if (!live) {
+        // relaxed: monotonic stat counter, no ordering required.
+        entries_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      job.survivors.push_back({off, e.key, e.version, e.entry_len});
+    }
+    const uint64_t consumed = reader.position() - start;
+    *budget -= std::min(*budget, consumed);
+    job.scan_pos = reader.position();
+    if (end_of_chunk || job.scan_pos >= job.committed) {
+      job.stage = Stage::kRelocate;
+    }
+    // Zero consumed bytes with no stage change means an empty slice.
+    return consumed > 0 || job.stage != Stage::kScan;
+  }
+
+  if (job.stage == Stage::kRelocate) {
+    if (job.reloc_pos >= job.survivors.size()) {
+      job.stage = Stage::kRetire;
+      return true;
+    }
+    // One relocation sub-batch: durable copy (used_final committed by
+    // CleanerAppendBatch), then swing the index. A PM-pressure failure
+    // leaves the job parked at reloc_pos — already-relocated survivors
+    // stay durable and re-pointed, so the pass *resumes* rather than
+    // restarting the victim (the old cleaner aborted the whole chunk
+    // here and re-scanned it on the next pass).
+    const size_t k =
+        std::min(kRelocSubBatch, job.survivors.size() - job.reloc_pos);
+    OpLog::EntryRef refs[kRelocSubBatch];
+    uint64_t new_offs[kRelocSubBatch];
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < k; i++) {
+      const Survivor& s = job.survivors[job.reloc_pos + i];
+      refs[i] = {static_cast<const uint8_t*>(pool->At(s.old_off)), s.len};
+      bytes += s.len;
+    }
+    const Temp temp = job.cold ? Temp::kCold : Temp::kHot;
+    if (!log->CleanerAppendBatch(refs, k, new_offs, temp, job.age_clock)) {
+      return false;  // PM pressure: park; resumes at reloc_pos
+    }
+    log->root()->pool()->stats().AddGcRelocated(bytes, job.cold);
+    for (size_t i = 0; i < k; i++) {
+      const Survivor& s = job.survivors[job.reloc_pos + i];
       const uint64_t expected = PackIndexValue(s.old_off, s.version);
       const uint64_t desired = PackIndexValue(new_offs[i], s.version);
       if (hooks_.index_for_key(s.key)->CompareExchange(s.key, expected,
@@ -132,23 +246,31 @@ bool LogCleaner::CleanChunk(int core, uint64_t chunk_off) {
         entries_copied_.fetch_add(1, std::memory_order_relaxed);
       } else {
         // Superseded while we copied: the copy is garbage.
-        log->NoteDead(new_offs[i]);
+        log->NoteDead(new_offs[i], s.len);
         // relaxed: monotonic stat counter, no ordering required.
-      entries_dropped_.fetch_add(1, std::memory_order_relaxed);
+        entries_dropped_.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    job.reloc_pos += k;
+    *budget -= std::min(*budget, bytes);
+    if (job.reloc_pos >= job.survivors.size()) job.stage = Stage::kRetire;
+    return true;
   }
 
-  // Pass 3: unlink now, free later. A serving core may still hold an
-  // entry pointer it decoded through the index *before* the CAS swings
-  // above, so the physical free waits until every core has advanced past
-  // the current epoch. BeginRetire keeps the chunk out of future victim
-  // selection while the free is in flight.
-  log->BeginRetire(chunk_off);
+  // Stage::kRetire — unlink now, free later. A serving core may still
+  // hold an entry pointer it decoded through the index *before* the CAS
+  // swings above, so the physical free waits until every core has
+  // advanced past the current epoch. BeginRetire keeps the chunk out of
+  // future victim selection while the free is in flight.
+  log->BeginRetire(job.chunk_off);
+  const uint64_t chunk_off = job.chunk_off;
   hooks_.epochs->Defer([log, chunk_off] { log->ReleaseChunk(chunk_off); });
+  log->root()->pool()->stats().AddGcVictimRetired(job.committed,
+                                                  job.pick_live_ratio);
   // relaxed: monotonic stat counter, no ordering required.
   chunks_cleaned_.fetch_add(1, std::memory_order_relaxed);
   vt::Charge(vt::kCpuCas);
+  job.stage = Stage::kDone;
   return true;
 }
 

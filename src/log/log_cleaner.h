@@ -1,11 +1,34 @@
 // Log cleaning (paper §3.4).
 //
 // Each horizontal-batching group gets one background cleaner thread that
-// walks the OpLogs of the group's cores, picks sealed chunks whose live
-// ratio fell below a threshold, copies the surviving entries into fresh
-// chunks (committed via the chunk's used_final, journaled in the chunk
-// registry), re-points the volatile index at the copies with atomic CAS,
-// and returns the victim chunks to the allocator.
+// walks the OpLogs of the group's cores, picks victim chunks, copies the
+// surviving entries into fresh chunks (committed via the chunk's
+// used_final, journaled in the chunk registry), re-points the volatile
+// index at the copies with atomic CAS, and returns the victim chunks to
+// the allocator.
+//
+// Victim selection (OpLog::PickVictims) is policy-driven: the default
+// cost-benefit policy ranks chunks by (1 - u) * age / (1 + u) over
+// incrementally maintained per-chunk live-byte counters (RAMCloud/LFS);
+// the legacy live-ratio threshold policy is kept behind Options::policy
+// for A/B comparison.
+//
+// Cleaning is *pipelined and incremental*: each victim is a CleaningJob
+// that moves through scan -> relocate -> retire stages in bounded slices.
+// RunOnce advances every in-flight job round-robin until a per-quantum
+// byte budget is exhausted, so one pass can overlap the scan of one
+// victim with the relocation of another, and a pass interrupted by PM
+// pressure *resumes* where it stopped instead of restarting the victim
+// (already-relocated survivors are durable and their index entries
+// already swung). The allocator's MemoryPressure signal raises the
+// budget before the pool runs dry (backpressure).
+//
+// Survivors are segregated by temperature (§3.4 hot/cold): a victim
+// whose last overwrite is older than Options::cold_age — or that already
+// lives in the cold lane — relocates into the cold cleaner chunk, so
+// stable data clusters into near-fully-live chunks that future passes
+// skip. Effectiveness is measured as survivor-bytes-per-reclaimed-byte
+// (pm::GcWriteAmp), split per temperature in PmStats.
 //
 // Liveness rules:
 //  * Put entry: live iff the index still maps its key to exactly this
@@ -25,9 +48,7 @@
 // copies) and schedules the actual ReleaseChunk with Defer(); it runs
 // only after every serving core has advanced past the epoch in which the
 // unlink happened — so a reader that decoded an entry pointer before the
-// swing can never observe the chunk being freed under it. The read side
-// costs one core-local store per dereference instead of the shared-line
-// RMW the old per-group retire lock required.
+// swing can never observe the chunk being freed under it.
 
 #ifndef FLATSTORE_LOG_LOG_CLEANER_H_
 #define FLATSTORE_LOG_LOG_CLEANER_H_
@@ -38,6 +59,8 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/spin_lock.h"
+#include "common/thread_annotations.h"
 #include "index/kv_index.h"
 #include "log/oplog.h"
 
@@ -60,11 +83,29 @@ struct CleanerHooks {
 class LogCleaner {
  public:
   struct Options {
-    double live_ratio = 0.6;   // victim threshold (fraction of live entries)
-    size_t max_victims = 4;    // chunks per pass per core
-    // Only clean while the allocator has fewer free chunks than this
-    // (0 = always clean when victims exist).
+    // Victim-selection policy. kCostBenefit is the default; kLiveRatio is
+    // the legacy threshold policy, kept for A/B comparison (Fig. 13).
+    VictimQuery::Policy policy = VictimQuery::Policy::kCostBenefit;
+    // kLiveRatio: the victim threshold (fraction of live entries).
+    // kCostBenefit: eligibility cap — chunks at or above this live ratio
+    // are never worth relocating.
+    double live_ratio = 0.6;
+    size_t max_victims = 4;    // in-flight cleaning jobs per core
+    // Only start new cleaning work while the allocator has fewer free
+    // chunks than this (0 = always clean when victims exist). In-flight
+    // jobs always run to completion.
     uint64_t free_chunk_watermark = 0;
+    // Per-RunOnce byte budget over scanned + relocated bytes (0 =
+    // unbounded, the synchronous-test default). Under allocator pressure
+    // level 1 the budget is multiplied by `pressure_boost`; at level 2 it
+    // is unbounded — reclaim beats pacing when the pool is nearly dry.
+    uint64_t quantum_bytes = 0;
+    uint64_t pressure_boost = 4;
+    // Hot/cold survivor segregation (§3.4). A victim whose write-clock
+    // age at pick time is >= cold_age — or that already sits in the cold
+    // lane — relocates its survivors into the cold cleaner chunk.
+    bool segregate = true;
+    uint64_t cold_age = 512;
   };
 
   // Cleans cores [first_core, last_core) of `logs`.
@@ -76,10 +117,13 @@ class LogCleaner {
   LogCleaner(const LogCleaner&) = delete;
   LogCleaner& operator=(const LogCleaner&) = delete;
 
-  // One synchronous cleaning pass: unlinks victims, then reclaims every
-  // deferred free that has become epoch-safe. Returns unlinked + freed
-  // chunk counts (victims unlinked this pass are freed by this same call
+  // One cleaning quantum: advances every in-flight job (refilling from
+  // victim selection first) within the byte budget, then reclaims every
+  // deferred free that has become epoch-safe. Returns retired + freed
+  // chunk counts (victims retired this pass are freed by this same call
   // when no reader is pinned — e.g. single-threaded benchmark drivers).
+  // With the default unbounded budget a pass drains all eligible victims
+  // end-to-end, preserving the old one-shot semantics.
   size_t RunOnce();
 
   // Background-thread control (idempotent).
@@ -99,16 +143,57 @@ class LogCleaner {
     // relaxed: monotonic stat counter, no ordering required.
     return entries_dropped_.load(std::memory_order_relaxed);
   }
+  // In-flight cleaning jobs (a nonzero value after a bounded RunOnce
+  // means the pass was interrupted mid-victim and will resume).
+  size_t jobs_in_flight() const;
 
  private:
-  // Cleans one victim chunk of one core; returns true if it was freed.
-  bool CleanChunk(int core, uint64_t chunk_off);
+  // A victim chunk moving through the cleaning pipeline. All fields are
+  // cleaner-state guarded by run_lock_ (the job list is mutated by
+  // RunOnce, which may be called from the background thread or from a
+  // synchronous driver).
+  struct Survivor {
+    uint64_t old_off;
+    uint64_t key;
+    uint32_t version;
+    uint32_t len;
+  };
+  enum class Stage : uint8_t { kScan, kRelocate, kRetire, kDone };
+  struct CleaningJob {
+    int core = 0;
+    uint64_t chunk_off = 0;
+    uint64_t committed = 0;  // frozen extent (victims are sealed); these
+                             // bytes count as reclaimed at retire time
+    Stage stage = Stage::kScan;
+    uint64_t scan_pos = 0;       // reader position; resumable
+    size_t reloc_pos = 0;        // survivors already durably relocated
+    std::vector<Survivor> survivors;
+    bool cold = false;           // survivor temperature lane
+    uint64_t age_clock = 0;      // victim's last-write stamp (inherited)
+    double pick_live_ratio = 0;  // live ratio at pick time (WA histogram)
+  };
+
+  // Starts new jobs from victim selection up to max_victims per core,
+  // skipping chunks that already have a job in flight.
+  void RefillJobs() REQUIRES(run_lock_);
+
+  // Advances one job by one bounded slice (scan slice, relocation
+  // sub-batch, or the retire step), deducting consumed bytes from
+  // `*budget`. Returns true if any progress was made (false = budget
+  // exhausted or relocation blocked on PM space; the job resumes later).
+  bool AdvanceJob(CleaningJob& job, uint64_t* budget) REQUIRES(run_lock_);
 
   std::vector<OpLog*> logs_;
   int first_core_, last_core_;
   CleanerHooks hooks_;
   Options options_;
   alloc::LazyAllocator* alloc_;
+
+  // Serializes cleaning passes and guards the job pipeline: RunOnce may
+  // be driven by the background thread and by synchronous callers
+  // (tests, benchmarks) concurrently.
+  mutable SpinLock run_lock_;
+  std::vector<CleaningJob> jobs_ GUARDED_BY(run_lock_);
 
   std::thread thread_;
   std::atomic<bool> running_{false};

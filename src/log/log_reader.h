@@ -53,6 +53,12 @@ class LogChunkReader {
   // Bytes consumed so far.
   uint64_t position() const { return pos_; }
 
+  // Resumes a previously interrupted scan: `pos` must be a value returned
+  // by position() for this chunk (an entry or padding boundary). The
+  // incremental cleaner uses this to continue a quantum-bounded scan
+  // without re-decoding the prefix.
+  void SeekTo(uint64_t pos) { pos_ = pos; }
+
  private:
   const uint8_t* base_;
   uint64_t chunk_data_off_;

@@ -17,10 +17,12 @@ OpLog::OpLog(RootArea* root, alloc::LazyAllocator* alloc, int core,
 OpLog::OpLog(RootArea* root, alloc::LazyAllocator* alloc, int core)
     : OpLog(root, alloc, core, Options()) {}
 
-bool OpLog::EnsureRoom(uint64_t bytes, bool cleaner) {
+bool OpLog::EnsureRoom(uint64_t bytes, Lane lane) {
   FLATSTORE_CHECK_LE(bytes, kLogDataBytes) << "batch larger than a chunk";
-  std::atomic<uint64_t>& chunk = cleaner ? cleaner_chunk_ : chunk_;
-  uint64_t& cursor = cleaner ? cleaner_cursor_ : cursor_;
+  const bool cleaner = lane != kServing;
+  std::atomic<uint64_t>& chunk =
+      cleaner ? cleaner_chunk_[lane - kCleanerHot] : chunk_;
+  uint64_t& cursor = cleaner ? cleaner_cursor_[lane - kCleanerHot] : cursor_;
   // relaxed: each cursor has exactly one writer (this thread); the load
   // reads our own previous store. Cross-thread readers go through the
   // acquire accessors.
@@ -51,12 +53,13 @@ bool OpLog::EnsureRoom(uint64_t bytes, bool cleaner) {
   // a lost update could hand two chunks the same sequence number and
   // break the tombstone-liveness bound in PickVictims.)
   const uint32_t seq = next_chunk_seq_.fetch_add(1, std::memory_order_relaxed);
-  uint64_t slot = root_->RegisterChunk(fresh, core_, seq);
+  uint64_t slot = root_->RegisterChunk(fresh, core_, seq, cleaner);
   {
     LockGuard<SpinLock> g(usage_lock_);
     ChunkUsage& u = usage_[fresh];
     u.seq = seq;
     u.cleaner = cleaner;
+    u.temp = lane == kCleanerCold ? Temp::kCold : Temp::kHot;
     u.registry_slot = slot;
   }
   // Release publishes the zeroed data region and usage record to the
@@ -111,7 +114,7 @@ bool OpLog::AppendBatch(const EntryRef* entries, size_t n,
   if (n == 0) return true;
   uint64_t bytes = 0;
   for (size_t i = 0; i < n; i++) bytes += entries[i].len;
-  if (!EnsureRoom(bytes + kCachelineSize, /*cleaner=*/false)) return false;
+  if (!EnsureRoom(bytes + kCachelineSize, kServing)) return false;
 
   const uint64_t end = WriteEntries(&cursor_, entries, n, offsets);
   root_->pool()->Fence();  // entries durable before the tail moves
@@ -125,24 +128,32 @@ bool OpLog::AppendBatch(const EntryRef* entries, size_t n,
   root_->WriteTail(core_, seq, end);
   root_->pool()->Fence();
 
+  // One logical tick per serving batch (the cost-benefit age unit).
+  // relaxed: monotonic counter, single serving writer.
+  write_clock_.fetch_add(1, std::memory_order_relaxed);
   // relaxed: our own store from EnsureRoom this batch.
-  AccountBatch(chunk_.load(std::memory_order_relaxed), entries, n);
+  AccountBatch(chunk_.load(std::memory_order_relaxed), entries, n,
+               /*cleaner=*/false, /*age_clock=*/0);
   batches_++;
   entries_ += n;
   return true;
 }
 
 bool OpLog::CleanerAppendBatch(const EntryRef* entries, size_t n,
-                               uint64_t* offsets) {
+                               uint64_t* offsets, Temp temp,
+                               uint64_t age_clock) {
   if (n == 0) return true;
   uint64_t bytes = 0;
   for (size_t i = 0; i < n; i++) bytes += entries[i].len;
-  if (!EnsureRoom(bytes + kCachelineSize, /*cleaner=*/true)) return false;
+  const Lane lane = CleanerLane(temp);
+  if (!EnsureRoom(bytes + kCachelineSize, lane)) return false;
 
-  const uint64_t end = WriteEntries(&cleaner_cursor_, entries, n, offsets);
+  const uint64_t end =
+      WriteEntries(&cleaner_cursor_[lane - kCleanerHot], entries, n, offsets);
   root_->pool()->Fence();
   // relaxed: cleaner_chunk_ has a single writer — the cleaner itself.
-  const uint64_t cchunk = cleaner_chunk_.load(std::memory_order_relaxed);
+  const uint64_t cchunk =
+      cleaner_chunk_[lane - kCleanerHot].load(std::memory_order_relaxed);
   // Commit through the chunk's used_final (the cleaner has no tail
   // record); must be durable before the index is re-pointed at the
   // copies.
@@ -151,14 +162,17 @@ bool OpLog::CleanerAppendBatch(const EntryRef* entries, size_t n,
   hdr->used_final = end - (cchunk + kLogDataOff);
   root_->pool()->PersistFence(hdr, sizeof(uint64_t));
 
-  AccountBatch(cchunk, entries, n);
+  AccountBatch(cchunk, entries, n, /*cleaner=*/true, age_clock);
   return true;
 }
 
-void OpLog::AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n) {
+void OpLog::AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n,
+                         bool cleaner, uint64_t age_clock) {
   uint32_t tombs = 0;
   uint32_t max_covered = 0;
+  uint64_t bytes = 0;
   for (size_t i = 0; i < n; i++) {
+    bytes += entries[i].len;
     if ((entries[i].data[0] & 0x3) ==
         static_cast<uint8_t>(OpType::kDelete)) {
       tombs++;
@@ -168,12 +182,20 @@ void OpLog::AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n) {
       max_covered = std::max(max_covered, covered);
     }
   }
+  // relaxed: logical stamp — monotonicity per chunk is all that matters.
+  const uint64_t now = write_clock_.load(std::memory_order_relaxed);
   LockGuard<SpinLock> g(usage_lock_);
   ChunkUsage& u = usage_[chunk];
   u.total += static_cast<uint32_t>(n);
   u.live += static_cast<uint32_t>(n);
   u.tombs += tombs;
   u.max_covered_seq = std::max(u.max_covered_seq, max_covered);
+  u.total_bytes += bytes;
+  u.live_bytes += bytes;
+  // Serving appends stamp "now"; relocation chunks inherit the victim's
+  // stamp so survivors keep their age instead of looking freshly written.
+  u.last_write_clock = cleaner ? std::max(u.last_write_clock, age_clock)
+                               : now;
 }
 
 void OpLog::SealActiveChunk() {
@@ -186,26 +208,55 @@ void OpLog::SealActiveChunk() {
 }
 
 void OpLog::RotateCleanerChunk() {
-  // relaxed: cleaner-thread-owned cursor; see EnsureRoom.
-  const uint64_t chunk = cleaner_chunk_.load(std::memory_order_relaxed);
-  if (chunk == 0) return;
-  SealChunk(chunk, cleaner_cursor_ - (chunk + kLogDataOff));
-  cleaner_chunk_.store(0, std::memory_order_release);
-  cleaner_cursor_ = 0;
+  for (int t = 0; t < kNumTemps; t++) {
+    // relaxed: cleaner-thread-owned cursor; see EnsureRoom.
+    const uint64_t chunk = cleaner_chunk_[t].load(std::memory_order_relaxed);
+    if (chunk == 0) continue;
+    SealChunk(chunk, cleaner_cursor_[t] - (chunk + kLogDataOff));
+    cleaner_chunk_[t].store(0, std::memory_order_release);
+    cleaner_cursor_[t] = 0;
+  }
 }
 
-void OpLog::NoteDead(uint64_t entry_off) {
+void OpLog::AdjustLive(uint64_t entry_off, uint32_t entry_len, int dir) {
   const uint64_t chunk_off = AlignDown(entry_off, alloc::kChunkSize);
+  if (entry_len == 0) {
+    // Length unknown: decode the entry in place (its bytes are durable
+    // and immutable once appended). Tolerate failure — tests poke
+    // arbitrary offsets to drive victim selection.
+    const uint64_t chunk_end = chunk_off + alloc::kChunkSize;
+    DecodedEntry e;
+    if (DecodeEntry(
+            static_cast<const uint8_t*>(root_->pool()->At(entry_off)),
+            std::min<uint64_t>(kMaxEntrySize, chunk_end - entry_off), &e)) {
+      entry_len = e.entry_len;
+    }
+  }
+  // relaxed: logical stamp — monotonicity per chunk is all that matters.
+  const uint64_t now = write_clock_.load(std::memory_order_relaxed);
   LockGuard<SpinLock> g(usage_lock_);
   auto it = usage_.find(chunk_off);
-  if (it != usage_.end() && it->second.live > 0) it->second.live--;
+  if (it == usage_.end()) return;
+  ChunkUsage& u = it->second;
+  if (dir < 0) {
+    if (u.live > 0) u.live--;
+    u.live_bytes -= std::min<uint64_t>(u.live_bytes, entry_len);
+    // A death is an overwrite/delete event: the chunk is "recently
+    // active", so cost-benefit deprioritizes it while its live ratio is
+    // still falling (LFS: clean cold, stable garbage first).
+    u.last_write_clock = std::max(u.last_write_clock, now);
+  } else {
+    u.live++;
+    u.live_bytes += entry_len;
+  }
 }
 
-void OpLog::NoteLiveLost(uint64_t entry_off) {
-  const uint64_t chunk_off = AlignDown(entry_off, alloc::kChunkSize);
-  LockGuard<SpinLock> g(usage_lock_);
-  auto it = usage_.find(chunk_off);
-  if (it != usage_.end()) it->second.live++;
+void OpLog::NoteDead(uint64_t entry_off, uint32_t entry_len) {
+  AdjustLive(entry_off, entry_len, -1);
+}
+
+void OpLog::NoteLiveLost(uint64_t entry_off, uint32_t entry_len) {
+  AdjustLive(entry_off, entry_len, +1);
 }
 
 std::map<uint64_t, ChunkUsage> OpLog::UsageSnapshot() const {
@@ -213,23 +264,35 @@ std::map<uint64_t, ChunkUsage> OpLog::UsageSnapshot() const {
   return usage_;
 }
 
-std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
-                                         size_t max) const {
-  std::vector<std::pair<uint32_t, uint64_t>> candidates;  // (seq, chunk)
+std::vector<VictimInfo> OpLog::PickVictims(const VictimQuery& query) const {
+  struct Candidate {
+    double score;   // kCostBenefit ordering key (unused for kLiveRatio)
+    uint32_t seq;
+    VictimInfo info;
+  };
+  std::vector<Candidate> candidates;
   // Acquire snapshot of the serving cursor: the serving thread publishes
   // these with release stores (they are NOT protected by usage_lock_).
   const uint64_t active_chunk = chunk_.load(std::memory_order_acquire);
-  const uint64_t active_cleaner =
-      cleaner_chunk_.load(std::memory_order_acquire);
+  uint64_t active_cleaner[kNumTemps];
+  for (int t = 0; t < kNumTemps; t++) {
+    active_cleaner[t] = cleaner_chunk_[t].load(std::memory_order_acquire);
+  }
   const uint64_t tail = tail_.load(std::memory_order_acquire);
+  // relaxed: logical clock snapshot; slight lag only shifts every age
+  // equally within this pick.
+  const uint64_t now = write_clock_.load(std::memory_order_relaxed);
   {
     LockGuard<SpinLock> g(usage_lock_);
     uint64_t min_seq = UINT64_MAX;
-    for (const auto& [off, u] : usage_) min_seq = std::min<uint64_t>(min_seq, u.seq);
+    for (const auto& [off, u] : usage_) {
+      min_seq = std::min<uint64_t>(min_seq, u.seq);
+    }
     for (const auto& [off, u] : usage_) {
       if (!u.sealed) continue;                       // still being written
       if (u.retired) continue;     // unlinked, free already in flight
-      if (off == active_chunk || off == active_cleaner) continue;
+      if (off == active_chunk) continue;
+      if (off == active_cleaner[0] || off == active_cleaner[1]) continue;
       // Never retire the chunk the durable tail record points into, even
       // when it is sealed (forced rotation seals before the tail moves).
       // Unregistering it would leave a crash-time tail referencing a
@@ -239,20 +302,76 @@ std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
       // Tombstones whose covered chunks are all gone are as good as dead:
       // discount them so tombstone-only chunks become victims too (the
       // cleaner verifies exact liveness before dropping anything).
-      uint32_t dead_tombs =
+      const uint32_t dead_tombs =
           (u.tombs > 0 && min_seq > u.max_covered_seq) ? u.tombs : 0;
-      uint32_t effective_live =
+      const uint32_t effective_live =
           u.live > dead_tombs ? u.live - dead_tombs : 0;
-      if (static_cast<double>(effective_live) / u.total < live_ratio) {
-        candidates.push_back({u.seq, off});
+      // kLiveRatio keeps the legacy entry-count ratio; kCostBenefit uses
+      // the byte-granular counters (falling back to counts for chunks
+      // that predate them, e.g. hand-built test fixtures).
+      const double count_ratio =
+          static_cast<double>(effective_live) / u.total;
+      double ratio = count_ratio;
+      if (query.policy == VictimQuery::Policy::kCostBenefit &&
+          u.total_bytes > 0) {
+        const uint64_t dead_tomb_bytes =
+            static_cast<uint64_t>(dead_tombs) * kPtrEntrySize;
+        const uint64_t eff_live_bytes =
+            u.live_bytes > dead_tomb_bytes ? u.live_bytes - dead_tomb_bytes
+                                           : 0;
+        ratio = static_cast<double>(eff_live_bytes) /
+                static_cast<double>(u.total_bytes);
       }
+      // Cold-lane chunks are packed with proven-stable survivors and
+      // will not decay much further: cleaning one at high liveness is
+      // almost pure copying. Gate them at half the configured threshold
+      // so the budget goes to chunks whose dead fraction can still grow.
+      const double cap = (u.cleaner && u.temp == Temp::kCold)
+                             ? query.live_ratio * 0.5
+                             : query.live_ratio;
+      if (ratio >= cap) continue;
+      Candidate c;
+      c.seq = u.seq;
+      c.info.chunk_off = off;
+      c.info.live_ratio = ratio;
+      c.info.age = now > u.last_write_clock ? now - u.last_write_clock : 0;
+      c.info.last_write_clock = u.last_write_clock;
+      c.info.from_cold_chunk = u.cleaner && u.temp == Temp::kCold;
+      c.info.from_cleaner_chunk = u.cleaner;
+      // RAMCloud/LFS cost-benefit: benefit = freeable space x age of the
+      // data; cost = read the chunk + rewrite the live part (1 + u).
+      c.score = (1.0 - ratio) * static_cast<double>(c.info.age) /
+                (1.0 + ratio);
+      candidates.push_back(c);
     }
   }
-  std::sort(candidates.begin(), candidates.end());
-  std::vector<uint64_t> out;
-  for (size_t i = 0; i < candidates.size() && i < max; i++) {
-    out.push_back(candidates[i].second);
+  if (query.policy == VictimQuery::Policy::kCostBenefit) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.seq < b.seq;  // ties: oldest first (deterministic)
+              });
+  } else {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.seq < b.seq;  // legacy: oldest sequence first
+              });
   }
+  std::vector<VictimInfo> out;
+  for (size_t i = 0; i < candidates.size() && i < query.max; i++) {
+    out.push_back(candidates[i].info);
+  }
+  return out;
+}
+
+std::vector<uint64_t> OpLog::PickVictims(double live_ratio,
+                                         size_t max) const {
+  VictimQuery q;
+  q.policy = VictimQuery::Policy::kLiveRatio;
+  q.live_ratio = live_ratio;
+  q.max = max;
+  std::vector<uint64_t> out;
+  for (const VictimInfo& v : PickVictims(q)) out.push_back(v.chunk_off);
   return out;
 }
 
@@ -325,17 +444,26 @@ void OpLog::AdoptRecoveredState(uint64_t tail, uint64_t tail_seq,
   tail_seq_.store(tail_seq, std::memory_order_release);
   chunk_.store(0, std::memory_order_release);
   cursor_ = 0;
-  cleaner_chunk_.store(0, std::memory_order_release);
-  cleaner_cursor_ = 0;
+  for (int t = 0; t < kNumTemps; t++) {
+    cleaner_chunk_[t].store(0, std::memory_order_release);
+    cleaner_cursor_[t] = 0;
+  }
   uint32_t max_seq = 0;
-  for (const auto& [off, u] : usage_) {
+  for (auto& [off, u] : usage_) {
     max_seq = std::max(max_seq, u.seq);
+    // The logical write clock is volatile; re-seed chunk ages from the
+    // allocation sequence so cost-benefit ordering survives recovery
+    // (older chunks stay older).
+    if (u.last_write_clock == 0) u.last_write_clock = u.seq;
     if (tail != 0 && off == AlignDown(tail, alloc::kChunkSize) && !u.sealed) {
       chunk_.store(off, std::memory_order_release);
       cursor_ = options_.pad_batches ? CachelineAlignUp(tail) : tail;
     }
   }
   next_chunk_seq_.store(max_seq + 1, std::memory_order_release);
+  // relaxed: single-threaded recovery; clock must land past every seeded
+  // chunk stamp so fresh ages are non-negative.
+  write_clock_.store(max_seq + 1, std::memory_order_relaxed);
 }
 
 }  // namespace log

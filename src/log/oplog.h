@@ -49,17 +49,61 @@ inline constexpr uint64_t kLogDataOff =
     alloc::kChunkHeaderSize + sizeof(LogChunkHeader);
 inline constexpr uint64_t kLogDataBytes = alloc::kChunkSize - kLogDataOff;
 
-// Volatile usage record of one log chunk.
+// Survivor placement temperature for the cleaner's relocation chunks
+// (§3.4 hot/cold segregation): cold survivors — keys not overwritten for
+// a long time — are relocated together so future passes skip their
+// (stable, near-fully-live) chunks.
+enum class Temp : uint8_t { kHot = 0, kCold = 1 };
+inline constexpr int kNumTemps = 2;
+
+// Volatile usage record of one log chunk. The byte-granular counters and
+// the last-write clock are maintained incrementally on append / delete /
+// overwrite — victim selection never rescans a chunk.
 struct ChunkUsage {
   uint32_t seq = 0;          // per-core allocation sequence
   uint32_t total = 0;        // entries ever appended
   uint32_t live = 0;         // entries still referenced
   uint32_t tombs = 0;        // tombstones appended
   uint32_t max_covered_seq = 0;  // newest chunk any tombstone here covers
+  uint64_t total_bytes = 0;  // entry bytes ever appended
+  uint64_t live_bytes = 0;   // entry bytes still referenced
+  // Logical write-clock stamp (OpLog::write_clock, ticks once per serving
+  // batch) of the last event touching this chunk: an append into it or a
+  // death of one of its entries. Cost-benefit victim selection uses
+  // write_clock - last_write_clock as the chunk's age; relocated chunks
+  // inherit their victims' stamps so survivors keep their age.
+  uint64_t last_write_clock = 0;
   bool sealed = false;       // used_final is the committed length
   bool cleaner = false;      // written by the cleaner path
+  Temp temp = Temp::kHot;    // cleaner chunks: survivor temperature lane
   bool retired = false;      // unlinked; physical free deferred (epochs)
   uint64_t registry_slot = 0;
+};
+
+// One victim chunk chosen by PickVictims, with the pick-time metrics the
+// cleaner threads through its staged pipeline (live ratio feeds the WA
+// histogram; age feeds survivor temperature classification).
+struct VictimInfo {
+  uint64_t chunk_off = 0;
+  double live_ratio = 0;        // effective live-byte ratio at pick time
+  uint64_t age = 0;             // write-clock distance at pick time
+  uint64_t last_write_clock = 0;
+  bool from_cold_chunk = false;  // victim was a cleaner cold-lane chunk
+  bool from_cleaner_chunk = false;  // victim held relocated survivors
+};
+
+// Victim-selection policy (§3.4).
+struct VictimQuery {
+  enum class Policy : uint8_t {
+    kLiveRatio,    // legacy: any sealed chunk below the live_ratio cap,
+                   // oldest sequence first
+    kCostBenefit,  // RAMCloud/LFS-style: rank by (1-u)*age/(1+u)
+  };
+  Policy policy = Policy::kCostBenefit;
+  // kLiveRatio: the victim threshold. kCostBenefit: eligibility cap —
+  // chunks at or above this live ratio are never worth relocating.
+  double live_ratio = 0.98;
+  size_t max = 4;
 };
 
 // One core's operation log.
@@ -91,16 +135,23 @@ class OpLog {
   bool AppendBatch(const EntryRef* entries, size_t n, uint64_t* offsets);
 
   // Cleaner path: same append mechanics, but into the cleaner's chunk
-  // chain and committed via the chunk's `used_final` field.
+  // chain for `temp` and committed via the chunk's `used_final` field.
+  // `age_clock` is the victim's last-write stamp — the relocation chunk
+  // inherits it (max across batches) so survivors keep their age.
+  // The two-arg form appends to the hot lane.
   bool CleanerAppendBatch(const EntryRef* entries, size_t n,
-                          uint64_t* offsets);
+                          uint64_t* offsets, Temp temp = Temp::kHot,
+                          uint64_t age_clock = 0);
 
-  // Marks the entry at `entry_off` dead (superseded or deleted).
-  void NoteDead(uint64_t entry_off);
+  // Marks the entry at `entry_off` dead (superseded or deleted) and
+  // advances the chunk's last-write clock — a chunk losing entries is
+  // "hot" for victim selection. `entry_len` subtracts from the chunk's
+  // live bytes; 0 = decode the entry in place to learn its length.
+  void NoteDead(uint64_t entry_off, uint32_t entry_len = 0);
 
   // Marks the entry at `entry_off` live again (failed relocation CAS —
   // the copy became garbage instead of the original).
-  void NoteLiveLost(uint64_t entry_off);
+  void NoteLiveLost(uint64_t entry_off, uint32_t entry_len = 0);
 
   // --- introspection / GC support ---
 
@@ -120,6 +171,21 @@ class OpLog {
   // excluding chunks the cleaner itself wrote that are still its current
   // chunk. Returns chunk offsets, oldest sequence first.
   std::vector<uint64_t> PickVictims(double live_ratio, size_t max) const;
+
+  // Policy-driven victim selection over the incremental per-chunk
+  // counters (never rescans). kLiveRatio reproduces the legacy ordering;
+  // kCostBenefit ranks by benefit/cost = (1 - u) * age / (1 + u) with
+  // u = effective live-byte ratio and age = write-clock distance since
+  // the chunk's last append/death (ties: older sequence first).
+  std::vector<VictimInfo> PickVictims(const VictimQuery& query) const;
+
+  // Logical write clock: ticks once per serving AppendBatch. Purely
+  // logical so cleaner decisions stay flush-deterministic for the crash
+  // explorer (no wall time, no randomness).
+  uint64_t write_clock() const {
+    // relaxed: monotonic logical counter; readers tolerate slight lag.
+    return write_clock_.load(std::memory_order_relaxed);
+  }
 
   // Oldest sequence number among this core's registered chunks
   // (UINT64_MAX when the log is empty) — tombstone reclamation bound.
@@ -145,9 +211,10 @@ class OpLog {
   // GC scenarios. The committed tail is unaffected.
   void SealActiveChunk();
 
-  // Seals the cleaner's current chunk so future passes may victimize it
-  // (relocated tombstones would otherwise hide in it forever). The next
-  // cleaner append starts a fresh chunk. No-op when there is none.
+  // Seals the cleaner's current chunks (both temperature lanes) so
+  // future passes may victimize them (relocated tombstones would
+  // otherwise hide in them forever). The next cleaner append starts a
+  // fresh chunk. No-op for lanes that have none.
   void RotateCleanerChunk();
 
   // --- recovery support (paper §3.5) ---
@@ -164,9 +231,16 @@ class OpLog {
   RootArea* root() const { return root_; }
 
  private:
-  // Ensures the (serving or cleaner) cursor has room for `bytes`; rolls
-  // over to a fresh chunk when needed. Returns false on out-of-space.
-  bool EnsureRoom(uint64_t bytes, bool cleaner);
+  // Append lanes: one serving cursor plus one cleaner cursor per
+  // temperature.
+  enum Lane : int { kServing = 0, kCleanerHot = 1, kCleanerCold = 2 };
+  static Lane CleanerLane(Temp t) {
+    return t == Temp::kCold ? kCleanerCold : kCleanerHot;
+  }
+
+  // Ensures the lane's cursor has room for `bytes`; rolls over to a
+  // fresh chunk when needed. Returns false on out-of-space.
+  bool EnsureRoom(uint64_t bytes, Lane lane);
 
   // Seals the chunk containing `cursor` at `cursor` bytes used.
   void SealChunk(uint64_t chunk_off, uint64_t used);
@@ -176,8 +250,15 @@ class OpLog {
                         uint64_t* offsets);
 
   // Batch accounting shared by both append paths (usage_lock_ taken
-  // inside): counts entries/tombstones into `chunk`'s usage record.
-  void AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n);
+  // inside): counts entries/tombstones/bytes into `chunk`'s usage record
+  // and stamps its last-write clock (serving: the ticked clock; cleaner:
+  // the inherited `age_clock`).
+  void AccountBatch(uint64_t chunk, const EntryRef* entries, size_t n,
+                    bool cleaner, uint64_t age_clock);
+
+  // Shared body of NoteDead/NoteLiveLost: resolves the entry length
+  // (decoding in place when unknown) and adjusts live counters by `dir`.
+  void AdjustLive(uint64_t entry_off, uint32_t entry_len, int dir);
 
   RootArea* root_;
   alloc::LazyAllocator* alloc_;
@@ -197,10 +278,15 @@ class OpLog {
   std::atomic<uint64_t> tail_{0};
   std::atomic<uint64_t> tail_seq_{0};
 
-  // Cleaner cursor. `cleaner_chunk_` is read by PickVictims and written
-  // on rollover; `cleaner_cursor_` is cleaner-thread-confined.
-  std::atomic<uint64_t> cleaner_chunk_{0};
-  uint64_t cleaner_cursor_ = 0;
+  // Cleaner cursors, one per temperature lane (§3.4 segregation):
+  // `cleaner_chunk_[t]` is read by PickVictims and written on rollover;
+  // `cleaner_cursor_[t]` is cleaner-thread-confined.
+  std::atomic<uint64_t> cleaner_chunk_[kNumTemps] = {};
+  uint64_t cleaner_cursor_[kNumTemps] = {};
+
+  // Logical write clock (see write_clock()); ticked by the serving
+  // append path, read by victim selection and NoteDead.
+  std::atomic<uint64_t> write_clock_{0};
 
   // Chunk allocation sequence. fetch_add'ed by BOTH append paths'
   // rollovers (serving leader and cleaner run concurrently); the old

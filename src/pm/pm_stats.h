@@ -15,6 +15,11 @@
 namespace flatstore {
 namespace pm {
 
+// Victim live-ratio histogram granularity (log cleaning, §3.4): bucket i
+// counts retired victims whose live-byte ratio at pick time fell in
+// [i/10, (i+1)/10).
+inline constexpr int kGcLiveHistoBuckets = 10;
+
 // Thread-safe counters; cheap relaxed increments on the persist path.
 class PmStats {
  public:
@@ -30,6 +35,17 @@ class PmStats {
     uint64_t epoch_advances = 0;
     uint64_t epoch_deferred_frees = 0;
     uint64_t epoch_deferred_hwm = 0;
+    // Log cleaning write-amplification accounting (§3.4). Relocated =
+    // survivor bytes the cleaner re-appended; reclaimed = committed data
+    // bytes of retired victim chunks. The cleaner's write amplification
+    // is relocated/reclaimed — also the survivor-bytes-per-reclaimed-byte
+    // segregation-effectiveness metric; split per survivor temperature.
+    uint64_t gc_bytes_relocated = 0;
+    uint64_t gc_bytes_reclaimed = 0;
+    uint64_t gc_survivor_bytes_hot = 0;
+    uint64_t gc_survivor_bytes_cold = 0;
+    uint64_t gc_victims = 0;  // victim chunks retired
+    uint64_t gc_victim_live_histo[kGcLiveHistoBuckets] = {};
   };
 
   void AddPersist(uint64_t lines, uint64_t bytes) {
@@ -53,6 +69,23 @@ class PmStats {
     }
   }
 
+  // --- log-cleaning write amplification (§3.4) ---
+  void AddGcRelocated(uint64_t bytes, bool cold) {
+    gc_bytes_relocated_.fetch_add(bytes, std::memory_order_relaxed);
+    (cold ? gc_survivor_bytes_cold_ : gc_survivor_bytes_hot_)
+        .fetch_add(bytes, std::memory_order_relaxed);
+  }
+  // One victim retired: `committed` data bytes return to the allocator,
+  // `live_ratio` is the victim's live-byte ratio when it was picked.
+  void AddGcVictimRetired(uint64_t committed, double live_ratio) {
+    gc_bytes_reclaimed_.fetch_add(committed, std::memory_order_relaxed);
+    gc_victims_.fetch_add(1, std::memory_order_relaxed);
+    int b = static_cast<int>(live_ratio * kGcLiveHistoBuckets);
+    if (b < 0) b = 0;
+    if (b >= kGcLiveHistoBuckets) b = kGcLiveHistoBuckets - 1;
+    gc_victim_live_histo_[b].fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Returns current values.
   Snapshot Get() const {
     Snapshot s;
@@ -65,6 +98,19 @@ class PmStats {
         epoch_deferred_frees_.load(std::memory_order_relaxed);
     s.epoch_deferred_hwm =
         epoch_deferred_hwm_.load(std::memory_order_relaxed);
+    s.gc_bytes_relocated =
+        gc_bytes_relocated_.load(std::memory_order_relaxed);
+    s.gc_bytes_reclaimed =
+        gc_bytes_reclaimed_.load(std::memory_order_relaxed);
+    s.gc_survivor_bytes_hot =
+        gc_survivor_bytes_hot_.load(std::memory_order_relaxed);
+    s.gc_survivor_bytes_cold =
+        gc_survivor_bytes_cold_.load(std::memory_order_relaxed);
+    s.gc_victims = gc_victims_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kGcLiveHistoBuckets; i++) {
+      s.gc_victim_live_histo[i] =
+          gc_victim_live_histo_[i].load(std::memory_order_relaxed);
+    }
     return s;
   }
 
@@ -77,6 +123,14 @@ class PmStats {
     epoch_advances_.store(0, std::memory_order_relaxed);
     epoch_deferred_frees_.store(0, std::memory_order_relaxed);
     epoch_deferred_hwm_.store(0, std::memory_order_relaxed);
+    gc_bytes_relocated_.store(0, std::memory_order_relaxed);
+    gc_bytes_reclaimed_.store(0, std::memory_order_relaxed);
+    gc_survivor_bytes_hot_.store(0, std::memory_order_relaxed);
+    gc_survivor_bytes_cold_.store(0, std::memory_order_relaxed);
+    gc_victims_.store(0, std::memory_order_relaxed);
+    for (auto& b : gc_victim_live_histo_) {
+      b.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -87,6 +141,12 @@ class PmStats {
   std::atomic<uint64_t> epoch_advances_{0};
   std::atomic<uint64_t> epoch_deferred_frees_{0};
   std::atomic<uint64_t> epoch_deferred_hwm_{0};
+  std::atomic<uint64_t> gc_bytes_relocated_{0};
+  std::atomic<uint64_t> gc_bytes_reclaimed_{0};
+  std::atomic<uint64_t> gc_survivor_bytes_hot_{0};
+  std::atomic<uint64_t> gc_survivor_bytes_cold_{0};
+  std::atomic<uint64_t> gc_victims_{0};
+  std::atomic<uint64_t> gc_victim_live_histo_[kGcLiveHistoBuckets] = {};
 };
 
 // Difference of two snapshots (after - before).
@@ -97,7 +157,27 @@ inline PmStats::Snapshot Delta(const PmStats::Snapshot& before,
   d.lines_flushed = after.lines_flushed - before.lines_flushed;
   d.fences = after.fences - before.fences;
   d.bytes_persisted = after.bytes_persisted - before.bytes_persisted;
+  d.gc_bytes_relocated = after.gc_bytes_relocated - before.gc_bytes_relocated;
+  d.gc_bytes_reclaimed = after.gc_bytes_reclaimed - before.gc_bytes_reclaimed;
+  d.gc_survivor_bytes_hot =
+      after.gc_survivor_bytes_hot - before.gc_survivor_bytes_hot;
+  d.gc_survivor_bytes_cold =
+      after.gc_survivor_bytes_cold - before.gc_survivor_bytes_cold;
+  d.gc_victims = after.gc_victims - before.gc_victims;
+  for (int i = 0; i < kGcLiveHistoBuckets; i++) {
+    d.gc_victim_live_histo[i] =
+        after.gc_victim_live_histo[i] - before.gc_victim_live_histo[i];
+  }
   return d;
+}
+
+// The cleaner's write amplification: survivor bytes rewritten per byte of
+// victim data reclaimed (0 when nothing was reclaimed yet).
+inline double GcWriteAmp(const PmStats::Snapshot& s) {
+  return s.gc_bytes_reclaimed == 0
+             ? 0.0
+             : static_cast<double>(s.gc_bytes_relocated) /
+                   static_cast<double>(s.gc_bytes_reclaimed);
 }
 
 }  // namespace pm

@@ -155,6 +155,62 @@ TEST(CrashExplorerTest, GcRetireJournalWindow) {
   EXPECT_TRUE(res.ok()) << res.Summary();
 }
 
+// Pipelined cleaning under a tiny per-pass quantum: the scan, relocate,
+// and retire stages of ONE victim spread across many RunCleanersOnce
+// calls, so the flush enumeration cuts power at every stage boundary —
+// mid-scan (no PM writes yet), after a survivor copy but before its
+// used_final commit, after the commit but before the victim retires.
+// cold_age=0 also routes the survivors through the cold lane, covering
+// the cold cleaner chunk's flagged registration.
+TEST(CrashExplorerTest, GcStagedQuantumBoundaries) {
+  ExplorerOptions opts;
+  opts.store = SmallStore(1);
+  opts.store.gc_quantum_bytes = 256;  // ~6 scan slices per 12-entry chunk
+  opts.store.gc_cold_age = 0;
+  opts.seeds = CrashSeedsFromEnv({1, 7});
+  Workload w = [](WorkloadCtx& ctx) {
+    for (uint64_t k = 1; k <= 12; k++) ctx.Put(k, Val('q', 64));
+    ctx.store->SealActiveLogChunks();
+    for (uint64_t k = 1; k <= 10; k++) ctx.Put(k, Val('r', 72));
+    ctx.Arm();
+    // Fixed pass count (flush-deterministic); far more than the ~8 the
+    // pipeline needs, so cleaning always completes inside the window.
+    for (int i = 0; i < 15; i++) ctx.store->RunCleanersOnce();
+    EXPECT_GT(ctx.store->ChunksCleaned(), 0u);
+    ctx.Put(60, Val('s', 40));
+  };
+  CrashExplorer explorer("gc-staged-quantum", opts);
+  ExplorerResult res = explorer.Explore(w);
+  EXPECT_GT(res.total_flushes, 0u);
+  EXPECT_TRUE(res.ok()) << res.Summary();
+}
+
+// Relocation split across sub-batches: 33 survivors force two
+// CleanerAppendBatch commits (32 + 1), so the enumeration includes the
+// half-relocated-victim states between the first sub-batch's used_final
+// commit and the second's — the window fsck's duplicate-version rule
+// (byte-identical + cleaner-flagged chunk) exists for.
+TEST(CrashExplorerTest, GcStagedRelocSubBatches) {
+  ExplorerOptions opts;
+  opts.store = SmallStore(1);
+  opts.store.gc_quantum_bytes = 512;
+  opts.seeds = CrashSeedsFromEnv({1, 7});
+  Workload w = [](WorkloadCtx& ctx) {
+    for (uint64_t k = 1; k <= 67; k++) ctx.Put(k, Val('u', 24));
+    ctx.store->SealActiveLogChunks();
+    // Supersede 34 of 67: live ratio 0.49 < 0.6 cap, 33 survivors.
+    for (uint64_t k = 1; k <= 34; k++) ctx.Put(k, Val('v', 24));
+    ctx.Arm();
+    for (int i = 0; i < 25; i++) ctx.store->RunCleanersOnce();
+    EXPECT_GT(ctx.store->ChunksCleaned(), 0u);
+    ctx.Delete(40);
+  };
+  CrashExplorer explorer("gc-staged-reloc", opts);
+  ExplorerResult res = explorer.Explore(w);
+  EXPECT_GT(res.total_flushes, 0u);
+  EXPECT_TRUE(res.ok()) << res.Summary();
+}
+
 // A repro line's (mode, flush, seed) triple must replay to the same
 // verdict — spot-check a few points both ways.
 TEST(CrashExplorerTest, RunPointIsDeterministic) {
