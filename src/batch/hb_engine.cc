@@ -48,11 +48,47 @@ FS_HOT bool HbEngine::Stage(int core, const uint8_t* entry, uint32_t len,
   if (slot.state.load(std::memory_order_acquire) != kFree) return false;
   std::memcpy(slot.buf, entry, len);
   slot.len = len;
+  slot.fuse = 1;  // slot reuse: clear a stale fused-group length
   slot.stage_time = vt::Now();
   slot.state.store(kStaged, std::memory_order_release);
   pool.head.store(h + 1, std::memory_order_release);
   vt::Charge(vt::kPoolOpCost);
   *handle = h;
+  return true;
+}
+
+FS_HOT bool HbEngine::StageBatch(int core, const log::OpLog::EntryRef* entries,
+                                 size_t n, uint64_t* handles) {
+  FLATSTORE_DCHECK(n >= 1 && n <= kMaxBatch);
+  CorePool& pool = pools_[core];
+  // relaxed: head has a single writer — this core's serving thread.
+  const uint64_t h = pool.head.load(std::memory_order_relaxed);
+  // All-or-nothing admission: a partially staged group would lose the
+  // single-reservation / single-fence-pair property.
+  for (size_t i = 0; i < n; i++) {
+    if (pool.slots[(h + i) % kPoolSlots].state.load(
+            std::memory_order_acquire) != kFree) {
+      return false;
+    }
+  }
+  const uint64_t now = vt::Now();
+  for (size_t i = 0; i < n; i++) {
+    Slot& slot = pool.slots[(h + i) % kPoolSlots];
+    FLATSTORE_DCHECK(entries[i].len <= log::kMaxEntrySize);
+    std::memcpy(slot.buf, entries[i].data, entries[i].len);
+    slot.len = entries[i].len;
+    // One stage instant for the whole group: the collector's arrival
+    // cutoff can never cut a fused group in half.
+    slot.stage_time = now;
+    slot.fuse = i == 0 ? static_cast<uint32_t>(n) : 1;
+    slot.state.store(kStaged, std::memory_order_release);
+    handles[i] = h + i;
+    vt::Charge(vt::kPoolOpCost);
+  }
+  pool.head.store(h + n, std::memory_order_release);
+  // relaxed: stat counters, ordering irrelevant.
+  fused_groups_.fetch_add(1, std::memory_order_relaxed);
+  fused_entries_.fetch_add(n, std::memory_order_relaxed);
   return true;
 }
 
@@ -73,11 +109,20 @@ FS_HOT void HbEngine::Collect(int core, uint64_t now,
     // ordered the slot contents.
     FLATSTORE_DCHECK(slot.state.load(std::memory_order_relaxed) == kStaged);
     if (slot.stage_time > now) break;  // staged in this core's future
-    refs[*n] = {slot.buf, slot.len};
-    claims[*n] = &slot;
-    (*n)++;
-    collected++;
-    vt::Charge(vt::kPoolOpCost);
+    // Never split a fused group (StageBatch) across leader batches: the
+    // whole group must land in one AppendBatch or its single-fence-pair
+    // crash contract is void. fuse <= kMaxBatch, so an empty batch always
+    // has room and this cannot stall.
+    const uint32_t fuse = slot.fuse;
+    if (static_cast<size_t>(fuse) > kMaxBatch - *n) break;
+    for (uint32_t i = 0; i < fuse; i++) {
+      Slot& s = pool.slots[collected % kPoolSlots];
+      refs[*n] = {s.buf, s.len};
+      claims[*n] = &s;
+      (*n)++;
+      collected++;
+      vt::Charge(vt::kPoolOpCost);
+    }
   }
   // relaxed: see the load above — the next reader is the next leader
   // (ordered by the group lock) or the owner itself; lock-free readers
@@ -214,16 +259,25 @@ FS_HOT size_t HbEngine::TryPersist(int core) {
   // relaxed: written under the group lock; readers treat it as a hint.
   group.next_leader.store((core - first_core + 1) % (last - first_core),
                           std::memory_order_relaxed);
+  // relaxed: diagnostics only (Wait's live-lock report); no ordering.
+  group.last_leader.store(core, std::memory_order_relaxed);
+  group.inflight_batch.store(static_cast<uint32_t>(nref),
+                             std::memory_order_relaxed);
 
   if (mode_ == BatchMode::kPipelinedHB) {
     // Release the lock *before* persisting: the log-persist cost moves
     // out of the critical section and adjacent batches pipeline.
     group.lock.unlock();
-    return Commit(logs_[core], refs, claims, nref, mine.offsets);
+    size_t n = Commit(logs_[core], refs, claims, nref, mine.offsets);
+    // relaxed: diagnostics only — the batch is no longer in flight.
+    group.inflight_batch.store(0, std::memory_order_relaxed);
+    return n;
   }
 
   // Naive HB: the lock covers the persist (Fig. 4(c)).
   size_t n = Commit(logs_[core], refs, claims, nref, mine.offsets);
+  // relaxed: diagnostics only — the batch is no longer in flight.
+  group.inflight_batch.store(0, std::memory_order_relaxed);
   group.lock.unlock();
   return n;
 }
@@ -255,13 +309,19 @@ std::pair<uint64_t, uint64_t> HbEngine::Wait(int core, uint64_t handle) {
     }
     if (++spins >= kWaitSpinLimit) {
       const Slot& slot = pools_[core].slots[handle % kPoolSlots];
+      const Group& group = *groups_[core / group_size_];
       FLATSTORE_CHECK(false)
           << "HbEngine::Wait made no progress for " << kWaitSpinLimit
           << " spins (live-lock?): core=" << core << " handle=" << handle
           << " mode=" << BatchModeName(mode_)
           << " pending=" << PendingCount(core)
           << " slot_state=" << slot.state.load(std::memory_order_acquire)
-          << " slot_len=" << slot.len;
+          << " slot_len=" << slot.len << " slot_fuse=" << slot.fuse
+          // relaxed: forensic snapshot; values may lag by one batch.
+          << " group_leader="
+          << group.last_leader.load(std::memory_order_relaxed)
+          << " leader_inflight_fused="
+          << group.inflight_batch.load(std::memory_order_relaxed);
     }
     // A follower's completion is published by another thread's leader
     // turn; give that thread the CPU now and then.

@@ -66,6 +66,17 @@ class HbEngine {
   // On success `*handle` identifies the staged request.
   bool Stage(int core, const uint8_t* entry, uint32_t len, uint64_t* handle);
 
+  // Stages `n` encoded entries (n <= kMaxBatch) as ONE fused group in
+  // consecutive slots of `core`'s pool. The collector never splits a
+  // fused group across leader batches, so the whole group flows through a
+  // single OpLog::AppendBatch — one reservation, one contiguous record
+  // chain, one persist sweep, one fence pair — and a torn crash can only
+  // surface an entry-prefix of the group, never an interleaving.
+  // All-or-nothing: returns false (staging nothing) when fewer than `n`
+  // slots are free. `handles[i]` receives the i-th entry's handle.
+  bool StageBatch(int core, const log::OpLog::EntryRef* entries, size_t n,
+                  uint64_t* handles);
+
   // Runs one g-persist attempt for `core`: leader work in HB modes,
   // self-batching in kVertical/kNone. Returns the number of entries this
   // call persisted (0 when the core lost the leader election).
@@ -100,6 +111,16 @@ class HbEngine {
     // relaxed: stat counter read after the run quiesces.
     return batched_entries_.load(std::memory_order_relaxed);
   }
+  // Fused groups staged through StageBatch and the entries they carried
+  // (tests assert client batches really stay whole end to end).
+  uint64_t fused_groups() const {
+    // relaxed: stat counter read after the run quiesces.
+    return fused_groups_.load(std::memory_order_relaxed);
+  }
+  uint64_t fused_entries() const {
+    // relaxed: stat counter read after the run quiesces.
+    return fused_entries_.load(std::memory_order_relaxed);
+  }
 
  private:
   enum : uint32_t { kFree = 0, kStaged = 1, kDone = 2 };
@@ -112,6 +133,10 @@ class HbEngine {
   struct Slot {
     uint8_t buf[log::kMaxEntrySize];
     uint32_t len = 0;
+    // Entries in the fused group starting at this slot (1 = unfused;
+    // only meaningful on a group's first slot). The collector refuses to
+    // take a group it cannot take whole.
+    uint32_t fuse = 1;
     uint64_t stage_time = 0;  // owner's simulated clock at Stage()
     uint64_t entry_off = 0;
     uint64_t done_time = 0;
@@ -143,6 +168,12 @@ class HbEngine {
     // work of its own (the paper's rotation emerges from arrival timing
     // on real hardware; here it is made explicit and deterministic).
     std::atomic<int> next_leader{0};
+    // Live-lock forensics for Wait(): which core last led this group and
+    // how many entries its in-flight batch fuses (0 once committed). A
+    // leader stalled mid-fused-persist is visible here instead of being
+    // opaque to the aborting waiter.
+    std::atomic<int> last_leader{-1};
+    std::atomic<uint32_t> inflight_batch{0};
   };
 
   // Collects the entries of `core` staged at simulated time <= `now`
@@ -169,6 +200,8 @@ class HbEngine {
   std::vector<std::unique_ptr<Group>> groups_;
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_entries_{0};
+  std::atomic<uint64_t> fused_groups_{0};
+  std::atomic<uint64_t> fused_entries_{0};
 };
 
 }  // namespace batch

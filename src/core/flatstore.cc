@@ -272,9 +272,20 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
   index::KvIndex* idx = IndexForCore(core);
   size_t n = 0;
   while (n < max && cs.pend_count > 0) {
-    const PendingOp& op = cs.Front();
-    uint64_t off, done;
-    if (!hb_->IsDone(core, op.handle, &off, &done)) break;
+    // Gather the completed FIFO prefix for one round, up to a leader
+    // batch's worth, so the index updates below can run as a two-phase
+    // prefetch-interleaved wave instead of a probe-per-op random walk.
+    uint64_t offs[batch::HbEngine::kMaxBatch];
+    uint64_t dones[batch::HbEngine::kMaxBatch];
+    const size_t cap = std::min(max - n, batch::HbEngine::kMaxBatch);
+    size_t round = 0;
+    while (round < cap && round < cs.pend_count) {
+      const PendingOp& op =
+          cs.pending[(cs.pend_head + round) % batch::HbEngine::kPoolSlots];
+      if (!hb_->IsDone(core, op.handle, &offs[round], &dones[round])) break;
+      round++;
+    }
+    if (round == 0) break;
     // Follower semantics differ by mode (paper Fig. 4): under *naive* HB
     // the followers wait synchronously for the leader's persist, so their
     // clocks jump to the batch completion; under *pipelined* HB the
@@ -282,27 +293,61 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
     // clock does NOT jump — only the response (sent by the caller) must
     // not precede `done` (carried in the Completion).
     if (options_.batch_mode == batch::BatchMode::kNaiveHB) {
-      if (vt::Clock* clock = vt::CurrentClock()) clock->AdvanceTo(done);
+      if (vt::Clock* clock = vt::CurrentClock()) {
+        for (size_t r = 0; r < round; r++) clock->AdvanceTo(dones[r]);
+      }
     }
 
     {
+      // One pin covers the round's index updates and retirements.
       common::EpochManager::Guard g(epochs_.get(), core);
       vt::Charge(vt::kEpochPinCost);
       // Tombstones stay in the index (pointing at the delete entry) so
       // per-key versions remain monotonic across delete + re-put; reads
       // treat them as absent. The cleaner retires them (§3.4).
-      uint64_t old = 0;
-      if (idx->Upsert(op.key, log::PackIndexValue(off, op.version), &old)) {
-        RetireOld(old);
+      index::LookupHint hints[batch::HbEngine::kMaxBatch];
+      uint64_t olds[batch::HbEngine::kMaxBatch];
+      bool retire[batch::HbEngine::kMaxBatch];
+      const int ways =
+          round > static_cast<size_t>(vt::kMemParallelism)
+              ? vt::kMemParallelism
+              : static_cast<int>(round);
+      {
+        vt::ScopedOverlap overlap(ways);
+        // Phase A: locate + prefetch every op's insert position. FIFO
+        // order is preserved below, so a duplicate key in the round is
+        // applied oldest-first; its later hints may go stale as earlier
+        // inserts split/resize nodes, which InsertWithHint detects and
+        // revalidates (same discipline as GetWithHint).
+        for (size_t r = 0; r < round; r++) {
+          const PendingOp& op =
+              cs.pending[(cs.pend_head + r) % batch::HbEngine::kPoolSlots];
+          idx->PrefetchInsert(op.key, &hints[r]);
+        }
+        // Phase B: complete the inserts on warm lines.
+        for (size_t r = 0; r < round; r++) {
+          const PendingOp& op =
+              cs.pending[(cs.pend_head + r) % batch::HbEngine::kPoolSlots];
+          olds[r] = 0;
+          retire[r] = idx->InsertWithHint(
+              op.key, log::PackIndexValue(offs[r], op.version), &olds[r],
+              hints[r]);
+        }
+      }
+      for (size_t r = 0; r < round; r++) {
+        if (retire[r]) RetireOld(olds[r]);
       }
     }
-    if (out != nullptr) out->push_back({op.handle, op.key, done});
-    hb_->Release(core, op.handle);
-    InflightKey* fly = cs.inflight_keys.Find(op.key);
-    FLATSTORE_DCHECK(fly != nullptr);
-    if (--fly->count == 0) cs.inflight_keys.Erase(op.key);
-    cs.Pop();
-    n++;
+    for (size_t r = 0; r < round; r++) {
+      const PendingOp& op = cs.Front();
+      if (out != nullptr) out->push_back({op.handle, op.key, dones[r]});
+      hb_->Release(core, op.handle);
+      InflightKey* fly = cs.inflight_keys.Find(op.key);
+      FLATSTORE_DCHECK(fly != nullptr);
+      if (--fly->count == 0) cs.inflight_keys.Erase(op.key);
+      cs.Pop();
+      n++;
+    }
   }
   return n;
 }
@@ -460,6 +505,196 @@ size_t FlatStore::MultiGetOnCore(int core, const uint64_t* keys, size_t n,
     results[i].value.assign(block + 8, len);
   }
   return served;
+}
+
+size_t FlatStore::BeginWriteBatch(int core, const WriteOp* ops, size_t n,
+                                  OpHandle* handles, OpStatus* statuses) {
+  static_assert(kMaxWriteBatch <= batch::HbEngine::kMaxBatch,
+                "a client batch must fit in one fused HB group");
+  FLATSTORE_CHECK_LE(n, kMaxWriteBatch);
+  if (n == 0) return 0;
+  CoreState& cs = *cores_[core];
+  index::KvIndex* idx = IndexForCore(core);
+
+  // All per-batch state is stack-resident (the serving path stays
+  // allocation-free).
+  uint8_t bufs[kMaxWriteBatch][log::kMaxEntrySize];
+  log::OpLog::EntryRef refs[kMaxWriteBatch];
+  uint64_t blocks[kMaxWriteBatch];  // out-of-log value blocks (0 = none)
+  uint32_t versions[kMaxWriteBatch];
+  uint32_t covered[kMaxWriteBatch];
+  size_t slot_of[kMaxWriteBatch];  // op index -> fused-group position
+  index::LookupHint hints[kMaxWriteBatch];
+  uint64_t packed[kMaxWriteBatch];
+  bool indexed[kMaxWriteBatch];
+
+  // The tombstone-liveness probe below dereferences log entries; one pin
+  // covers the whole batch.
+  common::EpochManager::Guard g(epochs_.get(), core);
+  vt::Charge(vt::kEpochPinCost);
+
+  {
+    const int ways =
+        n > static_cast<size_t>(vt::kMemParallelism)
+            ? vt::kMemParallelism
+            : static_cast<int>(n);
+    vt::ScopedOverlap overlap(ways);
+    // Phase A: issue every version-resolution probe with prefetches.
+    // Keys with in-flight writes chain off the in-flight table instead,
+    // but still need the probe when they are tombstones (covered_seq).
+    for (size_t i = 0; i < n; i++) {
+      statuses[i] = OpStatus::kOk;
+      blocks[i] = 0;
+      idx->PrefetchGet(ops[i].key, &hints[i]);
+    }
+    // Phase B: complete the probes on warm lines.
+    for (size_t i = 0; i < n; i++) {
+      packed[i] = 0;
+      indexed[i] = idx->GetWithHint(ops[i].key, hints[i], &packed[i]);
+    }
+  }
+
+  // Phase C: resolve versions, encode entries, l-persist out-of-log
+  // values. Every block Persist below shares the single Fence after the
+  // loop (batched l-persist: independent value streams need one drain).
+  size_t staged = 0;
+  bool fenced_needed = false;
+  bool nospace = false;
+  for (size_t i = 0; i < n; i++) {
+    const WriteOp& op = ops[i];
+    // Version chaining, newest first: an earlier op of this batch on the
+    // same key, else the newest in-flight write, else the indexed entry.
+    uint32_t version = 0;
+    bool chained = false;
+    for (size_t j = i; j-- > 0;) {
+      if (ops[j].key == op.key && statuses[j] == OpStatus::kOk) {
+        version = (versions[j] + 1) & log::kVersionMask;
+        chained = true;
+        break;
+      }
+    }
+    if (!chained) {
+      if (const InflightKey* fly = cs.inflight_keys.Find(op.key)) {
+        version = (fly->last_version + 1) & log::kVersionMask;
+        chained = true;
+      }
+    }
+    uint32_t elen;
+    if (op.tombstone) {
+      if (!chained) {
+        if (!indexed[i]) {
+          statuses[i] = OpStatus::kNotFound;
+          continue;
+        }
+        log::DecodedEntry e;
+        if (log::DecodeEntry(static_cast<const uint8_t*>(
+                                 pool_->At(log::UnpackOffset(packed[i]))),
+                             log::kMaxEntrySize, &e) &&
+            e.op == log::OpType::kDelete) {
+          statuses[i] = OpStatus::kNotFound;  // already a tombstone
+          continue;
+        }
+        version = (log::UnpackVersion(packed[i]) + 1) & log::kVersionMask;
+      }
+      // Best-effort covered-chunk hint for tombstone GC (§3.4), as in
+      // BeginDelete.
+      covered[i] = 0;
+      if (indexed[i]) {
+        const uint64_t old_chunk =
+            AlignDown(log::UnpackOffset(packed[i]), alloc::kChunkSize);
+        int owner;
+        root_->ChunkInfo(old_chunk, &owner, &covered[i]);
+      }
+      elen = log::EncodeDelete(bufs[i], op.key, version, covered[i]);
+    } else {
+      FLATSTORE_DCHECK(op.len >= 1);
+      if (!chained) {
+        version =
+            indexed[i] ? (log::UnpackVersion(packed[i]) + 1) & log::kVersionMask
+                       : 1;
+      }
+      covered[i] = 0;
+      if (op.len <= log::kMaxInlineValue) {
+        elen = log::EncodePutValue(bufs[i], op.key, version, op.value, op.len);
+      } else {
+        const uint64_t block = alloc_->Alloc(core, op.len + 8);
+        if (block == 0) {
+          statuses[i] = OpStatus::kNoSpace;
+          nospace = true;
+          break;
+        }
+        char* dst = static_cast<char*>(pool_->At(block));
+        uint64_t len64 = op.len;
+        std::memcpy(dst, &len64, 8);
+        std::memcpy(dst + 8, op.value, op.len);
+        vt::Charge(vt::CostMemcpy(op.len));
+        pool_->Persist(dst, op.len + 8);
+        fenced_needed = true;
+        blocks[i] = block;
+        elen = log::EncodePutPtr(bufs[i], op.key, version, block);
+      }
+    }
+    versions[i] = version;
+    refs[staged] = {bufs[i], elen};
+    slot_of[i] = staged;
+    staged++;
+  }
+  if (fenced_needed) pool_->Fence();  // one drain for all l-persists
+
+  if (nospace) {
+    // PM exhausted mid-batch: abort the whole batch (nothing staged) so
+    // the caller sees a clean all-or-nothing failure.
+    for (size_t i = 0; i < n; i++) {
+      if (blocks[i] != 0) alloc_->Free(blocks[i]);
+      if (statuses[i] == OpStatus::kOk) statuses[i] = OpStatus::kNoSpace;
+    }
+    return 0;
+  }
+  if (staged == 0) return 0;  // every op was a not-found delete
+
+  // Phase D: stage the batch as ONE fused group — all-or-nothing.
+  uint64_t fused_handles[kMaxWriteBatch];
+  if (!hb_->StageBatch(core, refs, staged, fused_handles)) {
+    for (size_t i = 0; i < n; i++) {
+      if (blocks[i] != 0) alloc_->Free(blocks[i]);
+      if (statuses[i] == OpStatus::kOk) statuses[i] = OpStatus::kBackpressure;
+    }
+    return 0;
+  }
+  for (size_t i = 0; i < n; i++) {
+    if (statuses[i] != OpStatus::kOk) continue;
+    const OpHandle h = fused_handles[slot_of[i]];
+    handles[i] = h;
+    cs.Push({h, ops[i].key, versions[i], ops[i].tombstone, covered[i]});
+    InflightKey& fly = cs.inflight_keys.GetOrInsert(ops[i].key);
+    fly.count++;
+    fly.last_version = versions[i];
+  }
+  return staged;
+}
+
+size_t FlatStore::MultiPutOnCore(int core, const WriteOp* ops, size_t n,
+                                 OpStatus* statuses) {
+  OpHandle handles[kMaxWriteBatch];
+  size_t staged;
+  while (true) {
+    staged = BeginWriteBatch(core, ops, n, handles, statuses);
+    if (staged > 0) break;
+    bool backpressure = false;
+    for (size_t i = 0; i < n; i++) {
+      backpressure |= statuses[i] == OpStatus::kBackpressure;
+    }
+    // Not backpressure => nothing will ever stage (all kNotFound /
+    // kNoSpace) — done.
+    if (!backpressure) return 0;
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+  while (Inflight(core) > 0) {
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+  return staged;
 }
 
 // ---- synchronous wrappers ------------------------------------------------

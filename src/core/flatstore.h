@@ -106,6 +106,21 @@ struct ReadResult {
 // packed values, read completions) lives on the stack.
 inline constexpr size_t kMaxReadBatch = 64;
 
+// Upper bound on one MultiPut batch. Must fit in one fused HB group
+// (batch::HbEngine::kMaxBatch) so the whole client batch persists through
+// a single OpLog::AppendBatch; sized below it so a leader batch can still
+// merge a fused group with neighbouring singles.
+inline constexpr size_t kMaxWriteBatch = 32;
+
+// One write of a MultiPut batch: an upsert of `len` value bytes, or —
+// when `tombstone` is set — a delete (`value`/`len` ignored).
+struct WriteOp {
+  uint64_t key = 0;
+  const void* value = nullptr;
+  uint32_t len = 0;
+  bool tombstone = false;
+};
+
 // The engine.
 class FlatStore {
  public:
@@ -184,6 +199,27 @@ class FlatStore {
   // status != kDeferred).
   size_t MultiGetOnCore(int core, const uint64_t* keys, size_t n,
                         ReadResult* results);
+  // Batched write admission on the owning core (the write-side analogue
+  // of MultiGetOnCore): phase A issues every version-resolution index
+  // probe with software prefetches (index::KvIndex::PrefetchGet), phase B
+  // completes them on warm lines under one overlap window, phase C
+  // encodes all entries and l-persists every out-of-log value with a
+  // SINGLE trailing fence, phase D stages the whole batch as ONE fused HB
+  // group (batch::HbEngine::StageBatch) so the leader persists it through
+  // one log reservation and one fence pair. Same-key writes chain
+  // versions within the batch (last write wins after all are applied) and
+  // behind any in-flight ops. Per-op `statuses[i]`: kOk (staged,
+  // `handles[i]` valid), kNotFound (tombstone for an absent key; not
+  // staged), kBackpressure (pool lacked room for the whole group — fused
+  // staging is all-or-nothing), or kNoSpace (PM exhausted; batch
+  // aborted). Requires n <= kMaxWriteBatch. Returns the number staged.
+  size_t BeginWriteBatch(int core, const WriteOp* ops, size_t n,
+                         OpHandle* handles, OpStatus* statuses);
+  // Synchronous batched write: BeginWriteBatch + Pump/Drain to
+  // completion, retrying on backpressure. Returns the number applied
+  // (ops with status kOk).
+  size_t MultiPutOnCore(int core, const WriteOp* ops, size_t n,
+                        OpStatus* statuses);
 
   // ---- lifecycle ----
 

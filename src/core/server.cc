@@ -47,6 +47,40 @@ EngineAdapter::Submit FlatStoreAdapter::SubmitDelete(int core, uint64_t key,
   }
 }
 
+size_t FlatStoreAdapter::SubmitWriteBatch(int core, const WriteReq* reqs,
+                                          size_t n, Submit* out) {
+  FLATSTORE_CHECK_LE(n, kMaxWriteBatch);
+  WriteOp ops[kMaxWriteBatch];
+  FlatStore::OpHandle handles[kMaxWriteBatch];
+  OpStatus statuses[kMaxWriteBatch];
+  for (size_t i = 0; i < n; i++) {
+    ops[i] = {reqs[i].key, reqs[i].value, reqs[i].len, reqs[i].tombstone};
+  }
+  store_->BeginWriteBatch(core, ops, n, handles, statuses);
+  size_t pending = 0;
+  for (size_t i = 0; i < n; i++) {
+    switch (statuses[i]) {
+      case OpStatus::kOk:
+        // Staging order == op order among kOk ops, so the tag ring stays
+        // aligned with the engine's FIFO drains.
+        pending_[core].Push({handles[i], reqs[i].tag});
+        out[i] = Submit::kPending;
+        pending++;
+        break;
+      case OpStatus::kNotFound:
+        out[i] = Submit::kNotFound;
+        break;
+      case OpStatus::kNoSpace:
+        FLATSTORE_CHECK(false) << "PM exhausted during benchmark";
+        break;
+      default:
+        out[i] = Submit::kBackpressure;
+        break;
+    }
+  }
+  return pending;
+}
+
 size_t FlatStoreAdapter::Drain(int core, std::vector<Done>* done) {
   std::vector<FlatStore::Completion>& completions = completions_[core];
   completions.clear();
@@ -88,6 +122,16 @@ struct CoreLoop {
   std::vector<ReadSlot> reads;
   std::vector<uint64_t> read_keys;       // scratch, sized kMaxReadBatch
   std::vector<ReadResult> read_results;  // scratch, sized kMaxReadBatch
+  // Write batch for the fused MultiPut path: Puts/Deletes admitted this
+  // quantum plus backpressured leftovers (fused staging is all-or-
+  // nothing) carried over.
+  struct WriteSlot {
+    int conn;
+    net::Request req;
+  };
+  std::vector<WriteSlot> writes;
+  std::vector<EngineAdapter::WriteReq> write_reqs;     // scratch
+  std::vector<EngineAdapter::Submit> write_status;     // scratch
   uint64_t next_tag = 1;
   uint64_t completed = 0;
 
@@ -95,6 +139,9 @@ struct CoreLoop {
     reads.reserve(kMaxReadBatch);
     read_keys.resize(kMaxReadBatch);
     read_results.resize(kMaxReadBatch);
+    writes.reserve(kMaxWriteBatch);
+    write_reqs.resize(kMaxWriteBatch);
+    write_status.resize(kMaxWriteBatch);
   }
 };
 
@@ -118,7 +165,7 @@ void PostReadResponse(net::FlatRpc& rpc, int core, int conn,
 
 void RespondNow(net::FlatRpc& rpc, int core, int conn,
                 const net::Request& req, EngineAdapter* engine,
-                uint64_t not_before = 0) {
+                uint64_t not_before = 0, bool chained = false) {
   net::Response resp;
   resp.type = req.type;
   resp.seq = req.seq;
@@ -134,7 +181,7 @@ void RespondNow(net::FlatRpc& rpc, int core, int conn,
       resp.status = net::MsgStatus::kNotFound;
     }
   }
-  rpc.PostResponse(core, conn, &resp, not_before);
+  rpc.PostResponse(core, conn, &resp, not_before, chained);
 }
 
 // Phase 1 of a server core's scheduling quantum: poll a burst of
@@ -148,10 +195,11 @@ void RespondNow(net::FlatRpc& rpc, int core, int conn,
 // deterministic for a given seed (host scheduling must not leak into the
 // model; the concurrent deployment is exercised by the test suite).
 bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
-                  CoreLoop& state, int read_batch) {
+                  CoreLoop& state, int read_batch, int write_batch) {
   vt::ScopedClock bind(&state.clock);
   bool progress = false;
   const bool batched = read_batch > 1;
+  const bool wbatched = write_batch > 1;
 
   // Poll and admit a bounded burst (user-level polling, per-core
   // processing -- paper 3.1).
@@ -162,6 +210,11 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
     if (batched && req->type == net::MsgType::kGet &&
         state.reads.size() >= static_cast<size_t>(read_batch)) {
       // Batch full: the Get stays at its ring head for the next quantum.
+      break;
+    }
+    if (wbatched && req->type != net::MsgType::kGet &&
+        state.writes.size() >= static_cast<size_t>(write_batch)) {
+      // Write batch full: the op stays at its ring head likewise.
       break;
     }
     state.clock.AdvanceTo(rpc.ArrivalTime(*req));
@@ -181,6 +234,14 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
       RespondNow(rpc, core, conn, *req, engine);
       rpc.PopRequest(core, conn);
       state.completed++;
+      progress = true;
+      continue;
+    }
+
+    if (wbatched) {
+      // Admit into this quantum's fused write batch, submitted below.
+      state.writes.push_back({conn, *req});
+      rpc.PopRequest(core, conn);
       progress = true;
       continue;
     }
@@ -219,6 +280,45 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
     }
   }
 
+  // Stage the accumulated writes as ONE fused batch before any read is
+  // served: a same-quantum Put→Get pair on one key then defers the Get
+  // through the in-flight table, preserving the legacy path's ordering.
+  // Backpressured ops (fused staging is all-or-nothing) stay in `writes`
+  // and retry next quantum, after a pump/drain cycle freed pool slots.
+  if (wbatched && !state.writes.empty()) {
+    const size_t n = state.writes.size();
+    for (size_t i = 0; i < n; i++) {
+      const net::Request& r = state.writes[i].req;
+      state.write_reqs[i] = {r.key, r.value, r.value_len,
+                             r.type == net::MsgType::kDelete,
+                             state.next_tag++};
+    }
+    engine->SubmitWriteBatch(core, state.write_reqs.data(), n,
+                             state.write_status.data());
+    size_t kept = 0;
+    for (size_t i = 0; i < n; i++) {
+      switch (state.write_status[i]) {
+        case EngineAdapter::Submit::kPending:
+          state.pending.push_back({state.write_reqs[i].tag,
+                                   state.writes[i].conn,
+                                   state.writes[i].req});
+          progress = true;
+          break;
+        case EngineAdapter::Submit::kDoneNow:
+        case EngineAdapter::Submit::kNotFound:
+          RespondNow(rpc, core, state.writes[i].conn, state.writes[i].req,
+                     engine);
+          state.completed++;
+          progress = true;
+          break;
+        default:  // kBusy / kBackpressure: carry to the next quantum
+          state.writes[kept++] = state.writes[i];
+          break;
+      }
+    }
+    state.writes.resize(kept);
+  }
+
   // Serve the accumulated read batch in one prefetch-interleaved pass.
   // Deferred keys (write in flight) stay in `reads` and retry next
   // quantum, after the persist step has had a chance to drain the
@@ -233,6 +333,18 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
                      state.read_results.data());
     size_t kept = 0;
     for (size_t i = 0; i < n; i++) {
+      // A carried-over (backpressured, not yet staged) write on this key
+      // is invisible to the engine's in-flight table; defer the read so
+      // it cannot overtake that write.
+      if (state.read_results[i].status != GetResult::kDeferred &&
+          !state.writes.empty()) {
+        for (const auto& w : state.writes) {
+          if (w.req.key == state.reads[i].req.key) {
+            state.read_results[i].status = GetResult::kDeferred;
+            break;
+          }
+        }
+      }
       if (state.read_results[i].status == GetResult::kDeferred) {
         state.reads[kept++] = state.reads[i];
         continue;
@@ -252,18 +364,25 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
 // phase (index updates in Drain) + responses.
 bool CorePersistStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
                      CoreLoop& state,
-                     std::vector<EngineAdapter::Done>& done_scratch) {
+                     std::vector<EngineAdapter::Done>& done_scratch,
+                     bool coalesce_responses) {
   vt::ScopedClock bind(&state.clock);
   bool progress = false;
   if (engine->Pump(core) > 0) progress = true;
 
   done_scratch.clear();
   if (engine->Drain(core, &done_scratch) > 0) {
+    // Under the batched write path the drain's responses go out as one
+    // doorbell chain: the first verb pays the MMIO/handoff, the rest ride
+    // it (net::FlatRpc::PostResponse `chained`).
+    bool chain_open = false;
     for (const auto& d : done_scratch) {
       FLATSTORE_CHECK(!state.pending.empty());
       const CoreLoop::PendingWrite& w = state.pending.front();
       FLATSTORE_CHECK_EQ(w.tag, d.tag);  // drains complete in submit order
-      RespondNow(rpc, core, w.conn, w.req, engine, d.done_time);
+      RespondNow(rpc, core, w.conn, w.req, engine, d.done_time,
+                 coalesce_responses && chain_open);
+      chain_open = true;
       state.pending.pop_front();
       state.completed++;
     }
@@ -355,6 +474,9 @@ ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
       << "client window exceeds the response ring size";
   const int read_batch =
       std::min(config.read_batch, static_cast<int>(kMaxReadBatch));
+  const int write_batch =
+      std::min(config.write_batch, static_cast<int>(kMaxWriteBatch));
+  const bool coalesce = write_batch > 1;
   net::FlatRpc::Options ro;
   ro.num_cores = engine->num_cores();
   ro.num_conns = config.num_conns;
@@ -390,7 +512,8 @@ ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
     while (round_progress) {
       round_progress = false;
       for (int c = 0; c < ncores; c++) {
-        if (CorePollStep(engine, rpc, c, core_state[c], read_batch)) {
+        if (CorePollStep(engine, rpc, c, core_state[c], read_batch,
+                         write_batch)) {
           round_progress = true;
         }
       }
@@ -399,7 +522,7 @@ ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
         persist_progress = false;
         for (int c = 0; c < ncores; c++) {
           if (CorePersistStep(engine, rpc, c, core_state[c],
-                              done_scratch)) {
+                              done_scratch, coalesce)) {
             persist_progress = true;
             round_progress = true;
           }
@@ -413,10 +536,12 @@ ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
   while (progress) {
     progress = false;
     for (int c = 0; c < ncores; c++) {
-      if (CorePollStep(engine, rpc, c, core_state[c], read_batch)) {
+      if (CorePollStep(engine, rpc, c, core_state[c], read_batch,
+                       write_batch)) {
         progress = true;
       }
-      if (CorePersistStep(engine, rpc, c, core_state[c], done_scratch)) {
+      if (CorePersistStep(engine, rpc, c, core_state[c], done_scratch,
+                          coalesce)) {
         progress = true;
       }
     }

@@ -79,6 +79,35 @@ class EngineAdapter {
     return served;
   }
 
+  // One write of a batched submission (the tag plays the same role as in
+  // SubmitPut/SubmitDelete).
+  struct WriteReq {
+    uint64_t key;
+    const void* value;
+    uint32_t len;
+    bool tombstone;
+    uint64_t tag;
+  };
+
+  // Batched write admission: fills `out[i]` with each op's Submit status.
+  // Engines with a fused write pipeline override this to stage the whole
+  // batch as one group (one log reservation, one fence pair); the default
+  // degrades to per-op submission so every engine stays correct under the
+  // batched server loop. Requires n <= kMaxWriteBatch. Returns the number
+  // admitted as kPending.
+  virtual size_t SubmitWriteBatch(int core, const WriteReq* reqs, size_t n,
+                                  Submit* out) {
+    size_t pending = 0;
+    for (size_t i = 0; i < n; i++) {
+      out[i] = reqs[i].tombstone
+                   ? SubmitDelete(core, reqs[i].key, reqs[i].tag)
+                   : SubmitPut(core, reqs[i].key, reqs[i].value,
+                               reqs[i].len, reqs[i].tag);
+      if (out[i] == Submit::kPending) pending++;
+    }
+    return pending;
+  }
+
   // One g-persist attempt (no-op for synchronous engines). Returns the
   // number of entries persisted by this call.
   virtual size_t Pump(int core) = 0;
@@ -118,6 +147,8 @@ class FlatStoreAdapter final : public EngineAdapter {
   bool KeyBusy(int core, uint64_t key) const override {
     return store_->KeyBusy(core, key);
   }
+  size_t SubmitWriteBatch(int core, const WriteReq* reqs, size_t n,
+                          Submit* out) override;
   size_t Pump(int core) override { return store_->Pump(core); }
   size_t Drain(int core, std::vector<Done>* done) override;
 
@@ -199,6 +230,12 @@ struct ServerConfig {
   // batch of (up to) this size; <= 1 selects the legacy per-request read
   // path. Clamped to kMaxReadBatch.
   int read_batch = 16;
+  // Puts/Deletes polled by a core in one quantum are admitted as one
+  // fused write batch of (up to) this size (EngineAdapter::
+  // SubmitWriteBatch) and their responses are posted as one doorbell
+  // chain; <= 1 selects the legacy per-request write path. Clamped to
+  // kMaxWriteBatch.
+  int write_batch = 16;
   workload::Config workload;
   bool all_to_all_qps = false;
   uint64_t seed = 1;

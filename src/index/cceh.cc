@@ -66,7 +66,11 @@ bool Cceh::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
   vt::Charge(vt::kCpuHash);
   const uint64_t hash = HashKey(key);
   LockGuard<SpinLock> g(mutate_lock_);
+  return UpsertLocked(key, value, old_value, hash);
+}
 
+bool Cceh::UpsertLocked(uint64_t key, uint64_t value, uint64_t* old_value,
+                        uint64_t hash) {
   while (true) {
     // In-place update of an existing key.
     SlotRef ref = FindSlot(key, hash);
@@ -216,6 +220,35 @@ bool Cceh::GetWithHint(uint64_t key, const LookupHint& hint,
   *value = std::atomic_ref<uint64_t>(ref.bucket->values[ref.slot])
                .load(std::memory_order_acquire);
   return true;
+}
+
+void Cceh::PrefetchInsert(uint64_t key, LookupHint* hint) const {
+  vt::Charge(vt::kCpuHash);
+  hint->hash = HashKey(key);
+  Segment* seg = SegmentFor(hint->hash);
+  vt::Charge(vt::kCpuSlotProbe);  // directory lookup (cached)
+  for (uint32_t b = 0; b < kProbeBuckets; b++) {
+    // Prefetch for write: the upsert will dirty one of these lines.
+    __builtin_prefetch(&seg->buckets[BucketIndex(hint->hash, b)], 1, 3);
+  }
+  vt::Charge(kProbeBuckets * vt::kPrefetchIssueCost);
+  hint->node = seg;
+  hint->valid = true;
+}
+
+bool Cceh::InsertWithHint(uint64_t key, uint64_t value, uint64_t* old_value,
+                          const LookupHint& hint) {
+  FLATSTORE_DCHECK(key != kReservedKey);
+  LockGuard<SpinLock> g(mutate_lock_);
+  // A split between the phases moves the directory entry off the hinted
+  // segment; revalidate under the lock (an earlier InsertWithHint of the
+  // same batch may have split) and fall back to the serial full upsert.
+  if (!hint.valid || SegmentFor(hint.hash) != hint.node) {
+    vt::ScopedOverlap serial(1);
+    vt::Charge(vt::kCpuHash);
+    return UpsertLocked(key, value, old_value, HashKey(key));
+  }
+  return UpsertLocked(key, value, old_value, hint.hash);
 }
 
 bool Cceh::Erase(uint64_t key, uint64_t* old_value) {

@@ -48,6 +48,9 @@ class Cceh final : public KvIndex {
   void PrefetchGet(uint64_t key, LookupHint* hint) const override;
   bool GetWithHint(uint64_t key, const LookupHint& hint,
                    uint64_t* value) const override;
+  void PrefetchInsert(uint64_t key, LookupHint* hint) const override;
+  bool InsertWithHint(uint64_t key, uint64_t value, uint64_t* old_value,
+                      const LookupHint& hint) override;
   bool Erase(uint64_t key, uint64_t* old_value) override;
   bool CompareExchange(uint64_t key, uint64_t expected,
                        uint64_t desired) override;
@@ -100,6 +103,11 @@ class Cceh final : public KvIndex {
     int slot = 0;
   };
   SlotRef FindSlot(uint64_t key, uint64_t hash) const;
+
+  // The Upsert loop body with the hash already computed; caller holds
+  // mutate_lock_. Shared by Upsert and InsertWithHint.
+  bool UpsertLocked(uint64_t key, uint64_t value, uint64_t* old_value,
+                    uint64_t hash);
 
   NodeArena arena_;
   uint32_t global_depth_;

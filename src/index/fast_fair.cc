@@ -165,6 +165,11 @@ bool FastFair::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
   FLATSTORE_DCHECK(key != kReservedKey);
   LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);  // writer latch
+  return UpsertLocked(key, value, old_value);
+}
+
+bool FastFair::UpsertLocked(uint64_t key, uint64_t value,
+                            uint64_t* old_value) {
   bool updated = false;
   SplitResult r = InsertRecursive(root_, key, value, old_value, &updated);
   if (r.right != nullptr) {
@@ -227,6 +232,64 @@ bool FastFair::GetWithHint(uint64_t key, const LookupHint& hint,
     return true;
   }
   return false;
+}
+
+void FastFair::PrefetchInsert(uint64_t key, LookupHint* hint) const {
+  SharedLockGuard<SharedMutex> g(rw_lock_);
+  const Node* leaf = FindLeaf(key);
+  // Pull the whole 512 B node for write: the FAST shift dirties the
+  // region from the insert position to the end.
+  const char* base = reinterpret_cast<const char*>(leaf);
+  for (uint64_t off = 0; off < sizeof(Node); off += 64) {
+    __builtin_prefetch(base + off, 1, 3);
+  }
+  vt::Charge((sizeof(Node) / 64) * vt::kPrefetchIssueCost);
+  hint->node = leaf;
+  hint->valid = true;
+}
+
+bool FastFair::InsertWithHint(uint64_t key, uint64_t value,
+                              uint64_t* old_value, const LookupHint& hint) {
+  if (!hint.valid) return KvIndex::InsertWithHint(key, value, old_value, hint);
+  FLATSTORE_DCHECK(key != kReservedKey);
+  LockGuard<SharedMutex> g(rw_lock_);
+  vt::Charge(vt::kCpuCas);  // writer latch
+  // Write-side FAIR repair, stricter than GetWithHint's: an insert must
+  // land in exactly the leaf a fresh descend would pick. Hop right only
+  // when key >= min(sibling) proves the key is at or past the sibling's
+  // separator; settle only when key <= max(leaf) (or the leaf is
+  // rightmost) proves this leaf still covers it. Ambiguous gaps, drained
+  // leaves and splits take the full serial descend.
+  Node* leaf = static_cast<Node*>(const_cast<void*>(hint.node));
+  while (true) {
+    const int count = static_cast<int>(leaf->count);
+    if (count == 0) break;  // no fence keys to reason with: stale
+    if (key <= leaf->entries[count - 1].key || leaf->sibling == nullptr) {
+      int i = LowerBound(leaf, key);
+      if (i < count && leaf->entries[i].key == key) {
+        // In-place value overwrite on the warm line.
+        *old_value = leaf->entries[i].value;
+        leaf->entries[i].value = value;
+        arena_.ctx().PersistFence(&leaf->entries[i].value, 8);
+        return true;
+      }
+      if (count < kCard) {
+        InsertInNode(leaf, key, value);
+        size_++;
+        return false;  // no previous value
+      }
+      break;  // full: splitting needs the root path the hint lacks
+    }
+    Node* next = leaf->sibling;
+    arena_.ctx().ChargeNodeRead(next);  // un-prefetched sibling node
+    if (next->count == 0 || key < next->entries[0].key) {
+      break;  // gap between max(leaf) and min(sibling): ambiguous
+    }
+    leaf = next;
+  }
+  // Stale / ambiguous / needs-split: the full serial upsert.
+  vt::ScopedOverlap serial(1);
+  return UpsertLocked(key, value, old_value);
 }
 
 bool FastFair::Erase(uint64_t key, uint64_t* old_value) {

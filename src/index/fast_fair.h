@@ -41,6 +41,9 @@ class FastFair final : public OrderedKvIndex {
   void PrefetchGet(uint64_t key, LookupHint* hint) const override;
   bool GetWithHint(uint64_t key, const LookupHint& hint,
                    uint64_t* value) const override;
+  void PrefetchInsert(uint64_t key, LookupHint* hint) const override;
+  bool InsertWithHint(uint64_t key, uint64_t value, uint64_t* old_value,
+                      const LookupHint& hint) override;
   bool Erase(uint64_t key, uint64_t* old_value) override;
   bool CompareExchange(uint64_t key, uint64_t expected,
                        uint64_t desired) override;
@@ -95,6 +98,12 @@ class FastFair final : public OrderedKvIndex {
   };
   SplitResult InsertRecursive(Node* n, uint64_t key, uint64_t value,
                               uint64_t* old_value, bool* updated)
+      REQUIRES(rw_lock_);
+
+  // Upsert body (recursive insert + root growth) with the write lock
+  // already held. Shared by Upsert and InsertWithHint's fallback (a
+  // hinted leaf that must split needs the root path the hint lacks).
+  bool UpsertLocked(uint64_t key, uint64_t value, uint64_t* old_value)
       REQUIRES(rw_lock_);
 
   NodeArena arena_;

@@ -134,6 +134,36 @@ class KvIndex {
     return Get(key, value);
   }
 
+  // ---- two-phase insert (the batched-write pipeline, ISSUE 6) ----
+  //
+  // Phase A of a batched write: hash/route `key`, issue software
+  // prefetches *for write* on the lines the upsert will mutate, and
+  // record what was located in `*hint`. Same contract as PrefetchGet:
+  // never blocks, never depends on the prefetched lines having arrived.
+  // Base-class default: no-op (hint stays invalid) so indexes without an
+  // implementation remain correct through the InsertWithHint fallback.
+  virtual void PrefetchInsert(uint64_t key, LookupHint* hint) const {
+    (void)key;
+    hint->valid = false;
+  }
+
+  // Phase B: completes the upsert started by PrefetchInsert(key, hint).
+  // Semantics are identical to Upsert (returns true iff the key existed;
+  // previous value through `*old_value`). With a valid, still-fresh hint
+  // the probe runs on warm lines; implementations revalidate the hint
+  // under their write lock (splits/resizes between the phases) exactly
+  // like GetWithHint and fall back to the full upsert when stale — so a
+  // hinted insert is never less correct than Upsert, only cheaper.
+  // Base-class default (also the stale-hint fallback): a plain Upsert()
+  // inside a serial overlap scope, so an un-prefetched mutation pays full
+  // miss latency and cannot free-ride on the batch.
+  virtual bool InsertWithHint(uint64_t key, uint64_t value,
+                              uint64_t* old_value, const LookupHint& hint) {
+    (void)hint;
+    vt::ScopedOverlap serial(1);
+    return Upsert(key, value, old_value);
+  }
+
   // Removes `key`; the removed value is returned through `*old_value`.
   // Returns true iff the key was present.
   virtual bool Erase(uint64_t key, uint64_t* old_value) = 0;

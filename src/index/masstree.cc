@@ -195,7 +195,11 @@ bool Masstree::Upsert(uint64_t key, uint64_t value, uint64_t* old_value) {
   FLATSTORE_DCHECK(key != kReservedKey);
   LockGuard<SharedMutex> g(rw_lock_);
   vt::Charge(vt::kCpuCas);  // leaf latch (fine grained in the original)
+  return UpsertLocked(key, value, old_value);
+}
 
+bool Masstree::UpsertLocked(uint64_t key, uint64_t value,
+                            uint64_t* old_value) {
   while (true) {
     std::vector<Inner*> path;
     Leaf* leaf = Descend(key, &path);
@@ -279,6 +283,98 @@ bool Masstree::GetWithHint(uint64_t key, const LookupHint& hint,
   *value = std::atomic_ref<const uint64_t>(leaf->values[slot])
                .load(std::memory_order_acquire);
   return true;
+}
+
+void Masstree::PrefetchInsert(uint64_t key, LookupHint* hint) const {
+  SharedLockGuard<SharedMutex> g(rw_lock_);
+  const Leaf* leaf = Descend(key, nullptr);
+  // Pull the whole 256 B leaf for write: the upsert dirties the permuter
+  // word plus one key/value slot, and the phase-B search reads the rest.
+  const char* base = reinterpret_cast<const char*>(leaf);
+  for (uint64_t off = 0; off < sizeof(Leaf); off += 64) {
+    __builtin_prefetch(base + off, 1, 3);
+  }
+  vt::Charge((sizeof(Leaf) / 64) * vt::kPrefetchIssueCost);
+  hint->node = leaf;
+  hint->valid = true;
+}
+
+bool Masstree::InsertWithHint(uint64_t key, uint64_t value,
+                              uint64_t* old_value, const LookupHint& hint) {
+  if (!hint.valid) return KvIndex::InsertWithHint(key, value, old_value, hint);
+  FLATSTORE_DCHECK(key != kReservedKey);
+  LockGuard<SharedMutex> g(rw_lock_);
+  vt::Charge(vt::kCpuCas);  // leaf latch
+  // Freshness discipline, stricter than GetWithHint's: a split between
+  // the phases (an earlier insert of the same batch) moved keys to a
+  // right sibling. For a *write* the leaf must be exactly the one a fresh
+  // descend would pick — placing the key one leaf off would hide it from
+  // future lookups — so the walk only hops when key >= min(next) (which
+  // proves the key is at or right of the sibling's separator) and only
+  // settles when key <= max(leaf) (which proves this leaf still covers
+  // it). The ambiguous gap between a leaf's max and its sibling's min,
+  // and drained leaves with no keys to compare, take the full descend.
+  Leaf* leaf = static_cast<Leaf*>(const_cast<void*>(hint.node));
+  while (true) {
+    const uint64_t p = leaf->permutation;
+    const int count = Permuter::Count(p);
+    if (count == 0) break;  // no fence keys to reason with: stale
+    if (key <= leaf->keys[Permuter::At(p, count - 1)]) {
+      // Provably this leaf: keys never move left, so the hinted leaf's
+      // low bound still covers `key`, and key <= max rules out siblings.
+      bool found;
+      int pos = LeafPosition(leaf, key, &found);
+      if (found) {
+        int slot = Permuter::At(leaf->permutation, pos);
+        *old_value = leaf->values[slot];
+        std::atomic_ref<uint64_t>(leaf->values[slot])
+            .store(value, std::memory_order_release);
+        return true;
+      }
+      if (count < kLeafSlots) {
+        int slot;
+        uint64_t np = Permuter::InsertAt(leaf->permutation, pos, &slot);
+        leaf->keys[slot] = key;
+        leaf->values[slot] = value;
+        // Single-word publication — the "no shifting" property.
+        std::atomic_ref<uint64_t>(leaf->permutation)
+            .store(np, std::memory_order_release);
+        vt::Charge(2 * vt::kCpuSlotProbe);
+        size_++;
+        return false;  // no previous value
+      }
+      break;  // full: splitting needs the inner path the hint lacks
+    }
+    Leaf* next = leaf->next;
+    if (next == nullptr) {
+      // Rightmost leaf covers everything above its max.
+      bool found;
+      int pos = LeafPosition(leaf, key, &found);
+      FLATSTORE_DCHECK(!found);
+      if (count < kLeafSlots) {
+        int slot;
+        uint64_t np = Permuter::InsertAt(leaf->permutation, pos, &slot);
+        leaf->keys[slot] = key;
+        leaf->values[slot] = value;
+        std::atomic_ref<uint64_t>(leaf->permutation)
+            .store(np, std::memory_order_release);
+        vt::Charge(2 * vt::kCpuSlotProbe);
+        size_++;
+        return false;
+      }
+      break;
+    }
+    const uint64_t np = next->permutation;
+    vt::Charge(vt::kCpuCacheMiss);  // un-prefetched sibling line
+    if (Permuter::Count(np) == 0 ||
+        key < next->keys[Permuter::At(np, 0)]) {
+      break;  // gap between max(leaf) and min(next): placement ambiguous
+    }
+    leaf = next;
+  }
+  // Stale / ambiguous / needs-split: the full serial upsert.
+  vt::ScopedOverlap serial(1);
+  return UpsertLocked(key, value, old_value);
 }
 
 bool Masstree::Erase(uint64_t key, uint64_t* old_value) {

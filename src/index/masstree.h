@@ -41,6 +41,9 @@ class Masstree final : public OrderedKvIndex {
   void PrefetchGet(uint64_t key, LookupHint* hint) const override;
   bool GetWithHint(uint64_t key, const LookupHint& hint,
                    uint64_t* value) const override;
+  void PrefetchInsert(uint64_t key, LookupHint* hint) const override;
+  bool InsertWithHint(uint64_t key, uint64_t value, uint64_t* old_value,
+                      const LookupHint& hint) override;
   bool Erase(uint64_t key, uint64_t* old_value) override;
   bool CompareExchange(uint64_t key, uint64_t expected,
                        uint64_t desired) override;
@@ -109,6 +112,13 @@ class Masstree final : public OrderedKvIndex {
   Leaf* SplitLeaf(Leaf* leaf, uint64_t* up_key);
   void InsertInner(uint64_t up_key, void* right,
                    const std::vector<Inner*>& path) REQUIRES(rw_lock_);
+
+  // The Upsert loop (descend, in-place / leaf insert / split) with the
+  // write lock already held. Shared by Upsert and InsertWithHint's
+  // full-descend fallback (a hinted leaf with no room must split, which
+  // needs the inner path the hint does not carry).
+  bool UpsertLocked(uint64_t key, uint64_t value, uint64_t* old_value)
+      REQUIRES(rw_lock_);
 
   NodeArena arena_;
   mutable SharedMutex rw_lock_;

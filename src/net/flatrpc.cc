@@ -89,9 +89,15 @@ void FlatRpc::PopRequest(int core, int conn) {
 }
 
 void FlatRpc::PostResponse(int core, int conn, Response* response,
-                           uint64_t not_before) {
+                           uint64_t not_before, bool chained) {
   const uint64_t now = std::max(vt::Now(), not_before);
-  if (options_.all_to_all || core == 0) {
+  if (chained) {
+    // Doorbell chaining: this verb rides the burst head's doorbell (or
+    // delegated handoff), paying only the WQE build.
+    vt::Charge(vt::kDoorbellChainCost);
+    response->nic_time = now + vt::kDoorbellChainCost +
+                         nic_.PerMessageCost();
+  } else if (options_.all_to_all || core == 0) {
     // Agent core itself (or all-to-all mode): direct MMIO doorbell.
     vt::Charge(vt::kMmioPostCost);
     response->nic_time = nic_.PostDirect(now);

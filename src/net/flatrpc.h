@@ -96,8 +96,13 @@ class FlatRpc {
   // it. Charges the posting costs to the calling clock. `not_before` is
   // the earliest simulated instant the response content exists (a
   // pipelined-HB batch's completion time) — the verb cannot precede it.
+  // `chained` appends the verb to the doorbell chain that the previous
+  // (unchained) PostResponse of this burst opened: the WQE build is
+  // charged, but the MMIO doorbell / agent handoff is shared with the
+  // chain head (doorbell batching — the server-side analogue of the
+  // client's batched posting, §5 "client batchsize").
   void PostResponse(int core, int conn, Response* response,
-                    uint64_t not_before = 0);
+                    uint64_t not_before = 0, bool chained = false);
 
   // Simulated arrival time of `request` at the server (client post +
   // one-way latency + QP-state fetch).

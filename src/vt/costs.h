@@ -128,6 +128,12 @@ inline constexpr uint64_t kPollMissCost = 25;
 // Posting a response verb via MMIO directly from the agent core.
 inline constexpr uint64_t kMmioPostCost = 220;
 
+// Appending a response verb to an already-open doorbell chain (RDMA
+// doorbell batching: one MMIO write rings the doorbell for a chain of
+// WQEs, so chained verbs pay only the WQE build — the chain head paid
+// the MMIO / handoff).
+inline constexpr uint64_t kDoorbellChainCost = 25;
+
 // Handing a response verb to the agent core through shared memory
 // (paper §4.3: verbs are a few bytes; the agent prefetches them).
 inline constexpr uint64_t kDelegateHandoffCost = 60;

@@ -100,6 +100,71 @@ void CheckpointWorkload(WorkloadCtx& ctx) {
   ctx.Put(13, Val('n', 300));
 }
 
+// Fused batched writes (MultiPutOnCore): every flush inside the batch —
+// the out-of-log l-persists sharing one trailing fence, the single fused
+// AppendBatch (one reservation, one persist sweep, one tail record), and
+// the batched drain's retirements — becomes a crash point. A torn fused
+// persist may durably apply any prefix of the batch; the oracle accepts
+// old-or-new independently per key, which the prefix satisfies. Keys are
+// distinct within each batch (the oracle's boundary tracks one pending
+// value per key; intra-batch chains are covered by multiput_test).
+void MultiPutWorkload(WorkloadCtx& ctx) {
+  struct Op {
+    uint64_t key;
+    std::string value;  // empty + tombstone set => delete
+    bool tombstone;
+  };
+  auto run_batch = [&ctx](const std::vector<Op>& batch) {
+    if (ctx.PowerLost()) return;
+    core::WriteOp ops[core::kMaxWriteBatch];
+    core::OpStatus statuses[core::kMaxWriteBatch];
+    for (size_t i = 0; i < batch.size(); i++) {
+      const Op& op = batch[i];
+      ops[i] = {op.key, op.value.data(),
+                static_cast<uint32_t>(op.value.size()), op.tombstone};
+      if (op.tombstone) {
+        ctx.oracle->WillDelete(op.key);
+      } else {
+        ctx.oracle->WillPut(op.key, op.value);
+      }
+    }
+    ctx.store->MultiPutOnCore(0, ops, batch.size(), statuses);
+    if (ctx.PowerLost()) return;
+    for (const Op& op : batch) ctx.oracle->Acked(op.key);
+  };
+
+  // Durable base: overwrite and delete targets for the batches below.
+  for (uint64_t k = 1; k <= 8; k++) {
+    ctx.Put(k, Val('m', 24 + 9 * k));
+  }
+
+  // Batch 1: fresh inserts, inline sizes plus one out-of-log value (the
+  // l-persist + deferred-fence path ahead of the fused append).
+  std::vector<Op> b1;
+  for (uint64_t k = 10; k <= 17; k++) {
+    b1.push_back({k, Val('f', 16 + 11 * (k - 10)), false});
+  }
+  b1.push_back({18, Val('F', 300), false});
+  run_batch(b1);
+
+  // Batch 2: overwrites, deletes of present and absent keys, and an
+  // out-of-log overwrite — mixed kinds in one fused group.
+  std::vector<Op> b2;
+  for (uint64_t k = 1; k <= 5; k++) {
+    b2.push_back({k, Val('o', 40 + 5 * k), false});
+  }
+  b2.push_back({7, std::string(), true});
+  b2.push_back({8, std::string(), true});
+  b2.push_back({999, std::string(), true});  // absent: kNotFound, unstaged
+  b2.push_back({18, Val('O', 600), false});
+  run_batch(b2);
+
+  // Batch 3: cross-batch version chains onto batch 1's keys.
+  run_batch({{10, Val('t', 52), false},
+             {11, std::string(), true},
+             {21, Val('t', 28), false}});
+}
+
 struct MatrixCase {
   const char* name;
   int cores;
@@ -126,10 +191,108 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MatrixCase{"put", 2, PutWorkload},
                       MatrixCase{"delete", 2, DeleteWorkload},
                       MatrixCase{"gc", 1, GcWorkload},
-                      MatrixCase{"checkpoint", 1, CheckpointWorkload}),
+                      MatrixCase{"checkpoint", 1, CheckpointWorkload},
+                      MatrixCase{"multiput", 1, MultiPutWorkload}),
     [](const ::testing::TestParamInfo<MatrixCase>& info) {
       return std::string(info.param.name);
     });
+
+// Prefix-atomicity of one fused commit, asserted directly (the oracle in
+// the matrix test above only checks old-or-new per key, not ordering):
+// for EVERY flush budget inside a fused MultiPut batch, under every
+// crash mode, the recovered store must expose a *prefix* of the batch —
+// no entry visible while a predecessor in the same fused chain is
+// missing. This is what makes a torn fused persist safe: the log scan
+// stops at the first non-durable entry, so later entries whose lines
+// happened to commit (unordered/eviction modes) are never replayed.
+TEST(MultiPutCrash, FusedCommitIsPrefixAtomic) {
+  constexpr uint64_t kBatch = 12;
+  const auto options = SmallStore(1);
+  auto old_val = [](uint64_t i) { return Val('o', 20 + 3 * i); };
+  auto new_val = [](uint64_t i) { return Val('n', 33 + 5 * i); };
+
+  // The scripted scenario: preload old values durably, then one fused
+  // batch overwriting all of them (inline sizes plus one out-of-log
+  // value so the l-persist flushes are inside the window too).
+  auto make_pool = [] {
+    pm::PmPool::Options po;
+    po.size = 32ull << 20;
+    po.crash_tracking = true;
+    return std::make_unique<pm::PmPool>(po);
+  };
+  auto run_batch = [&](core::FlatStore* store) {
+    std::string vals[kBatch];
+    core::WriteOp ops[kBatch];
+    core::OpStatus statuses[kBatch];
+    for (uint64_t i = 0; i < kBatch; i++) {
+      vals[i] = new_val(i);
+      if (i == kBatch / 2) vals[i] = Val('n', 400);  // out-of-log
+      ops[i] = {i + 1, vals[i].data(),
+                static_cast<uint32_t>(vals[i].size()), false};
+    }
+    store->MultiPutOnCore(0, ops, kBatch, statuses);
+  };
+
+  // Dry run: count the line flushes the batch issues.
+  uint64_t total = 0;
+  {
+    auto pool = make_pool();
+    auto store = core::FlatStore::Create(pool.get(), options);
+    for (uint64_t i = 0; i < kBatch; i++) store->Put(i + 1, old_val(i));
+    const uint64_t start = pool->stats().Get().lines_flushed;
+    run_batch(store.get());
+    total = pool->stats().Get().lines_flushed - start;
+  }
+  ASSERT_GT(total, 0u);
+
+  const std::vector<uint64_t> seeds = CrashSeedsFromEnv({1, 7});
+  uint64_t points = 0;
+  for (pm::PmPool::CrashMode mode :
+       {pm::PmPool::CrashMode::kClean, pm::PmPool::CrashMode::kTorn,
+        pm::PmPool::CrashMode::kUnordered,
+        pm::PmPool::CrashMode::kEviction}) {
+    const size_t nseeds =
+        mode == pm::PmPool::CrashMode::kClean ? 1 : seeds.size();
+    for (size_t s = 0; s < nseeds; s++) {
+      for (uint64_t budget = 1; budget <= total; budget++) {
+        auto pool = make_pool();
+        auto store = core::FlatStore::Create(pool.get(), options);
+        for (uint64_t i = 0; i < kBatch; i++) store->Put(i + 1, old_val(i));
+        pool->SetCrashMode(mode, seeds[s]);
+        pool->SetFlushBudget(static_cast<int64_t>(budget));
+        run_batch(store.get());
+        store.reset();  // post-cut teardown: flushes no longer persist
+        pool->SimulateCrash();
+
+        auto rec = core::FlatStore::Open(pool.get(), options);
+        bool missing_predecessor = false;
+        for (uint64_t i = 0; i < kBatch; i++) {
+          const std::string want_new =
+              i == kBatch / 2 ? Val('n', 400) : new_val(i);
+          std::string got;
+          ASSERT_TRUE(rec->Get(i + 1, &got))
+              << pm::PmPool::CrashModeName(mode) << " flush " << budget
+              << " seed " << seeds[s] << ": preloaded key " << i + 1
+              << " vanished";
+          if (got == want_new) {
+            EXPECT_FALSE(missing_predecessor)
+                << pm::PmPool::CrashModeName(mode) << " flush " << budget
+                << " seed " << seeds[s] << ": batch entry " << i
+                << " visible after a missing predecessor";
+          } else {
+            ASSERT_EQ(got, old_val(i))
+                << pm::PmPool::CrashModeName(mode) << " flush " << budget
+                << " seed " << seeds[s] << ": key " << i + 1
+                << " is neither old nor new";
+            missing_predecessor = true;
+          }
+        }
+        points++;
+      }
+    }
+  }
+  EXPECT_GT(points, 0u);
+}
 
 // Crash between the cleaner's chunk unlink and the registry journal
 // commit, deterministically: every entry of the victim is dead, so the
