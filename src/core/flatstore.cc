@@ -39,6 +39,22 @@ constexpr uint64_t kCheckpointPairs =
 
 }  // namespace
 
+const char* TxnStatusName(TxnStatus status) {
+  switch (status) {
+    case TxnStatus::kCommitted:
+      return "committed";
+    case TxnStatus::kCasMismatch:
+      return "cas-mismatch";
+    case TxnStatus::kBusy:
+      return "busy";
+    case TxnStatus::kBackpressure:
+      return "backpressure";
+    case TxnStatus::kNoSpace:
+      return "no-space";
+  }
+  return "?";
+}
+
 const char* IndexKindName(IndexKind kind) {
   switch (kind) {
     case IndexKind::kHash:
@@ -322,6 +338,7 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
         for (size_t r = 0; r < round; r++) {
           const PendingOp& op =
               cs.pending[(cs.pend_head + r) % batch::HbEngine::kPoolSlots];
+          if (op.txn_commit) continue;  // commit records index nothing
           idx->PrefetchInsert(op.key, &hints[r]);
         }
         // Phase B: complete the inserts on warm lines.
@@ -329,22 +346,42 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
           const PendingOp& op =
               cs.pending[(cs.pend_head + r) % batch::HbEngine::kPoolSlots];
           olds[r] = 0;
+          if (op.txn_commit) {
+            retire[r] = false;
+            continue;
+          }
           retire[r] = idx->InsertWithHint(
               op.key, log::PackIndexValue(offs[r], op.version), &olds[r],
               hints[r]);
         }
       }
       for (size_t r = 0; r < round; r++) {
-        if (retire[r]) RetireOld(olds[r]);
+        const PendingOp& op =
+            cs.pending[(cs.pend_head + r) % batch::HbEngine::kPoolSlots];
+        if (op.txn_commit) {
+          // A commit record is born dead: nothing ever points at it, so
+          // account it to its chunk's dead bytes immediately (it still
+          // guards the chain's replay until the cleaner relocates or
+          // retires the chunk).
+          RetireOld(log::PackIndexValue(offs[r], 0));
+        } else if (retire[r]) {
+          RetireOld(olds[r]);
+        }
       }
     }
     for (size_t r = 0; r < round; r++) {
       const PendingOp& op = cs.Front();
-      if (out != nullptr) out->push_back({op.handle, op.key, dones[r]});
+      // A txn surfaces exactly one Completion — the commit record's —
+      // once the whole fused group is durable; members complete silently.
+      if (out != nullptr && !op.txn_member) {
+        out->push_back({op.handle, op.key, dones[r]});
+      }
       hb_->Release(core, op.handle);
-      InflightKey* fly = cs.inflight_keys.Find(op.key);
-      FLATSTORE_DCHECK(fly != nullptr);
-      if (--fly->count == 0) cs.inflight_keys.Erase(op.key);
+      if (!op.txn_commit) {
+        InflightKey* fly = cs.inflight_keys.Find(op.key);
+        FLATSTORE_DCHECK(fly != nullptr);
+        if (--fly->count == 0) cs.inflight_keys.Erase(op.key);
+      }
       cs.Pop();
       n++;
     }
@@ -697,6 +734,429 @@ size_t FlatStore::MultiPutOnCore(int core, const WriteOp* ops, size_t n,
   return staged;
 }
 
+// ---- transactions (§5.3) -------------------------------------------------
+
+TxnStatus FlatStore::BeginTxn(int core, const TxnOp* ops, size_t n,
+                              OpHandle* commit_handle, size_t* failed_op) {
+  static_assert(kMaxTxnOps + 1 <= batch::HbEngine::kMaxBatch,
+                "a txn chain plus its commit record must fit one fused group");
+  static_assert(kMaxTxnOps <= log::kMaxTxnChain,
+                "readers must be able to buffer a whole chain");
+  FLATSTORE_CHECK_LE(n, kMaxTxnOps);
+  *commit_handle = kNoOpHandle;
+  if (failed_op != nullptr) *failed_op = n;
+  if (n == 0) return TxnStatus::kCommitted;
+  CoreState& cs = *cores_[core];
+  index::KvIndex* idx = IndexForCore(core);
+
+  // Conflict detection: §3.3's conflict queue widened to whole txns — any
+  // key with in-flight writes fails the txn up front, so the current-value
+  // reads below (kCas compares, kRmw inputs) see stable committed state
+  // and the version chains cannot interleave with a concurrent drain.
+  for (size_t i = 0; i < n; i++) {
+    FLATSTORE_DCHECK(core == CoreForKey(ops[i].key));
+    if (cs.inflight_keys.Contains(ops[i].key)) {
+      if (failed_op != nullptr) *failed_op = i;
+      return TxnStatus::kBusy;
+    }
+  }
+
+  // Entry dereferences below need the pin (the cleaner may unlink chunks).
+  common::EpochManager::Guard g(epochs_.get(), core);
+  vt::Charge(vt::kEpochPinCost);
+
+  index::LookupHint hints[kMaxTxnOps];
+  uint64_t packed[kMaxTxnOps];
+  bool indexed[kMaxTxnOps];
+  {
+    const int ways = n > static_cast<size_t>(vt::kMemParallelism)
+                         ? vt::kMemParallelism
+                         : static_cast<int>(n);
+    vt::ScopedOverlap overlap(ways);
+    // Phase A/B: prefetch-interleaved probes, as in BeginWriteBatch.
+    for (size_t i = 0; i < n; i++) idx->PrefetchGet(ops[i].key, &hints[i]);
+    for (size_t i = 0; i < n; i++) {
+      packed[i] = 0;
+      indexed[i] = idx->GetWithHint(ops[i].key, hints[i], &packed[i]);
+    }
+  }
+
+  // Members encode back-to-back into one stack buffer with the commit
+  // record last, so the refs handed to StageBatch alias contiguous bytes
+  // laid out exactly as they will land in the log.
+  uint8_t chain[kMaxTxnOps * log::kMaxEntrySize + log::kPtrEntrySize];
+  uint64_t member_start[kMaxTxnOps];
+  uint32_t member_len[kMaxTxnOps];
+  uint64_t blocks[kMaxTxnOps];  // out-of-log value blocks (0 = none)
+  uint32_t versions[kMaxTxnOps];
+  uint32_t covered[kMaxTxnOps];
+  bool staged_member[kMaxTxnOps];
+  bool tombstone[kMaxTxnOps];
+  // Post-op logical state, for in-txn read-your-writes: value pointers
+  // alias the chain (inline) or the fresh value block (out-of-log).
+  bool present_after[kMaxTxnOps];
+  const uint8_t* val_after[kMaxTxnOps];
+  uint32_t len_after[kMaxTxnOps];
+  uint8_t rmw_out[log::kMaxInlineValue];
+
+  uint64_t chain_len = 0;
+  size_t members = 0;
+  bool fence_needed = false;
+
+  auto abort_blocks = [&](size_t upto) {
+    for (size_t i = 0; i < upto; i++) {
+      if (blocks[i] != 0) alloc_->Free(blocks[i]);
+    }
+  };
+
+  for (size_t i = 0; i < n; i++) {
+    const TxnOp& op = ops[i];
+    blocks[i] = 0;
+    staged_member[i] = false;
+    tombstone[i] = false;
+
+    // Resolve the key's pre-op state with in-txn visibility: the newest
+    // earlier op on this key wins, else the committed index entry.
+    bool present = false;
+    const uint8_t* cur = nullptr;
+    uint32_t cur_len = 0;
+    int last_same = -1;
+    for (size_t j = i; j-- > 0;) {
+      if (ops[j].key == op.key) {
+        last_same = static_cast<int>(j);
+        break;
+      }
+    }
+    if (last_same >= 0) {
+      present = present_after[last_same];
+      cur = val_after[last_same];
+      cur_len = len_after[last_same];
+    } else if (indexed[i]) {
+      const uint64_t off = log::UnpackOffset(packed[i]);
+      pool_->ChargeRead(pool_->At(off), log::kPtrEntrySize);
+      log::DecodedEntry e;
+      const bool ok = log::DecodeEntry(
+          static_cast<const uint8_t*>(pool_->At(off)), log::kMaxEntrySize,
+          &e);
+      FLATSTORE_CHECK(ok) << "index pointed at an invalid entry: key="
+                          << op.key << " off=" << off;
+      if (e.op != log::OpType::kDelete) {
+        present = true;
+        if (e.embedded) {
+          cur = e.value;
+          cur_len = e.value_len;
+        } else {
+          const uint8_t* block =
+              static_cast<const uint8_t*>(pool_->At(e.ptr));
+          uint64_t len64;
+          std::memcpy(&len64, block, 8);
+          pool_->ChargeRead(block, len64 + 8);
+          cur = block + 8;
+          cur_len = static_cast<uint32_t>(len64);
+        }
+      }
+    }
+
+    // Version chaining: the newest earlier *member* on this key, else the
+    // indexed version (tombstones included — versions stay monotonic
+    // across delete + re-put), else a fresh chain.
+    uint32_t version = 1;
+    {
+      int last_member = -1;
+      for (size_t j = i; j-- > 0;) {
+        if (ops[j].key == op.key && staged_member[j]) {
+          last_member = static_cast<int>(j);
+          break;
+        }
+      }
+      if (last_member >= 0) {
+        version = (versions[last_member] + 1) & log::kVersionMask;
+      } else if (indexed[i]) {
+        version = (log::UnpackVersion(packed[i]) + 1) & log::kVersionMask;
+      }
+    }
+
+    // Resolve the op to a staged member (or skip / abort).
+    const void* new_val = nullptr;
+    uint32_t new_len = 0;
+    bool is_tomb = false;
+    switch (op.kind) {
+      case TxnOpKind::kPut:
+        new_val = op.value;
+        new_len = op.len;
+        break;
+      case TxnOpKind::kDelete:
+        if (!present) {
+          // Logical no-op: the key is already absent. Stage nothing, so
+          // the chain carries only effective ops.
+          present_after[i] = false;
+          val_after[i] = nullptr;
+          len_after[i] = 0;
+          continue;
+        }
+        is_tomb = true;
+        break;
+      case TxnOpKind::kCas: {
+        const bool match =
+            op.expected == nullptr
+                ? !present
+                : (present && cur_len == op.expected_len &&
+                   std::memcmp(cur, op.expected, cur_len) == 0);
+        if (!match) {
+          abort_blocks(i);
+          if (failed_op != nullptr) *failed_op = i;
+          return TxnStatus::kCasMismatch;
+        }
+        new_val = op.value;
+        new_len = op.len;
+        break;
+      }
+      case TxnOpKind::kRmw: {
+        const uint32_t out_len =
+            op.rmw(op.rmw_ctx, present ? cur : nullptr,
+                   present ? cur_len : 0, rmw_out, log::kMaxInlineValue);
+        FLATSTORE_CHECK(out_len >= 1 && out_len <= log::kMaxInlineValue)
+            << "RMW output must be 1.." << log::kMaxInlineValue << " bytes";
+        new_val = rmw_out;
+        new_len = out_len;
+        break;
+      }
+    }
+
+    uint8_t* dst = chain + chain_len;
+    uint32_t elen;
+    covered[i] = 0;
+    if (is_tomb) {
+      // Best-effort covered-chunk hint for tombstone GC (§3.4).
+      if (indexed[i]) {
+        const uint64_t old_chunk =
+            AlignDown(log::UnpackOffset(packed[i]), alloc::kChunkSize);
+        int owner;
+        root_->ChunkInfo(old_chunk, &owner, &covered[i]);
+      }
+      elen = log::EncodeDelete(dst, op.key, version, covered[i]);
+      tombstone[i] = true;
+      present_after[i] = false;
+      val_after[i] = nullptr;
+      len_after[i] = 0;
+    } else {
+      FLATSTORE_DCHECK(new_len >= 1);
+      if (new_len <= log::kMaxInlineValue) {
+        elen = log::EncodePutValue(dst, op.key, version, new_val, new_len);
+        val_after[i] = dst + log::kValueEntryHeader;
+      } else {
+        // l-persist, fence shared below (batched as in BeginWriteBatch).
+        const uint64_t block = alloc_->Alloc(core, new_len + 8);
+        if (block == 0) {
+          abort_blocks(i);
+          return TxnStatus::kNoSpace;
+        }
+        char* bdst = static_cast<char*>(pool_->At(block));
+        uint64_t len64 = new_len;
+        std::memcpy(bdst, &len64, 8);
+        std::memcpy(bdst + 8, new_val, new_len);
+        vt::Charge(vt::CostMemcpy(new_len));
+        pool_->Persist(bdst, new_len + 8);
+        fence_needed = true;
+        blocks[i] = block;
+        elen = log::EncodePutPtr(dst, op.key, version, block);
+        val_after[i] = reinterpret_cast<const uint8_t*>(bdst) + 8;
+      }
+      present_after[i] = true;
+      len_after[i] = new_len;
+    }
+    log::MarkTxnMember(dst);
+    member_start[i] = chain_len;
+    member_len[i] = elen;
+    versions[i] = version;
+    staged_member[i] = true;
+    chain_len += elen;
+    members++;
+  }
+  if (fence_needed) pool_->Fence();  // one drain for all l-persists
+
+  if (members == 0) return TxnStatus::kCommitted;  // every op was a no-op
+
+  // Commit record: member count, chain byte length, XXH64 over the chain
+  // bytes exactly as they will appear in the log.
+  const uint64_t checksum = Hash64(chain, chain_len);
+  uint8_t* commit = chain + chain_len;
+  const uint32_t commit_len = log::EncodeTxnCommit(
+      commit, static_cast<uint32_t>(members), chain_len, checksum);
+
+  // Stage as ONE fused group: the leader writes members + commit through
+  // a single AppendBatch, so the physical chain is contiguous and covered
+  // by one persist sweep and one fence pair — all-or-nothing on crash.
+  log::OpLog::EntryRef refs[kMaxTxnOps + 1];
+  uint64_t fused_handles[kMaxTxnOps + 1];
+  size_t slot = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (!staged_member[i]) continue;
+    refs[slot] = {chain + member_start[i], member_len[i]};
+    slot++;
+  }
+  refs[slot] = {commit, commit_len};
+  if (!hb_->StageBatch(core, refs, members + 1, fused_handles)) {
+    abort_blocks(n);
+    return TxnStatus::kBackpressure;
+  }
+
+  slot = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (!staged_member[i]) continue;
+    cs.Push({fused_handles[slot], ops[i].key, versions[i], tombstone[i],
+             covered[i], /*txn_member=*/true, /*txn_commit=*/false});
+    InflightKey& fly = cs.inflight_keys.GetOrInsert(ops[i].key);
+    fly.count++;
+    fly.last_version = versions[i];
+    slot++;
+  }
+  cs.Push({fused_handles[members], /*key=*/0, /*version=*/0,
+           /*tombstone=*/false, /*covered_seq=*/0, /*txn_member=*/false,
+           /*txn_commit=*/true});
+  *commit_handle = fused_handles[members];
+  return TxnStatus::kCommitted;
+}
+
+TxnStatus FlatStore::CommitTxnOnCore(int core, const TxnOp* ops, size_t n,
+                                     size_t* failed_op) {
+  OpHandle commit_handle;
+  TxnStatus st;
+  while (true) {
+    st = BeginTxn(core, ops, n, &commit_handle, failed_op);
+    if (st != TxnStatus::kBusy && st != TxnStatus::kBackpressure) break;
+    // Same-core in-flight ops belong to this thread's protocol: drain
+    // them and retry.
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+  if (st != TxnStatus::kCommitted) return st;
+  while (Inflight(core) > 0) {
+    Pump(core);
+    Drain(core, SIZE_MAX, nullptr);
+  }
+  return st;
+}
+
+FlatStore::Txn& FlatStore::Txn::Put(uint64_t key, std::string_view value) {
+  Staged s;
+  s.kind = TxnOpKind::kPut;
+  s.key = key;
+  s.value.assign(value.data(), value.size());
+  ops_.push_back(std::move(s));
+  return *this;
+}
+
+FlatStore::Txn& FlatStore::Txn::Delete(uint64_t key) {
+  Staged s;
+  s.kind = TxnOpKind::kDelete;
+  s.key = key;
+  ops_.push_back(std::move(s));
+  return *this;
+}
+
+FlatStore::Txn& FlatStore::Txn::Cas(uint64_t key,
+                                    std::optional<std::string> expected,
+                                    std::string_view value) {
+  Staged s;
+  s.kind = TxnOpKind::kCas;
+  s.key = key;
+  s.value.assign(value.data(), value.size());
+  if (expected.has_value()) {
+    s.expected = std::move(*expected);
+  } else {
+    s.expect_absent = true;
+  }
+  ops_.push_back(std::move(s));
+  return *this;
+}
+
+FlatStore::Txn& FlatStore::Txn::Rmw(
+    uint64_t key, std::function<std::string(std::string_view, bool)> fn) {
+  Staged s;
+  s.kind = TxnOpKind::kRmw;
+  s.key = key;
+  s.rmw = std::move(fn);
+  ops_.push_back(std::move(s));
+  return *this;
+}
+
+bool FlatStore::Txn::Get(uint64_t key, std::string* value) {
+  std::string cur;
+  bool present = store_->GetOnCore(store_->CoreForKey(key), key, &cur);
+  for (const Staged& s : ops_) {
+    if (s.key != key) continue;
+    switch (s.kind) {
+      case TxnOpKind::kPut:
+      case TxnOpKind::kCas:  // preview assumes the compare succeeds
+        cur = s.value;
+        present = true;
+        break;
+      case TxnOpKind::kDelete:
+        present = false;
+        cur.clear();
+        break;
+      case TxnOpKind::kRmw:
+        cur = s.rmw(std::string_view(cur), present);
+        present = true;
+        break;
+    }
+  }
+  if (present && value != nullptr) *value = cur;
+  return present;
+}
+
+uint32_t FlatStore::Txn::RmwTrampoline(void* ctx, const void* cur,
+                                       uint32_t cur_len, uint8_t* out,
+                                       uint32_t cap) {
+  auto* fn =
+      static_cast<std::function<std::string(std::string_view, bool)>*>(ctx);
+  const std::string result =
+      (*fn)(cur != nullptr
+                ? std::string_view(static_cast<const char*>(cur), cur_len)
+                : std::string_view(),
+            cur != nullptr);
+  FLATSTORE_CHECK(!result.empty() && result.size() <= cap);
+  std::memcpy(out, result.data(), result.size());
+  return static_cast<uint32_t>(result.size());
+}
+
+TxnStatus FlatStore::Txn::Commit(size_t* failed_op) {
+  FLATSTORE_CHECK_LE(ops_.size(), kMaxTxnOps);
+  if (ops_.empty()) return TxnStatus::kCommitted;
+  TxnOp ops[kMaxTxnOps];
+  int core = -1;
+  for (size_t i = 0; i < ops_.size(); i++) {
+    Staged& s = ops_[i];
+    const int c = store_->CoreForKey(s.key);
+    if (core < 0) core = c;
+    FLATSTORE_CHECK_EQ(core, c) << "txn keys must route to one core";
+    TxnOp& op = ops[i];
+    op.kind = s.kind;
+    op.key = s.key;
+    op.value = s.value.data();
+    op.len = static_cast<uint32_t>(s.value.size());
+    op.expected = nullptr;
+    op.expected_len = 0;
+    if (s.kind == TxnOpKind::kCas && !s.expect_absent) {
+      op.expected = s.expected.data();
+      op.expected_len = static_cast<uint32_t>(s.expected.size());
+    }
+    op.rmw = nullptr;
+    op.rmw_ctx = nullptr;
+    if (s.kind == TxnOpKind::kRmw) {
+      op.rmw = &RmwTrampoline;
+      op.rmw_ctx = &s.rmw;
+    }
+  }
+  const TxnStatus st =
+      store_->CommitTxnOnCore(core, ops, ops_.size(), failed_op);
+  // Success consumes the staged ops; a failed txn keeps them so callers
+  // can retry (e.g. after a pump/drain or with a fresh Cas expectation).
+  if (st == TxnStatus::kCommitted) ops_.clear();
+  return st;
+}
+
 // ---- synchronous wrappers ------------------------------------------------
 
 void FlatStore::Put(uint64_t key, std::string_view value) {
@@ -1038,12 +1498,16 @@ void FlatStore::Recover(bool rebuild_index) {
       const uint32_t ckpt_seq = rebuild_index ? 0 : sb->ckpt_seq[c];
       for (const Rec& r : per_core[c]) {
         if (!rebuild_index && ckpt_tail != 0 && r.seq < ckpt_seq) continue;
-        log::LogChunkReader reader(pool_, r.chunk,
-                                   committed_bytes(static_cast<int>(c),
-                                                   r.chunk));
+        // The chained reader enforces txn atomicity (§5.3): members of a
+        // chain surface only behind a valid commit record; a torn or
+        // aborted chain is dropped wholesale — it "never happened".
+        log::ChainedChunkReader reader(pool_, r.chunk,
+                                       committed_bytes(static_cast<int>(c),
+                                                       r.chunk));
         log::DecodedEntry e;
         uint64_t off;
         while (reader.Next(&e, &off)) {
+          if (e.op == log::OpType::kTxnCommit) continue;  // no index entry
           if (!rebuild_index && ckpt_tail != 0 && r.seq == ckpt_seq &&
               off < ckpt_tail) {
             continue;  // covered by the checkpoint
@@ -1100,12 +1564,20 @@ void FlatStore::Recover(bool rebuild_index) {
       u.cleaner = r.cleaner;
       u.registry_slot = r.slot;
 
-      log::LogChunkReader reader(pool_, r.chunk, committed);
+      // Chain-aware, as in pass 1: orphaned members never surface, so
+      // their bytes count as neither total nor live (they are garbage the
+      // cleaner will collect with the chunk).
+      log::ChainedChunkReader reader(pool_, r.chunk, committed);
       log::DecodedEntry e;
       uint64_t off;
       while (reader.Next(&e, &off)) {
         u.total++;
         u.total_bytes += e.entry_len;
+        if (e.op == log::OpType::kTxnCommit) {
+          // Commit records are born dead (never indexed) but counted in
+          // the totals, matching the serving path's immediate NoteDead.
+          continue;
+        }
         uint64_t cur = 0;
         const bool live =
             IndexForCore(CoreForKey(e.key))->Get(e.key, &cur) &&

@@ -32,8 +32,11 @@
 #ifndef FLATSTORE_CORE_FLATSTORE_H_
 #define FLATSTORE_CORE_FLATSTORE_H_
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "batch/hb_engine.h"
@@ -120,6 +123,51 @@ struct WriteOp {
   uint32_t len = 0;
   bool tombstone = false;
 };
+
+// ---- transactions (§5.3) ----
+
+// Upper bound on ops per transaction. The whole chain plus its commit
+// record must fit in one fused HB group so the txn persists through one
+// log reservation, one persist sweep, and two fences.
+inline constexpr size_t kMaxTxnOps = 24;
+
+enum class TxnOpKind : uint8_t {
+  kPut,     // unconditional upsert
+  kDelete,  // tombstone (skipped if the key is absent)
+  kCas,     // compare-and-swap: commit iff current value == expected
+  kRmw,     // read-modify-write through a callback
+};
+
+// Read-modify-write callback: `cur` is the key's current value (nullptr
+// if absent), `out` has `cap` = log::kMaxInlineValue bytes of room; the
+// function writes the new value and returns its length (1..cap).
+using TxnRmwFn = uint32_t (*)(void* ctx, const void* cur, uint32_t cur_len,
+                              uint8_t* out, uint32_t cap);
+
+// One transaction operation. For kCas, `expected == nullptr` means
+// "expect the key absent"; otherwise `expected/expected_len` is compared
+// byte-wise against the current value.
+struct TxnOp {
+  TxnOpKind kind = TxnOpKind::kPut;
+  uint64_t key = 0;
+  const void* value = nullptr;  // kPut / kCas: the new value
+  uint32_t len = 0;
+  const void* expected = nullptr;  // kCas only
+  uint32_t expected_len = 0;
+  TxnRmwFn rmw = nullptr;  // kRmw only
+  void* rmw_ctx = nullptr;
+};
+
+// Outcome of a transaction commit attempt.
+enum class TxnStatus : uint8_t {
+  kCommitted,     // staged atomically (or trivially empty)
+  kCasMismatch,   // a kCas op failed its compare — nothing staged
+  kBusy,          // a txn key has in-flight writes — pump/drain, retry
+  kBackpressure,  // request pool lacked room for the group — retry
+  kNoSpace,       // PM exhausted — nothing staged
+};
+
+const char* TxnStatusName(TxnStatus status);
 
 // The engine.
 class FlatStore {
@@ -221,6 +269,35 @@ class FlatStore {
   size_t MultiPutOnCore(int core, const WriteOp* ops, size_t n,
                         OpStatus* statuses);
 
+  // ---- transactions (§5.3) ----
+
+  // Sentinel handle for a trivially committed (empty-effect) transaction.
+  static constexpr OpHandle kNoOpHandle = UINT64_MAX;
+
+  // Stages `ops` as one atomic transaction: members encode back-to-back
+  // into a contiguous chain, a commit record (count, byte length, XXH64
+  // checksum) terminates it, and the whole group rides StageBatch's fused
+  // path — one reservation, one persist sweep, two fences. All keys must
+  // route to `core`; a key with in-flight writes fails the whole txn with
+  // kBusy (so kCas/kRmw read stable committed state). Ops resolve in
+  // order with read-your-writes inside the txn; kDelete of an absent key
+  // stages nothing (a no-op member). On kCommitted, `*commit_handle` is
+  // the commit record's handle — ONE Completion per txn surfaces through
+  // Drain, carrying it (members complete silently) — or kNoOpHandle when
+  // no member staged. Any failure stages nothing (`*failed_op` = the
+  // offending op for kBusy/kCasMismatch). Crash semantics: a torn commit
+  // recovers to "nothing happened"; a durable commit recovers every op.
+  TxnStatus BeginTxn(int core, const TxnOp* ops, size_t n,
+                     OpHandle* commit_handle, size_t* failed_op = nullptr);
+  // Synchronous wrapper: BeginTxn + Pump/Drain to completion, retrying
+  // kBusy/kBackpressure.
+  TxnStatus CommitTxnOnCore(int core, const TxnOp* ops, size_t n,
+                            size_t* failed_op = nullptr);
+
+  // Convenience transaction builder over owned values; all keys must
+  // route to one core (checked at Commit).
+  class Txn;
+
   // ---- lifecycle ----
 
   // Starts one background log cleaner per HB group (§3.4).
@@ -283,6 +360,12 @@ class FlatStore {
     uint32_t version;
     bool tombstone;
     uint64_t covered_seq;  // tombstone: seq of the chunk it supersedes
+    // Transaction roles: a member drains like a normal op but emits no
+    // Completion (the txn completes as a unit); the commit record does
+    // no index/in-flight work, retires itself (born dead), and emits the
+    // txn's single Completion.
+    bool txn_member = false;
+    bool txn_commit = false;
   };
 
   // In-flight same-key write chain: count of pending ops and the version
@@ -340,6 +423,51 @@ class FlatStore {
   // Whether StartCleaners' background threads are live (RunCleanersOnce
   // instantiates cleaner objects without starting threads).
   bool cleaners_running_ = false;
+};
+
+// Transaction builder: accumulates ops (values copied), then Commit()
+// runs them through CommitTxnOnCore. Convenience layer for tests and
+// callers off the hot path — it owns std::string copies and std::function
+// callbacks, so the raw TxnOp API remains the allocation-free route.
+class FlatStore::Txn {
+ public:
+  explicit Txn(FlatStore* store) : store_(store) {}
+
+  Txn& Put(uint64_t key, std::string_view value);
+  Txn& Delete(uint64_t key);
+  // expected == nullopt expects the key absent.
+  Txn& Cas(uint64_t key, std::optional<std::string> expected,
+           std::string_view value);
+  // fn(current, present) -> new value (1..log::kMaxInlineValue bytes).
+  Txn& Rmw(uint64_t key,
+           std::function<std::string(std::string_view, bool)> fn);
+
+  // Read-your-writes preview: the value `key` would have if the staged
+  // ops committed now (kCas assumed to succeed). Falls through to the
+  // committed state for untouched keys.
+  bool Get(uint64_t key, std::string* value);
+
+  // Ops staged so far.
+  size_t size() const { return ops_.size(); }
+
+  // Commits atomically; all keys must route to one core (CHECKed).
+  // The builder may be reused after Commit returns.
+  TxnStatus Commit(size_t* failed_op = nullptr);
+
+ private:
+  struct Staged {
+    TxnOpKind kind;
+    uint64_t key;
+    std::string value;
+    std::string expected;
+    bool expect_absent = false;
+    std::function<std::string(std::string_view, bool)> rmw;
+  };
+  static uint32_t RmwTrampoline(void* ctx, const void* cur, uint32_t cur_len,
+                                uint8_t* out, uint32_t cap);
+
+  FlatStore* store_;
+  std::vector<Staged> ops_;
 };
 
 }  // namespace core

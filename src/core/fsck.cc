@@ -41,7 +41,8 @@ std::string FsckReport::Summary() const {
   out << (ok ? "OK" : "CORRUPT") << ": " << log_chunks << " log chunks, "
       << log_entries << " entries (" << tombstones << " tombstones), "
       << live_keys << " live keys, " << value_blocks << " value blocks, "
-      << checkpoint_items << " checkpointed pairs";
+      << txn_commits << " txn commits, " << orphan_chains
+      << " orphan chains, " << checkpoint_items << " checkpointed pairs";
   int fatals = 0, warns = 0;
   for (const FsckIssue& i : issues) (i.fatal ? fatals : warns)++;
   out << "; " << fatals << " errors, " << warns << " warnings";
@@ -205,13 +206,22 @@ FsckReport FsckPool(const pm::PmPool& pool) {
               std::to_string(committed) + " exceeds capacity");
       continue;
     }
-    log::LogChunkReader reader(mutable_pool, r.off, committed);
+    // Chain-aware walk (§5.3): txn members surface only behind a valid
+    // commit record, exactly as recovery will replay them; chains without
+    // one are counted and warned about below.
+    log::ChainedChunkReader reader(mutable_pool, r.off, committed);
     log::DecodedEntry e;
     uint64_t off;
     uint64_t entries_here = 0;
     while (reader.Next(&e, &off)) {
       entries_here++;
       c.report.log_entries++;
+      if (e.op == log::OpType::kTxnCommit) {
+        // Commit records never join the replay map (their Key field is a
+        // checksum, not a key).
+        c.report.txn_commits++;
+        continue;
+      }
       if (e.op == log::OpType::kDelete) c.report.tombstones++;
       if (e.op == log::OpType::kPut && !e.embedded) {
         if (e.ptr == 0 || e.ptr + 8 > pool.size()) {
@@ -258,6 +268,18 @@ FsckReport FsckPool(const pm::PmPool& pool) {
       c.Warn("chunk " + std::to_string(r.off) + " scan stopped " +
              std::to_string(committed - reader.position()) +
              " bytes before its committed length");
+    }
+    if (reader.orphan_chains() > 0) {
+      // Benign (recovery drops them: a torn or aborted txn "never
+      // happened") but worth surfacing — it marks how close a crash came
+      // to the commit point.
+      c.Warn("chunk " + std::to_string(r.off) + " has " +
+             std::to_string(reader.orphan_chains()) +
+             " txn chain(s) without a valid commit record (" +
+             std::to_string(reader.dropped_entries()) +
+             " entries dropped as never-committed)");
+      c.report.orphan_chains += reader.orphan_chains();
+      c.report.orphan_entries += reader.dropped_entries();
     }
     (void)entries_here;
   }

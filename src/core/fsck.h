@@ -13,6 +13,11 @@
 //   * a dry-run replay: per-key version monotonicity is achievable (no
 //     two entries of one key carry the same version at different
 //     offsets unless byte-identical — the cleaner-duplicate case);
+//   * transaction chains (§5.3): the walk uses the chain-aware reader,
+//     so members only join the replay behind a valid commit record;
+//     chains without one (torn or aborted transactions) are surfaced as
+//     warnings — recovery legally drops them, but they flag how close a
+//     crash came to the commit point;
 //   * value blocks referenced by winning ptr-based entries lie inside
 //     formatted chunks of a plausible size class and do not overlap;
 //   * checkpoint chain (if armed): chunks readable, pair counts match.
@@ -49,6 +54,9 @@ struct FsckReport {
   uint64_t live_keys = 0;         // keys after dry-run replay
   uint64_t value_blocks = 0;      // winning out-of-log blocks
   uint64_t checkpoint_items = 0;
+  uint64_t txn_commits = 0;       // valid transaction commit records
+  uint64_t orphan_chains = 0;     // txn chains lacking a valid commit
+  uint64_t orphan_entries = 0;    // entries dropped with those chains
 
   // Human-readable summary.
   std::string Summary() const;

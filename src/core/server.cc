@@ -4,6 +4,7 @@
 #include <cstring>
 #include <deque>
 
+#include "core/txn_wire.h"
 #include "vt/clock.h"
 #include "vt/costs.h"
 
@@ -79,6 +80,29 @@ size_t FlatStoreAdapter::SubmitWriteBatch(int core, const WriteReq* reqs,
     }
   }
   return pending;
+}
+
+EngineAdapter::Submit FlatStoreAdapter::SubmitTxn(int core, const TxnOp* ops,
+                                                  size_t n, uint64_t tag) {
+  FlatStore::OpHandle commit;
+  switch (store_->BeginTxn(core, ops, n, &commit)) {
+    case TxnStatus::kCommitted:
+      if (commit == FlatStore::kNoOpHandle) return Submit::kDoneNow;
+      // A txn drains as ONE completion (the commit record's), so pushing
+      // just the commit handle keeps the tag ring FIFO-aligned.
+      pending_[core].Push({commit, tag});
+      return Submit::kPending;
+    case TxnStatus::kCasMismatch:
+      return Submit::kCasMismatch;
+    case TxnStatus::kBusy:
+      return Submit::kBusy;
+    case TxnStatus::kBackpressure:
+      return Submit::kBackpressure;
+    case TxnStatus::kNoSpace:
+      FLATSTORE_CHECK(false) << "PM exhausted during benchmark";
+      break;
+  }
+  return Submit::kBackpressure;
 }
 
 size_t FlatStoreAdapter::Drain(int core, std::vector<Done>* done) {
@@ -238,6 +262,69 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
       continue;
     }
 
+    if (req->type == net::MsgType::kTxn) {
+      // Transactions are submitted immediately (never folded into the
+      // fused write batch: the txn is already its own all-or-nothing
+      // group). Decode BEFORE PopRequest — the decoded ops alias the ring
+      // buffer, and BeginTxn copies every member byte into its chain
+      // before returning.
+      net::Response resp;
+      resp.type = req->type;
+      resp.seq = req->seq;
+      resp.value_len = 0;
+      TxnOp ops[kMaxTxnOps];
+      size_t nops = 0;
+      if (!DecodeTxnOps(req->value, req->value_len, ops, kMaxTxnOps,
+                        &nops)) {
+        resp.status = net::MsgStatus::kUnsupported;
+        rpc.PostResponse(core, conn, &resp, 0);
+        rpc.PopRequest(core, conn);
+        state.completed++;
+        progress = true;
+        continue;
+      }
+      const uint64_t tag = state.next_tag++;
+      switch (engine->SubmitTxn(core, ops, nops, tag)) {
+        case EngineAdapter::Submit::kPending:
+          state.pending.push_back({tag, conn, *req});
+          rpc.PopRequest(core, conn);
+          progress = true;
+          break;
+        case EngineAdapter::Submit::kDoneNow:
+          resp.status = net::MsgStatus::kOk;
+          rpc.PostResponse(core, conn, &resp, 0);
+          rpc.PopRequest(core, conn);
+          state.completed++;
+          progress = true;
+          break;
+        case EngineAdapter::Submit::kCasMismatch:
+          resp.status = net::MsgStatus::kCasMismatch;
+          rpc.PostResponse(core, conn, &resp, 0);
+          rpc.PopRequest(core, conn);
+          state.completed++;
+          progress = true;
+          break;
+        case EngineAdapter::Submit::kNotFound:
+        case EngineAdapter::Submit::kUnsupported:
+          resp.status = net::MsgStatus::kUnsupported;
+          rpc.PostResponse(core, conn, &resp, 0);
+          rpc.PopRequest(core, conn);
+          state.completed++;
+          progress = true;
+          break;
+        case EngineAdapter::Submit::kBusy:
+          // A txn key has in-flight writes: the request stays at its
+          // ring's head and retries after a future drain, while the core
+          // keeps serving the other connections (same rule as single
+          // writes below).
+          break;
+        case EngineAdapter::Submit::kBackpressure:
+          burst = 16;  // pool full: stop admitting until a pump/drain
+          break;
+      }
+      continue;
+    }
+
     if (wbatched) {
       // Admit into this quantum's fused write batch, submitted below.
       state.writes.push_back({conn, *req});
@@ -276,6 +363,11 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
       case EngineAdapter::Submit::kBackpressure:
         // Request pool full: stop admitting until a pump/drain cycle.
         burst = 16;
+        break;
+      case EngineAdapter::Submit::kCasMismatch:
+      case EngineAdapter::Submit::kUnsupported:
+        // Txn-only statuses; single Put/Delete never produces them.
+        FLATSTORE_DCHECK(false);
         break;
     }
   }
@@ -440,6 +532,37 @@ bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
     req.key = op.key;
     switch (op.type) {
       case workload::OpType::kPut:
+        if (config.txn_every > 0 &&
+            conn->issued % static_cast<uint64_t>(config.txn_every) ==
+                static_cast<uint64_t>(config.txn_every) - 1) {
+          // Every txn_every-th write goes out as an atomic multi-put:
+          // txn_size puts on same-core keys, scanned upward from the
+          // workload key so the whole txn routes to one core. Member
+          // values are capped at 128 B so the encoded txn always fits
+          // the message buffer.
+          req.type = net::MsgType::kTxn;
+          const int target = engine->CoreForKey(op.key);
+          const size_t want = std::min<size_t>(
+              static_cast<size_t>(std::max(config.txn_size, 1)),
+              kMaxTxnOps);
+          const uint32_t len =
+              std::max<uint32_t>(1, std::min<uint32_t>(op.value_len, 128));
+          TxnOp ops[kMaxTxnOps];
+          size_t nops = 0;
+          for (uint64_t k = op.key; nops < want; k++) {
+            if (engine->CoreForKey(k) != target) continue;
+            ops[nops] = TxnOp{};
+            ops[nops].kind = TxnOpKind::kPut;
+            ops[nops].key = k;
+            ops[nops].value = value;
+            ops[nops].len = len;
+            nops++;
+          }
+          req.value_len =
+              EncodeTxnOps(req.value, net::kMaxMsgValue, ops, nops);
+          FLATSTORE_CHECK_GT(req.value_len, 0u);
+          break;
+        }
         req.type = net::MsgType::kPut;
         req.value_len = std::min(op.value_len, net::kMaxMsgValue);
         std::memcpy(req.value, value, req.value_len);

@@ -32,7 +32,15 @@ namespace core {
 // Per-core asynchronous engine interface the server loop drives.
 class EngineAdapter {
  public:
-  enum class Submit { kPending, kDoneNow, kNotFound, kBusy, kBackpressure };
+  enum class Submit {
+    kPending,
+    kDoneNow,
+    kNotFound,
+    kBusy,
+    kBackpressure,
+    kCasMismatch,   // txn only: a compare failed; nothing was applied
+    kUnsupported,   // txn only: engine has no transaction support
+  };
 
   virtual ~EngineAdapter() = default;
 
@@ -108,6 +116,20 @@ class EngineAdapter {
     return pending;
   }
 
+  // Submits an atomic multi-op transaction (§5.3) on `core`. A kPending
+  // txn surfaces through Drain as ONE completion with this `tag` once the
+  // whole chain is durable; kDoneNow means the txn committed with no
+  // effect (all ops were no-ops). kCasMismatch / kBusy / kBackpressure
+  // stage nothing. Engines without txn support return kUnsupported.
+  virtual Submit SubmitTxn(int core, const TxnOp* ops, size_t n,
+                           uint64_t tag) {
+    (void)core;
+    (void)ops;
+    (void)n;
+    (void)tag;
+    return Submit::kUnsupported;
+  }
+
   // One g-persist attempt (no-op for synchronous engines). Returns the
   // number of entries persisted by this call.
   virtual size_t Pump(int core) = 0;
@@ -149,6 +171,8 @@ class FlatStoreAdapter final : public EngineAdapter {
   }
   size_t SubmitWriteBatch(int core, const WriteReq* reqs, size_t n,
                           Submit* out) override;
+  Submit SubmitTxn(int core, const TxnOp* ops, size_t n,
+                   uint64_t tag) override;
   size_t Pump(int core) override { return store_->Pump(core); }
   size_t Drain(int core, std::vector<Done>* done) override;
 
@@ -236,6 +260,14 @@ struct ServerConfig {
   // chain; <= 1 selects the legacy per-request write path. Clamped to
   // kMaxWriteBatch.
   int write_batch = 16;
+  // When > 0, every txn_every-th write a connection issues goes out as a
+  // kTxn request instead: an atomic batch of txn_size puts on same-core
+  // keys (scanned upward from the workload key; member values capped at
+  // 128 B so the encoded txn fits the message buffer). 0 disables
+  // transactions. Engines without txn support answer kUnsupported, which
+  // the client counts as completed.
+  int txn_every = 0;
+  int txn_size = 4;
   workload::Config workload;
   bool all_to_all_qps = false;
   uint64_t seed = 1;

@@ -183,6 +183,13 @@ bool LogCleaner::AdvanceJob(CleaningJob& job, uint64_t* budget) {
         break;
       }
       vt::Charge(vt::kCpuSlotProbe + vt::kPmReadLatency / 8);
+      if (e.op == OpType::kTxnCommit) {
+        // Commit records are born dead (never indexed); the relocation
+        // stage emits a fresh commit over whichever members survive.
+        // relaxed: monotonic stat counter, no ordering required.
+        entries_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       const uint64_t packed = PackIndexValue(off, e.version);
       index::KvIndex* index = hooks_.index_for_key(e.key);
       uint64_t cur = 0;
@@ -198,7 +205,7 @@ bool LogCleaner::AdvanceJob(CleaningJob& job, uint64_t* budget) {
         entries_dropped_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      job.survivors.push_back({off, e.key, e.version, e.entry_len});
+      job.survivors.push_back({off, e.key, e.version, e.entry_len, e.txn});
     }
     const uint64_t consumed = reader.position() - start;
     *budget -= std::min(*budget, consumed);
@@ -223,21 +230,56 @@ bool LogCleaner::AdvanceJob(CleaningJob& job, uint64_t* budget) {
     // here and re-scanned it on the next pass).
     const size_t k =
         std::min(kRelocSubBatch, job.survivors.size() - job.reloc_pos);
-    OpLog::EntryRef refs[kRelocSubBatch];
-    uint64_t new_offs[kRelocSubBatch];
-    uint64_t bytes = 0;
+    // Partition the sub-batch: plain entries first, then txn-chain
+    // members back-to-back, so ONE fresh commit record can cover every
+    // relocated member contiguously — recovery drops members without a
+    // covering commit, so a chain must never be split from one (§5.3).
+    // Member bytes are copied verbatim (the txn bit stays set): replay's
+    // checksum and fsck's byte-identical duplicate rule both hash the
+    // copies exactly as the serving core wrote the originals.
+    size_t order[kRelocSubBatch];
+    size_t plains = 0;
+    size_t txns = 0;
     for (size_t i = 0; i < k; i++) {
-      const Survivor& s = job.survivors[job.reloc_pos + i];
-      refs[i] = {static_cast<const uint8_t*>(pool->At(s.old_off)), s.len};
+      if (!job.survivors[job.reloc_pos + i].txn) order[plains++] = i;
+    }
+    for (size_t i = 0; i < k; i++) {
+      if (job.survivors[job.reloc_pos + i].txn) order[plains + txns++] = i;
+    }
+    OpLog::EntryRef refs[kRelocSubBatch + 1];
+    uint64_t new_offs[kRelocSubBatch + 1];
+    uint8_t chain_scratch[kRelocSubBatch * kMaxEntrySize];
+    uint8_t commit_buf[kPtrEntrySize];
+    uint64_t bytes = 0;
+    uint64_t chain_bytes = 0;
+    for (size_t i = 0; i < k; i++) {
+      const Survivor& s = job.survivors[job.reloc_pos + order[i]];
+      const auto* src = static_cast<const uint8_t*>(pool->At(s.old_off));
+      refs[i] = {src, s.len};
       bytes += s.len;
+      if (s.txn) {
+        std::memcpy(chain_scratch + chain_bytes, src, s.len);
+        chain_bytes += s.len;
+      }
+    }
+    size_t n_refs = k;
+    if (txns > 0) {
+      EncodeTxnCommit(commit_buf, static_cast<uint32_t>(txns), chain_bytes,
+                      Hash64(chain_scratch, chain_bytes));
+      refs[k] = {commit_buf, kPtrEntrySize};
+      bytes += kPtrEntrySize;
+      n_refs = k + 1;
     }
     const Temp temp = job.cold ? Temp::kCold : Temp::kHot;
-    if (!log->CleanerAppendBatch(refs, k, new_offs, temp, job.age_clock)) {
+    if (!log->CleanerAppendBatch(refs, n_refs, new_offs, temp,
+                                 job.age_clock)) {
       return false;  // PM pressure: park; resumes at reloc_pos
     }
     log->root()->pool()->stats().AddGcRelocated(bytes, job.cold);
+    // The fresh commit record is born dead, like the serving path's.
+    if (txns > 0) log->NoteDead(new_offs[k], kPtrEntrySize);
     for (size_t i = 0; i < k; i++) {
-      const Survivor& s = job.survivors[job.reloc_pos + i];
+      const Survivor& s = job.survivors[job.reloc_pos + order[i]];
       const uint64_t expected = PackIndexValue(s.old_off, s.version);
       const uint64_t desired = PackIndexValue(new_offs[i], s.version);
       if (hooks_.index_for_key(s.key)->CompareExchange(s.key, expected,

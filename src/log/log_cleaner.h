@@ -41,6 +41,14 @@
 //    (the paper's "safely reclaimed only after all the log entries
 //    related to this KV item have been reclaimed").
 //
+// Transaction chains (§5.3): surviving chain members carry the txn
+// header bit, and recovery only replays members covered by a valid
+// commit record — so relocation must never separate a live member from a
+// covering commit. Each relocation sub-batch groups its txn members
+// back-to-back (verbatim bytes, after the plain entries) and appends one
+// fresh commit record over exactly those copies; victims' original
+// commit records are dropped (born dead, like the serving path's).
+//
 // Synchronization with the serving core: index updates race benignly
 // through CAS; physically freeing a victim chunk is deferred through the
 // engine's epoch manager (common/epoch.h). The cleaner *unlinks* the
@@ -157,6 +165,7 @@ class LogCleaner {
     uint64_t key;
     uint32_t version;
     uint32_t len;
+    bool txn;  // txn-chain member: needs a covering commit on relocation
   };
   enum class Stage : uint8_t { kScan, kRelocate, kRetire, kDone };
   struct CleaningJob {

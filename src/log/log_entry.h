@@ -16,6 +16,18 @@
 //   number of the log chunk that held the overwritten version, which is
 //   what lets the cleaner decide when the tombstone itself may die.
 //
+// Transactions reuse the same two encodings plus a third 16 B record:
+//
+// * A *chain member* is an ordinary Put/Delete entry with bit 3 of the
+//   header set (the bit between Emd[2] and Version[4:24), unused by the
+//   base format). Members of one transaction are laid out back-to-back.
+// * A *commit record* (Op = 3) terminates a chain: its Version field
+//   carries the member count, its Key field a 64-bit XXH64 checksum over
+//   the chain's raw bytes, and its Ptr field the chain's byte length —
+//   enough for replay to locate, bound, and verify the chain it commits.
+//   A chain whose commit record is missing or fails verification never
+//   happened: recovery drops every member (all-or-nothing).
+//
 // The 64-bit *packed index value* {entry offset : 44, version : 20} stored
 // in the volatile index is also defined here.
 
@@ -32,7 +44,12 @@ namespace log {
 
 // Operation type; 0 is deliberately invalid so zero-filled PM never
 // decodes as an entry.
-enum class OpType : uint8_t { kInvalid = 0, kPut = 1, kDelete = 2 };
+enum class OpType : uint8_t {
+  kInvalid = 0,
+  kPut = 1,
+  kDelete = 2,
+  kTxnCommit = 3,  // transaction commit record (chain terminator)
+};
 
 inline constexpr uint32_t kVersionBits = 20;
 inline constexpr uint32_t kVersionMask = (1u << kVersionBits) - 1;
@@ -45,14 +62,24 @@ inline constexpr uint32_t kMaxInlineValue = 256;
 // Largest possible encoded entry.
 inline constexpr uint32_t kMaxEntrySize = kValueEntryHeader + kMaxInlineValue;
 
+// Header bit marking a Put/Delete as a transaction-chain member (bit 3,
+// unused by the base format: Op[0:2) Emd[2] <here> Version[4:24)).
+inline constexpr uint32_t kTxnMemberBit = 1u << 3;
+
+// Upper bound on chain members a reader will buffer; chains are staged as
+// one fused HB group, so batch::HbEngine::kMaxBatch (64) bounds them.
+inline constexpr uint32_t kMaxTxnChain = 64;
+
 // A decoded view of one entry (value pointer aliases the log memory).
 struct DecodedEntry {
   OpType op = OpType::kInvalid;
   bool embedded = false;
-  uint32_t version = 0;
-  uint64_t key = 0;
+  bool txn = false;            // transaction-chain member flag
+  uint32_t version = 0;        // kTxnCommit: chain member count
+  uint64_t key = 0;            // kTxnCommit: chain checksum (XXH64)
   uint64_t ptr = 0;            // ptr-based Put: block pool offset;
-                               // Delete: covered chunk sequence
+                               // Delete: covered chunk sequence;
+                               // kTxnCommit: chain byte length
   const uint8_t* value = nullptr;  // embedded Put only
   uint32_t value_len = 0;
   uint32_t entry_len = 0;
@@ -118,6 +145,23 @@ inline uint32_t EncodeDelete(uint8_t* dst, uint64_t key, uint32_t version,
   return kPtrEntrySize;
 }
 
+// Flags an already-encoded Put/Delete as a transaction-chain member.
+inline void MarkTxnMember(uint8_t* entry) {
+  entry[0] = static_cast<uint8_t>(entry[0] | kTxnMemberBit);
+}
+
+// Encodes a transaction commit record: `members` chain entries totalling
+// `chain_bytes`, laid out immediately before this record, with `checksum`
+// = Hash64 over those bytes. Returns the entry length (16).
+inline uint32_t EncodeTxnCommit(uint8_t* dst, uint32_t members,
+                                uint64_t chain_bytes, uint64_t checksum) {
+  FLATSTORE_DCHECK(members >= 1 && members <= kMaxTxnChain);
+  entry_internal::PutHeader(dst, OpType::kTxnCommit, /*emd=*/false, members,
+                            checksum);
+  entry_internal::Put40(dst + 11, chain_bytes);
+  return kPtrEntrySize;
+}
+
 // Decodes the entry at `src` (at most `max_len` readable bytes). Returns
 // false for invalid/truncated bytes (zero-filled tail of a chunk).
 inline bool DecodeEntry(const uint8_t* src, uint64_t max_len,
@@ -129,9 +173,10 @@ inline bool DecodeEntry(const uint8_t* src, uint64_t max_len,
                      (static_cast<uint32_t>(src[1]) << 8) |
                      (static_cast<uint32_t>(src[2]) << 16);
   const auto op = static_cast<OpType>(h & 0x3);
-  if (op != OpType::kPut && op != OpType::kDelete) return false;
+  if (op == OpType::kInvalid) return false;
   out->op = op;
-  out->embedded = (h >> 2) & 1;
+  out->embedded = op != OpType::kTxnCommit && ((h >> 2) & 1);
+  out->txn = (h & kTxnMemberBit) != 0;
   out->version = h >> 4;
   std::memcpy(&out->key, src + 3, 8);
   if (out->embedded) {

@@ -1,4 +1,4 @@
-// Sequential reader over one log chunk's committed bytes.
+// Sequential readers over one log chunk's committed bytes.
 //
 // Entries are appended in batches that are padded to cacheline boundaries
 // (§3.2), so the byte stream is: [batch entries][zero padding][batch
@@ -7,6 +7,12 @@
 // to the next cacheline boundary and retries once — a failure *at* a line
 // boundary ends the chunk. This is sound because chunks are zero-filled
 // when (re)allocated and batches always begin on a line boundary.
+//
+// ChainedChunkReader layers transaction-chain framing on top: members of
+// a chain (txn-flagged entries) are withheld until a commit record
+// validates the chain (count, contiguity, byte length, checksum), then
+// yielded followed by the commit itself. Chains with no valid commit are
+// dropped entirely — the all-or-nothing crash semantic.
 
 #ifndef FLATSTORE_LOG_LOG_READER_H_
 #define FLATSTORE_LOG_LOG_READER_H_
@@ -14,6 +20,7 @@
 #include <cstdint>
 
 #include "common/cacheline.h"
+#include "common/hash.h"
 #include "log/log_entry.h"
 #include "log/oplog.h"
 #include "pm/pm_pool.h"
@@ -64,6 +71,109 @@ class LogChunkReader {
   uint64_t chunk_data_off_;
   uint64_t committed_;
   uint64_t pos_ = 0;
+};
+
+// Chunk reader that enforces transaction-chain atomicity (§5.3): a chain
+// of txn-flagged members is yielded only once its commit record verifies
+//   * member count   == the commit's Version field,
+//   * contiguity     == members back-to-back, commit right after,
+//   * byte length    == the commit's Ptr field,
+//   * Hash64(bytes)  == the commit's Key field,
+// in which case the members come out in log order followed by the commit
+// itself (consumers skip OpType::kTxnCommit for index work). A chain that
+// reaches a plain entry, an invalid commit, or end-of-chunk first is
+// dropped and counted — a torn or aborted transaction "never happened".
+// Non-chain entries pass through unchanged.
+class ChainedChunkReader {
+ public:
+  ChainedChunkReader(const pm::PmPool* pool, uint64_t chunk_off,
+                     uint64_t committed)
+      : raw_(pool, chunk_off, committed), pool_(pool) {}
+
+  bool Next(DecodedEntry* out, uint64_t* entry_off) {
+    while (true) {
+      if (emit_pos_ < emit_count_) {
+        *out = pend_[emit_pos_].e;
+        *entry_off = pend_[emit_pos_].off;
+        emit_pos_++;
+        return true;
+      }
+      if (emit_count_ > 0) {  // finished emitting a validated chain
+        emit_count_ = emit_pos_ = 0;
+        pend_count_ = 0;
+      }
+      DecodedEntry e;
+      uint64_t off;
+      if (!raw_.Next(&e, &off)) {
+        DropPending();  // chunk ended mid-chain: no commit, never happened
+        return false;
+      }
+      if (e.op == OpType::kTxnCommit) {
+        if (ChainValid(e, off)) {
+          pend_[pend_count_] = {e, off};  // commit yields last
+          emit_count_ = pend_count_ + 1;
+          emit_pos_ = 0;
+          continue;
+        }
+        dropped_entries_ += pend_count_ + 1;
+        orphan_chains_++;
+        pend_count_ = 0;
+        continue;
+      }
+      if (e.txn) {
+        // A member not contiguous with the buffered chain starts a new
+        // chain (the old one can no longer meet any commit's frame).
+        if (pend_count_ > 0 && off != next_off_) DropPending();
+        if (pend_count_ == kMaxTxnChain) DropPending();  // overlong: bogus
+        if (pend_count_ == 0) chain_start_ = off;
+        pend_[pend_count_++] = {e, off};
+        next_off_ = off + e.entry_len;
+        continue;
+      }
+      DropPending();  // plain entry interrupts any buffered chain
+      *out = e;
+      *entry_off = off;
+      return true;
+    }
+  }
+
+  uint64_t position() const { return raw_.position(); }
+  // Chains dropped for want of a valid commit record, and the total
+  // entries (members + bad commits) discarded with them.
+  uint64_t orphan_chains() const { return orphan_chains_; }
+  uint64_t dropped_entries() const { return dropped_entries_; }
+
+ private:
+  struct Pending {
+    DecodedEntry e;
+    uint64_t off;
+  };
+
+  bool ChainValid(const DecodedEntry& commit, uint64_t commit_off) const {
+    return pend_count_ > 0 &&
+           commit.version == static_cast<uint32_t>(pend_count_) &&
+           next_off_ == commit_off &&
+           commit.ptr == commit_off - chain_start_ &&
+           Hash64(pool_->At(chain_start_), commit.ptr) == commit.key;
+  }
+
+  void DropPending() {
+    if (pend_count_ == 0) return;
+    dropped_entries_ += pend_count_;
+    orphan_chains_++;
+    pend_count_ = 0;
+  }
+
+  LogChunkReader raw_;
+  const pm::PmPool* pool_;
+  Pending pend_[kMaxTxnChain + 1];  // members + the commit record
+  size_t pend_count_ = 0;
+  size_t emit_pos_ = 0;
+  size_t emit_count_ = 0;
+  uint64_t chain_start_ = 0;  // pool offset of the first buffered member
+  uint64_t next_off_ = 0;     // expected offset of the next member
+  uint64_t orphan_chains_ = 0;
+  uint64_t dropped_entries_ = 0;
 };
 
 }  // namespace log

@@ -19,9 +19,16 @@ namespace net {
 // tops out at 4 KB in this reproduction).
 inline constexpr uint32_t kMaxMsgValue = 4096;
 
-enum class MsgType : uint8_t { kPut = 1, kGet = 2, kDelete = 3 };
+// kTxn carries an atomic multi-op transaction (§5.3) encoded into the
+// request's value bytes (core/txn_wire.h).
+enum class MsgType : uint8_t { kPut = 1, kGet = 2, kDelete = 3, kTxn = 4 };
 
-enum class MsgStatus : uint8_t { kOk = 0, kNotFound = 1 };
+enum class MsgStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCasMismatch = 2,  // a kTxn compare-and-swap failed; nothing applied
+  kUnsupported = 3,  // engine has no txn support / undecodable txn
+};
 
 // Client -> server-core request.
 struct Request {

@@ -165,6 +165,79 @@ void MultiPutWorkload(WorkloadCtx& ctx) {
              {21, Val('t', 28), false}});
 }
 
+// Transactions (§5.3): committed, aborted (CAS-fail), and CAS-success
+// chains, with inline, out-of-log, RMW, and delete members. Every flush
+// of the chain encode, the fused group persist, and the commit record
+// becomes a crash point; the oracle folds each txn's keys in as a unit
+// (all WillPut before the commit, all Acked after), so a recovered image
+// must show every key old-or-new — and the all-or-nothing requirement on
+// top of that is asserted directly by txn_crash_test.
+void TxnWorkload(WorkloadCtx& ctx) {
+  for (uint64_t k = 1; k <= 6; k++) {
+    ctx.Put(k, Val('t', 20 + 9 * k));
+  }
+
+  auto commit = [&ctx](const std::vector<core::TxnOp>& ops,
+                       core::TxnStatus want) {
+    if (ctx.PowerLost()) return;
+    for (const core::TxnOp& op : ops) {
+      if (want != core::TxnStatus::kCommitted) continue;
+      if (op.kind == core::TxnOpKind::kDelete) {
+        ctx.oracle->WillDelete(op.key);
+      } else if (op.kind != core::TxnOpKind::kRmw) {
+        ctx.oracle->WillPut(
+            op.key, std::string(static_cast<const char*>(op.value), op.len));
+      }
+    }
+    EXPECT_EQ(ctx.store->CommitTxnOnCore(0, ops.data(), ops.size()), want);
+    if (ctx.PowerLost()) return;
+    if (want != core::TxnStatus::kCommitted) return;
+    for (const core::TxnOp& op : ops) {
+      if (op.kind != core::TxnOpKind::kRmw) ctx.oracle->Acked(op.key);
+    }
+  };
+  auto put = [](uint64_t key, const std::string& v) {
+    core::TxnOp op;
+    op.kind = core::TxnOpKind::kPut;
+    op.key = key;
+    op.value = v.data();
+    op.len = static_cast<uint32_t>(v.size());
+    return op;
+  };
+
+  // Txn 1 commits: inline puts, an out-of-log put, a delete.
+  const std::string t1a = Val('T', 24);
+  const std::string t1b = Val('U', 400);
+  core::TxnOp del;
+  del.kind = core::TxnOpKind::kDelete;
+  del.key = 3;
+  commit({put(1, t1a), put(2, t1b), del}, core::TxnStatus::kCommitted);
+
+  // Txn 2 aborts on a failing CAS (after an out-of-log member whose
+  // value block is allocated, persisted, and freed): nothing staged.
+  const std::string big = Val('V', 300);
+  const std::string wrong = "never-this";
+  core::TxnOp cas;
+  cas.kind = core::TxnOpKind::kCas;
+  cas.key = 4;
+  cas.expected = wrong.data();
+  cas.expected_len = static_cast<uint32_t>(wrong.size());
+  cas.value = big.data();
+  cas.len = static_cast<uint32_t>(big.size());
+  commit({put(30, big), cas}, core::TxnStatus::kCasMismatch);
+
+  // Txn 3 commits through a successful CAS on known state.
+  const std::string t3 = Val('W', 48);
+  core::TxnOp cas_ok;
+  cas_ok.kind = core::TxnOpKind::kCas;
+  cas_ok.key = 1;
+  cas_ok.expected = t1a.data();
+  cas_ok.expected_len = static_cast<uint32_t>(t1a.size());
+  cas_ok.value = t3.data();
+  cas_ok.len = static_cast<uint32_t>(t3.size());
+  commit({cas_ok, put(5, t3)}, core::TxnStatus::kCommitted);
+}
+
 struct MatrixCase {
   const char* name;
   int cores;
@@ -192,7 +265,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MatrixCase{"delete", 2, DeleteWorkload},
                       MatrixCase{"gc", 1, GcWorkload},
                       MatrixCase{"checkpoint", 1, CheckpointWorkload},
-                      MatrixCase{"multiput", 1, MultiPutWorkload}),
+                      MatrixCase{"multiput", 1, MultiPutWorkload},
+                      MatrixCase{"txn", 1, TxnWorkload}),
     [](const ::testing::TestParamInfo<MatrixCase>& info) {
       return std::string(info.param.name);
     });

@@ -383,6 +383,88 @@ TEST(QuantumCleaning, PressureLiftsTheBudget) {
       << "pressure level 2 must unbound the quantum";
 }
 
+// The cleaner must never separate a live txn chain from a covering
+// commit record: relocated members keep their chain flag and are grouped
+// contiguously under a fresh commit in the cleaner chunk, so a replay of
+// the relocated chunk yields them as committed — zero orphan chains.
+TEST(TxnGc, CleanerRelocatesChainsWithCommits) {
+  pm::PmPool::Options o;
+  o.size = 256ull << 20;
+  pm::PmPool pool(o);
+  FlatStoreOptions fo;
+  fo.num_cores = 1;
+  fo.group_size = 1;
+  fo.hash_initial_depth = 4;
+  fo.gc_live_ratio = 0.95;
+  auto store = FlatStore::Create(&pool, fo);
+
+  // 50 transactions of 4 inline puts each: 200 live txn-chain members.
+  constexpr uint64_t kTxns = 50;
+  constexpr size_t kOpsPerTxn = 4;
+  auto txn_key = [](uint64_t t, size_t i) { return 10000 + 4 * t + i; };
+  for (uint64_t t = 0; t < kTxns; t++) {
+    std::string vals[kOpsPerTxn];
+    core::TxnOp ops[kOpsPerTxn];
+    for (size_t i = 0; i < kOpsPerTxn; i++) {
+      vals[i] = ValueFor(txn_key(t, i), 5, 64);
+      ops[i].kind = core::TxnOpKind::kPut;
+      ops[i].key = txn_key(t, i);
+      ops[i].value = vals[i].data();
+      ops[i].len = static_cast<uint32_t>(vals[i].size());
+    }
+    ASSERT_EQ(store->CommitTxnOnCore(0, ops, kOpsPerTxn),
+              core::TxnStatus::kCommitted);
+  }
+  // Filler sharing the chunk, superseded below so the chunk becomes a
+  // victim while every txn member stays live.
+  for (uint64_t k = 0; k < 2000; k++) store->Put(k, ValueFor(k, 0, 200));
+  store->SealActiveLogChunks();
+  for (uint64_t k = 0; k < 2000; k++) store->Put(k, ValueFor(k, 1, 200));
+
+  while (store->RunCleanersOnce() > 0) {
+  }
+  ASSERT_GT(store->ChunksCleaned(), 0u);
+
+  // Every txn key survived relocation with its value intact.
+  std::string v;
+  for (uint64_t t = 0; t < kTxns; t++) {
+    for (size_t i = 0; i < kOpsPerTxn; i++) {
+      ASSERT_TRUE(store->Get(txn_key(t, i), &v)) << txn_key(t, i);
+      ASSERT_EQ(v, ValueFor(txn_key(t, i), 5, 64)) << txn_key(t, i);
+    }
+  }
+
+  // Walk every cleaner-written chunk with the chain-aware reader: the
+  // relocated members must still carry the chain flag and be covered by
+  // fresh commit records — no orphans, no dropped entries.
+  log::OpLog* log = store->LogForCore(0);
+  uint64_t reloc_members = 0;
+  uint64_t reloc_commits = 0;
+  uint64_t cleaner_chunks = 0;
+  for (const auto& [off, u] : log->UsageSnapshot()) {
+    if (!u.cleaner) continue;
+    cleaner_chunks++;
+    log::ChainedChunkReader reader(&pool, off, log->CommittedBytes(off));
+    log::DecodedEntry e;
+    uint64_t eoff;
+    while (reader.Next(&e, &eoff)) {
+      if (e.op == log::OpType::kTxnCommit) {
+        reloc_commits++;
+      } else if (e.txn) {
+        reloc_members++;
+      }
+    }
+    EXPECT_EQ(reader.orphan_chains(), 0u) << "chunk " << off;
+    EXPECT_EQ(reader.dropped_entries(), 0u) << "chunk " << off;
+  }
+  EXPECT_GT(cleaner_chunks, 0u);
+  EXPECT_EQ(reloc_members, kTxns * kOpsPerTxn);
+  EXPECT_GT(reloc_commits, 0u);
+  // Grouped relocation re-chains members under sub-batch commits: far
+  // fewer commits than original txns, but at least one per sub-batch.
+  EXPECT_LE(reloc_commits, (reloc_members + 31) / 32 + cleaner_chunks);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace flatstore

@@ -178,6 +178,63 @@ TEST(HotPathAlloc, MultiPutBatchIsAllocationFree) {
       << " times across 100 warm batches";
 }
 
+// The transaction commit path: a warm BeginTxn (conflict scan, prefetched
+// index probes, chain encode into a stack buffer, fused StageBatch, pump,
+// drain) must not touch the heap — the chain buffer, member slices, and
+// per-op scratch are all stack arrays bounded by kMaxTxnOps.
+TEST(HotPathAlloc, TxnCommitIsAllocationFree) {
+  pm::PmPool::Options o;
+  o.size = 128ull << 20;
+  pm::PmPool pool(o);
+  FlatStoreOptions fo;
+  fo.num_cores = 1;
+  fo.group_size = 1;
+  fo.hash_initial_depth = 4;
+  auto store = FlatStore::Create(&pool, fo);
+
+  constexpr size_t kOps = 8;
+  constexpr uint32_t kValueLen = 48;  // inline: no out-of-log block alloc
+  uint8_t value[kValueLen];
+  std::memset(value, 0x7e, sizeof(value));
+
+  TxnOp ops[kOps];
+  for (size_t i = 0; i < kOps; i++) {
+    ops[i].kind = TxnOpKind::kPut;
+    ops[i].key = i;
+    ops[i].value = value;
+    ops[i].len = kValueLen;
+  }
+  // One CAS member (expected = the value the cycle keeps writing) and one
+  // raw-callback RMW: their compare/readback paths must be alloc-free too.
+  ops[kOps - 2].kind = TxnOpKind::kCas;
+  ops[kOps - 2].expected = value;
+  ops[kOps - 2].expected_len = kValueLen;
+  ops[kOps - 1].kind = TxnOpKind::kRmw;
+  ops[kOps - 1].rmw = [](void*, const void*, uint32_t, uint8_t* out,
+                         uint32_t) -> uint32_t {
+    std::memset(out, 0x7e, 48);
+    return 48;
+  };
+
+  // Seed the CAS target so the compare matches from the first cycle.
+  store->Put(ops[kOps - 2].key,
+             std::string(reinterpret_cast<char*>(value), kValueLen));
+
+  auto cycle = [&] {
+    ASSERT_EQ(store->CommitTxnOnCore(0, ops, kOps), TxnStatus::kCommitted);
+  };
+  // Warm-up: index insertions and scratch high-water marks.
+  for (int i = 0; i < 10; i++) cycle();
+
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; i++) cycle();
+  const uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "txn commit path heap-allocated " << (after - before)
+      << " times across 100 warm transactions";
+}
+
 // Same engine, write volume crossing a chunk boundary: the rollover path
 // (registry + usage-map insert) is *allowed* to allocate — this guards
 // the test above against silently measuring too much volume, and

@@ -493,7 +493,13 @@ TEST(LogEntryFuzz, RandomBytesNeverMisbehave) {
     DecodedEntry e;
     if (!DecodeEntry(buf, window, &e)) continue;
     ASSERT_LE(e.entry_len, window);
-    ASSERT_TRUE(e.op == OpType::kPut || e.op == OpType::kDelete);
+    ASSERT_TRUE(e.op == OpType::kPut || e.op == OpType::kDelete ||
+                e.op == OpType::kTxnCommit);
+    if (e.op == OpType::kTxnCommit) {
+      // Commit records are fixed-size and never carry an inline value.
+      ASSERT_EQ(e.entry_len, kPtrEntrySize);
+      ASSERT_FALSE(e.embedded);
+    }
     if (e.embedded) {
       ASSERT_GE(e.value_len, 1u);
       ASSERT_LE(e.value_len, kMaxInlineValue);
