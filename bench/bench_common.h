@@ -16,11 +16,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/server.h"
+#include "vt/costs.h"
 
 namespace flatstore {
 namespace bench {
@@ -34,14 +36,18 @@ struct Rig {
   std::unique_ptr<core::EngineAdapter> adapter;
 };
 
-// Builds a FlatStore rig (timed PM device attached).
+// Builds a FlatStore rig (timed PM device attached). `num_sockets` > 1
+// models a multi-socket server: the device gets one DIMM set per socket
+// and the pool is cut into per-socket spans (NUMA placement follows
+// options.socket_local_placement).
 inline Rig MakeFlatRig(const core::FlatStoreOptions& options,
-                       uint64_t pool_mb = 2048) {
+                       uint64_t pool_mb = 2048, int num_sockets = 1) {
   Rig rig;
-  rig.device = std::make_unique<pm::PmDevice>();
+  rig.device = std::make_unique<pm::PmDevice>(num_sockets);
   pm::PmPool::Options po;
   po.size = pool_mb << 20;
   po.device = rig.device.get();
+  po.num_sockets = num_sockets;
   rig.pool = std::make_unique<pm::PmPool>(po);
   rig.flat = core::FlatStore::Create(rig.pool.get(), options);
   rig.adapter = std::make_unique<core::FlatStoreAdapter>(rig.flat.get());
@@ -105,7 +111,39 @@ struct Row {
 //   {"bench": "<name>", "rows": [{"<metric>": <value>, ...}, ...]}
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    // Run metadata stamped into every file so a results directory is
+    // self-describing: topology knobs and the vt cost constants the
+    // numbers were produced under (comparing JSONs across commits is
+    // meaningless if the cost model moved). Benches override the
+    // topology fields (sockets/shards) per run via Meta*.
+    MetaInt("sockets", 1);
+    MetaInt("shards", 1);
+    MetaInt("server_cores", kCores);
+    MetaInt("client_conns", kConns);
+    MetaInt("ops_per_point", OpsPerPoint());
+    MetaInt("vt_remote_load_penalty", vt::kRemoteSocketLoadPenalty);
+    MetaInt("vt_remote_persist_penalty", vt::kRemoteSocketPersistPenalty);
+    MetaInt("vt_pm_dimms_per_socket", vt::kPmDimms);
+    MetaInt("vt_mem_parallelism", vt::kMemParallelism);
+  }
+
+  // Meta fields (top-level "meta" object; setting an existing key
+  // replaces its value).
+  BenchJson& MetaStr(const char* key, const std::string& v) {
+    MetaField(key, "\"" + Escaped(v) + "\"");
+    return *this;
+  }
+  BenchJson& MetaNum(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    MetaField(key, buf);
+    return *this;
+  }
+  BenchJson& MetaInt(const char* key, uint64_t v) {
+    MetaField(key, std::to_string(v));
+    return *this;
+  }
 
   // Starts a new row; chain Str/Num/Int to populate it.
   BenchJson& AddRow() {
@@ -135,7 +173,11 @@ class BenchJson {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", Escaped(name_).c_str());
+    std::fprintf(f, "{\"bench\": \"%s\", \"meta\": {", Escaped(name_).c_str());
+    for (size_t i = 0; i < meta_.size(); i++) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ", ", meta_[i].c_str());
+    }
+    std::fprintf(f, "}, \"rows\": [");
     for (size_t i = 0; i < rows_.size(); i++) {
       std::fprintf(f, "%s{%s}", i == 0 ? "" : ", ", rows_[i].c_str());
     }
@@ -161,8 +203,19 @@ class BenchJson {
     row += "\": ";
     row += value;
   }
+  void MetaField(const char* key, const std::string& value) {
+    const std::string prefix = "\"" + std::string(key) + "\": ";
+    for (std::string& m : meta_) {
+      if (m.compare(0, prefix.size(), prefix) == 0) {
+        m = prefix + value;
+        return;
+      }
+    }
+    meta_.push_back(prefix + value);
+  }
 
   std::string name_;
+  std::vector<std::string> meta_;  // pre-encoded "\"key\": value" pairs
   std::vector<std::string> rows_;
 };
 
@@ -172,6 +225,27 @@ class Table {
   explicit Table(std::string title) : title_(std::move(title)) {}
 
   void Add(Row row) { rows_.push_back(std::move(row)); }
+
+  // Meta fields forwarded into the JSON on top of BenchJson's defaults
+  // (e.g. the bench's socket/shard topology).
+  Table& MetaStr(const char* key, const std::string& v) {
+    meta_.push_back([k = std::string(key), v](BenchJson& j) {
+      j.MetaStr(k.c_str(), v);
+    });
+    return *this;
+  }
+  Table& MetaInt(const char* key, uint64_t v) {
+    meta_.push_back([k = std::string(key), v](BenchJson& j) {
+      j.MetaInt(k.c_str(), v);
+    });
+    return *this;
+  }
+  Table& MetaNum(const char* key, double v) {
+    meta_.push_back([k = std::string(key), v](BenchJson& j) {
+      j.MetaNum(k.c_str(), v);
+    });
+    return *this;
+  }
 
   // Prints the paper-style table to stdout.
   void Print() const {
@@ -190,6 +264,7 @@ class Table {
   // Dumps every row into BENCH_<bench_name>.json.
   void WriteJson(const std::string& bench_name) const {
     BenchJson j(bench_name);
+    for (const auto& m : meta_) m(j);
     for (const Row& r : rows_) {
       j.AddRow()
           .Str("system", r.system)
@@ -207,6 +282,7 @@ class Table {
  private:
   std::string title_;
   std::vector<Row> rows_;
+  std::vector<std::function<void(BenchJson&)>> meta_;
 };
 
 // Runs one server simulation and records it into `table` + benchmark
@@ -234,6 +310,49 @@ inline void RunPoint(benchmark::State& state, core::EngineAdapter* adapter,
   row.p99_ns = result.latency.Percentile(99);
   row.avg_batch = avg_batch != 0 ? avg_batch : result.avg_batch;
   table->Add(row);
+}
+
+// ---- open-loop (offered-load) sweeps ----
+
+// Runs one open-loop point: Poisson arrivals offering `offered_mops` in
+// aggregate across the configured connections. Achieved throughput tracks
+// the offered load below saturation and tops out at service capacity
+// above it — where latency, measured from each request's *scheduled*
+// arrival, blows up instead.
+inline core::ServerResult RunOpenLoopPoint(core::EngineAdapter* adapter,
+                                           core::ServerConfig config,
+                                           double offered_mops) {
+  config.open_loop = true;
+  config.offered_mops = offered_mops;
+  return core::RunServer(adapter, config);
+}
+
+// Sweeps offered load over `points` (Mops/s), adding one row per point
+// labelled "<label_prefix>offered=<x>", and returns the saturation
+// throughput — the highest achieved Mops/s across the sweep.
+inline double OpenLoopSweep(core::EngineAdapter* adapter,
+                            const core::ServerConfig& config,
+                            const std::vector<double>& points, Table* table,
+                            const std::string& system,
+                            const std::string& label_prefix = "") {
+  double saturation = 0;
+  for (double offered : points) {
+    core::ServerResult r = RunOpenLoopPoint(adapter, config, offered);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%soffered=%.3g",
+                  label_prefix.c_str(), offered);
+    Row row;
+    row.system = system;
+    row.config = label;
+    row.mops = r.mops;
+    row.ops = r.ops;
+    row.sim_ns = r.sim_ns;
+    row.p50_ns = r.latency.Percentile(50);
+    row.p99_ns = r.latency.Percentile(99);
+    table->Add(row);
+    saturation = std::max(saturation, r.mops);
+  }
+  return saturation;
 }
 
 }  // namespace bench

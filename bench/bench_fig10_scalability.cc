@@ -57,6 +57,29 @@ BENCHMARK(BM_ScaleM)
     ->ArgsProduct({{2, 4, 8, 16, 24, 32}, {0, 1}})
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// Two-socket mode: cores split across two sockets (per-socket DIMM sets,
+// per-socket log/chunk placement). Placement on should stay near-linear
+// versus the 1-socket arm at half the cores; placement off (interleaved
+// chunks + indexes, no group alignment) goes sublinear — every second
+// persist and index miss pays the cross-socket surcharge.
+void BM_Scale2Sock(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const bool placed = state.range(1) != 0;
+  core::FlatStoreOptions fo;
+  fo.num_cores = cores;
+  fo.group_size = (cores + 1) / 2;  // one group per socket
+  fo.hash_initial_depth = 6;
+  fo.socket_local_placement = placed;
+  Rig rig = MakeFlatRig(fo, /*pool_mb=*/2048, /*num_sockets=*/2);
+  RunPoint(state, rig.adapter.get(), Config(/*skew=*/false, cores),
+           &g_table, "FlatStore-H",
+           std::string(placed ? "2sock-placed" : "2sock-spread") + "/" +
+               std::to_string(cores) + "cores");
+}
+BENCHMARK(BM_Scale2Sock)
+    ->ArgsProduct({{8, 16, 32}, {0, 1}})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
 // Group-size ablation at 16 cores (DESIGN.md §6).
 void BM_GroupSize(benchmark::State& state) {
   const int group = static_cast<int>(state.range(0));
@@ -79,6 +102,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  flatstore::bench::g_table.MetaInt("sockets", 2);
   flatstore::bench::g_table.Print();
   flatstore::bench::g_table.WriteJson("fig10_scalability");
   return 0;

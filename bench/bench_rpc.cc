@@ -45,6 +45,49 @@ BENCHMARK(BM_FlatRpc)->Arg(4)->Arg(16)->Arg(48)->Arg(96)
 BENCHMARK(BM_AllToAll)->Arg(4)->Arg(16)->Arg(48)->Arg(96)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// Open-loop offered-load sweep: Poisson arrivals at a fixed rate instead
+// of the closed-loop window. Latency stays flat while the server keeps
+// up, then hockey-sticks as offered load crosses capacity; the reported
+// saturation throughput is the highest achieved rate across the sweep.
+void BM_OfferedLoad(benchmark::State& state, bool all_to_all,
+                    const char* name) {
+  core::FlatStoreOptions fo;
+  fo.num_cores = kCores;
+  fo.group_size = kCores;
+  fo.hash_initial_depth = 6;
+  Rig rig = MakeFlatRig(fo);
+
+  core::ServerConfig cfg;
+  cfg.num_conns = kConns;
+  cfg.client_window = 8;
+  cfg.ops_per_conn =
+      std::min<uint64_t>(64000, OpsPerPoint()) / kConns;
+  cfg.workload.key_space = 1 << 16;
+  cfg.workload.get_ratio = 1.0;
+  cfg.all_to_all_qps = all_to_all;
+  Preload(rig.adapter.get(), cfg.workload,
+          BenchKeys(cfg.workload.key_space));
+  double saturation = 0;
+  for (auto _ : state) {
+    saturation = OpenLoopSweep(rig.adapter.get(), cfg,
+                               {4.0, 16.0, 64.0, 256.0}, &g_table, name);
+  }
+  state.counters["saturation_mops"] = saturation;
+  Row row;
+  row.system = name;
+  row.config = "saturation";
+  row.mops = saturation;
+  g_table.Add(row);
+}
+void BM_OfferedFlat(benchmark::State& state) {
+  BM_OfferedLoad(state, false, "FlatRPC-open");
+}
+void BM_OfferedAll(benchmark::State& state) {
+  BM_OfferedLoad(state, true, "all-to-all-open");
+}
+BENCHMARK(BM_OfferedFlat)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OfferedAll)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bench
 }  // namespace flatstore

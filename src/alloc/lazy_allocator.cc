@@ -16,6 +16,7 @@ LazyAllocator::LazyAllocator(pm::PmPool* pool, uint64_t region_off,
       region_off_(region_off),
       num_chunks_(region_len / kChunkSize),
       num_cores_(num_cores),
+      pool_sockets_(pool->num_sockets()),
       cores_(static_cast<size_t>(num_cores)) {
   FLATSTORE_CHECK_EQ(region_off % kChunkSize, 0u);
   // Offset 0 is the "allocation failed" sentinel, so the region must not
@@ -24,11 +25,18 @@ LazyAllocator::LazyAllocator(pm::PmPool* pool, uint64_t region_off,
   FLATSTORE_CHECK(num_chunks_ > 0);
   FLATSTORE_CHECK(region_off + region_len <= pool->size());
   chunks_.reserve(num_chunks_);
-  free_list_.reserve(num_chunks_);
+  // Socket-local pools: each chunk joins the free pool of the socket that
+  // owns its address span. Lists are filled back-to-front so pops hand
+  // out ascending chunk ids, matching the historical single-list order on
+  // 1-socket pools.
   for (uint64_t i = 0; i < num_chunks_; i++) {
     chunks_.push_back(std::make_unique<ChunkState>());
-    free_list_.push_back(static_cast<int64_t>(num_chunks_ - 1 - i));
   }
+  for (uint64_t i = num_chunks_; i-- > 0;) {
+    free_lists_[pool_->SocketOf(ChunkOffset(i))].push_back(
+        static_cast<int64_t>(i));
+  }
+  free_count_ = num_chunks_;
 }
 
 uint32_t LazyAllocator::ClassFor(uint64_t size) {
@@ -46,13 +54,30 @@ size_t LazyAllocator::ClassIndex(uint32_t cls) {
   return 0;
 }
 
-int64_t LazyAllocator::PopFreeChunk() {
+int64_t LazyAllocator::PopFreeChunk(int socket) {
+  FLATSTORE_DCHECK(socket >= 0 && socket < pool_sockets_);
   LockGuard<SpinLock> g(free_lock_);
-  if (free_list_.empty()) return -1;
-  int64_t id = free_list_.back();
-  free_list_.pop_back();
-  UpdatePressure();
-  return id;
+  // Placement-off mode: deal chunks round-robin across sockets instead
+  // of honouring the core's home, modelling interleaved first-touch.
+  // relaxed: set once at rig construction, read under free_lock_.
+  if (pool_sockets_ > 1 &&
+      interleave_.load(std::memory_order_relaxed)) {
+    socket = interleave_next_;
+    interleave_next_ = (interleave_next_ + 1) % pool_sockets_;
+  }
+  // Local pool first; once it runs dry, steal from the other sockets in
+  // round order (capacity beats locality — a remote chunk still works,
+  // it just pays the link surcharge on every access).
+  for (int d = 0; d < pool_sockets_; d++) {
+    std::vector<int64_t>& list = free_lists_[(socket + d) % pool_sockets_];
+    if (list.empty()) continue;
+    int64_t id = list.back();
+    list.pop_back();
+    free_count_--;
+    UpdatePressure();
+    return id;
+  }
+  return -1;
 }
 
 void LazyAllocator::UpdatePressure() {
@@ -61,7 +86,7 @@ void LazyAllocator::UpdatePressure() {
   const uint64_t wm = low_watermark_.load(std::memory_order_relaxed);
   int level = 0;
   if (wm > 0) {
-    const uint64_t n = free_list_.size();
+    const uint64_t n = free_count_;
     if (n <= wm / 4) {
       level = 2;
     } else if (n <= wm) {
@@ -153,7 +178,7 @@ uint64_t LazyAllocator::Alloc(int core, uint64_t size) {
         }
       }
       if (ccs.current < 0) {
-        int64_t fresh = PopFreeChunk();
+        int64_t fresh = PopFreeChunk(SocketForCore(core));
         if (fresh < 0) return 0;  // out of PM space
         FormatValueChunk(fresh, cls, core);
         ccs.current = fresh;
@@ -219,7 +244,7 @@ void LazyAllocator::Free(uint64_t off) {
 
 uint64_t LazyAllocator::AllocRawChunk(int core) {
   vt::Charge(vt::kCpuCas);
-  int64_t id = PopFreeChunk();
+  int64_t id = PopFreeChunk(SocketForCore(core));
   if (id < 0) return 0;
   ChunkHeader* h = HeaderOf(id);
   h->magic = kChunkMagic;
@@ -246,7 +271,8 @@ void LazyAllocator::FreeRawChunk(uint64_t chunk_off) {
     st.used = 0;
   }
   LockGuard<SpinLock> g(free_lock_);
-  free_list_.push_back(id);
+  free_lists_[pool_->SocketOf(ChunkOffset(id))].push_back(id);
+  free_count_++;
   UpdatePressure();
 }
 
@@ -256,7 +282,8 @@ void LazyAllocator::StartRecovery() {
   // fields are never touched bare — the cost is irrelevant off-line.
   {
     LockGuard<SpinLock> g(free_lock_);
-    free_list_.clear();
+    for (auto& list : free_lists_) list.clear();
+    free_count_ = 0;
     UpdatePressure();
   }
   for (auto& core : cores_) {
@@ -329,7 +356,9 @@ void LazyAllocator::FinishRecovery() {
       ccs.partial.push_back(static_cast<int64_t>(i));
     } else {
       st.formatted = false;
-      free_list_.push_back(static_cast<int64_t>(i));
+      free_lists_[pool_->SocketOf(ChunkOffset(i))].push_back(
+          static_cast<int64_t>(i));
+      free_count_++;
     }
   }
   UpdatePressure();
@@ -348,7 +377,13 @@ void LazyAllocator::PersistMetadata() {
 
 uint64_t LazyAllocator::free_chunks() const {
   LockGuard<SpinLock> g(free_lock_);
-  return free_list_.size();
+  return free_count_;
+}
+
+uint64_t LazyAllocator::free_chunks_on(int socket) const {
+  FLATSTORE_CHECK(socket >= 0 && socket < pool_sockets_);
+  LockGuard<SpinLock> g(free_lock_);
+  return free_lists_[socket].size();
 }
 
 uint64_t LazyAllocator::allocated_bytes() const {

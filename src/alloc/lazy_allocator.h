@@ -16,6 +16,12 @@
 //    privately owned chunks without locks on the fast path. Frees may come
 //    from any thread (the log cleaner), so per-chunk spinlocks guard the
 //    bitmap.
+//  * On multi-socket pools the free chunks are pooled *per socket* (the
+//    pool's contiguous socket spans, pm::PmPool::SocketOf): a core refills
+//    from its own socket's pool first, so its log segments and value
+//    blocks land on local DIMMs; remote pools are only drained when the
+//    local one is empty (capacity beats locality). Freed chunks return to
+//    the pool of the socket that owns their address.
 //
 // Size classes are multiples of 256 B so every block offset is 256 B
 // aligned — this is what lets the log entry drop the low 8 bits of `Ptr`
@@ -132,8 +138,25 @@ class LazyAllocator {
     return pressure_.load(std::memory_order_relaxed);
   }
 
+  // Placement-off mode (the NUMA A/B's baseline arm): ignore each core's
+  // home socket and deal free chunks round-robin across sockets,
+  // modelling interleaved first-touch allocation — about half of every
+  // core's log segments and value blocks end up remote.
+  void SetSocketInterleave(bool on) {
+    // relaxed: a bench/test-orchestration knob, set before serving.
+    interleave_.store(on, std::memory_order_relaxed);
+  }
+
   // --- introspection ---
   uint64_t free_chunks() const;
+  // Free chunks homed on `socket` (socket-local pool depth).
+  uint64_t free_chunks_on(int socket) const;
+  // Socket a core's allocations prefer: cores are laid out contiguously
+  // across the pool's sockets (cores [0, n/S) on socket 0, ...), matching
+  // the server runtime's clock->socket assignment.
+  int SocketForCore(int core) const {
+    return core * pool_sockets_ / num_cores_;
+  }
   uint64_t total_chunks() const { return num_chunks_; }
   // Bytes of the region currently allocated (blocks + raw chunks).
   uint64_t allocated_bytes() const;
@@ -182,8 +205,10 @@ class LazyAllocator {
   }
   static size_t ClassIndex(uint32_t cls);
 
-  // Pops a free chunk id or -1. Caller formats it.
-  int64_t PopFreeChunk();
+  // Pops a free chunk id, preferring `socket`'s pool and falling back to
+  // the other sockets' pools in round order; -1 when every pool is empty.
+  // Caller formats it.
+  int64_t PopFreeChunk(int socket);
 
   // Recomputes pressure_ from free_list_.size(); call after every
   // free-list mutation.
@@ -201,11 +226,19 @@ class LazyAllocator {
   uint64_t region_off_;
   uint64_t num_chunks_;
   int num_cores_;
+  int pool_sockets_;  // pool_->num_sockets(), cached
 
   std::vector<std::unique_ptr<ChunkState>> chunks_;
   std::vector<CoreState> cores_;
   mutable SpinLock free_lock_;
-  std::vector<int64_t> free_list_ GUARDED_BY(free_lock_);
+  // One free-chunk pool per socket (index = pm::PmPool::SocketOf of the
+  // chunk's offset; single-socket pools use only slot 0).
+  std::array<std::vector<int64_t>, vt::kMaxSockets> free_lists_
+      GUARDED_BY(free_lock_);
+  uint64_t free_count_ GUARDED_BY(free_lock_) = 0;
+  // Placement-off round-robin state (SetSocketInterleave).
+  std::atomic<bool> interleave_{false};
+  int interleave_next_ GUARDED_BY(free_lock_) = 0;
   // Backpressure signal (see MemoryPressure). The watermark is atomic so
   // SetFreeChunkLowWatermark need not take free_lock_.
   std::atomic<uint64_t> low_watermark_{0};

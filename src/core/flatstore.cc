@@ -8,6 +8,7 @@
 #include "index/cceh.h"
 #include "index/fast_fair.h"
 #include "index/masstree.h"
+#include "index/numa_sharded_index.h"
 #include "log/log_reader.h"
 #include "vt/clock.h"
 #include "vt/costs.h"
@@ -79,6 +80,30 @@ FlatStore::FlatStore(pm::PmPool* pool, const FlatStoreOptions& options)
   if (options_.gc_backpressure_watermark > 0) {
     alloc_->SetFreeChunkLowWatermark(options_.gc_backpressure_watermark);
   }
+  if (!options_.socket_local_placement) {
+    // Placement-off A/B arm: chunks (log segments + value blocks) are
+    // dealt round-robin across sockets instead of core-locally.
+    alloc_->SetSocketInterleave(true);
+  }
+  if (options_.socket_local_placement && pool_->num_sockets() > 1) {
+    // An HB leader appends follower entries to its *own* OpLog, whose
+    // segments sit on the leader's socket — a batching group straddling a
+    // socket boundary would persist half its entries over the link every
+    // batch. Shrink the group size until each group's cores share a
+    // socket (the paper groups by socket for exactly this reason).
+    auto aligned = [this](int gs) {
+      for (int first = 0; first < options_.num_cores; first += gs) {
+        const int last = std::min(first + gs, options_.num_cores) - 1;
+        if (alloc_->SocketForCore(first) != alloc_->SocketForCore(last)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (options_.group_size > 1 && !aligned(options_.group_size)) {
+      options_.group_size--;
+    }
+  }
   log::OpLog::Options log_opts;
   log_opts.pad_batches = options_.pad_batches;
   std::vector<log::OpLog*> raw_logs;
@@ -102,19 +127,57 @@ FlatStore::~FlatStore() { StopCleaners(); }
 
 void FlatStore::BuildIndexes() {
   indexes_.clear();
+  const int sockets = pool_->num_sockets();
+  const bool place = options_.socket_local_placement && sockets > 1;
+  // Non-placed volatile nodes: socket-agnostic on single-socket pools
+  // (the historical model, zero surcharge), page-interleaved on
+  // multi-socket pools with placement off (half the remote surcharge on
+  // every node miss — the A/B baseline).
+  const int spread_home =
+      sockets > 1 ? vt::kSocketInterleaved : vt::kSocketNone;
   switch (options_.index) {
     case IndexKind::kHash:
+      // Per-core CCEH partitions: with placement on, each partition is
+      // homed on its core's socket, so the serving core's probes are
+      // always local.
       for (int c = 0; c < options_.num_cores; c++) {
+        index::PmContext ctx;
+        ctx.home_socket = place ? SocketForCore(c) : spread_home;
         indexes_.push_back(std::make_unique<index::Cceh>(
-            index::PmContext{}, options_.hash_initial_depth));
+            ctx, options_.hash_initial_depth));
       }
       break;
     case IndexKind::kMasstree:
-      indexes_.push_back(std::make_unique<index::Masstree>());
+      if (place) {
+        std::vector<std::unique_ptr<index::OrderedKvIndex>> shards;
+        for (int s = 0; s < sockets; s++) {
+          index::PmContext ctx;
+          ctx.home_socket = s;
+          shards.push_back(std::make_unique<index::Masstree>(ctx));
+        }
+        indexes_.push_back(std::make_unique<index::NumaShardedIndex>(
+            std::move(shards), options_.num_cores, kRoutingSeed));
+      } else {
+        index::PmContext ctx;
+        ctx.home_socket = spread_home;
+        indexes_.push_back(std::make_unique<index::Masstree>(ctx));
+      }
       break;
     case IndexKind::kFastFairVolatile:
-      indexes_.push_back(
-          std::make_unique<index::FastFair>(index::PmContext{}));
+      if (place) {
+        std::vector<std::unique_ptr<index::OrderedKvIndex>> shards;
+        for (int s = 0; s < sockets; s++) {
+          index::PmContext ctx;
+          ctx.home_socket = s;
+          shards.push_back(std::make_unique<index::FastFair>(ctx));
+        }
+        indexes_.push_back(std::make_unique<index::NumaShardedIndex>(
+            std::move(shards), options_.num_cores, kRoutingSeed));
+      } else {
+        index::PmContext ctx;
+        ctx.home_socket = spread_home;
+        indexes_.push_back(std::make_unique<index::FastFair>(ctx));
+      }
       break;
   }
 }

@@ -82,6 +82,19 @@ struct FlatStoreOptions {
   // Arms allocator backpressure: at this many free chunks the cleaner's
   // quantum budget is boosted; at a quarter of it, unbounded. 0 = off.
   uint64_t gc_backpressure_watermark = 0;
+  // NUMA placement (multi-socket pools only; single-socket stores are
+  // unaffected either way). On: each core's log segments and value blocks
+  // come from its own socket's chunk pool (the allocator's default), HB
+  // groups never straddle a socket boundary (a leader always persists to
+  // DIMMs on its own socket), and the volatile indexes are homed
+  // per-socket — per-core CCEH partitions carry their core's socket, the
+  // tree indexes become a NUMA-braided per-socket forest. Off: PM chunks
+  // are dealt round-robin across sockets (interleaved first-touch — about
+  // half of every core's persists cross the link), indexes are built
+  // socket-interleaved (every node miss pays half the remote surcharge),
+  // and group alignment is not enforced — the placement-off arm of the
+  // scaling A/B.
+  bool socket_local_placement = true;
 };
 
 // Result of Begin* calls.
@@ -329,6 +342,12 @@ class FlatStore {
 
   // ---- introspection ----
   index::KvIndex* IndexForCore(int core) const;
+  // Socket `core`'s serving thread is bound to (contiguous layout over
+  // the pool's sockets, mirroring the allocator's chunk-pool preference).
+  // The server runtime sets each core clock's socket from this.
+  int SocketForCore(int core) const {
+    return alloc_->SocketForCore(core);
+  }
   log::OpLog* LogForCore(int core) { return logs_[core].get(); }
   batch::HbEngine* hb() { return hb_.get(); }
   alloc::LazyAllocator* allocator() { return alloc_.get(); }

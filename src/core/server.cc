@@ -1,10 +1,13 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <deque>
 
+#include "common/random.h"
 #include "core/txn_wire.h"
+#include "net/shard_router.h"
 #include "vt/clock.h"
 #include "vt/costs.h"
 
@@ -219,7 +222,8 @@ void RespondNow(net::FlatRpc& rpc, int core, int conn,
 // deterministic for a given seed (host scheduling must not leak into the
 // model; the concurrent deployment is exercised by the test suite).
 bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
-                  CoreLoop& state, int read_batch, int write_batch) {
+                  CoreLoop& state, int read_batch, int write_batch,
+                  bool respect_arrival, uint64_t arrival_horizon) {
   vt::ScopedClock bind(&state.clock);
   bool progress = false;
   const bool batched = read_batch > 1;
@@ -229,8 +233,23 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
   // processing -- paper 3.1).
   for (int burst = 0; burst < 16; burst++) {
     int conn;
-    net::Request* req = rpc.PollRequest(core, &conn);
+    // Open loop admits in arrival order (earliest scheduled stamp first);
+    // closed loop keeps the round-robin poll.
+    net::Request* req = respect_arrival
+                            ? rpc.PollEarliestRequest(core, &conn)
+                            : rpc.PollRequest(core, &conn);
     if (req == nullptr) break;
+    if (respect_arrival) {
+      // Open loop: requests are stamped with *scheduled* (possibly
+      // future) arrivals. A core may only admit a request that has
+      // already arrived by its own clock, or the globally earliest
+      // pending one (the event horizon — some core must idle-advance to
+      // it or the simulation stalls). Without this, lockstep poll passes
+      // would fuse requests hundreds of microseconds apart into one
+      // persist batch and report queueing delay that never happened.
+      const uint64_t arr = rpc.ArrivalTime(*req);
+      if (arr > state.clock.now() && arr > arrival_horizon) break;
+    }
     if (batched && req->type == net::MsgType::kGet &&
         state.reads.size() >= static_cast<size_t>(read_batch)) {
       // Batch full: the Get stays at its ring head for the next quantum.
@@ -502,11 +521,26 @@ struct Conn {
   Posted posted[kMaxWindow];
   size_t nposted = 0;
   std::unique_ptr<workload::Generator> gen;
+  // Open-loop arrival schedule (ServerConfig::open_loop): scheduled
+  // instant of the last posted request and the exponential gap state.
+  uint64_t next_arrival = 0;
+  double mean_gap = 0;  // ns between this connection's arrivals
+  Rng arrival_rng{1};
   Histogram latency;
 };
 
-// Drains any delivered responses into the connection's accounting.
-void DrainResponses(net::FlatRpc& rpc, Conn* conn) {
+// One shard's runtime: its engine, RPC fabric, and per-core loop state.
+// RunServer is the one-shard special case; RunCluster keeps a vector.
+struct ShardRt {
+  EngineAdapter* engine = nullptr;
+  std::unique_ptr<net::FlatRpc> rpc;
+  std::vector<CoreLoop> cores;
+  Histogram latency;  // client-observed latency of ops this shard served
+};
+
+// Drains any delivered responses into the connection's accounting (and
+// the serving shard's latency histogram).
+void DrainResponses(net::FlatRpc& rpc, Conn* conn, Histogram* shard_latency) {
   net::Response resp;
   while (rpc.PollResponse(conn->id, &resp)) {
     const uint64_t arrival = net::FlatRpc::ResponseArrival(resp);
@@ -514,19 +548,29 @@ void DrainResponses(net::FlatRpc& rpc, Conn* conn) {
     size_t i = 0;
     while (i < conn->nposted && conn->posted[i].seq != resp.seq) i++;
     FLATSTORE_CHECK_LT(i, conn->nposted) << "response for unknown seq";
-    conn->latency.Record(arrival - conn->posted[i].post_time);
+    const uint64_t lat = arrival - conn->posted[i].post_time;
+    conn->latency.Record(lat);
+    if (shard_latency != nullptr) shard_latency->Record(lat);
     conn->posted[i] = conn->posted[--conn->nposted];
     conn->completed++;
   }
 }
 
-// One scheduling quantum of a connection: fill the request window, drain
-// responses. Returns true while the connection has work left.
-bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
+// One scheduling quantum of a connection: fill the request window across
+// the shard fleet, drain responses from every shard. Returns true while
+// the connection has work left. With one shard the routing collapses to
+// the unsharded path (the router is not even consulted).
+bool ConnStep(ShardRt* shards, size_t nshards,
+              const net::ShardRouter* router, Conn* conn,
               const ServerConfig& config, const uint8_t* value) {
   while (conn->issued < config.ops_per_conn &&
          conn->nposted < static_cast<size_t>(config.client_window)) {
     workload::Op op = conn->gen->Next();
+    const int shard_id =
+        nshards == 1 ? 0 : router->ShardForKey(op.key);
+    ShardRt& shard = shards[shard_id];
+    EngineAdapter* engine = shard.engine;
+    net::FlatRpc& rpc = *shard.rpc;
     net::Request req;
     req.seq = conn->next_seq;
     req.key = op.key;
@@ -537,7 +581,8 @@ bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
                 static_cast<uint64_t>(config.txn_every) - 1) {
           // Every txn_every-th write goes out as an atomic multi-put:
           // txn_size puts on same-core keys, scanned upward from the
-          // workload key so the whole txn routes to one core. Member
+          // workload key so the whole txn routes to one core (and, in a
+          // cluster, to one shard — a txn never spans shards). Member
           // values are capped at 128 B so the encoded txn always fits
           // the message buffer.
           req.type = net::MsgType::kTxn;
@@ -550,6 +595,7 @@ bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
           TxnOp ops[kMaxTxnOps];
           size_t nops = 0;
           for (uint64_t k = op.key; nops < want; k++) {
+            if (nshards > 1 && router->ShardForKey(k) != shard_id) continue;
             if (engine->CoreForKey(k) != target) continue;
             ops[nops] = TxnOp{};
             ops[nops].kind = TxnOpKind::kPut;
@@ -576,81 +622,154 @@ bool ConnStep(EngineAdapter* engine, net::FlatRpc& rpc, Conn* conn,
         req.value_len = 0;
         break;
     }
-    conn->clock += vt::kClientPostCost;
-    req.post_time = conn->clock;
+    uint64_t scheduled = 0;
+    if (config.open_loop) {
+      // Poisson arrivals: the request is stamped with its *scheduled*
+      // instant, decoupled from service progress. (If the window or ring
+      // blocked earlier, scheduled may lag conn->clock — the server sees
+      // a backlogged arrival, and latency from the scheduled instant
+      // shows the queueing.)
+      const double u = conn->arrival_rng.NextDouble();
+      uint64_t gap =
+          static_cast<uint64_t>(-conn->mean_gap * std::log1p(-u));
+      if (gap == 0) gap = 1;
+      scheduled = conn->next_arrival + gap;
+      req.post_time = scheduled;
+    } else {
+      conn->clock += vt::kClientPostCost;
+      req.post_time = conn->clock;
+    }
     if (!rpc.PostRequest(conn->id, engine->CoreForKey(op.key), req)) {
-      conn->clock -= vt::kClientPostCost;
+      if (!config.open_loop) conn->clock -= vt::kClientPostCost;
       break;  // ring full; retry after draining responses
+    }
+    if (config.open_loop) {
+      conn->next_arrival = scheduled;
+      conn->clock = std::max(conn->clock, scheduled);
     }
     conn->posted[conn->nposted++] = {req.seq, req.post_time};
     conn->next_seq++;
     conn->issued++;
   }
-  DrainResponses(rpc, conn);
+  for (size_t s = 0; s < nshards; s++) {
+    DrainResponses(*shards[s].rpc, conn, &shards[s].latency);
+  }
   return conn->completed < config.ops_per_conn;
 }
 
-}  // namespace
-
-ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
-  FLATSTORE_CHECK_LE(config.client_window, 8)
-      << "client window exceeds the response ring size";
-  const int read_batch =
-      std::min(config.read_batch, static_cast<int>(kMaxReadBatch));
-  const int write_batch =
-      std::min(config.write_batch, static_cast<int>(kMaxWriteBatch));
-  const bool coalesce = write_batch > 1;
+// Builds one shard's runtime: RPC fabric sized for the client fleet,
+// per-core loop state, and each core clock stamped with its socket (the
+// hook that makes cross-socket surcharges apply).
+ShardRt MakeShardRt(EngineAdapter* engine, const ServerConfig& config) {
+  ShardRt rt;
+  rt.engine = engine;
   net::FlatRpc::Options ro;
   ro.num_cores = engine->num_cores();
   ro.num_conns = config.num_conns;
   ro.all_to_all = config.all_to_all_qps;
-  net::FlatRpc rpc(ro);
+  rt.rpc = std::make_unique<net::FlatRpc>(ro);
+  rt.cores.resize(static_cast<size_t>(engine->num_cores()));
+  for (int c = 0; c < engine->num_cores(); c++) {
+    rt.cores[c].clock.set_socket(engine->SocketForCore(c));
+  }
+  return rt;
+}
 
+std::vector<Conn> MakeConns(const ServerConfig& config) {
   std::vector<Conn> conns(static_cast<size_t>(config.num_conns));
   for (int i = 0; i < config.num_conns; i++) {
     conns[i].id = i;
     conns[i].gen = std::make_unique<workload::Generator>(
         config.workload, config.seed * 7919 + static_cast<uint64_t>(i));
+    if (config.open_loop) {
+      FLATSTORE_CHECK_GT(config.offered_mops, 0.0);
+      // offered_mops is aggregate: each of num_conns connections offers
+      // an equal slice, so its mean gap is nconns/rate (rate in ops/ns).
+      conns[i].mean_gap = static_cast<double>(config.num_conns) * 1000.0 /
+                          config.offered_mops;
+      conns[i].arrival_rng =
+          Rng(config.seed * 104729 + static_cast<uint64_t>(i) + 1);
+    }
   }
+  return conns;
+}
 
-  const int ncores = engine->num_cores();
-  std::vector<CoreLoop> core_state(static_cast<size_t>(ncores));
+// Deterministic round-robin co-simulation of connections and the shard
+// fleet's cores. Within a sweep, poll and persist rounds alternate until
+// the cores run dry: every core stages (phase 1) before any persists
+// (phase 2) so leaders see their siblings' staged entries, and conflict-
+// queue retries (hot keys under skew) get another chance as soon as the
+// blocking op drains — not a whole sweep later. Shards interleave at
+// core granularity, so a one-shard run executes the exact instruction
+// sequence the pre-cluster loop did.
+void RunLoop(std::vector<ShardRt>& shards, const net::ShardRouter* router,
+             std::vector<Conn>& conns, const ServerConfig& config) {
+  const int read_batch =
+      std::min(config.read_batch, static_cast<int>(kMaxReadBatch));
+  const int write_batch =
+      std::min(config.write_batch, static_cast<int>(kMaxWriteBatch));
+  const bool coalesce = write_batch > 1;
   std::vector<EngineAdapter::Done> done_scratch;
   uint8_t value[net::kMaxMsgValue];
   std::memset(value, 0x5A, sizeof(value));
 
-  // Deterministic round-robin co-simulation of connections and cores.
-  // Within a sweep, poll and persist rounds alternate until the cores run
-  // dry: every core stages (phase 1) before any persists (phase 2) so
-  // leaders see their siblings' staged entries, and conflict-queue
-  // retries (hot keys under skew) get another chance as soon as the
-  // blocking op drains — not a whole sweep later.
+  // Earliest pending arrival across every shard and core — the open-loop
+  // event horizon recomputed before each poll pass. Closed loop never
+  // consults it (requests carry past stamps).
+  auto arrival_horizon = [&shards, &config]() -> uint64_t {
+    uint64_t h = UINT64_MAX;
+    if (!config.open_loop) return h;
+    for (ShardRt& sh : shards) {
+      for (int c = 0; c < sh.engine->num_cores(); c++) {
+        int conn;
+        net::Request* r = sh.rpc->PollEarliestRequest(c, &conn);
+        if (r != nullptr) h = std::min(h, sh.rpc->ArrivalTime(*r));
+      }
+    }
+    return h;
+  };
+
   bool work_left = true;
   while (work_left) {
     work_left = false;
     for (Conn& conn : conns) {
-      if (ConnStep(engine, rpc, &conn, config, value)) work_left = true;
+      if (ConnStep(shards.data(), shards.size(), router, &conn, config,
+                   value)) {
+        work_left = true;
+      }
     }
     bool round_progress = true;
     while (round_progress) {
       round_progress = false;
-      for (int c = 0; c < ncores; c++) {
-        if (CorePollStep(engine, rpc, c, core_state[c], read_batch,
-                         write_batch)) {
-          round_progress = true;
+      const uint64_t horizon = arrival_horizon();
+      for (ShardRt& sh : shards) {
+        for (int c = 0; c < sh.engine->num_cores(); c++) {
+          if (CorePollStep(sh.engine, *sh.rpc, c, sh.cores[c], read_batch,
+                           write_batch, config.open_loop, horizon)) {
+            round_progress = true;
+          }
         }
       }
       bool persist_progress = true;
       while (persist_progress) {
         persist_progress = false;
-        for (int c = 0; c < ncores; c++) {
-          if (CorePersistStep(engine, rpc, c, core_state[c],
-                              done_scratch, coalesce)) {
-            persist_progress = true;
-            round_progress = true;
+        for (ShardRt& sh : shards) {
+          for (int c = 0; c < sh.engine->num_cores(); c++) {
+            if (CorePersistStep(sh.engine, *sh.rpc, c, sh.cores[c],
+                                done_scratch, coalesce)) {
+              persist_progress = true;
+              round_progress = true;
+            }
           }
         }
       }
+      // Open loop: refill the client windows after EVERY pass. Draining
+      // the rings to empty first would let the cores chase the slowest
+      // connection's lookahead (its 8th future stamp) while other
+      // connections still have *earlier* arrivals to post — a host-order
+      // barrier that breaks virtual-time causality and reports queueing
+      // that never happened.
+      if (config.open_loop) break;
     }
   }
   // Final sweep: cores finish in-flight persists, clients collect the
@@ -658,31 +777,98 @@ ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (int c = 0; c < ncores; c++) {
-      if (CorePollStep(engine, rpc, c, core_state[c], read_batch,
-                       write_batch)) {
-        progress = true;
-      }
-      if (CorePersistStep(engine, rpc, c, core_state[c], done_scratch,
-                          coalesce)) {
-        progress = true;
+    const uint64_t horizon = arrival_horizon();
+    for (ShardRt& sh : shards) {
+      for (int c = 0; c < sh.engine->num_cores(); c++) {
+        if (CorePollStep(sh.engine, *sh.rpc, c, sh.cores[c], read_batch,
+                         write_batch, config.open_loop, horizon)) {
+          progress = true;
+        }
+        if (CorePersistStep(sh.engine, *sh.rpc, c, sh.cores[c],
+                            done_scratch, coalesce)) {
+          progress = true;
+        }
       }
     }
     for (Conn& conn : conns) {
       const uint64_t before = conn.completed;
-      DrainResponses(rpc, &conn);
+      for (ShardRt& sh : shards) {
+        DrainResponses(*sh.rpc, &conn, &sh.latency);
+      }
       if (conn.completed != before) progress = true;
     }
   }
+}
+
+// Per-shard metrics from its core loops (ops are counted server-side
+// here; the aggregate counts client-side completions — the totals match,
+// the split per shard is only visible on the serving end).
+ServerResult ShardResult(const ShardRt& sh) {
+  ServerResult r;
+  r.latency = sh.latency;
+  for (const CoreLoop& s : sh.cores) {
+    r.ops += s.completed;
+    r.core_ns.push_back(s.clock.now());
+    r.sim_ns = std::max(r.sim_ns, s.clock.now());
+  }
+  if (r.sim_ns > 0) {
+    r.mops = static_cast<double>(r.ops) * 1000.0 /
+             static_cast<double>(r.sim_ns);
+  }
+  return r;
+}
+
+}  // namespace
+
+ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config) {
+  FLATSTORE_CHECK_LE(config.client_window, 8)
+      << "client window exceeds the response ring size";
+  std::vector<ShardRt> shards;
+  shards.push_back(MakeShardRt(engine, config));
+  std::vector<Conn> conns = MakeConns(config);
+  RunLoop(shards, nullptr, conns, config);
 
   ServerResult result;
   for (const Conn& c : conns) {
     result.ops += c.completed;
     result.latency.Merge(c.latency);
   }
-  for (const CoreLoop& s : core_state) {
+  for (const CoreLoop& s : shards[0].cores) {
     result.core_ns.push_back(s.clock.now());
     result.sim_ns = std::max(result.sim_ns, s.clock.now());
+  }
+  if (result.sim_ns > 0) {
+    result.mops = static_cast<double>(result.ops) * 1000.0 /
+                  static_cast<double>(result.sim_ns);
+  }
+  return result;
+}
+
+ClusterResult RunCluster(const std::vector<EngineAdapter*>& engines,
+                         const ClusterConfig& config) {
+  FLATSTORE_CHECK_GE(engines.size(), 1u);
+  FLATSTORE_CHECK_LE(config.server.client_window, 8)
+      << "client window exceeds the response ring size";
+  net::ShardRouter router(config.router_vnodes);
+  for (size_t s = 0; s < engines.size(); s++) {
+    router.AddShard(static_cast<int>(s));
+  }
+  std::vector<ShardRt> shards;
+  shards.reserve(engines.size());
+  for (EngineAdapter* e : engines) {
+    shards.push_back(MakeShardRt(e, config.server));
+  }
+  std::vector<Conn> conns = MakeConns(config.server);
+  RunLoop(shards, &router, conns, config.server);
+
+  ClusterResult result;
+  for (const Conn& c : conns) {
+    result.ops += c.completed;
+    result.latency.Merge(c.latency);
+  }
+  for (const ShardRt& sh : shards) {
+    result.shards.push_back(ShardResult(sh));
+    result.sim_ns = std::max(result.sim_ns, result.shards.back().sim_ns);
   }
   if (result.sim_ns > 0) {
     result.mops = static_cast<double>(result.ops) * 1000.0 /

@@ -46,6 +46,13 @@ class EngineAdapter {
 
   virtual int num_cores() const = 0;
   virtual int CoreForKey(uint64_t key) const = 0;
+  // Socket `core`'s serving thread is bound to; the runtime stamps each
+  // core clock's socket from this, which is what makes remote-socket
+  // surcharges bite. Default: everything on socket 0.
+  virtual int SocketForCore(int core) const {
+    (void)core;
+    return 0;
+  }
   virtual const char* Name() const = 0;
 
   // Submits a Put/Delete on `core`. kPending completions surface through
@@ -152,6 +159,9 @@ class FlatStoreAdapter final : public EngineAdapter {
   int num_cores() const override { return store_->options().num_cores; }
   int CoreForKey(uint64_t key) const override {
     return store_->CoreForKey(key);
+  }
+  int SocketForCore(int core) const override {
+    return store_->SocketForCore(core);
   }
   const char* Name() const override {
     return IndexKindName(store_->options().index);
@@ -271,6 +281,17 @@ struct ServerConfig {
   workload::Config workload;
   bool all_to_all_qps = false;
   uint64_t seed = 1;
+  // Open-loop arrival process (offered-load sweeps): each connection
+  // draws exponential inter-arrival gaps so the fleet offers
+  // `offered_mops` million ops/s in aggregate, independent of service
+  // progress. Requests are stamped with their *scheduled* arrival
+  // instant and latency is measured from it, so driving the server past
+  // saturation shows up as unbounded queueing delay instead of silently
+  // throttling the offered load (the closed-loop default's behaviour).
+  // The client window still bounds in-flight requests per connection;
+  // window-full time counts as queueing latency.
+  bool open_loop = false;
+  double offered_mops = 1.0;  // aggregate across all connections
 };
 
 // Aggregated result of one run.
@@ -286,6 +307,37 @@ struct ServerResult {
 // Runs the full client/server simulation until every connection finishes
 // its quota; returns aggregate metrics.
 ServerResult RunServer(EngineAdapter* engine, const ServerConfig& config);
+
+// ---- scale-out (sharded) deployment ----
+
+// A cluster run drives N independent engine instances (shards) — each
+// with its own FlatRPC fabric and per-core loops — from one simulated
+// client-node fleet. Clients route each key to a shard through a
+// consistent-hash ring (net::ShardRouter) and then to a core via the
+// shard's own CoreForKey; shards share nothing, so the deployment's
+// crash/recovery story is per-shard.
+struct ClusterConfig {
+  // Per-shard serving knobs + the client fleet (num_conns = client
+  // nodes, each connected to every shard).
+  ServerConfig server;
+  // Consistent-hash points per shard.
+  int router_vnodes = 64;
+};
+
+struct ClusterResult {
+  uint64_t ops = 0;
+  uint64_t sim_ns = 0;  // max simulated core time across all shards
+  double mops = 0;      // aggregate ops over max shard time
+  Histogram latency;    // client-observed, all shards merged
+  std::vector<ServerResult> shards;  // per-shard breakdown
+};
+
+// Runs `shards.size()` engines as one cluster until every connection
+// finishes its quota. With one shard this is byte-for-byte RunServer
+// (same request stream, same virtual-time results) — the single-shard
+// path *is* the shared loop.
+ClusterResult RunCluster(const std::vector<EngineAdapter*>& shards,
+                         const ClusterConfig& config);
 
 // Convenience: bulk-load `keys` sequential keys through the engine's
 // synchronous path before a measured run (the paper preloads the key

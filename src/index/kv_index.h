@@ -46,18 +46,27 @@ struct PmContext {
   pm::PmPool* pool = nullptr;
   alloc::LazyAllocator* alloc = nullptr;
   int core = 0;  // allocator partition used for node allocations
+  // Socket whose DRAM holds this index's volatile nodes. kSocketNone (the
+  // default) keeps the index socket-agnostic — misses cost kCpuCacheMiss
+  // regardless of which core probes, the historical single-socket model.
+  // With a concrete socket, a probe from a core bound to another socket
+  // pays the cross-socket load surcharge per node dereference;
+  // kSocketInterleaved models pages striped across sockets (half the
+  // surcharge on every miss — the placement-off A/B configuration).
+  int home_socket = vt::kSocketNone;
 
   bool persistent() const { return pool != nullptr; }
   // Charges the fetch of one node/bucket line at `p`: an Optane media
   // read (through the device's bandwidth model) in persistent mode, a
   // DRAM cache miss in volatile mode. The volatile miss is amortized by
   // the active vt overlap factor (1 — i.e. unchanged — outside a batched
-  // MultiGet's prefetch-interleaved probe phase).
+  // MultiGet's prefetch-interleaved probe phase); the NUMA surcharge for
+  // remote-homed nodes rides inside the amortized cost.
   void ChargeNodeRead(const void* p) const {
     if (pool != nullptr) {
       pool->ChargeRead(p, 64);
     } else {
-      vt::ChargeMiss(vt::kCpuCacheMiss);
+      vt::ChargeMissAt(home_socket, vt::kCpuCacheMiss);
     }
   }
   // Flush helpers that collapse to no-ops in volatile mode.

@@ -1,0 +1,149 @@
+// NUMA-braided index: one sub-index per socket, keys routed so a lookup's
+// pointer chase stays on its home socket.
+//
+// FlatStore's volatile indexes live in DRAM. On a multi-socket server a
+// single monolithic tree interleaves its nodes across both sockets'
+// memory: every probe chases pointers through remote DRAM about half the
+// time, paying the inter-socket link on each node miss. The braided
+// variant instead keeps S independent sub-indexes, each homed on one
+// socket (PmContext::home_socket), and routes a key to the sub-index of
+// the socket that serves the key's core:
+//
+//   shard(key) = SocketForCore(CoreForKey(key))
+//              = (HashKey(key, seed) % num_cores) * sockets / num_cores
+//
+// Because the routing reuses the engine's CoreForKey hash, the core that
+// serves a request always probes its *own* socket's sub-index — the whole
+// pointer chase is local. A probe issued from a foreign socket (cleaner
+// relocation, Scan merge) pays at most the one cross-socket hop the
+// home_socket surcharge models; the chase never ping-pongs between
+// sockets the way an interleaved tree does.
+//
+// Scan stitches the per-socket trees back together with a k-way merge;
+// ordered iteration is the one operation that inherently crosses sockets.
+
+#ifndef FLATSTORE_INDEX_NUMA_SHARDED_INDEX_H_
+#define FLATSTORE_INDEX_NUMA_SHARDED_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "index/kv_index.h"
+
+namespace flatstore {
+namespace index {
+
+// Wraps `shards.size()` per-socket OrderedKvIndex instances (shard s
+// should be built with PmContext::home_socket = s). Routing mirrors the
+// engine: `num_cores` and `seed` must match FlatStore's CoreForKey so
+// core-to-shard affinity holds.
+class NumaShardedIndex final : public OrderedKvIndex {
+ public:
+  NumaShardedIndex(std::vector<std::unique_ptr<OrderedKvIndex>> shards,
+                   int num_cores, uint64_t seed)
+      : shards_(std::move(shards)), num_cores_(num_cores), seed_(seed) {
+    FLATSTORE_CHECK_GE(shards_.size(), 1u);
+    FLATSTORE_CHECK_GE(num_cores_, static_cast<int>(shards_.size()));
+  }
+
+  // Shard (== socket) a key routes to. Exposed so tests can assert the
+  // routing agrees with the engine's core placement.
+  int ShardForKey(uint64_t key) const {
+    const int core =
+        static_cast<int>(HashKey(key, seed_) %
+                         static_cast<uint64_t>(num_cores_));
+    return core * static_cast<int>(shards_.size()) / num_cores_;
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const OrderedKvIndex* shard(int s) const { return shards_[s].get(); }
+
+  bool Upsert(uint64_t key, uint64_t value, uint64_t* old_value) override {
+    return shards_[ShardForKey(key)]->Upsert(key, value, old_value);
+  }
+  bool Get(uint64_t key, uint64_t* value) const override {
+    return shards_[ShardForKey(key)]->Get(key, value);
+  }
+  void PrefetchGet(uint64_t key, LookupHint* hint) const override {
+    shards_[ShardForKey(key)]->PrefetchGet(key, hint);
+  }
+  bool GetWithHint(uint64_t key, const LookupHint& hint,
+                   uint64_t* value) const override {
+    return shards_[ShardForKey(key)]->GetWithHint(key, hint, value);
+  }
+  void PrefetchInsert(uint64_t key, LookupHint* hint) const override {
+    shards_[ShardForKey(key)]->PrefetchInsert(key, hint);
+  }
+  bool InsertWithHint(uint64_t key, uint64_t value, uint64_t* old_value,
+                      const LookupHint& hint) override {
+    return shards_[ShardForKey(key)]->InsertWithHint(key, value, old_value,
+                                                     hint);
+  }
+  bool Erase(uint64_t key, uint64_t* old_value) override {
+    return shards_[ShardForKey(key)]->Erase(key, old_value);
+  }
+  bool CompareExchange(uint64_t key, uint64_t expected,
+                       uint64_t desired) override {
+    return shards_[ShardForKey(key)]->CompareExchange(key, expected, desired);
+  }
+  bool EraseIfEqual(uint64_t key, uint64_t expected) override {
+    return shards_[ShardForKey(key)]->EraseIfEqual(key, expected);
+  }
+
+  void ForEach(
+      const std::function<void(uint64_t, uint64_t)>& fn) const override {
+    for (const auto& s : shards_) s->ForEach(fn);
+  }
+
+  uint64_t Size() const override {
+    uint64_t n = 0;
+    for (const auto& s : shards_) n += s->Size();
+    return n;
+  }
+
+  const char* Name() const override { return "NUMA-braided"; }
+
+  // K-way merge over the per-socket trees. Each sub-scan over-fetches
+  // `count` pairs (any key >= start_key on any shard may rank within the
+  // global first `count`), then the merge keeps the smallest `count`.
+  uint64_t Scan(uint64_t start_key, uint64_t count,
+                std::vector<KvPair>* out) const override {
+    if (count == 0) return 0;
+    std::vector<std::vector<KvPair>> runs(shards_.size());
+    for (size_t s = 0; s < shards_.size(); s++) {
+      runs[s].reserve(count);
+      shards_[s]->Scan(start_key, count, &runs[s]);
+    }
+    std::vector<size_t> pos(shards_.size(), 0);
+    uint64_t taken = 0;
+    while (taken < count) {
+      int best = -1;
+      for (size_t s = 0; s < runs.size(); s++) {
+        if (pos[s] >= runs[s].size()) continue;
+        if (best < 0 ||
+            runs[s][pos[s]].key < runs[best][pos[best]].key) {
+          best = static_cast<int>(s);
+        }
+      }
+      if (best < 0) break;
+      out->push_back(runs[best][pos[best]++]);
+      taken++;
+    }
+    return taken;
+  }
+
+ private:
+  std::vector<std::unique_ptr<OrderedKvIndex>> shards_;
+  int num_cores_;
+  uint64_t seed_;
+};
+
+}  // namespace index
+}  // namespace flatstore
+
+#endif  // FLATSTORE_INDEX_NUMA_SHARDED_INDEX_H_

@@ -88,6 +88,21 @@ void FlatRpc::PopRequest(int core, int conn) {
   ReqRing(conn, core).Pop();
 }
 
+Request* FlatRpc::PollEarliestRequest(int core, int* conn) {
+  Request* best = nullptr;
+  int best_conn = -1;
+  for (int c = 0; c < options_.num_conns; c++) {
+    Request* r = ReqRing(c, core).Front();
+    if (r != nullptr &&
+        (best == nullptr || r->post_time < best->post_time)) {
+      best = r;
+      best_conn = c;
+    }
+  }
+  if (best != nullptr) *conn = best_conn;
+  return best;
+}
+
 void FlatRpc::PostResponse(int core, int conn, Response* response,
                            uint64_t not_before, bool chained) {
   const uint64_t now = std::max(vt::Now(), not_before);

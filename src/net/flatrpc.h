@@ -91,6 +91,14 @@ class FlatRpc {
   Request* PollRequest(int core, int* conn);
   void PopRequest(int core, int conn);
 
+  // Like PollRequest but returns the pending head with the *earliest*
+  // post time instead of the round-robin pick. Open-loop serving uses
+  // this so a core admits requests in arrival order — with scheduled
+  // (future-stamped) arrivals, round-robin could jump the core's clock
+  // past another connection's earlier request and report queueing delay
+  // that never happened. Alloc-free.
+  Request* PollEarliestRequest(int core, int* conn);
+
   // Stamps `request`'s response with its NIC time (direct vs. delegated
   // depending on the mode and whether `core` is the agent) and delivers
   // it. Charges the posting costs to the calling clock. `not_before` is

@@ -1,0 +1,68 @@
+#include "net/shard_router.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace flatstore {
+namespace net {
+
+ShardRouter::ShardRouter(int vnodes, uint64_t seed)
+    : vnodes_(vnodes), seed_(seed) {
+  FLATSTORE_CHECK_GE(vnodes_, 1);
+}
+
+uint64_t ShardRouter::PointHash(int shard, int replica) const {
+  // One well-mixed point per (shard, replica); the shard id sits in the
+  // high half so nearby ids do not collide before hashing.
+  return HashKey((static_cast<uint64_t>(static_cast<uint32_t>(shard)) << 32) |
+                     static_cast<uint32_t>(replica),
+                 seed_);
+}
+
+bool ShardRouter::HasShard(int shard) const {
+  for (const Point& p : ring_) {
+    if (p.shard == shard) return true;
+  }
+  return false;
+}
+
+void ShardRouter::AddShard(int shard) {
+  if (HasShard(shard)) return;
+  for (int r = 0; r < vnodes_; r++) {
+    ring_.push_back({PointHash(shard, r), shard});
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) {
+              // Tie-break on shard id so the ring order — and therefore
+              // routing — never depends on insertion order.
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+  num_shards_++;
+}
+
+void ShardRouter::RemoveShard(int shard) {
+  const size_t before = ring_.size();
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard](const Point& p) {
+                               return p.shard == shard;
+                             }),
+              ring_.end());
+  if (ring_.size() != before) num_shards_--;
+}
+
+int ShardRouter::ShardForKey(uint64_t key) const {
+  if (ring_.empty()) return -1;
+  const uint64_t h = HashKey(key, seed_);
+  // First point clockwise of h; wrap to the ring start past the last.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), h,
+                             [](const Point& p, uint64_t hash) {
+                               return p.hash < hash;
+                             });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+}  // namespace net
+}  // namespace flatstore

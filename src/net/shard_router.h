@@ -1,0 +1,69 @@
+// Consistent-hash shard router.
+//
+// The scale-out deployment runs N independent FlatStore instances
+// (shards), each with its own PM pool, log, and serving cores. Clients
+// route every key through this ring: each shard contributes `vnodes`
+// pseudo-random points on a 64-bit hash circle, and a key belongs to the
+// first point clockwise of its hash. Properties the tests pin down:
+//
+//  * stability — adding or removing one shard moves only the keys that
+//    hash into the arcs the changed shard's vnodes cover, roughly a
+//    1/N fraction; every other key keeps its shard. (Modulo routing
+//    would reshuffle nearly everything.)
+//  * determinism — the ring is a pure function of (shard ids, vnodes,
+//    seed); two routers built with the same parameters agree on every
+//    key, so clients need no coordination.
+//  * alloc-free lookups — the ring is a sorted flat vector and
+//    ShardForKey is one hash plus a binary search; no heap traffic on
+//    the per-request path (hotpath_alloc_test covers this).
+//
+// The router is client-side, mutated only between runs; lookups are
+// const and safe to share across simulated client threads.
+
+#ifndef FLATSTORE_NET_SHARD_ROUTER_H_
+#define FLATSTORE_NET_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flatstore {
+namespace net {
+
+class ShardRouter {
+ public:
+  // `vnodes` points per shard; more vnodes = smoother balance and finer
+  // movement granularity on membership change. `seed` decorrelates the
+  // ring from every other hash in the system (key routing, index
+  // buckets).
+  explicit ShardRouter(int vnodes = 64, uint64_t seed = 0x51A2D);
+
+  // Adds / removes a shard id (idempotent: re-adding an existing id or
+  // removing an absent one is a no-op). O(ring size log ring size).
+  void AddShard(int shard);
+  void RemoveShard(int shard);
+
+  // Shard owning `key`, or -1 on an empty ring. Allocation-free.
+  int ShardForKey(uint64_t key) const;
+
+  int num_shards() const { return num_shards_; }
+  bool HasShard(int shard) const;
+  int vnodes() const { return vnodes_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int shard;
+  };
+
+  uint64_t PointHash(int shard, int replica) const;
+
+  int vnodes_;
+  uint64_t seed_;
+  int num_shards_ = 0;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace net
+}  // namespace flatstore
+
+#endif  // FLATSTORE_NET_SHARD_ROUTER_H_

@@ -6,6 +6,7 @@
 
 #include "common/cacheline.h"
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace flatstore {
 namespace pm {
@@ -21,7 +22,10 @@ using vt::kPmSeqBlockService;
 using vt::kPmWcEntries;
 using vt::kPmWcWindow;
 
-PmDevice::PmDevice() : recent_lines_(kLineTableSize) {}
+PmDevice::PmDevice(int num_sockets)
+    : num_sockets_(num_sockets), recent_lines_(kLineTableSize) {
+  FLATSTORE_CHECK(num_sockets >= 1 && num_sockets <= vt::kMaxSockets);
+}
 
 void PmDevice::Reset() {
   for (auto& d : dimms_) {
@@ -39,10 +43,12 @@ void PmDevice::Reset() {
   }
 }
 
-uint64_t PmDevice::FlushLine(uint64_t line_off, uint64_t issue_time) {
+uint64_t PmDevice::FlushLine(uint64_t line_off, uint64_t issue_time,
+                             int socket) {
+  FLATSTORE_DCHECK(socket >= 0 && socket < num_sockets_);
   const uint64_t line = CachelineIndex(line_off);
   const uint64_t block = PmBlockIndex(line_off);
-  Dimm& dimm = dimms_[(line_off / kPmInterleave) % kPmDimms];
+  Dimm& dimm = DimmFor(socket, line_off);
 
   // Repeated-flush-same-line penalty (paper §2.3, ~800 ns). The table is a
   // direct-mapped cache keyed by line index; collisions simply evict.
@@ -111,8 +117,10 @@ uint64_t PmDevice::QueueDelay(Dimm& dimm, uint64_t issue_time,
                                (1.0 - rho));
 }
 
-uint64_t PmDevice::ReadLine(uint64_t line_off, uint64_t issue_time) {
-  Dimm& dimm = dimms_[(line_off / kPmInterleave) % kPmDimms];
+uint64_t PmDevice::ReadLine(uint64_t line_off, uint64_t issue_time,
+                            int socket) {
+  FLATSTORE_DCHECK(socket >= 0 && socket < num_sockets_);
+  Dimm& dimm = DimmFor(socket, line_off);
   return issue_time + kPmReadLatency +
          QueueDelay(dimm, issue_time, vt::kPmReadService);
 }

@@ -44,23 +44,30 @@
 namespace flatstore {
 namespace pm {
 
-// One emulated PM device (a set of interleaved DIMMs). Shared by all cores.
+// One emulated PM device (per-socket sets of interleaved DIMMs). Shared by
+// all cores. A multi-socket machine has kPmDimms DIMMs *per socket*, each
+// socket's set behind its own memory controller — so aggregate PM
+// bandwidth scales with sockets, exactly the resource the NUMA-aware
+// placement tries to exploit and naive placement wastes on link traffic.
 class PmDevice {
  public:
-  PmDevice();
+  explicit PmDevice(int num_sockets = 1);
   PmDevice(const PmDevice&) = delete;
   PmDevice& operator=(const PmDevice&) = delete;
 
-  // Issues a flush of the cacheline at pool offset `line_off` (must be
-  // 64 B aligned) at simulated time `issue_time`. Returns the simulated
-  // time at which the line is durable on media.
-  uint64_t FlushLine(uint64_t line_off, uint64_t issue_time);
+  int num_sockets() const { return num_sockets_; }
 
-  // Charges a media read of one cacheline at `issue_time`. Reads share
-  // the DIMM's bandwidth with writes (they contribute to the utilization
-  // estimate and suffer the same queueing delay), plus the fixed media
-  // read latency. Returns the completion time.
-  uint64_t ReadLine(uint64_t line_off, uint64_t issue_time);
+  // Issues a flush of the cacheline at pool offset `line_off` (must be
+  // 64 B aligned) at simulated time `issue_time`, on `socket`'s DIMM set.
+  // Returns the simulated time at which the line is durable on media.
+  uint64_t FlushLine(uint64_t line_off, uint64_t issue_time, int socket = 0);
+
+  // Charges a media read of one cacheline at `issue_time` on `socket`'s
+  // DIMM set. Reads share the DIMM's bandwidth with writes (they
+  // contribute to the utilization estimate and suffer the same queueing
+  // delay), plus the fixed media read latency. Returns the completion
+  // time.
+  uint64_t ReadLine(uint64_t line_off, uint64_t issue_time, int socket = 0);
 
   // Clears queues / WC buffers / in-place tracking (between experiments).
   void Reset();
@@ -91,7 +98,15 @@ class PmDevice {
   };
   static constexpr size_t kLineTableSize = 1 << 16;
 
-  Dimm dimms_[vt::kPmDimms];
+  // DIMM for (socket, line): each socket owns a contiguous slice of
+  // kPmDimms entries; addresses interleave across the slice.
+  Dimm& DimmFor(int socket, uint64_t line_off) {
+    return dimms_[static_cast<size_t>(socket) * vt::kPmDimms +
+                  (line_off / vt::kPmInterleave) % vt::kPmDimms];
+  }
+
+  int num_sockets_;
+  Dimm dimms_[vt::kMaxSockets * vt::kPmDimms];
   std::vector<LineSlot> recent_lines_;
 };
 

@@ -20,7 +20,16 @@ const char* PmPool::CrashModeName(CrashMode mode) {
 }
 
 PmPool::PmPool(const Options& options)
-    : size_(AlignUp(options.size, 4ull << 20)), device_(options.device) {
+    : size_(AlignUp(options.size, 4ull << 20)),
+      num_sockets_(options.num_sockets),
+      device_(options.device) {
+  FLATSTORE_CHECK(num_sockets_ >= 1 && num_sockets_ <= vt::kMaxSockets);
+  if (device_ != nullptr) {
+    FLATSTORE_CHECK_GE(device_->num_sockets(), num_sockets_)
+        << "pool spans more sockets than the device models";
+  }
+  socket_span_ =
+      AlignUp(size_ / static_cast<uint64_t>(num_sockets_), 4ull << 20);
   mem_ = NewPageAlignedZeroed(size_);
   if (options.crash_tracking) {
     shadow_ = NewPageAlignedZeroed(size_);
@@ -44,7 +53,14 @@ void PmPool::Persist(const void* p, uint64_t len) {
     if (clock != nullptr) {
       clock->Advance(vt::kClwbIssueCost);
       if (device_ != nullptr) {
-        uint64_t completion = device_->FlushLine(off, clock->now());
+        const int socket = SocketOf(off);
+        uint64_t issue = clock->now();
+        // A flush targeting another socket's DIMMs crosses the
+        // inter-socket link before the remote controller accepts it.
+        if (num_sockets_ > 1 && socket != clock->socket()) {
+          issue += vt::kRemoteSocketPersistPenalty;
+        }
+        uint64_t completion = device_->FlushLine(off, issue, socket);
         clock->RaisePendingFence(completion + vt::kPmFlushLatency);
       }
     }
@@ -167,17 +183,27 @@ void PmPool::ChargeRead(const void* p, uint64_t len) {
 
 uint64_t PmPool::ChargeReadAt(const void* p, uint64_t len,
                               uint64_t issue_time) {
-  if (device_ == nullptr) return issue_time + vt::kPmReadLatency;
   const uint64_t begin = OffsetOf(p);
+  const int socket = SocketOf(begin);
+  // A load homed on another socket pays the link round trip on top of the
+  // media read; the lines of one call pipeline, so the surcharge applies
+  // once per dereference, not per line.
+  const uint64_t surcharge =
+      (num_sockets_ > 1 && socket != vt::CurrentSocket())
+          ? vt::kRemoteSocketLoadPenalty
+          : 0;
+  if (device_ == nullptr) {
+    return issue_time + vt::kPmReadLatency + surcharge;
+  }
   uint64_t lines = len == 0 ? 1 : CachelineSpan(begin, len);
   if (lines > 4) lines = 4;  // streaming reads pipeline beyond one block
   uint64_t completion = issue_time;
   for (uint64_t i = 0; i < lines; i++) {
     completion = device_->ReadLine(CachelineAlignDown(begin) +
                                        i * kCachelineSize,
-                                   issue_time);
+                                   issue_time, socket);
   }
-  return completion;
+  return completion + surcharge;
 }
 
 void PmPool::Fence() {

@@ -61,6 +61,12 @@ class PmPool {
     bool crash_tracking = false;
     // Optional timing model; flushes are free when null.
     PmDevice* device = nullptr;
+    // Sockets the region spans: the pool is split into num_sockets
+    // contiguous spans, each homed on one socket's DIMM set. Accesses
+    // from a core on another socket (vt::CurrentSocket()) pay the
+    // cross-socket surcharges. 1 (the default) reproduces the
+    // single-socket model exactly.
+    int num_sockets = 1;
   };
 
   // How the shadow image behaves around the flush-budget power cut.
@@ -97,6 +103,20 @@ class PmPool {
   // Base address / size of the emulated region.
   char* base() const { return mem_.get(); }
   uint64_t size() const { return size_; }
+
+  // --- NUMA topology ---
+
+  int num_sockets() const { return num_sockets_; }
+
+  // Socket owning the byte at pool offset `off`: the pool is cut into
+  // num_sockets contiguous, 4 MB-aligned spans (so allocator chunks never
+  // straddle a socket boundary). Always 0 on single-socket pools.
+  int SocketOf(uint64_t off) const {
+    FLATSTORE_DCHECK(off < size_);
+    const int s = static_cast<int>(off / socket_span_);
+    return s < num_sockets_ ? s : num_sockets_ - 1;
+  }
+  int SocketOfPtr(const void* p) const { return SocketOf(OffsetOf(p)); }
 
   // Pointer <-> pool-offset conversion. Offsets are what gets stored in
   // PM-resident pointers (`Ptr` fields) so pools are relocatable.
@@ -225,6 +245,8 @@ class PmPool {
   }
 
   uint64_t size_;
+  int num_sockets_;
+  uint64_t socket_span_;  // bytes per socket (4 MB multiple)
   PageAlignedBuf mem_;
   PageAlignedBuf shadow_;  // null unless crash_tracking
   PmDevice* device_;

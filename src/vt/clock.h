@@ -25,12 +25,27 @@
 namespace flatstore {
 namespace vt {
 
+// Home-socket sentinels for structures whose placement is not pinned to
+// one socket. kSocketNone (the default everywhere) means "socket-agnostic"
+// — no remote surcharge is ever applied, preserving the single-socket
+// model exactly. kSocketInterleaved marks memory striped across every
+// socket (the placement-off A/B): a deterministic fraction of accesses is
+// remote regardless of the executing core.
+inline constexpr int kSocketNone = -1;
+inline constexpr int kSocketInterleaved = -2;
+
 // A simulated-nanosecond clock for one execution context. Not thread-safe:
 // exactly one host thread drives a given Clock at a time.
 class Clock {
  public:
   // Current simulated time in ns.
   uint64_t now() const { return now_; }
+
+  // The socket this execution context runs on (0 on single-socket
+  // machines). Set once by whoever owns the core layout (the server
+  // runtime); charges consult it through vt::CurrentSocket().
+  int socket() const { return socket_; }
+  void set_socket(int socket) { socket_ = socket; }
 
   // Advances by `ns` of simulated work.
   void Advance(uint64_t ns) { now_ += ns; }
@@ -57,6 +72,7 @@ class Clock {
  private:
   uint64_t now_ = 0;
   uint64_t pending_fence_ = 0;
+  int socket_ = 0;
 };
 
 // Returns the clock bound to this host thread, or nullptr.
@@ -64,6 +80,25 @@ Clock* CurrentClock();
 
 // Binds `c` (may be nullptr) to this host thread; returns the old binding.
 Clock* SetCurrentClock(Clock* c);
+
+// Socket of the bound clock, or 0 when none is bound (plain unit tests
+// behave as single-socket machines).
+inline int CurrentSocket() {
+  Clock* c = CurrentClock();
+  return c ? c->socket() : 0;
+}
+
+// Extra per-cacheline stall for accessing memory homed on `home_socket`
+// from the current execution context. kSocketNone is free (socket-
+// agnostic memory, the single-socket model); kSocketInterleaved charges
+// half the penalty — the deterministic expectation of striped placement
+// on a 2-socket machine; a concrete socket charges the full penalty iff
+// it differs from the executing core's.
+inline uint64_t RemoteLoadSurcharge(int home_socket) {
+  if (home_socket == kSocketNone) return 0;
+  if (home_socket == kSocketInterleaved) return kRemoteSocketLoadPenalty / 2;
+  return home_socket == CurrentSocket() ? 0 : kRemoteSocketLoadPenalty;
+}
 
 // Advances the current clock by `ns`; no-op when none is bound.
 inline void Charge(uint64_t ns) {
@@ -94,6 +129,14 @@ int SetCurrentOverlap(int ways);
 // the active overlap factor (full latency when serial).
 inline void ChargeMiss(uint64_t miss) {
   Charge(OverlappedMissCost(CurrentOverlap(), miss));
+}
+
+// ChargeMiss for memory homed on `home_socket`: a remote line stalls for
+// the miss plus the inter-socket link. The surcharge rides inside the
+// overlapped cost — remote loads pipeline across interleaved chains just
+// like local ones, only with a longer round trip.
+inline void ChargeMissAt(int home_socket, uint64_t miss) {
+  ChargeMiss(miss + RemoteLoadSurcharge(home_socket));
 }
 
 // RAII overlap window. MultiGet opens one for its prefetch + probe

@@ -66,6 +66,27 @@ inline constexpr uint64_t kPmInPlaceWindow = 1000;
 // read), charged by engines when they chase pointers into PM.
 inline constexpr uint64_t kPmReadLatency = 170;
 
+// ---- NUMA / multi-socket ----------------------------------------------
+//
+// The paper's testbed is a 2-socket machine: each socket owns its own set
+// of kPmDimms DIMMs (and its share of DRAM), and any access whose target
+// lives on the *other* socket crosses the inter-socket link (UPI). The
+// surcharges below are per-cacheline and land on top of the local cost:
+// remote Optane loads measure ~1.7-2x local latency, remote stores pay
+// the link plus the remote controller's write path.
+
+// Upper bound on emulated sockets (sizes the device's DIMM array).
+inline constexpr int kMaxSockets = 4;
+
+// Extra latency of a cache-miss-class *load* (DRAM or PM) whose home
+// socket differs from the executing core's.
+inline constexpr uint64_t kRemoteSocketLoadPenalty = 110;
+
+// Extra latency of a flush (clwb) targeting a cacheline owned by another
+// socket: the line crosses the link before the remote controller accepts
+// it into its ADR domain.
+inline constexpr uint64_t kRemoteSocketPersistPenalty = 240;
+
 // Media occupancy of one cacheline read (reads are ~2-3x cheaper than the
 // 256 B write block service but share the DIMM bandwidth).
 inline constexpr uint64_t kPmReadService = 25;

@@ -58,6 +58,14 @@ TEST(FsLintFixtures, HotAllocFlagsLockAndAllocation) {
   EXPECT_EQ(vs.size(), 2u);
 }
 
+TEST(FsLintFixtures, RemoteWriteFlagsStoreAndMemcpy) {
+  auto vs = RunFixture("remote_write.cc");
+  EXPECT_EQ(CountRule(vs, "remote-write"), 2u);
+  // The waived replication path and the local append are clean; every
+  // store reaches a PersistFence, so pm-store stays quiet.
+  EXPECT_EQ(vs.size(), 2u) << (vs.empty() ? "" : Format(vs[0]));
+}
+
 TEST(FsLintFixtures, CleanFixtureHasZeroViolations) {
   auto vs = RunFixture("clean.cc");
   EXPECT_TRUE(vs.empty()) << (vs.empty() ? "" : Format(vs[0]));
@@ -65,11 +73,12 @@ TEST(FsLintFixtures, CleanFixtureHasZeroViolations) {
 
 TEST(FsLintFixtures, TreeWalkAggregatesEveryFixture) {
   auto vs = LintTree(FS_LINT_FIXTURE_DIR);
-  EXPECT_EQ(vs.size(), 7u);
+  EXPECT_EQ(vs.size(), 9u);
   EXPECT_EQ(CountRule(vs, "fence-after-persist"), 2u);
   EXPECT_EQ(CountRule(vs, "pm-store"), 2u);
   EXPECT_EQ(CountRule(vs, "relaxed-needs-reason"), 1u);
   EXPECT_EQ(CountRule(vs, "hot-path"), 2u);
+  EXPECT_EQ(CountRule(vs, "remote-write"), 2u);
 }
 
 // --- rule semantics on inline snippets ---
@@ -131,6 +140,32 @@ TEST(FsLintRules, PersistFenceAloneSatisfiesTheFenceRule) {
   const std::string code =
       "void F(Pool* p, void* r) { p->PersistFence(r, 8); }\n";
   EXPECT_TRUE(LintFile("src/log/f.cc", code).empty());
+}
+
+TEST(FsLintRules, NetLayerIsExemptFromRemoteWrite) {
+  const std::string code =
+      "struct P { void* At(unsigned long); "
+      "void PersistFence(const void*, int); };\n"
+      "void F(P* p) {\n"
+      "  char* remote_buf = static_cast<char*>(p->At(0));\n"
+      "  remote_buf[0] = 1;\n"
+      "  p->PersistFence(remote_buf, 1);\n"
+      "}\n";
+  // The same write is a remote-write violation in the log layer but
+  // sanctioned inside src/net (the router/replication fabric).
+  auto vs = LintFile("src/log/f.cc", code);
+  ASSERT_EQ(vs.size(), 1u) << Format(vs[0]);
+  EXPECT_EQ(vs[0].rule, "remote-write");
+  EXPECT_TRUE(LintFile("src/net/f.cc", code).empty());
+}
+
+TEST(FsLintRules, EmptyRemoteWriteWaiverIsItselfAViolation) {
+  const std::string code =
+      "// fs-lint: remote-write()\n"
+      "void F(int* p) { *p = 1; }\n";
+  auto vs = LintFile("src/log/f.cc", code);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "waiver-needs-reason");
 }
 
 TEST(FsLintRules, MissingFileReportsIoViolation) {

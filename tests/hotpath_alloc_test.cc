@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/flatstore.h"
+#include "net/flatrpc.h"
+#include "net/shard_router.h"
 #include "pm/pm_pool.h"
 
 namespace {
@@ -233,6 +235,73 @@ TEST(HotPathAlloc, TxnCommitIsAllocationFree) {
   EXPECT_EQ(after - before, 0u)
       << "txn commit path heap-allocated " << (after - before)
       << " times across 100 warm transactions";
+}
+
+// The cluster client's per-request routing decision: ShardForKey is a
+// hash plus a binary search over the prebuilt ring — no heap traffic once
+// the ring exists.
+TEST(HotPathAlloc, ShardRouterLookupIsAllocationFree) {
+  net::ShardRouter router;
+  for (int s = 0; s < 4; s++) router.AddShard(s);
+
+  uint64_t sink = 0;
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (uint64_t k = 0; k < 100000; k++) {
+    sink += static_cast<uint64_t>(router.ShardForKey(k));
+  }
+  const uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_GT(sink, 0u);
+  EXPECT_EQ(after - before, 0u)
+      << "ShardForKey heap-allocated " << (after - before)
+      << " times across 100k lookups";
+}
+
+// The open-loop admission path: post a future-stamped request, find the
+// earliest pending head (the event-horizon scan RunLoop performs before
+// every poll pass), pop it, answer it. All of it rides the preallocated
+// SPSC rings.
+TEST(HotPathAlloc, OpenLoopAdmissionIsAllocationFree) {
+  net::FlatRpc::Options opt;
+  opt.num_cores = 2;
+  opt.num_conns = 8;
+  net::FlatRpc rpc(opt);
+  vt::Clock clock;
+  vt::ScopedClock bind(&clock);
+
+  net::Request req{};
+  req.type = net::MsgType::kGet;
+  req.key = 1;
+
+  auto cycle = [&](uint64_t stamp) {
+    for (int c = 0; c < opt.num_conns; c++) {
+      req.seq = stamp + static_cast<uint64_t>(c);
+      req.post_time = stamp + static_cast<uint64_t>(c);  // distinct arrivals
+      ASSERT_TRUE(rpc.PostRequest(c, /*core=*/0, req));
+    }
+    for (int i = 0; i < opt.num_conns; i++) {
+      int conn = -1;
+      net::Request* head = rpc.PollEarliestRequest(0, &conn);
+      ASSERT_NE(head, nullptr);
+      // Earliest-first: heads come back in post_time order.
+      ASSERT_EQ(head->post_time, stamp + static_cast<uint64_t>(i));
+      net::Response resp{};
+      resp.seq = head->seq;
+      rpc.PostResponse(0, conn, &resp);
+      rpc.PopRequest(0, conn);
+      net::Response out;
+      while (rpc.PollResponse(conn, &out)) {
+      }
+    }
+  };
+
+  for (uint64_t i = 0; i < 10; i++) cycle(i * 1000);  // warm-up
+
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (uint64_t i = 10; i < 110; i++) cycle(i * 1000);
+  const uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "open-loop admission heap-allocated " << (after - before)
+      << " times across 100 warm post/poll/pop cycles";
 }
 
 // Same engine, write volume crossing a chunk boundary: the rollover path

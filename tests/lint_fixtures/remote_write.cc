@@ -1,0 +1,40 @@
+// fs_lint fixture: the remote-write rule. Writes through PM pointers
+// that *name* another socket's memory (remote_* / peer_*) must carry a
+// fs-lint: remote-write(<reason>) waiver; socket-local writes and the
+// waived replication path are clean. This file is parsed by
+// fs_lint_test, never compiled.
+
+struct Pool {
+  void* At(unsigned long off);
+  void PersistFence(const void* p, unsigned long n);
+};
+
+// Violation: raw field store through another socket's chunk.
+void MigrateEntry(Pool* pool, unsigned long off, char b) {
+  char* remote_chunk = static_cast<char*>(pool->At(off));
+  remote_chunk[0] = b;
+  pool->PersistFence(remote_chunk, 1);
+}
+
+// Violation: memcpy into a peer socket's log tail.
+void CopyToPeer(Pool* pool, const char* src, unsigned long n) {
+  char* peer_tail = static_cast<char*>(pool->At(64));
+  memcpy(peer_tail, src, n);
+  pool->PersistFence(peer_tail, n);
+}
+
+// Clean: the sanctioned replication fan-out, waived with a reason.
+void ReplicateRecord(Pool* pool, const char* src, unsigned long n) {
+  char* remote_slot = static_cast<char*>(pool->At(128));
+  // fs-lint: remote-write(replication fan-out persists on the follower's
+  // socket by design; the surcharge is the price of redundancy)
+  memcpy(remote_slot, src, n);
+  pool->PersistFence(remote_slot, n);
+}
+
+// Clean: a socket-local append — no remote marker near the pointer.
+void AppendLocal(Pool* pool, char b) {
+  char* head = static_cast<char*>(pool->At(0));
+  head[0] = b;
+  pool->PersistFence(head, 1);
+}

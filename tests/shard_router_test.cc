@@ -1,0 +1,136 @@
+// ShardRouter (consistent-hash ring) tests: deterministic placement,
+// reasonable balance, and — the property the ring exists for — bounded
+// key movement when shards join or leave: only keys adjacent to the
+// changed shard's virtual nodes move, and they move to/from that shard
+// exclusively.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/shard_router.h"
+
+namespace flatstore {
+namespace net {
+namespace {
+
+constexpr uint64_t kKeys = 20000;
+
+TEST(ShardRouter, EmptyRingRoutesNowhere) {
+  ShardRouter router;
+  EXPECT_EQ(router.num_shards(), 0);
+  EXPECT_EQ(router.ShardForKey(42), -1);
+}
+
+TEST(ShardRouter, SingleShardTakesEverything) {
+  ShardRouter router;
+  router.AddShard(7);
+  for (uint64_t k = 0; k < kKeys; k++) {
+    ASSERT_EQ(router.ShardForKey(k), 7);
+  }
+}
+
+TEST(ShardRouter, DeterministicAcrossInstances) {
+  ShardRouter a;
+  ShardRouter b;
+  for (int s = 0; s < 4; s++) {
+    a.AddShard(s);
+    b.AddShard(s);
+  }
+  for (uint64_t k = 0; k < kKeys; k++) {
+    ASSERT_EQ(a.ShardForKey(k), b.ShardForKey(k));
+  }
+}
+
+TEST(ShardRouter, InsertionOrderDoesNotMatter) {
+  ShardRouter a;
+  ShardRouter b;
+  for (int s = 0; s < 4; s++) a.AddShard(s);
+  for (int s = 3; s >= 0; s--) b.AddShard(s);
+  for (uint64_t k = 0; k < kKeys; k++) {
+    ASSERT_EQ(a.ShardForKey(k), b.ShardForKey(k));
+  }
+}
+
+TEST(ShardRouter, AddShardIsIdempotent) {
+  ShardRouter router;
+  router.AddShard(0);
+  router.AddShard(1);
+  router.AddShard(1);
+  EXPECT_EQ(router.num_shards(), 2);
+  ShardRouter once;
+  once.AddShard(0);
+  once.AddShard(1);
+  for (uint64_t k = 0; k < kKeys; k++) {
+    ASSERT_EQ(router.ShardForKey(k), once.ShardForKey(k));
+  }
+}
+
+TEST(ShardRouter, RoughlyBalanced) {
+  ShardRouter router;
+  constexpr int kShards = 4;
+  for (int s = 0; s < kShards; s++) router.AddShard(s);
+  std::map<int, uint64_t> counts;
+  for (uint64_t k = 0; k < kKeys; k++) counts[router.ShardForKey(k)]++;
+  ASSERT_EQ(counts.size(), kShards);
+  for (const auto& [shard, n] : counts) {
+    // 64 vnodes per shard keeps the spread modest; accept 2x skew.
+    EXPECT_GT(n, kKeys / (2 * kShards)) << "shard " << shard;
+    EXPECT_LT(n, kKeys / 2) << "shard " << shard;
+  }
+}
+
+TEST(ShardRouter, AddMovesKeysOnlyToTheNewShard) {
+  ShardRouter before;
+  ShardRouter after;
+  for (int s = 0; s < 3; s++) {
+    before.AddShard(s);
+    after.AddShard(s);
+  }
+  after.AddShard(3);
+  uint64_t moved = 0;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    const int was = before.ShardForKey(k);
+    const int now = after.ShardForKey(k);
+    if (was != now) {
+      ASSERT_EQ(now, 3) << "key " << k
+                        << " moved between two surviving shards";
+      moved++;
+    }
+  }
+  // Expect ~1/4 of the space to transfer; assert it stays bounded
+  // (whole-space reshuffles would move ~3/4).
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(ShardRouter, RemoveMovesOnlyTheDepartedShardsKeys) {
+  ShardRouter before;
+  for (int s = 0; s < 4; s++) before.AddShard(s);
+  ShardRouter after = before;
+  after.RemoveShard(2);
+  EXPECT_EQ(after.num_shards(), 3);
+  EXPECT_FALSE(after.HasShard(2));
+  for (uint64_t k = 0; k < kKeys; k++) {
+    const int was = before.ShardForKey(k);
+    const int now = after.ShardForKey(k);
+    if (was != 2) {
+      ASSERT_EQ(now, was) << "key " << k << " moved off a surviving shard";
+    } else {
+      ASSERT_NE(now, 2);
+    }
+  }
+}
+
+TEST(ShardRouter, RemoveLastShardEmptiesRing) {
+  ShardRouter router;
+  router.AddShard(0);
+  router.RemoveShard(0);
+  EXPECT_EQ(router.num_shards(), 0);
+  EXPECT_EQ(router.ShardForKey(1), -1);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace flatstore

@@ -172,6 +172,26 @@ bool IsPmLayer(const std::string& path) {
   return false;
 }
 
+bool IsNetLayer(const std::string& path) {
+  std::filesystem::path p(path);
+  for (const auto& part : p.parent_path()) {
+    if (part == "net") return true;
+  }
+  return false;
+}
+
+// Remote-socket naming marker (rule 5): identifiers / expressions that
+// announce cross-socket memory.
+bool NamesRemote(const std::string& s) {
+  std::string low;
+  low.reserve(s.size());
+  for (char c : s) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return low.find("remote") != std::string::npos ||
+         low.find("peer") != std::string::npos;
+}
+
 // First argument of the call to `fn` found in `code`, or "" when absent.
 std::string FirstArgOf(const std::string& code, const std::string& fn) {
   size_t pos = 0;
@@ -228,6 +248,13 @@ struct PendingPmStore {
   std::string what;
 };
 
+// A PM-derived pointer binding. `remote` marks bindings whose name or
+// obtaining expression names cross-socket memory (rule 5).
+struct Taint {
+  std::string name;
+  bool remote = false;
+};
+
 struct FunctionState {
   int start_line = 0;        // 0-based line of the opening brace
   int body_depth = 0;        // brace depth of the body
@@ -238,15 +265,18 @@ struct FunctionState {
   std::vector<int> pending_returns;  // returns seen while unfenced
   std::vector<PendingPmStore> pm_stores;
   std::vector<int> persist_lines;  // every Persist/PersistFence call line
-  std::vector<std::string> tainted;  // identifiers bound to PM pointers
+  std::vector<Taint> tainted;  // identifiers bound to PM pointers
 };
 
-bool IsTainted(const FunctionState& fn, const std::string& expr) {
-  if (MentionsTaintSource(expr)) return true;
+// 0 = not PM-derived, 1 = PM-derived, 2 = PM-derived and remote-named.
+int TaintOf(const FunctionState& fn, const std::string& expr) {
+  int taint = 0;
+  if (MentionsTaintSource(expr)) taint = NamesRemote(expr) ? 2 : 1;
   for (const auto& v : fn.tainted) {
-    if (ContainsWord(expr, v)) return true;
+    if (!ContainsWord(expr, v.name)) continue;
+    taint = std::max(taint, v.remote ? 2 : 1);
   }
-  return false;
+  return taint;
 }
 
 // Truncates and cleans a signature for use in messages.
@@ -273,6 +303,7 @@ std::vector<Violation> LintFile(const std::string& path,
                                 const std::string& contents) {
   std::vector<Violation> out;
   const bool pm_layer = IsPmLayer(path);
+  const bool net_layer = IsNetLayer(path);
   const std::vector<Line> lines = SplitLines(contents);
 
   // File-level blanket waiver for the relaxed rule.
@@ -357,7 +388,7 @@ std::vector<Violation> LintFile(const std::string& path,
     // --- waiver bookkeeping (reasons must be non-empty) ---
     for (const char* marker :
          {"fs-lint: deferred-fence(", "fs-lint: pm-write(",
-          "fs-lint: hot-ok("}) {
+          "fs-lint: hot-ok(", "fs-lint: remote-write("}) {
       std::string reason;
       if (WaiverReason(comment, marker, &reason) && reason.empty()) {
         out.push_back({path, static_cast<int>(li) + 1, "waiver-needs-reason",
@@ -398,32 +429,51 @@ std::vector<Violation> LintFile(const std::string& path,
         }
 
         // rule 2: pm-store. New taints first, then violating stores.
+        // rule 5: remote-write fires at the store line itself (persisting
+        // a remote write later does not make it local).
+        auto flag_remote = [&](const std::string& what) {
+          if (net_layer) return;  // sanctioned cross-socket fabric
+          if (HasNearbyComment(lines, static_cast<int>(li),
+                               "fs-lint: remote-write(")) {
+            return;
+          }
+          out.push_back(
+              {path, static_cast<int>(li) + 1, "remote-write",
+               what +
+                   " targets remote-socket PM (remote/peer-named pointer) "
+                   "in '" +
+                   fn.name_hint +
+                   "'; route it through the net layer or waive with "
+                   "// fs-lint: remote-write(<reason>)"});
+        };
         std::smatch m;
         std::string rest = code;
         std::vector<std::string> tainted_here;
         while (std::regex_search(rest, m, kTaintDef)) {
-          fn.tainted.push_back(m[1].str());
+          fn.tainted.push_back({m[1].str(), NamesRemote(m[0].str())});
           tainted_here.push_back(m[1].str());
           rest = m.suffix().str();
         }
         for (const char* f : {"memcpy", "memset"}) {
           std::string arg = FirstArgOf(code, f);
-          if (!arg.empty() && IsTainted(fn, arg)) {
-            fn.pm_stores.push_back(
-                {static_cast<int>(li), std::string(f) + "()"});
-          }
+          if (arg.empty()) continue;
+          const int taint = TaintOf(fn, arg);
+          if (taint == 0) continue;
+          fn.pm_stores.push_back(
+              {static_cast<int>(li), std::string(f) + "()"});
+          if (taint == 2) flag_remote(std::string(f) + "()");
         }
         // Raw stores through a tainted pointer: `v->f = `, `v[i] = `,
         // `*v = ` (compound assignments included; == excluded). A line
         // that taints `v` IS its declaration/rebinding — the `*` there is
         // the declarator, not a dereference — so it is never a store.
-        for (const std::string& v : fn.tainted) {
-          if (std::find(tainted_here.begin(), tainted_here.end(), v) !=
+        for (const Taint& v : fn.tainted) {
+          if (std::find(tainted_here.begin(), tainted_here.end(), v.name) !=
               tainted_here.end()) {
             continue;
           }
           std::regex store(
-              R"((\*\s*)?\b)" + v +
+              R"((\*\s*)?\b)" + v.name +
               R"(\b\s*(->\s*[A-Za-z_][A-Za-z0-9_]*|\[[^\]]*\])*\s*([|&^+\-*\/%]?=)([^=]|$))");
           std::smatch sm;
           if (std::regex_search(code, sm, store)) {
@@ -431,7 +481,8 @@ std::vector<Violation> LintFile(const std::string& path,
             bool deref = sm[1].matched || sm[2].matched;
             if (deref) {
               fn.pm_stores.push_back({static_cast<int>(li),
-                                      "store through '" + v + "'"});
+                                      "store through '" + v.name + "'"});
+              if (v.remote) flag_remote("store through '" + v.name + "'");
               break;
             }
           }

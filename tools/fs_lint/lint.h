@@ -31,6 +31,18 @@
 //     `.lock()`); `try_lock` is allowed (HB leader election never
 //     blocks). Waive with `// fs-lint: hot-ok(<reason>)`.
 //
+//  5. remote-write: outside `src/pm` and `src/net` (the router /
+//     replication fabric is the sanctioned cross-socket path), a PM write
+//     (rule 2's store forms) through a pointer that *names* another
+//     socket's memory — the identifier or its obtaining expression
+//     contains `remote` or `peer` — must carry
+//     `// fs-lint: remote-write(<reason>)`. Naming is the contract:
+//     NUMA-placed code that deliberately touches a non-home socket says
+//     so in the pointer's name (`remote_chunk`, `peer_tail`), and the
+//     lint turns that intention into a reviewable waiver. The socket
+//     surcharge makes accidental remote writes slow; this makes them
+//     visible at review time.
+//
 // Every waiver must carry a non-empty reason inside the parentheses; an
 // empty waiver is itself a violation.
 
