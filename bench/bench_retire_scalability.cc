@@ -77,6 +77,7 @@ ModeResult RunMode(int threads, bool emulate_lock) {
   std::thread lock_cleaner;
   if (emulate_lock) {
     lock_cleaner = std::thread([&retire, &stop_cleaner] {
+      // relaxed: plain stop flag, no data is published through it
       while (!stop_cleaner.load(std::memory_order_relaxed)) {
         {
           std::unique_lock<std::shared_mutex> g(retire);
@@ -136,6 +137,7 @@ ModeResult RunMode(int threads, bool emulate_lock) {
       store->Pump(core);
       store->Drain(core, SIZE_MAX, nullptr);
     }
+    // relaxed: statistics counter, read only after the threads join
     total_ops.fetch_add(ops, std::memory_order_relaxed);
   };
 
@@ -147,6 +149,7 @@ ModeResult RunMode(int threads, bool emulate_lock) {
 
   store->StopCleaners();
   if (emulate_lock) {
+    // relaxed: plain stop flag, the join below is the synchronization
     stop_cleaner.store(true, std::memory_order_relaxed);
     lock_cleaner.join();
   }

@@ -67,7 +67,7 @@
 // allocation and blocking lock acquisition inside (PR 1 made these paths
 // allocation-free; the lint keeps them that way). try_lock is allowed —
 // the HB protocol's leader election never blocks. Waive a finding with
-// `// fs-lint: hot-ok(<reason>)`.
+// a hot-ok waiver carrying a reason.
 #if defined(__GNUC__) || defined(__clang__)
 #define FS_HOT __attribute__((hot))
 #else

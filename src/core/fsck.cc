@@ -209,6 +209,8 @@ FsckReport FsckPool(const pm::PmPool& pool) {
     // Chain-aware walk (§5.3): txn members surface only behind a valid
     // commit record, exactly as recovery will replay them; chains without
     // one are counted and warned about below.
+    // fs-lint: unpinned-read(offline pool; no serving thread or cleaner runs)
+    // Nothing can retire the chunk mid-walk.
     log::ChainedChunkReader reader(mutable_pool, r.off, committed);
     log::DecodedEntry e;
     uint64_t off;

@@ -12,16 +12,24 @@ namespace log {
 void RootArea::Format(int num_cores) {
   FLATSTORE_CHECK(num_cores >= 1 && num_cores <= kMaxCores);
   std::memset(pool_->base(), 0, alloc::kChunkSize);
+  // The zeroed root chunk (tail slots, registry) is made durable before
+  // any superblock field so a torn format can never pair fresh fields
+  // with stale metadata.
+  pool_->PersistFence(pool_->base(), alloc::kChunkSize);
   Superblock* sb = superblock();
-  sb->magic = kSuperblockMagic;
   sb->num_cores = static_cast<uint32_t>(num_cores);
   sb->clean_shutdown = 0;
   sb->checkpoint_off = 0;
   sb->checkpoint_items = 0;
   sb->pool_size = pool_->size();
-  // Persist the whole root chunk (zeroed areas included) once at format.
-  pool_->Persist(pool_->base(), alloc::kChunkSize);
+  pool_->Persist(sb, sizeof(Superblock));
   pool_->Fence();
+  // The magic is the pool's validity bit: it becomes durable only after
+  // every other field is fenced. Writing it first risked a cacheline
+  // eviction persisting a "valid" magic over an otherwise torn format,
+  // which Open() would then trust.
+  sb->magic = kSuperblockMagic;
+  pool_->PersistFence(&sb->magic, sizeof(sb->magic));
 }
 
 uint64_t RootArea::ReadTail(int core, uint64_t* seq) const {

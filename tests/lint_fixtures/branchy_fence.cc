@@ -1,0 +1,57 @@
+// Fixture: path-sensitive fence checking on the CFG. A fence on one
+// branch must not excuse the other; a crash path owes no fence; a
+// flag-correlated fence is waived at the site with fence-guarded.
+// Not compiled — parsed by fs_lint_test only.
+
+struct Pool {
+  void Persist(const void* p, unsigned long len);
+  void PersistFence(const void* p, unsigned long len);
+  void Fence();
+};
+
+// Only the `flush` arm fences: the fall-through path is dirty.
+void BranchFence(Pool* pool, void* rec, unsigned long len, bool flush) {
+  pool->Persist(rec, len);
+  if (flush) {
+    pool->Fence();
+  }
+}  // VIOLATION: the !flush path leaves the persist unfenced
+
+// Both arms fence: clean although no single fence dominates the exit.
+void BothArmsFence(Pool* pool, void* rec, unsigned long len, bool fast) {
+  pool->Persist(rec, len);
+  if (fast) {
+    pool->Fence();
+  } else {
+    pool->PersistFence(rec, len);
+  }
+}  // ok
+
+// An early return before the persist owes nothing.
+bool PersistAfterGate(Pool* pool, void* rec, unsigned long len) {
+  if (rec == nullptr) return false;  // ok: no persist pending yet
+  pool->Persist(rec, len);
+  pool->Fence();
+  return true;
+}
+
+// A crash path is not a way out of the function.
+void PersistOrDie(Pool* pool, void* rec, unsigned long len, bool ok) {
+  pool->Persist(rec, len);
+  if (!ok) {
+    FLATSTORE_CHECK(false) << "lost the record";  // ok: noreturn
+  }
+  pool->Fence();
+}
+
+// Flag-correlated fence the dataflow cannot see: waive at the persist
+// site. Unlike deferred-fence this exports no obligation to callers.
+void GuardedFence(Pool* pool, void* rec, unsigned long len, bool dirty) {
+  if (dirty) {
+    // fs-lint: fence-guarded(fenced below under the same dirty flag)
+    pool->Persist(rec, len);
+  }
+  if (dirty) {
+    pool->Fence();
+  }
+}  // ok: waived

@@ -1,0 +1,49 @@
+// Fixture: interprocedural fence tracking through the summary DB. A
+// helper that always fences clears its caller's obligation (even two
+// levels deep); a deferred-fence helper hands the obligation to its
+// caller, who must discharge it before returning.
+// Not compiled — parsed by fs_lint_test only.
+
+struct Pool {
+  void Persist(const void* p, unsigned long len);
+  void Fence();
+};
+
+// Helper that persists and fences: callers owe nothing.
+void FlushRecord(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+  pool->Fence();
+}
+
+// The caller's own persist is drained by the helper's fence.
+void CommitViaHelper(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+  FlushRecord(pool, rec, len);  // ok: callee always fences
+}
+
+// Fencing is transitive through a second wrapper level.
+void FlushTwice(Pool* pool, void* rec, unsigned long len) {
+  FlushRecord(pool, rec, len);
+}
+
+void CommitViaTwoLevels(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+  FlushTwice(pool, rec, len);  // ok: fences transitively
+}
+
+// Helper that persists but defers the fence to its caller by contract.
+// fs-lint: deferred-fence(the batch loop fences once for the group)
+void StageRecord(Pool* pool, void* rec, unsigned long len) {
+  pool->Persist(rec, len);
+}
+
+// A caller that forgets the helper's deferred obligation.
+void CommitForgetsHelperFence(Pool* pool, void* rec, unsigned long len) {
+  StageRecord(pool, rec, len);
+}  // VIOLATION: the staged persist is never fenced
+
+// A caller that discharges it.
+void CommitDischargesHelperFence(Pool* pool, void* rec, unsigned long len) {
+  StageRecord(pool, rec, len);
+  pool->Fence();
+}  // ok

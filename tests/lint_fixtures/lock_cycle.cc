@@ -1,0 +1,67 @@
+// Fixture: lock-order cycles. Two functions that take the same pair of
+// locks in opposite orders form a potential deadlock; both witness
+// acquisitions are reported. A lock-order waiver drops the edge.
+// Not compiled — parsed by fs_lint_test only.
+
+struct SpinLock {
+  void lock();
+  void unlock();
+};
+
+template <typename T>
+struct LockGuard {
+  explicit LockGuard(T& l);
+};
+
+struct TwoLocks {
+  SpinLock alpha_lock;
+  SpinLock beta_lock;
+
+  void AlphaThenBeta() {
+    LockGuard<SpinLock> ga(alpha_lock);
+    LockGuard<SpinLock> gb(beta_lock);  // VIOLATION: half of the cycle
+  }
+
+  void BetaThenAlpha() {
+    LockGuard<SpinLock> gb(beta_lock);
+    LockGuard<SpinLock> ga(alpha_lock);  // VIOLATION: closes the cycle
+  }
+};
+
+struct OrderedLocks {
+  SpinLock outer_lock;
+  SpinLock inner_lock;
+
+  // Consistent order everywhere: no cycle.
+  void OuterThenInnerA() {
+    LockGuard<SpinLock> go(outer_lock);
+    LockGuard<SpinLock> gi(inner_lock);  // ok
+  }
+
+  void OuterThenInnerB() {
+    LockGuard<SpinLock> go(outer_lock);
+    LockGuard<SpinLock> gi(inner_lock);  // ok: same order, deduped edge
+  }
+
+  // A REQUIRES annotation seeds the held-set without a guard in the body.
+  void WithOuterHeld() REQUIRES(outer_lock) {
+    LockGuard<SpinLock> gi(inner_lock);  // ok: still outer -> inner
+  }
+};
+
+struct InitLocks {
+  SpinLock cfg_lock;
+  SpinLock table_lock;
+
+  void CfgThenTable() {
+    LockGuard<SpinLock> gc(cfg_lock);
+    LockGuard<SpinLock> gt(table_lock);  // ok
+  }
+
+  // The reverse order runs only before threads exist: waive the edge.
+  void TableThenCfg() {
+    LockGuard<SpinLock> gt(table_lock);
+    // fs-lint: lock-order(startup path runs before any thread is spawned)
+    LockGuard<SpinLock> gc(cfg_lock);  // ok: waived
+  }
+};

@@ -1,0 +1,79 @@
+// Fixture: persist-before-publish ordering. A store to a recovery-root
+// location (superblock field, release-store of a tail/commit word) must
+// not become visible while earlier PM writes are still unfenced.
+// Not compiled — parsed by fs_lint_test only.
+
+struct Superblock {
+  unsigned long head_off;
+  unsigned long commit_seq;
+};
+
+struct AtomicU64 {
+  void store(unsigned long v, int order);
+};
+
+struct Tail {
+  AtomicU64 commit_tail;
+};
+
+struct Pool {
+  void* At(unsigned long off);
+  Superblock* superblock();
+  void Persist(const void* p, unsigned long len);
+  void PersistFence(const void* p, unsigned long len);
+  void Fence();
+};
+
+// The superblock pointer flips before the payload's fence: recovery can
+// chase head_off into unpersisted bytes.
+void PublishUnfenced(Pool* pool, unsigned long off, const char* src,
+                     unsigned long len) {
+  char* dst = static_cast<char*>(pool->At(off));
+  for (unsigned long i = 0; i < len; i++) dst[i] = src[i];
+  pool->Persist(dst, len);
+  Superblock* sb = pool->superblock();
+  sb->head_off = off;  // VIOLATION: the payload persist is not fenced yet
+  pool->PersistFence(&sb->head_off, 8);
+}
+
+// Release-store publication of a commit word has the same obligation.
+void ReleasePublishUnfenced(Pool* pool, unsigned long off, Tail* t,
+                            unsigned long len) {
+  char* dst = static_cast<char*>(pool->At(off));
+  dst[0] = 1;
+  pool->Persist(dst, len);
+  t->commit_tail.store(off, std::memory_order_release);  // VIOLATION
+  pool->Fence();
+}
+
+// The canonical order: persist, fence, then publish.
+void PublishFenced(Pool* pool, unsigned long off, const char* src,
+                   unsigned long len) {
+  char* dst = static_cast<char*>(pool->At(off));
+  for (unsigned long i = 0; i < len; i++) dst[i] = src[i];
+  pool->PersistFence(dst, len);
+  Superblock* sb = pool->superblock();
+  sb->head_off = off;  // ok: payload fenced before the publication
+  pool->PersistFence(&sb->head_off, 8);
+}
+
+// A run of superblock fields must not flag one another: a publish store
+// is the publication itself, not pending payload.
+void PublishPair(Pool* pool, unsigned long a, unsigned long b) {
+  Superblock* sb = pool->superblock();
+  sb->head_off = a;    // ok
+  sb->commit_seq = b;  // ok
+  pool->PersistFence(sb, 16);
+}
+
+// Waived: publication gated by a later validity bit.
+void PublishGated(Pool* pool, unsigned long off, const char* src,
+                  unsigned long len) {
+  char* dst = static_cast<char*>(pool->At(off));
+  for (unsigned long i = 0; i < len; i++) dst[i] = src[i];
+  pool->Persist(dst, len);
+  Superblock* sb = pool->superblock();
+  // fs-lint: publish-ok(head_off is dead until commit_seq is fenced later)
+  sb->head_off = off;
+  pool->PersistFence(sb, 16);
+}

@@ -1,0 +1,66 @@
+// Fixture: epoch-pin discipline. Decoding a log entry requires an
+// epoch pin (Guard/GuestGuard in scope, or a manual Pin) on every path,
+// and the obligation follows log-reading helpers to their callers.
+// Not compiled — parsed by fs_lint_test only.
+
+struct EpochManager {
+  void Pin(int slot);
+  void Unpin(int slot);
+};
+
+struct Guard {
+  Guard(EpochManager* m, int slot);
+};
+
+struct GuestGuard {
+  GuestGuard(EpochManager* m);
+};
+
+bool DecodeEntry(const unsigned char* p, unsigned long cap, void* out);
+
+// No pin at all: a cleaner can retire the chunk mid-decode.
+void ScanUnpinned(const unsigned char* base, void* out) {
+  DecodeEntry(base, 64, out);  // VIOLATION: no epoch pin in scope
+}
+
+// Pinned on one path only: the pin dies with the if-block's scope.
+void ScanHalfPinned(EpochManager* mgr, const unsigned char* base, void* out,
+                    bool pin) {
+  if (pin) {
+    GuestGuard g(mgr);
+    DecodeEntry(base, 64, out);  // ok: pinned here
+  }
+  DecodeEntry(base, 64, out);  // VIOLATION: pin not held on every path
+}
+
+// Scoped pin covering the read.
+void ScanPinned(EpochManager* mgr, const unsigned char* base, void* out) {
+  GuestGuard g(mgr);
+  DecodeEntry(base, 64, out);  // ok
+}
+
+// Manual pin/unpin pair.
+void ScanManual(EpochManager* mgr, const unsigned char* base, void* out) {
+  mgr->Pin(0);
+  DecodeEntry(base, 64, out);  // ok
+  mgr->Unpin(0);
+}
+
+// Contract: callers hold the pin. The marker waives the body and turns
+// the obligation into a summary bit that callers must discharge.
+// fs-lint: epoch-held(all callers run inside the drain guard)
+void ScanByContract(const unsigned char* base, void* out) {
+  DecodeEntry(base, 64, out);  // ok: annotated
+}
+
+// Calling a log-reading helper without a pin is flagged at the call.
+void CallsHelperUnpinned(const unsigned char* base, void* out) {
+  ScanByContract(base, out);  // VIOLATION: helper reads the log unpinned
+}
+
+// The same call under a pin is fine.
+void CallsHelperPinned(EpochManager* mgr, const unsigned char* base,
+                       void* out) {
+  GuestGuard g(mgr);
+  ScanByContract(base, out);  // ok
+}

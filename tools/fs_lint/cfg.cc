@@ -1,0 +1,821 @@
+#include "cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace fslint {
+namespace {
+
+bool IsControlKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch", "catch",  "return",
+      "sizeof", "alignof", "new",   "delete", "throw",  "case",
+      "do",     "else",    "goto",  "decltype", "static_assert",
+      "alignas", "noexcept"};
+  return kw.count(s) > 0;
+}
+
+// Statements that never fall through: the path dies here, so exit-path
+// rules (fence-after-persist) must not treat them as a way out of the
+// function. Only literal `CHECK(false)` / `assert(0)` forms count — a
+// conditional CHECK can pass.
+bool IsNoreturnStmt(const std::vector<Tok>& T, size_t i, size_t end) {
+  if (i >= end) return false;
+  if (T[i].IsIdent("throw")) return true;
+  size_t k = i;
+  if (T[k].IsIdent("std") && k + 2 < end && T[k + 1].Is("::")) k += 2;
+  if (T[k].kind != Tok::kIdent || k + 1 >= end || !T[k + 1].Is("(")) {
+    return false;
+  }
+  const std::string& id = T[k].text;
+  if (id == "abort" || id == "exit" || id == "_exit" || id == "_Exit" ||
+      id == "quick_exit" || id == "terminate" ||
+      id == "__builtin_unreachable" || id == "__builtin_trap") {
+    return true;
+  }
+  if ((id == "FLATSTORE_CHECK" || id == "FLATSTORE_DCHECK" ||
+       id == "assert") &&
+      k + 2 < end &&
+      (T[k + 2].IsIdent("false") ||
+       (T[k + 2].kind == Tok::kNumber && T[k + 2].text == "0"))) {
+    return true;
+  }
+  return false;
+}
+
+bool IsAnnotationMacro(const std::string& s) {
+  static const std::set<std::string> an = {
+      "REQUIRES",       "REQUIRES_SHARED",  "ACQUIRE",
+      "ACQUIRE_SHARED", "RELEASE",          "RELEASE_SHARED",
+      "RELEASE_GENERIC", "TRY_ACQUIRE",     "TRY_ACQUIRE_SHARED",
+      "EXCLUDES",       "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY",
+      "RETURN_CAPABILITY", "GUARDED_BY",    "PT_GUARDED_BY",
+      "ACQUIRED_BEFORE", "ACQUIRED_AFTER",  "CAPABILITY",
+      "SCOPED_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS"};
+  return an.count(s) > 0;
+}
+
+// Strips `template < ... >` sequences from a header token-index list (the
+// parameter list would otherwise contribute `class` / `typename` tokens
+// that confuse scope classification and name finding).
+std::vector<size_t> StripTemplates(const std::vector<Tok>& T,
+                                   const std::vector<size_t>& hdr) {
+  std::vector<size_t> out;
+  for (size_t k = 0; k < hdr.size(); k++) {
+    if (T[hdr[k]].IsIdent("template") && k + 1 < hdr.size() &&
+        T[hdr[k + 1]].Is("<")) {
+      int depth = 0;
+      k++;  // at '<'
+      for (; k < hdr.size(); k++) {
+        if (T[hdr[k]].Is("<")) depth++;
+        if (T[hdr[k]].Is(">")) {
+          depth--;
+          if (depth == 0) break;
+        }
+        if (T[hdr[k]].Is(">>")) depth -= 2;  // nested close
+        if (depth <= 0) break;
+      }
+      continue;
+    }
+    out.push_back(hdr[k]);
+  }
+  return out;
+}
+
+std::string CleanSignature(const std::vector<Tok>& T,
+                           const std::vector<size_t>& hdr) {
+  std::string out;
+  for (size_t k : hdr) {
+    const std::string& s = T[k].text;
+    if (!out.empty() && (std::isalnum(static_cast<unsigned char>(s[0])) ||
+                         s[0] == '_' || s == "::")) {
+      if (out.back() != ':' && out.back() != '(' && s != "::" && s != "(" &&
+          s != ")") {
+        out += ' ';
+      }
+    }
+    out += s;
+    if (out.size() > 80) break;
+  }
+  if (out.size() > 60) out = out.substr(0, 57) + "...";
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// CFG builder
+// --------------------------------------------------------------------------
+
+class Builder {
+ public:
+  Builder(const LexFile& lex, FunctionDef* fn,
+          std::vector<FunctionDef>* lambdas)
+      : T(lex.toks), lex_(lex), fn_(fn), lambdas_(lambdas) {}
+
+  void Build(size_t body_first, size_t body_last) {
+    fn_->nodes.clear();
+    NewNode(0, 0, 0);  // entry
+    NewNode(0, 0, 0);  // exit
+    size_t i = body_first;
+    std::vector<int> outs =
+        ParseStmts(i, body_last, {FunctionDef::kEntry}, NewScope());
+    Connect(outs, FunctionDef::kExit);
+  }
+
+ private:
+  const std::vector<Tok>& T;
+  const LexFile& lex_;
+  FunctionDef* fn_;
+  std::vector<FunctionDef>* lambdas_;
+  int next_scope_ = 0;
+  std::vector<std::vector<int>*> brk_;  // break collection, innermost last
+  std::vector<int> cont_;               // continue targets
+
+  int NewScope() { return next_scope_++; }
+
+  int NewNode(size_t a, size_t b, int scope) {
+    CfgNode n;
+    n.first_tok = static_cast<int>(a);
+    n.last_tok = static_cast<int>(b);
+    n.scope_id = scope;
+    if (!T.empty()) {
+      n.line = T[a < T.size() ? a : T.size() - 1].line;
+    }
+    fn_->nodes.push_back(n);
+    return static_cast<int>(fn_->nodes.size()) - 1;
+  }
+
+  void Edge(int from, int to) {
+    auto& s = fn_->nodes[static_cast<size_t>(from)].succ;
+    if (std::find(s.begin(), s.end(), to) == s.end()) s.push_back(to);
+  }
+  void Connect(const std::vector<int>& preds, int node) {
+    for (int p : preds) Edge(p, node);
+  }
+
+  // Index of the token matching the opener at `i` (handles (), [], {}).
+  size_t Match(size_t i, size_t end) const {
+    const std::string& open = T[i].text;
+    std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+    int depth = 0;
+    for (size_t j = i; j < end; j++) {
+      if (T[j].text == open) depth++;
+      if (T[j].text == close) {
+        depth--;
+        if (depth == 0) return j;
+      }
+    }
+    return end;
+  }
+
+  static std::vector<int> Union(std::vector<int> a, const std::vector<int>& b) {
+    for (int x : b) {
+      if (std::find(a.begin(), a.end(), x) == a.end()) a.push_back(x);
+    }
+    return a;
+  }
+
+  // Parses statements until `end` (exclusive) or an unmatched '}'.
+  std::vector<int> ParseStmts(size_t& i, size_t end, std::vector<int> preds,
+                              int scope) {
+    while (i < end && !T[i].Is("}")) {
+      preds = ParseStmt(i, end, std::move(preds), scope);
+    }
+    return preds;
+  }
+
+  std::vector<int> ParseStmt(size_t& i, size_t end, std::vector<int> preds,
+                             int scope) {
+    if (i >= end) return preds;
+    const Tok& t = T[i];
+
+    if (t.Is(";")) {  // empty statement
+      i++;
+      return preds;
+    }
+
+    if (t.Is("{")) {  // compound
+      size_t close = Match(i, end);
+      int s = NewScope();
+      size_t j = i + 1;
+      std::vector<int> outs = ParseStmts(j, close, std::move(preds), s);
+      i = close < end ? close + 1 : end;
+      if (outs.empty()) return {};  // every path returned/broke
+      int ex = NewNode(close, close, scope);
+      fn_->nodes[static_cast<size_t>(ex)].scope_exit_of = s;
+      Connect(outs, ex);
+      return {ex};
+    }
+
+    if (t.IsIdent("if")) {
+      size_t p = i + 1;
+      if (p < end && T[p].IsIdent("constexpr")) p++;
+      if (p >= end || !T[p].Is("(")) return ParseSimple(i, end, preds, scope);
+      size_t close = Match(p, end);
+      int cond = NewNode(p, close + 1, scope);
+      Connect(preds, cond);
+      size_t j = close + 1;
+      std::vector<int> outs = ParseStmt(j, end, {cond}, scope);
+      if (j < end && T[j].IsIdent("else")) {
+        size_t k = j + 1;
+        std::vector<int> outs2 = ParseStmt(k, end, {cond}, scope);
+        i = k;
+        return Union(std::move(outs), outs2);
+      }
+      i = j;
+      outs.push_back(cond);
+      return outs;
+    }
+
+    if (t.IsIdent("while")) {
+      size_t p = i + 1;
+      if (p >= end || !T[p].Is("(")) return ParseSimple(i, end, preds, scope);
+      size_t close = Match(p, end);
+      int cond = NewNode(p, close + 1, scope);
+      Connect(preds, cond);
+      std::vector<int> brks;
+      brk_.push_back(&brks);
+      cont_.push_back(cond);
+      size_t j = close + 1;
+      std::vector<int> outs = ParseStmt(j, end, {cond}, scope);
+      cont_.pop_back();
+      brk_.pop_back();
+      Connect(outs, cond);  // back edge
+      i = j;
+      brks.push_back(cond);  // loop may not run / exits when cond fails
+      return brks;
+    }
+
+    if (t.IsIdent("do")) {
+      int anchor = NewNode(i, i, scope);
+      Connect(preds, anchor);
+      std::vector<int> brks;
+      brk_.push_back(&brks);
+      cont_.push_back(-1);  // patched below: continue jumps to the cond
+      std::vector<int> pending_continues;
+      // We cannot know the cond node id yet; collect continue nodes.
+      cont_pending_.push_back(&pending_continues);
+      size_t j = i + 1;
+      std::vector<int> outs = ParseStmt(j, end, {anchor}, scope);
+      cont_pending_.pop_back();
+      cont_.pop_back();
+      brk_.pop_back();
+      // expect: while ( cond ) ;
+      size_t close = j;
+      int cond;
+      if (j < end && T[j].IsIdent("while") && j + 1 < end &&
+          T[j + 1].Is("(")) {
+        close = Match(j + 1, end);
+        cond = NewNode(j + 1, close + 1, scope);
+        if (close + 1 < end && T[close + 1].Is(";")) close++;
+        i = close + 1;
+      } else {
+        cond = NewNode(j, j, scope);
+        i = j;
+      }
+      Connect(outs, cond);
+      Connect(pending_continues, cond);
+      Edge(cond, anchor);  // back edge: body runs again
+      brks.push_back(cond);
+      return brks;
+    }
+
+    if (t.IsIdent("for")) {
+      size_t p = i + 1;
+      if (p >= end || !T[p].Is("(")) return ParseSimple(i, end, preds, scope);
+      size_t close = Match(p, end);
+      // Classic for: split init from cond/inc at the first ';' directly
+      // inside the parens; range-for has none and stays one node.
+      size_t semi = close;
+      int depth = 0;
+      for (size_t k = p + 1; k < close; k++) {
+        if (T[k].Is("(") || T[k].Is("[") || T[k].Is("{")) depth++;
+        if (T[k].Is(")") || T[k].Is("]") || T[k].Is("}")) depth--;
+        if (depth == 0 && T[k].Is(";")) {
+          semi = k;
+          break;
+        }
+      }
+      int head;
+      if (semi < close) {
+        int init = NewNode(p + 1, semi, scope);
+        Connect(preds, init);
+        head = NewNode(semi + 1, close, scope);
+        Edge(init, head);
+      } else {
+        head = NewNode(p, close + 1, scope);
+        Connect(preds, head);
+      }
+      std::vector<int> brks;
+      brk_.push_back(&brks);
+      cont_.push_back(head);
+      size_t j = close + 1;
+      std::vector<int> outs = ParseStmt(j, end, {head}, scope);
+      cont_.pop_back();
+      brk_.pop_back();
+      Connect(outs, head);  // back edge (through the increment tokens)
+      i = j;
+      brks.push_back(head);
+      return brks;
+    }
+
+    if (t.IsIdent("switch")) {
+      size_t p = i + 1;
+      if (p >= end || !T[p].Is("(")) return ParseSimple(i, end, preds, scope);
+      size_t close = Match(p, end);
+      int head = NewNode(p, close + 1, scope);
+      Connect(preds, head);
+      size_t j = close + 1;
+      if (j >= end || !T[j].Is("{")) {  // single-statement switch body
+        std::vector<int> outs = ParseStmt(j, end, {head}, scope);
+        i = j;
+        outs.push_back(head);
+        return outs;
+      }
+      size_t body_close = Match(j, end);
+      int s = NewScope();
+      std::vector<int> brks;
+      brk_.push_back(&brks);
+      std::vector<int> cur;  // fallthrough preds
+      bool has_default = false;
+      size_t k = j + 1;
+      while (k < body_close) {
+        if (T[k].IsIdent("case") || T[k].IsIdent("default")) {
+          has_default |= T[k].IsIdent("default");
+          size_t lbl = k;
+          while (k < body_close && !T[k].Is(":")) k++;
+          int arm = NewNode(lbl, k, s);
+          k++;  // past ':'
+          Edge(head, arm);
+          Connect(cur, arm);  // fallthrough from the previous arm
+          cur = {arm};
+          continue;
+        }
+        cur = ParseStmt(k, body_close, std::move(cur), s);
+      }
+      brk_.pop_back();
+      i = body_close < end ? body_close + 1 : end;
+      std::vector<int> outs = Union(std::move(brks), cur);
+      if (!has_default) outs.push_back(head);
+      return outs;
+    }
+
+    if (t.IsIdent("return")) {
+      size_t j = ScanSimple(i, end);
+      int n = NewNode(i, j, scope);
+      fn_->nodes[static_cast<size_t>(n)].is_return = true;
+      Connect(preds, n);
+      Edge(n, FunctionDef::kExit);
+      i = j;
+      return {};
+    }
+
+    if (t.IsIdent("break")) {
+      int n = NewNode(i, i + 1, scope);
+      Connect(preds, n);
+      if (!brk_.empty()) brk_.back()->push_back(n);
+      i += 2;  // 'break' ';'
+      return {};
+    }
+
+    if (t.IsIdent("continue")) {
+      int n = NewNode(i, i + 1, scope);
+      Connect(preds, n);
+      if (!cont_.empty()) {
+        if (cont_.back() >= 0) {
+          Edge(n, cont_.back());
+        } else if (!cont_pending_.empty()) {
+          cont_pending_.back()->push_back(n);
+        }
+      }
+      i += 2;
+      return {};
+    }
+
+    if (t.IsIdent("try")) {
+      int anchor = NewNode(i, i, scope);
+      Connect(preds, anchor);
+      size_t j = i + 1;
+      std::vector<int> outs = ParseStmt(j, end, {anchor}, scope);
+      while (j < end && T[j].IsIdent("catch")) {
+        size_t p = j + 1;
+        size_t close = p < end && T[p].Is("(") ? Match(p, end) : p;
+        size_t k = close + 1;
+        // A catch arm is entered from anywhere inside the try; the anchor
+        // is the conservative source.
+        std::vector<int> catch_outs = ParseStmt(k, end, {anchor}, scope);
+        outs = Union(std::move(outs), catch_outs);
+        j = k;
+      }
+      i = j;
+      return outs;
+    }
+
+    // Label (`retry:`) — skip the label, parse the labelled statement.
+    if (t.kind == Tok::kIdent && i + 1 < end && T[i + 1].Is(":") &&
+        !IsControlKeyword(t.text)) {
+      i += 2;
+      return ParseStmt(i, end, std::move(preds), scope);
+    }
+
+    return ParseSimple(i, end, std::move(preds), scope);
+  }
+
+  // Scans one simple statement: to the ';' closing it at nesting depth 0,
+  // lifting any lambda bodies out into their own FunctionDefs. Returns
+  // the index just past the ';' (or at an unmatched '}').
+  size_t ScanSimple(size_t i, size_t end) {
+    int depth = 0;
+    size_t j = i;
+    while (j < end) {
+      const Tok& t = T[j];
+      if (t.Is("[")) {
+        // Attribute [[...]] or lambda introducer or subscript.
+        bool subscript =
+            j > i && (T[j - 1].kind == Tok::kIdent ||
+                      T[j - 1].kind == Tok::kNumber || T[j - 1].Is(")") ||
+                      T[j - 1].Is("]")) &&
+            !T[j - 1].IsIdent("return") && !IsControlKeyword(T[j - 1].text);
+        size_t rb = Match(j, end);
+        if (!subscript && rb < end) {
+          size_t k = rb + 1;
+          if (k < end && T[k].Is("(")) k = Match(k, end) + 1;
+          // Skip specifiers / trailing return up to a small budget.
+          size_t budget = 24;
+          while (k < end && budget-- > 0 && !T[k].Is("{") && !T[k].Is(";") &&
+                 !T[k].Is(",") && !T[k].Is(")")) {
+            if (T[k].Is("(")) {
+              k = Match(k, end) + 1;
+              continue;
+            }
+            k++;
+          }
+          if (k < end && T[k].Is("{")) {
+            size_t body_close = Match(k, end);
+            LiftLambda(j, k + 1, body_close);
+            j = body_close + 1;
+            continue;
+          }
+        }
+        j = rb < end ? rb + 1 : end;
+        continue;
+      }
+      if (t.Is("(") || t.Is("{")) {
+        depth++;
+      } else if (t.Is(")") || t.Is("}")) {
+        if (depth == 0 && t.Is("}")) return j;  // enclosing block closes
+        depth--;
+      } else if (t.Is(";") && depth == 0) {
+        return j + 1;
+      }
+      j++;
+    }
+    return end;
+  }
+
+  std::vector<int> ParseSimple(size_t& i, size_t end, std::vector<int> preds,
+                               int scope) {
+    size_t j = ScanSimple(i, end);
+    int n = NewNode(i, j, scope);
+    Connect(preds, n);
+    bool noret = IsNoreturnStmt(T, i, j);
+    i = j;
+    if (noret) {
+      fn_->nodes[static_cast<size_t>(n)].is_noreturn = true;
+      Edge(n, FunctionDef::kExit);
+      return {};
+    }
+    return {n};
+  }
+
+  void LiftLambda(size_t intro, size_t body_first, size_t body_close) {
+    FunctionDef lam;
+    lam.is_lambda = true;
+    lam.name = "[lambda]";
+    lam.qual = fn_->qual.empty() ? fn_->name : fn_->qual;
+    lam.qual += "::[lambda@" + std::to_string(T[intro].line + 1) + "]";
+    lam.class_name = fn_->class_name;
+    lam.signature = lam.qual;
+    lam.sig_line = T[intro].line;
+    lam.end_line = body_close < T.size() ? T[body_close].line : 0;
+    lam.body_first = static_cast<int>(body_first);
+    lam.body_last = static_cast<int>(body_close);
+    Builder b(lex_, &lam, lambdas_);
+    b.Build(body_first, body_close);
+    // The inner builder may have lifted further nested lambdas; our own
+    // span (superset) is recorded after so the enclosing skip test hits
+    // the widest range first.
+    fn_->lambda_spans.push_back(
+        {static_cast<int>(intro), static_cast<int>(body_close + 1)});
+    lambdas_->push_back(std::move(lam));
+  }
+
+  std::vector<std::vector<int>*> cont_pending_;  // do/while continue fixups
+};
+
+// --------------------------------------------------------------------------
+// Top-level function extraction
+// --------------------------------------------------------------------------
+
+struct HeaderInfo {
+  std::string name, qual, class_name, signature;
+  bool is_hot = false;
+  std::vector<std::string> requires_caps, acquires_caps, releases_caps;
+};
+
+std::string JoinCap(const std::vector<Tok>& T, size_t a, size_t b) {
+  std::string out;
+  for (size_t k = a; k < b; k++) {
+    if (T[k].IsIdent("this")) {
+      // `this->cap` names the same capability as `cap`.
+      if (k + 1 < b && T[k + 1].Is("->")) k++;
+      continue;
+    }
+    out += T[k].text;
+  }
+  return out;
+}
+
+void CollectAnnotations(const std::vector<Tok>& T,
+                        const std::vector<size_t>& hdr, HeaderInfo* out) {
+  for (size_t k = 0; k + 1 < hdr.size(); k++) {
+    const std::string& id = T[hdr[k]].text;
+    if (T[hdr[k]].kind != Tok::kIdent || !IsAnnotationMacro(id)) continue;
+    if (!T[hdr[k + 1]].Is("(")) continue;
+    // Find the matching ')' within the header list.
+    int depth = 0;
+    size_t close = k + 1;
+    for (size_t m = k + 1; m < hdr.size(); m++) {
+      if (T[hdr[m]].Is("(")) depth++;
+      if (T[hdr[m]].Is(")")) {
+        depth--;
+        if (depth == 0) {
+          close = m;
+          break;
+        }
+      }
+    }
+    std::vector<std::string>* dst = nullptr;
+    if (id == "REQUIRES" || id == "REQUIRES_SHARED") {
+      dst = &out->requires_caps;
+    } else if (id == "ACQUIRE" || id == "ACQUIRE_SHARED") {
+      dst = &out->acquires_caps;
+    } else if (id == "RELEASE" || id == "RELEASE_SHARED" ||
+               id == "RELEASE_GENERIC") {
+      dst = &out->releases_caps;
+    }
+    if (dst == nullptr) continue;
+    // Split the argument range on top-level commas.
+    size_t arg_start = k + 2;
+    int d2 = 0;
+    for (size_t m = k + 2; m <= close; m++) {
+      bool is_close = m == close;
+      if (!is_close && T[hdr[m]].Is("(")) d2++;
+      if (!is_close && T[hdr[m]].Is(")")) d2--;
+      if (is_close || (d2 == 0 && T[hdr[m]].Is(","))) {
+        if (m > arg_start) {
+          std::string cap = JoinCap(T, hdr[arg_start], hdr[m - 1] + 1);
+          if (!cap.empty() && cap != "true" && cap != "false") {
+            dst->push_back(cap);
+          }
+        }
+        arg_start = m + 1;
+      }
+    }
+  }
+}
+
+HeaderInfo AnalyzeHeader(const std::vector<Tok>& T,
+                         const std::vector<size_t>& raw_hdr) {
+  HeaderInfo out;
+  std::vector<size_t> hdr = StripTemplates(T, raw_hdr);
+  out.signature = CleanSignature(T, hdr);
+  for (size_t k : hdr) {
+    if (T[k].IsIdent("FS_HOT")) out.is_hot = true;
+  }
+  CollectAnnotations(T, hdr, &out);
+
+  // Truncate at a ctor-init list (`) :`) so member initializers don't
+  // masquerade as the parameter list.
+  std::vector<size_t> h = hdr;
+  for (size_t k = 0; k + 1 < h.size(); k++) {
+    if (T[h[k]].Is(")") && T[h[k + 1]].Is(":")) {
+      h.resize(k + 1);
+      break;
+    }
+  }
+  // `operator` declarators.
+  for (size_t k = 0; k < h.size(); k++) {
+    if (T[h[k]].IsIdent("operator")) {
+      std::string nm = "operator";
+      for (size_t m = k + 1; m < h.size() && m < k + 3; m++) {
+        if (T[h[m]].Is("(") && nm != "operator") break;
+        nm += T[h[m]].text;
+      }
+      out.name = nm;
+      return out;
+    }
+  }
+  // Last '(' (at paren depth 0) preceded by a plausible declarator ident.
+  int depth = 0;
+  size_t best = h.size();
+  for (size_t k = 0; k < h.size(); k++) {
+    if (T[h[k]].Is("(")) {
+      if (depth == 0 && k > 0 && T[h[k - 1]].kind == Tok::kIdent &&
+          !IsControlKeyword(T[h[k - 1]].text) &&
+          !IsAnnotationMacro(T[h[k - 1]].text)) {
+        best = k - 1;
+      }
+      depth++;
+    } else if (T[h[k]].Is(")")) {
+      depth--;
+    }
+  }
+  if (best == h.size()) return out;
+  out.name = T[h[best]].text;
+  // Walk back `Qualifier ::` pairs for the qualified name.
+  std::string qual = out.name;
+  size_t k = best;
+  while (k >= 2 && T[h[k - 1]].Is("::") && T[h[k - 2]].kind == Tok::kIdent) {
+    if (out.class_name.empty()) out.class_name = T[h[k - 2]].text;
+    qual = T[h[k - 2]].text + "::" + qual;
+    k -= 2;
+  }
+  if (k >= 1 && T[h[k - 1]].Is("~")) out.name = "~" + out.name;
+  out.qual = qual;
+  return out;
+}
+
+}  // namespace
+
+ParsedFile Parse(const std::string& path, const std::string& contents) {
+  ParsedFile pf;
+  pf.path = path;
+  pf.lex = Lex(contents);
+  const std::vector<Tok>& T = pf.lex.toks;
+
+  enum class Scope { kNamespace, kType, kOther, kInit };
+  std::vector<Scope> scopes;
+  std::vector<std::string> type_names;  // innermost enclosing class/struct
+  std::vector<size_t> header;
+  size_t i = 0;
+  while (i < T.size()) {
+    const Tok& t = T[i];
+    if (t.Is("{")) {
+      std::vector<size_t> h = StripTemplates(T, header);
+      bool ns_kw = false, type_kw = false;
+      for (size_t k : h) {
+        if (T[k].IsIdent("namespace")) ns_kw = true;
+        if (T[k].IsIdent("class") || T[k].IsIdent("struct") ||
+            T[k].IsIdent("union") || T[k].IsIdent("enum")) {
+          type_kw = true;
+        }
+      }
+      bool initializer = !h.empty() && T[h.back()].Is("=");
+      bool has_parens = false, ctor_list = false;
+      for (size_t k = 0; k < h.size(); k++) {
+        if (T[h[k]].Is("(")) has_parens = true;
+        if (k + 1 < h.size() && T[h[k]].Is(")") && T[h[k + 1]].Is(":")) {
+          ctor_list = true;
+        }
+      }
+      // A brace directly after an identifier while a `) :` init list is
+      // open is a member brace-initializer, not the body.
+      bool init_brace =
+          ctor_list && i > 0 &&
+          (T[i - 1].kind == Tok::kIdent || T[i - 1].Is(">"));
+      if (ns_kw) {
+        scopes.push_back(Scope::kNamespace);
+        header.clear();
+        i++;
+      } else if (type_kw) {
+        scopes.push_back(Scope::kType);
+        // The type name is the last identifier before any base-class list.
+        std::string tn;
+        for (size_t k = 0; k < h.size(); k++) {
+          if (T[h[k]].Is(":")) break;
+          if (T[h[k]].kind == Tok::kIdent && !IsAnnotationMacro(T[h[k]].text) &&
+              !T[h[k]].IsIdent("class") && !T[h[k]].IsIdent("struct") &&
+              !T[h[k]].IsIdent("union") && !T[h[k]].IsIdent("enum") &&
+              !T[h[k]].IsIdent("final") && !T[h[k]].IsIdent("alignas")) {
+            tn = T[h[k]].text;
+          }
+        }
+        type_names.push_back(tn);
+        header.clear();
+        i++;
+      } else if (init_brace) {
+        scopes.push_back(Scope::kInit);  // keeps the header accumulating
+        i++;
+      } else if (has_parens && !initializer) {
+        size_t close = i < T.size() ? [&] {
+          int depth = 0;
+          for (size_t j = i; j < T.size(); j++) {
+            if (T[j].Is("{")) depth++;
+            if (T[j].Is("}")) {
+              depth--;
+              if (depth == 0) return j;
+            }
+          }
+          return T.size();
+        }() : T.size();
+        HeaderInfo hi = AnalyzeHeader(T, header);
+        FunctionDef fn;
+        fn.name = hi.name;
+        fn.qual = hi.qual.empty() ? hi.name : hi.qual;
+        fn.class_name = hi.class_name;
+        // Methods defined inline in a class body belong to that class.
+        if (fn.class_name.empty() && !type_names.empty()) {
+          fn.class_name = type_names.back();
+          if (!fn.class_name.empty()) {
+            fn.qual = fn.class_name + "::" + fn.name;
+          }
+        }
+        fn.signature = hi.signature;
+        fn.is_hot = hi.is_hot;
+        fn.requires_caps = hi.requires_caps;
+        fn.acquires_caps = hi.acquires_caps;
+        fn.releases_caps = hi.releases_caps;
+        fn.sig_line = t.line;
+        fn.end_line = close < T.size() ? T[close].line : t.line;
+        fn.body_first = static_cast<int>(i + 1);
+        fn.body_last = static_cast<int>(close);
+        std::vector<FunctionDef> lambdas;
+        Builder b(pf.lex, &fn, &lambdas);
+        b.Build(i + 1, close);
+        pf.fns.push_back(std::move(fn));
+        for (auto& l : lambdas) pf.fns.push_back(std::move(l));
+        header.clear();
+        i = close + 1;
+      } else {
+        scopes.push_back(Scope::kOther);
+        header.clear();
+        i++;
+      }
+    } else if (t.Is("}")) {
+      bool keep = !scopes.empty() && scopes.back() == Scope::kInit;
+      if (!scopes.empty()) {
+        if (scopes.back() == Scope::kType && !type_names.empty()) {
+          type_names.pop_back();
+        }
+        scopes.pop_back();
+      }
+      if (!keep) header.clear();
+      i++;
+    } else if (t.Is(";")) {
+      header.clear();
+      i++;
+    } else {
+      header.push_back(i);
+      i++;
+    }
+  }
+  for (FunctionDef& fn : pf.fns) {
+    fn.marker_lo = std::max(0, fn.sig_line - 5);
+    for (const FunctionDef& g : pf.fns) {
+      if (&g == &fn) continue;
+      if (g.end_line < fn.sig_line && g.end_line + 1 > fn.marker_lo) {
+        fn.marker_lo = g.end_line + 1;
+      }
+    }
+  }
+  return pf;
+}
+
+bool Reaches(const FunctionDef& fn, int from, int to) {
+  std::vector<bool> seen(fn.nodes.size(), false);
+  std::vector<int> stack = {from};
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    if (n == to) return true;
+    if (seen[static_cast<size_t>(n)]) continue;
+    seen[static_cast<size_t>(n)] = true;
+    for (int s : fn.nodes[static_cast<size_t>(n)].succ) stack.push_back(s);
+  }
+  return false;
+}
+
+std::string DumpCfg(const FunctionDef& fn, const LexFile& lex) {
+  std::ostringstream ss;
+  ss << fn.qual << " (" << fn.nodes.size() << " nodes)\n";
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    const CfgNode& nd = fn.nodes[n];
+    ss << "  n" << n;
+    if (n == FunctionDef::kEntry) ss << " [entry]";
+    if (n == FunctionDef::kExit) ss << " [exit]";
+    if (nd.is_return) ss << " [return]";
+    if (nd.is_noreturn) ss << " [noreturn]";
+    if (nd.scope_exit_of >= 0) ss << " [scope-exit " << nd.scope_exit_of << "]";
+    ss << " line " << nd.line + 1 << " ->";
+    for (int s : nd.succ) ss << " n" << s;
+    ss << "  |";
+    for (int k = nd.first_tok; k < nd.last_tok && k < nd.first_tok + 8; k++) {
+      ss << " " << lex.toks[static_cast<size_t>(k)].text;
+    }
+    ss << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace fslint

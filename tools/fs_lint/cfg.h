@@ -1,0 +1,93 @@
+// fs_lint function extraction and per-function control-flow graphs.
+//
+// Parse() walks a token stream (lex.h), recognizes function definitions
+// with the same scope heuristics the original lexical lint used
+// (namespace / type / function classification of each brace), and builds
+// a basic-block CFG per function body:
+//
+//  * if/else, while, for (classic and range), do/while, switch with case
+//    fallthrough, break, continue, return, try/catch.
+//  * Node 0 is the synthetic entry, node 1 the synthetic exit; `return`
+//    statements edge straight to the exit.
+//  * Every compound statement owns a scope id; a synthetic scope-exit
+//    node is emitted where the block closes so dataflow can kill facts
+//    established by scoped objects (epoch guards, lock guards) at the
+//    end of their scope. Returns bypass scope exits — facts simply stop
+//    mattering.
+//  * Lambdas encountered inside a statement are lifted into their own
+//    FunctionDef (named `<enclosing>::[lambda@<line>]`) and their token
+//    range is recorded in the enclosing function's `lambda_spans`, so
+//    rule scanners do not attribute a lambda body's tokens to the
+//    statement that merely defines it.
+//
+// The CFG is deliberately syntactic: no types, no name resolution beyond
+// the qualified-name text of the declarator. goto is treated as a plain
+// statement (the codebase has none).
+
+#ifndef FLATSTORE_TOOLS_FS_LINT_CFG_H_
+#define FLATSTORE_TOOLS_FS_LINT_CFG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lex.h"
+
+namespace fslint {
+
+struct CfgNode {
+  int first_tok = 0, last_tok = 0;  // [first, last) span into LexFile.toks
+  std::vector<int> succ;
+  bool is_return = false;
+  // Statement that never falls through (abort/exit/throw/CHECK(false)):
+  // edges to the exit like a return, but rules that audit "every path out
+  // of the function" skip it — a crash path owes no fence.
+  bool is_noreturn = false;
+  int line = 0;            // representative (first-token) 0-based line
+  int scope_id = 0;        // innermost scope the statement lives in
+  int scope_exit_of = -1;  // >= 0: synthetic exit node for that scope id
+};
+
+struct FunctionDef {
+  std::string name;        // declarator's last identifier ("AppendBatch")
+  std::string qual;        // qualified text ("OpLog::AppendBatch")
+  std::string class_name;  // "OpLog" when the declarator is qualified
+  std::string signature;   // cleaned header text, for messages
+  bool is_hot = false;
+  bool is_lambda = false;
+  int sig_line = 0;   // 0-based line of the opening brace
+  int end_line = 0;   // 0-based line of the closing brace
+  // First line a function-level `fs-lint:` marker may sit on and still
+  // apply to this function: sig_line - 5, clamped so the window never
+  // reaches into the previous function's body (whose trailing waivers
+  // must not leak into this one).
+  int marker_lo = 0;
+  int body_first = 0, body_last = 0;  // token span of the body
+  std::vector<CfgNode> nodes;         // [0] = entry, [1] = exit
+  std::vector<std::pair<int, int>> lambda_spans;  // token ranges to skip
+  // Thread-safety annotation arguments captured from the header.
+  std::vector<std::string> requires_caps;
+  std::vector<std::string> acquires_caps;
+  std::vector<std::string> releases_caps;
+
+  static constexpr int kEntry = 0;
+  static constexpr int kExit = 1;
+};
+
+struct ParsedFile {
+  std::string path;
+  LexFile lex;
+  std::vector<FunctionDef> fns;
+};
+
+ParsedFile Parse(const std::string& path, const std::string& contents);
+
+// True when any CFG path connects `from` to `to` (used by tests).
+bool Reaches(const FunctionDef& fn, int from, int to);
+
+// Multi-line debug rendering of a CFG (used by tests and --dump-cfg).
+std::string DumpCfg(const FunctionDef& fn, const LexFile& lex);
+
+}  // namespace fslint
+
+#endif  // FLATSTORE_TOOLS_FS_LINT_CFG_H_

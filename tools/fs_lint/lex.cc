@@ -1,0 +1,237 @@
+#include "lex.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace fslint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the rules care about. Longest-match-first;
+// everything else tokenizes as a single character.
+const char* const kPuncts[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+}  // namespace
+
+LexFile Lex(const std::string& contents) {
+  LexFile out;
+  // First pass: split into code/comment per character, like the original
+  // lexical lint, so literals and comments can never produce tokens.
+  enum class St { kCode, kString, kRawString, kChar, kLineComment, kBlockComment };
+  St st = St::kCode;
+  std::string code;        // full text with literals/comments blanked
+  code.reserve(contents.size());
+  std::vector<std::string> comments(1);
+  int line = 0;
+  std::string raw_delim;  // raw-string closing delimiter ")<delim>\""
+  for (size_t i = 0; i < contents.size(); i++) {
+    char c = contents[i];
+    char n = i + 1 < contents.size() ? contents[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kCode;
+      // Unterminated ordinary literals at EOL (invalid C++) reset so one
+      // bad line can't poison the file. Raw strings legitimately span
+      // lines and stay open.
+      if (st == St::kString || st == St::kChar) st = St::kCode;
+      code += '\n';
+      comments.emplace_back();
+      line++;
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && n == '/') {
+          st = St::kLineComment;
+          i++;
+        } else if (c == '/' && n == '*') {
+          st = St::kBlockComment;
+          i++;
+        } else if (c == 'R' && n == '"' &&
+                   (code.empty() || !IsIdentChar(code.back()))) {
+          // Raw string literal R"delim(...)delim".
+          size_t p = i + 2;
+          std::string d;
+          while (p < contents.size() && contents[p] != '(' &&
+                 contents[p] != '\n' && d.size() < 16) {
+            d += contents[p++];
+          }
+          if (p < contents.size() && contents[p] == '(') {
+            raw_delim = ")" + d + "\"";
+            st = St::kRawString;
+            code += ' ';
+            i = p;  // consume through the opening '('
+          } else {
+            code += c;  // not actually a raw string
+          }
+        } else if (c == '"') {
+          st = St::kString;
+          code += ' ';
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are part of numbers, not char
+          // literals.
+          if (!code.empty() &&
+              std::isdigit(static_cast<unsigned char>(code.back()))) {
+            code += ' ';
+          } else {
+            st = St::kChar;
+            code += ' ';
+          }
+        } else {
+          code += c;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          i++;
+        } else if (c == '"') {
+          st = St::kCode;
+        }
+        break;
+      case St::kRawString:
+        if (c == ')' &&
+            contents.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else if (c == '\n') {
+          code += '\n';
+          comments.emplace_back();
+          line++;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          i++;
+        } else if (c == '\'') {
+          st = St::kCode;
+        }
+        break;
+      case St::kLineComment:
+        comments[static_cast<size_t>(line)] += c;
+        break;
+      case St::kBlockComment:
+        if (c == '*' && n == '/') {
+          st = St::kCode;
+          i++;
+        } else {
+          comments[static_cast<size_t>(line)] += c;
+        }
+        break;
+    }
+  }
+  out.num_lines = line + 1;
+  out.comments = std::move(comments);
+
+  // Second pass: tokenize the blanked code, skipping preprocessor lines.
+  size_t i = 0;
+  line = 0;
+  bool at_line_start = true;   // only whitespace so far on this line
+  bool pp = false;             // inside a #directive (incl. continuations)
+  while (i < code.size()) {
+    char c = code[i];
+    if (c == '\n') {
+      if (pp) {
+        // A '\' as the last non-blank character continues the directive.
+        size_t j = i;
+        while (j > 0 && (code[j - 1] == ' ' || code[j - 1] == '\t')) j--;
+        pp = j > 0 && code[j - 1] == '\\';
+      }
+      line++;
+      i++;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    if (at_line_start && c == '#') pp = true;
+    at_line_start = false;
+    if (pp) {
+      i++;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < code.size() && IsIdentChar(code[j])) j++;
+      out.toks.push_back({Tok::kIdent, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < code.size() &&
+             (IsIdentChar(code[j]) || code[j] == '.' ||
+              ((code[j] == '+' || code[j] == '-') &&
+               (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                code[j - 1] == 'p' || code[j - 1] == 'P')))) {
+        j++;
+      }
+      out.toks.push_back({Tok::kNumber, code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t len = std::strlen(p);
+      if (code.compare(i, len, p) == 0) {
+        out.toks.push_back({Tok::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.toks.push_back({Tok::kPunct, std::string(1, c), line});
+      i++;
+    }
+  }
+  return out;
+}
+
+bool HasNearbyComment(const LexFile& lex, int line, const std::string& marker,
+                      int window) {
+  for (int l = line; l >= 0 && l >= line - window; l--) {
+    if (l < static_cast<int>(lex.comments.size()) &&
+        lex.comments[static_cast<size_t>(l)].find(marker) !=
+            std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WaiverReason(const std::string& comment, const std::string& marker,
+                  std::string* reason) {
+  size_t pos = comment.find(marker);
+  if (pos == std::string::npos) return false;
+  size_t open = comment.find('(', pos + marker.size() - 1);
+  if (open == std::string::npos) {
+    reason->clear();
+    return true;
+  }
+  size_t close = comment.find(')', open);
+  *reason = comment.substr(open + 1, close == std::string::npos
+                                         ? std::string::npos
+                                         : close - open - 1);
+  while (!reason->empty() && std::isspace(static_cast<unsigned char>(
+                                 reason->front()))) {
+    reason->erase(reason->begin());
+  }
+  while (!reason->empty() &&
+         std::isspace(static_cast<unsigned char>(reason->back()))) {
+    reason->pop_back();
+  }
+  return true;
+}
+
+}  // namespace fslint

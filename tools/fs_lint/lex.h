@@ -1,0 +1,53 @@
+// fs_lint tokenizer.
+//
+// Splits a C++ translation unit into a flat token stream plus a per-line
+// comment map. String and character literals are blanked (their contents
+// can never produce tokens), comments are collected per line for waiver
+// lookup, and preprocessor directives (including backslash continuations)
+// are invisible: macro bodies contain parens and braces that are not code
+// in this translation unit.
+//
+// The token stream is what the CFG builder (cfg.h) and every rule scanner
+// operate on; nothing downstream ever re-reads raw source text.
+
+#ifndef FLATSTORE_TOOLS_FS_LINT_LEX_H_
+#define FLATSTORE_TOOLS_FS_LINT_LEX_H_
+
+#include <string>
+#include <vector>
+
+namespace fslint {
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kPunct };
+  Kind kind = kPunct;
+  std::string text;
+  int line = 0;  // 0-based source line
+
+  bool Is(const char* s) const { return text == s; }
+  bool IsIdent(const char* s) const { return kind == kIdent && text == s; }
+};
+
+struct LexFile {
+  std::vector<Tok> toks;
+  // comments[i] = concatenated comment text appearing on source line i.
+  std::vector<std::string> comments;
+  int num_lines = 0;
+};
+
+LexFile Lex(const std::string& contents);
+
+// Waiver / tag lookup: true when `marker` occurs in a comment on `line`
+// or within `window` comment-bearing lines above it (0-based line).
+bool HasNearbyComment(const LexFile& lex, int line, const std::string& marker,
+                      int window);
+
+// Extracts the reason inside the parentheses following `marker` in
+// `comment`; returns false when the marker is absent. An absent or empty
+// parenthesized reason yields an empty string.
+bool WaiverReason(const std::string& comment, const std::string& marker,
+                  std::string* reason);
+
+}  // namespace fslint
+
+#endif  // FLATSTORE_TOOLS_FS_LINT_LEX_H_

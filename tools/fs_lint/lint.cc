@@ -2,166 +2,39 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstring>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <functional>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <tuple>
+
+#include "cfg.h"
+#include "summary.h"
 
 namespace fslint {
 namespace {
 
-// How many lines above a site a `// relaxed:` / waiver comment may sit
+// How many lines above a site a waiver / `// relaxed:` comment may sit
 // and still cover it (multi-line statements and a short comment block).
 constexpr int kWaiverWindow = 5;
 
-// One source line split into executable code and comment text. String
-// and character literals are blanked out of `code` so tokens inside them
-// never match; comments are collected separately for waiver detection.
-struct Line {
-  std::string code;
-  std::string comment;
+// Waiver markers. Every one must carry a non-empty reason.
+const char* const kMarkers[] = {
+    "deferred-fence", "pm-write",        "hot-ok",
+    "remote-write",   "relaxed-default", "publish-ok",
+    "unpinned-read",  "epoch-held",      "lock-order",
+    "fence-guarded",
 };
 
-std::vector<Line> SplitLines(const std::string& contents) {
-  std::vector<Line> lines;
-  Line cur;
-  enum class St { kCode, kString, kChar, kLineComment, kBlockComment };
-  St st = St::kCode;
-  for (size_t i = 0; i < contents.size(); i++) {
-    char c = contents[i];
-    char n = i + 1 < contents.size() ? contents[i + 1] : '\0';
-    if (c == '\n') {
-      if (st == St::kLineComment) st = St::kCode;
-      // Unterminated strings/chars at EOL (shouldn't happen in valid
-      // C++) reset to code so one bad line can't poison the file.
-      if (st == St::kString || st == St::kChar) st = St::kCode;
-      lines.push_back(std::move(cur));
-      cur = Line();
-      continue;
-    }
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && n == '/') {
-          st = St::kLineComment;
-          i++;  // skip second '/'
-        } else if (c == '/' && n == '*') {
-          st = St::kBlockComment;
-          i++;
-        } else if (c == '"') {
-          st = St::kString;
-          cur.code += ' ';
-        } else if (c == '\'') {
-          st = St::kChar;
-          cur.code += ' ';
-        } else {
-          cur.code += c;
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          i++;
-        } else if (c == '"') {
-          st = St::kCode;
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          i++;
-        } else if (c == '\'') {
-          st = St::kCode;
-        }
-        break;
-      case St::kLineComment:
-        cur.comment += c;
-        break;
-      case St::kBlockComment:
-        if (c == '*' && n == '/') {
-          st = St::kCode;
-          i++;
-        } else {
-          cur.comment += c;
-        }
-        break;
-    }
-  }
-  lines.push_back(std::move(cur));
-  return lines;
-}
-
-bool ContainsWord(const std::string& s, const std::string& word) {
-  size_t pos = 0;
-  while ((pos = s.find(word, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                    s[pos - 1])) &&
-                                s[pos - 1] != '_');
-    size_t end = pos + word.size();
-    bool right_ok =
-        end >= s.size() ||
-        (!std::isalnum(static_cast<unsigned char>(s[end])) && s[end] != '_');
-    if (left_ok && right_ok) return true;
-    pos++;
+bool HasPathComponent(const std::string& path, const char* comp) {
+  std::filesystem::path p(path);
+  for (const auto& part : p) {
+    if (part == comp) return true;
   }
   return false;
-}
-
-// True when `s` contains `name` immediately followed by '(' (allowing
-// whitespace) at a word boundary — a call or declaration of `name`.
-bool ContainsCall(const std::string& s, const std::string& name) {
-  size_t pos = 0;
-  while ((pos = s.find(name, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                    s[pos - 1])) &&
-                                s[pos - 1] != '_');
-    size_t end = pos + name.size();
-    while (end < s.size() &&
-           std::isspace(static_cast<unsigned char>(s[end]))) {
-      end++;
-    }
-    if (left_ok && end < s.size() && s[end] == '(') return true;
-    pos++;
-  }
-  return false;
-}
-
-// Waiver / tag lookup: `marker` on the same line or up to kWaiverWindow
-// comment-bearing lines above `line` (0-based index into `lines`).
-bool HasNearbyComment(const std::vector<Line>& lines, int line,
-                      const std::string& marker) {
-  for (int l = line; l >= 0 && l >= line - kWaiverWindow; l--) {
-    if (lines[static_cast<size_t>(l)].comment.find(marker) !=
-        std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// Extracts the reason inside the parentheses following `marker`; returns
-// false when the marker is absent.
-bool WaiverReason(const std::string& comment, const std::string& marker,
-                  std::string* reason) {
-  size_t pos = comment.find(marker);
-  if (pos == std::string::npos) return false;
-  size_t open = comment.find('(', pos + marker.size() - 1);
-  if (open == std::string::npos) {
-    reason->clear();
-    return true;
-  }
-  size_t close = comment.find(')', open);
-  *reason = comment.substr(open + 1, close == std::string::npos
-                                         ? std::string::npos
-                                         : close - open - 1);
-  // Trim whitespace.
-  while (!reason->empty() && std::isspace(static_cast<unsigned char>(
-                                 reason->front()))) {
-    reason->erase(reason->begin());
-  }
-  while (!reason->empty() &&
-         std::isspace(static_cast<unsigned char>(reason->back()))) {
-    reason->pop_back();
-  }
-  return true;
 }
 
 bool IsPmLayer(const std::string& path) {
@@ -171,7 +44,6 @@ bool IsPmLayer(const std::string& path) {
   }
   return false;
 }
-
 bool IsNetLayer(const std::string& path) {
   std::filesystem::path p(path);
   for (const auto& part : p.parent_path()) {
@@ -179,9 +51,19 @@ bool IsNetLayer(const std::string& path) {
   }
   return false;
 }
+bool IsLogLayer(const std::string& path) {
+  std::filesystem::path p(path);
+  for (const auto& part : p.parent_path()) {
+    if (part == "log") return true;
+  }
+  return false;
+}
+// Measurement scaffolding is not a serving path: the hot-path rule is
+// relaxed under bench/ and tests/harness (but never for lint fixtures).
+bool HotRuleRelaxed(const std::string& path) {
+  return HasPathComponent(path, "bench") || HasPathComponent(path, "harness");
+}
 
-// Remote-socket naming marker (rule 5): identifiers / expressions that
-// announce cross-socket memory.
 bool NamesRemote(const std::string& s) {
   std::string low;
   low.reserve(s.size());
@@ -192,403 +74,1105 @@ bool NamesRemote(const std::string& s) {
          low.find("peer") != std::string::npos;
 }
 
-// First argument of the call to `fn` found in `code`, or "" when absent.
-std::string FirstArgOf(const std::string& code, const std::string& fn) {
-  size_t pos = 0;
-  while ((pos = code.find(fn, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                    code[pos - 1])) &&
-                                code[pos - 1] != '_');
-    size_t i = pos + fn.size();
-    while (i < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[i]))) {
-      i++;
-    }
-    if (!left_ok || i >= code.size() || code[i] != '(') {
-      pos++;
-      continue;
-    }
-    int depth = 0;
-    size_t start = i + 1;
-    for (size_t j = start; j < code.size(); j++) {
-      char c = code[j];
-      if (c == '(' || c == '[' || c == '{' || c == '<') depth++;
-      if (c == ')' || c == ']' || c == '}' || c == '>') {
-        if (c == ')' && depth == 0) return code.substr(start, j - start);
-        depth--;
-      }
-      if (c == ',' && depth == 0) return code.substr(start, j - start);
-    }
-    return code.substr(start);
+bool NamesPublish(const std::string& s) {
+  std::string low;
+  low.reserve(s.size());
+  for (char c : s) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
-  return "";
+  for (const char* w : {"tail", "commit", "checkpoint", "superblock",
+                        "registry"}) {
+    if (low.find(w) != std::string::npos) return true;
+  }
+  return false;
 }
 
-const char* const kTaintSources[] = {"->At",     ".At",          "PtrAt",
-                                     "base",     "superblock",   "registry",
-                                     "tails",    "HeaderOf"};
-
-bool MentionsTaintSource(const std::string& expr) {
-  for (const char* src : kTaintSources) {
-    size_t pos = expr.find(src);
-    if (pos == std::string::npos) continue;
-    // `PtrAt` is a template call (`PtrAt<T>(...)`); the rest must be
-    // calls. Either way the next non-name char being '(' or '<' is
-    // enough for a lexical check.
-    size_t end = pos + std::strlen(src);
-    if (end < expr.size() && (expr[end] == '(' || expr[end] == '<')) {
+// Marker present in the function's comment range (body plus a small
+// window above the signature)?
+bool MarkerInFn(const FunctionDef& fn, const LexFile& lex,
+                const std::string& marker) {
+  int lo = std::max(0, fn.marker_lo);
+  int hi = std::min(static_cast<int>(lex.comments.size()) - 1, fn.end_line);
+  for (int l = lo; l <= hi; l++) {
+    if (lex.comments[static_cast<size_t>(l)].find(marker) !=
+        std::string::npos) {
       return true;
     }
   }
   return false;
 }
 
-struct PendingPmStore {
-  int line;  // 0-based
-  std::string what;
-};
+bool SiteWaived(const LexFile& lex, int line, const char* marker) {
+  return HasNearbyComment(lex, line, std::string("fs-lint: ") + marker + "(",
+                          kWaiverWindow);
+}
 
-// A PM-derived pointer binding. `remote` marks bindings whose name or
-// obtaining expression names cross-socket memory (rule 5).
+// ---- PM taint -----------------------------------------------------------
+
+// 0 = not a PM source at token k; 1 = PM-derived; 2 = PM-derived and a
+// *publication* root (superblock/registry/tails — the pointers recovery
+// follows first).
+int SourceAt(const std::vector<Tok>& T, int k, int end) {
+  const Tok& t = T[static_cast<size_t>(k)];
+  if (t.kind != Tok::kIdent) return 0;
+  bool call_next = k + 1 < end && (T[static_cast<size_t>(k) + 1].Is("(") ||
+                                   T[static_cast<size_t>(k) + 1].Is("<"));
+  if (!call_next) return 0;
+  if (t.text == "At") {
+    if (k > 0 && (T[static_cast<size_t>(k) - 1].Is(".") ||
+                  T[static_cast<size_t>(k) - 1].Is("->"))) {
+      return 1;
+    }
+    return 0;
+  }
+  if (t.text == "PtrAt" || t.text == "base" || t.text == "HeaderOf") return 1;
+  if (t.text == "superblock" || t.text == "registry" || t.text == "tails") {
+    return 2;
+  }
+  return 0;
+}
+
 struct Taint {
   std::string name;
   bool remote = false;
+  bool publish = false;
 };
 
-struct FunctionState {
-  int start_line = 0;        // 0-based line of the opening brace
-  int body_depth = 0;        // brace depth of the body
-  bool is_hot = false;
-  std::string name_hint;     // signature text, for messages
-  int unfenced_persist = -1;  // 0-based line of the last unfenced Persist
-  bool fence_waived = false;
-  std::vector<int> pending_returns;  // returns seen while unfenced
-  std::vector<PendingPmStore> pm_stores;
-  std::vector<int> persist_lines;  // every Persist/PersistFence call line
-  std::vector<Taint> tainted;  // identifiers bound to PM pointers
-};
-
-// 0 = not PM-derived, 1 = PM-derived, 2 = PM-derived and remote-named.
-int TaintOf(const FunctionState& fn, const std::string& expr) {
-  int taint = 0;
-  if (MentionsTaintSource(expr)) taint = NamesRemote(expr) ? 2 : 1;
-  for (const auto& v : fn.tainted) {
-    if (!ContainsWord(expr, v.name)) continue;
-    taint = std::max(taint, v.remote ? 2 : 1);
+const Taint* FindTaint(const std::vector<Taint>& ts, const std::string& n) {
+  for (const Taint& t : ts) {
+    if (t.name == n) return &t;
   }
-  return taint;
+  return nullptr;
 }
 
-// Truncates and cleans a signature for use in messages.
-std::string NameHint(std::string sig) {
-  // Collapse whitespace runs.
+// ---- per-node events ----------------------------------------------------
+
+struct Event {
+  enum Kind {
+    kPersist,       // Persist(...) — pending fence + dirty
+    kPersistCall,   // call to a may-persist helper (satisfies rule 2)
+    kFence,         // Fence()/PersistFence() or an always-fences callee
+    kUnfencedCall,  // call to a deferred-fence helper — pending + dirty
+    kPmStore,       // raw PM store / memcpy into PM — dirty
+    kPublish,       // publishing store (checked against dirty state)
+    kLogRead,       // DecodeEntry / reader ctor / epoch-held callee
+    kPinScoped,     // Guard/GuestGuard construction (scope-keyed)
+    kPinManual,     // Pin()/PinGuest()
+    kUnpinManual,   // Unpin()/UnpinGuest()
+    kLockAcquire,   // cap acquired here (scope >= 0 when RAII)
+    kLockRelease,   // cap released here
+    kCalleeLocks,   // callee transitively acquires cap (edge only)
+  };
+  Kind kind;
+  int tok = 0;
+  int line = 0;  // 0-based
+  std::string text;
+  bool remote = false;
+  bool publish = false;
+  int scope = -1;
+};
+
+struct FnAnalysis {
+  std::vector<std::vector<Event>> events;  // indexed by CFG node
+  bool fence_waived = false;
+  bool epoch_held = false;
+};
+
+std::string JoinToks(const std::vector<Tok>& T, int a, int b) {
   std::string out;
-  bool ws = false;
-  for (char c : sig) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ws = true;
+  for (int k = a; k < b; k++) {
+    if (!out.empty()) out += ' ';
+    out += T[static_cast<size_t>(k)].text;
+  }
+  return out;
+}
+
+// Scans assignments and memcpy/memset calls in `node` for PM stores,
+// publish stores and taint definitions (taints accumulate in `taints`,
+// flow-insensitively like v1, but with pointer-copy propagation).
+void ScanStoresAndTaints(const FunctionDef& fn, const CfgNode& node,
+                         const LexFile& lex, bool collect_taints,
+                         std::vector<Taint>* taints,
+                         std::vector<Event>* events) {
+  const auto& T = lex.toks;
+  int stmt_start = node.first_tok;
+  int depth = 0;
+  for (int k = node.first_tok; k < node.last_tok; k++) {
+    if (InLambdaSpan(fn, k)) continue;
+    const Tok& t = T[static_cast<size_t>(k)];
+    if (t.Is("(") || t.Is("[") || t.Is("{")) depth++;
+    if (t.Is(")") || t.Is("]") || t.Is("}")) depth--;
+    if (t.Is(";") && depth == 0) {
+      stmt_start = k + 1;
       continue;
     }
-    if (ws && !out.empty()) out += ' ';
-    ws = false;
-    out += c;
+    if (depth != 0) continue;
+
+    bool plain_assign = t.Is("=");
+    bool compound = t.Is("+=") || t.Is("-=") || t.Is("*=") || t.Is("/=") ||
+                    t.Is("%=") || t.Is("&=") || t.Is("|=") || t.Is("^=");
+    if (!plain_assign && !compound) continue;
+
+    // RHS extent: up to the statement's ';' (or node end).
+    int rhs_end = k + 1;
+    int d2 = 0;
+    while (rhs_end < node.last_tok) {
+      const Tok& r = T[static_cast<size_t>(rhs_end)];
+      if (r.Is("(") || r.Is("[") || r.Is("{")) d2++;
+      if (r.Is(")") || r.Is("]") || r.Is("}")) d2--;
+      if (r.Is(";") && d2 == 0) break;
+      rhs_end++;
+    }
+
+    // Taint definition: `name = <expr mentioning a PM source or an
+    // already-tainted pointer>`.
+    if (collect_taints && plain_assign && k > node.first_tok &&
+        T[static_cast<size_t>(k) - 1].kind == Tok::kIdent) {
+      const std::string& name = T[static_cast<size_t>(k) - 1].text;
+      int src = 0;
+      bool remote = NamesRemote(name);
+      bool publish = false;
+      for (int r = k + 1; r < rhs_end; r++) {
+        int s = SourceAt(T, r, rhs_end);
+        src = std::max(src, s);
+        const Tok& rt = T[static_cast<size_t>(r)];
+        if (rt.kind == Tok::kIdent) {
+          if (NamesRemote(rt.text)) remote = true;
+          if (const Taint* tv = FindTaint(*taints, rt.text)) {
+            src = std::max(src, 1);
+            remote = remote || tv->remote;
+            publish = publish || tv->publish;
+          }
+        }
+      }
+      if (src > 0) {
+        publish = publish || src == 2;
+        const Taint* prev = FindTaint(*taints, name);
+        if (prev == nullptr) {
+          taints->push_back({name, remote, publish});
+        }
+      }
+    }
+
+    if (events == nullptr) continue;
+
+    // The statement that *binds* a tainted pointer is a declaration, not
+    // a store — `char* dst = pool->At(off)` must not read as `*dst = ...`.
+    std::string def_name;
+    if (plain_assign && k > node.first_tok &&
+        T[static_cast<size_t>(k) - 1].kind == Tok::kIdent) {
+      for (int r = k + 1; r < rhs_end; r++) {
+        if (SourceAt(T, r, rhs_end) > 0 ||
+            (T[static_cast<size_t>(r)].kind == Tok::kIdent &&
+             FindTaint(*taints, T[static_cast<size_t>(r)].text) != nullptr)) {
+          def_name = T[static_cast<size_t>(k) - 1].text;
+          break;
+        }
+      }
+    }
+
+    // Store through a PM pointer: the LHS mentions a PM source or a
+    // tainted pointer in a dereferencing shape (`*p`, `p->f`, `p[i]`).
+    bool pm = false, deref = false, publish = false, remote = false;
+    std::string what;
+    for (int l = stmt_start; l < k; l++) {
+      const Tok& lt = T[static_cast<size_t>(l)];
+      int s = SourceAt(T, l, k);
+      if (s > 0) {
+        pm = true;
+        if (s == 2) publish = true;
+        if (what.empty()) what = "store through '" + lt.text + "()'";
+      }
+      if (lt.Is("->") || lt.Is("[")) {
+        if (pm) deref = true;
+      }
+      if (lt.kind != Tok::kIdent) continue;
+      if (lt.text == def_name) continue;  // declarator, not a use
+      const Taint* tv = FindTaint(*taints, lt.text);
+      if (tv == nullptr) continue;
+      // A leading `*` is a dereference only when it cannot be a declarator
+      // (`char* dst` / `Foo<T>* p` have a type token before the star).
+      bool star_deref = false;
+      if (l > stmt_start && T[static_cast<size_t>(l) - 1].Is("*")) {
+        star_deref =
+            l - 1 == stmt_start ||
+            (T[static_cast<size_t>(l) - 2].kind != Tok::kIdent &&
+             !T[static_cast<size_t>(l) - 2].Is(">"));
+      }
+      bool shaped =
+          star_deref ||
+          (l + 1 < k && (T[static_cast<size_t>(l) + 1].Is("->") ||
+                         T[static_cast<size_t>(l) + 1].Is("[")));
+      if (!shaped) continue;
+      pm = true;
+      deref = true;
+      remote = remote || tv->remote;
+      publish = publish || tv->publish;
+      if (what.empty()) what = "store through '" + lt.text + "'";
+    }
+    if (stmt_start < k && T[static_cast<size_t>(stmt_start)].Is("*")) {
+      if (pm) deref = true;
+    }
+    if (pm && deref) {
+      std::string lhs = JoinToks(T, stmt_start, k);
+      if (NamesRemote(lhs)) remote = true;
+      if (NamesPublish(lhs)) publish = true;
+      if (publish) {
+        events->push_back({Event::kPublish, stmt_start, t.line, lhs, remote,
+                           true, -1});
+      }
+      events->push_back(
+          {Event::kPmStore, stmt_start, t.line, what, remote, publish, -1});
+    }
   }
-  if (out.size() > 60) out = out.substr(0, 57) + "...";
+}
+
+void ScanCallsAndGuards(const FunctionDef& fn, const CfgNode& node,
+                        const LexFile& lex, const SummaryDb& db,
+                        const std::vector<Taint>& taints,
+                        std::vector<Event>* events) {
+  const auto& T = lex.toks;
+
+  ForEachCall(fn, node, lex, [&](const std::string& name, int k) {
+    int line = T[static_cast<size_t>(k)].line;
+    if (name == "Persist") {
+      events->push_back({Event::kPersist, k, line, name, false, false, -1});
+      return;
+    }
+    if (name == "PersistFence") {
+      events->push_back({Event::kPersist, k, line, name, false, false, -1});
+      events->push_back({Event::kFence, k, line, name, false, false, -1});
+      return;
+    }
+    if (name == "Fence") {
+      events->push_back({Event::kFence, k, line, name, false, false, -1});
+      return;
+    }
+    if (name == "Pin" || name == "PinGuest") {
+      events->push_back({Event::kPinManual, k, line, name, false, false, -1});
+      return;
+    }
+    if (name == "Unpin" || name == "UnpinGuest") {
+      events->push_back(
+          {Event::kUnpinManual, k, line, name, false, false, -1});
+      return;
+    }
+    if (name == "DecodeEntry") {
+      events->push_back({Event::kLogRead, k, line, name, false, false, -1});
+      return;
+    }
+    if (db.CalleeAlwaysFences(name)) {
+      if (db.CalleePersists(name)) {
+        events->push_back(
+            {Event::kPersistCall, k, line, name, false, false, -1});
+      }
+      events->push_back({Event::kFence, k, line, name, false, false, -1});
+    } else if (db.CalleeLeavesUnfenced(name)) {
+      events->push_back(
+          {Event::kUnfencedCall, k, line, name, false, false, -1});
+    } else if (db.CalleePersists(name)) {
+      events->push_back(
+          {Event::kPersistCall, k, line, name, false, false, -1});
+    }
+    if (db.CalleeReadsLog(name)) {
+      events->push_back({Event::kLogRead, k, line, name, false, false, -1});
+    }
+    if (const auto* acq = db.CalleeAcquires(name)) {
+      for (const std::string& cap : *acq) {
+        events->push_back(
+            {Event::kCalleeLocks, k, line, cap, false, false, -1});
+      }
+    }
+
+    // memcpy/memset into PM (rule 2): evaluate the first argument.
+    if (name == "memcpy" || name == "memset") {
+      int open = k + 1;
+      int close = open, d = 0;
+      int arg_end = -1;
+      for (int j = open; j < node.last_tok; j++) {
+        if (T[static_cast<size_t>(j)].Is("(")) d++;
+        if (T[static_cast<size_t>(j)].Is(")")) {
+          d--;
+          if (d == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (d == 1 && T[static_cast<size_t>(j)].Is(",") && arg_end < 0) {
+          arg_end = j;
+        }
+      }
+      if (arg_end < 0) arg_end = close;
+      int taint = 0;
+      bool remote = false, publish = false;
+      for (int j = open + 1; j < arg_end; j++) {
+        int s = SourceAt(T, j, arg_end);
+        taint = std::max(taint, s);
+        const Tok& a = T[static_cast<size_t>(j)];
+        if (a.kind == Tok::kIdent) {
+          if (NamesRemote(a.text)) remote = true;
+          if (const Taint* tv = FindTaint(taints, a.text)) {
+            taint = std::max(taint, 1);
+            remote = remote || tv->remote;
+            publish = publish || tv->publish;
+          }
+        }
+      }
+      if (taint > 0) {
+        publish = publish || taint == 2;
+        if (publish) {
+          events->push_back({Event::kPublish, k, line,
+                             JoinToks(T, open + 1, arg_end), remote, true,
+                             -1});
+        }
+        events->push_back(
+            {Event::kPmStore, k, line, name + "()", remote, publish, -1});
+      }
+    }
+  });
+
+  // Reader constructions (`ChainedChunkReader r(pool, off)`), epoch guard
+  // constructions (`Guard g(&mgr, slot)`), release-stores.
+  for (int k = node.first_tok; k < node.last_tok; k++) {
+    if (InLambdaSpan(fn, k)) continue;
+    const Tok& t = T[static_cast<size_t>(k)];
+    if (t.kind != Tok::kIdent) continue;
+    bool member = k > node.first_tok &&
+                  (T[static_cast<size_t>(k) - 1].Is(".") ||
+                   T[static_cast<size_t>(k) - 1].Is("->"));
+    bool ctor_form =
+        !member && k + 2 < node.last_tok &&
+        T[static_cast<size_t>(k) + 1].kind == Tok::kIdent &&
+        T[static_cast<size_t>(k) + 2].Is("(");
+    if ((t.text == "ChainedChunkReader" || t.text == "LogReader") &&
+        ctor_form) {
+      events->push_back(
+          {Event::kLogRead, k, t.line, t.text, false, false, -1});
+    }
+    if ((t.text == "Guard" || t.text == "GuestGuard") && ctor_form) {
+      events->push_back({Event::kPinScoped, k, t.line, t.text, false, false,
+                         node.scope_id});
+    }
+    if (t.text == "store" && member && k + 1 < node.last_tok &&
+        T[static_cast<size_t>(k) + 1].Is("(")) {
+      // Release-store to a publish-named atomic.
+      int d = 0, close = k + 1;
+      bool release = false;
+      for (int j = k + 1; j < node.last_tok; j++) {
+        if (T[static_cast<size_t>(j)].Is("(")) d++;
+        if (T[static_cast<size_t>(j)].Is(")")) {
+          d--;
+          if (d == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (T[static_cast<size_t>(j)].IsIdent("memory_order_release") ||
+            T[static_cast<size_t>(j)].IsIdent("memory_order_seq_cst")) {
+          release = true;
+        }
+      }
+      (void)close;
+      if (release) {
+        std::string chain = ExprBefore(lex, k - 1);
+        if (NamesPublish(chain)) {
+          events->push_back(
+              {Event::kPublish, k, t.line, chain, false, true, -1});
+        }
+      }
+    }
+  }
+
+  // Lock events last so sorting by token keeps intra-token order stable.
+  for (const LockEvent& e : ScanLockEvents(fn, node, lex)) {
+    std::string cap = e.cap;
+    if (!fn.class_name.empty() && cap.find("::") == std::string::npos) {
+      cap = fn.class_name + "::" + cap;
+    }
+    Event ev;
+    ev.kind = e.kind == LockEvent::kRelease ? Event::kLockRelease
+                                            : Event::kLockAcquire;
+    ev.tok = e.tok;
+    ev.line = e.line;
+    ev.text = cap;
+    ev.scope = e.kind == LockEvent::kScopedAcquire ? node.scope_id : -1;
+    events->push_back(std::move(ev));
+  }
+}
+
+FnAnalysis AnalyzeEvents(const FunctionDef& fn, const LexFile& lex,
+                         const SummaryDb& db) {
+  FnAnalysis fa;
+  fa.events.resize(fn.nodes.size());
+  fa.fence_waived = MarkerInFn(fn, lex, "fs-lint: deferred-fence");
+  fa.epoch_held = MarkerInFn(fn, lex, "fs-lint: epoch-held");
+
+  // Flow-insensitive taint pre-pass (two rounds for copy propagation).
+  std::vector<Taint> taints;
+  for (int round = 0; round < 2; round++) {
+    for (const CfgNode& nd : fn.nodes) {
+      ScanStoresAndTaints(fn, nd, lex, true, &taints, nullptr);
+    }
+  }
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    ScanStoresAndTaints(fn, fn.nodes[n], lex, false, &taints,
+                        &fa.events[n]);
+    ScanCallsAndGuards(fn, fn.nodes[n], lex, db, taints, &fa.events[n]);
+    std::stable_sort(fa.events[n].begin(), fa.events[n].end(),
+                     [](const Event& a, const Event& b) {
+                       return a.tok < b.tok;
+                     });
+  }
+  return fa;
+}
+
+// ---- generic forward dataflow -------------------------------------------
+
+template <typename S>
+struct Flow {
+  std::vector<std::optional<S>> in, out;
+};
+
+// Forward dataflow to fixpoint. `join` folds two states (union for may,
+// intersection for must); unreachable nodes keep nullopt (TOP).
+template <typename S, typename TransferFn, typename JoinFn>
+Flow<S> RunForward(const FunctionDef& fn, const S& entry, TransferFn transfer,
+                   JoinFn join) {
+  size_t nn = fn.nodes.size();
+  std::vector<std::vector<int>> preds(nn);
+  for (size_t n = 0; n < nn; n++) {
+    for (int s : fn.nodes[n].succ) {
+      preds[static_cast<size_t>(s)].push_back(static_cast<int>(n));
+    }
+  }
+  Flow<S> f;
+  f.in.resize(nn);
+  f.out.resize(nn);
+  for (int iter = 0; iter < 200; iter++) {
+    bool changed = false;
+    for (size_t n = 0; n < nn; n++) {
+      std::optional<S> in;
+      if (n == FunctionDef::kEntry) in = entry;
+      for (int p : preds[n]) {
+        const auto& po = f.out[static_cast<size_t>(p)];
+        if (!po) continue;
+        in = in ? join(*in, *po) : *po;
+      }
+      if (!in) continue;
+      S out = transfer(static_cast<int>(n), *in);
+      if (!f.in[n] || !(*f.in[n] == *in)) {
+        f.in[n] = std::move(*in);
+        changed = true;
+      }
+      if (!f.out[n] || !(*f.out[n] == out)) {
+        f.out[n] = std::move(out);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return f;
+}
+
+template <typename S>
+S UnionJoin(const S& a, const S& b) {
+  S r = a;
+  r.insert(b.begin(), b.end());
+  return r;
+}
+template <typename S>
+S IntersectJoin(const S& a, const S& b) {
+  S r;
+  for (const auto& x : a) {
+    if (b.count(x)) r.insert(x);
+  }
+  return r;
+}
+
+// ---- rules --------------------------------------------------------------
+
+struct FileCtx {
+  const ParsedFile* pf;
+  bool pm_layer, net_layer, log_layer, hot_relaxed;
+  LintResult* res;
+};
+
+void Emit(FileCtx& cx, int line0, const char* rule, std::string msg) {
+  cx.res->violations.push_back(
+      {cx.pf->path, line0 + 1, rule, std::move(msg)});
+}
+
+// Rule 1: fence-after-persist, on the CFG, interprocedural.
+void RuleFenceAfterPersist(FileCtx& cx, const FunctionDef& fn,
+                           const FnAnalysis& fa) {
+  if (cx.pm_layer) return;
+  const LexFile& lex = cx.pf->lex;
+  using S = std::set<int>;  // 0-based lines of pending (unfenced) persists
+  auto transfer = [&](int n, const S& in) {
+    S s = in;
+    for (const Event& e : fa.events[static_cast<size_t>(n)]) {
+      switch (e.kind) {
+        case Event::kPersist:
+          // fence-guarded: the fence happens later in this function under
+          // a flag the dataflow cannot correlate (`if (need) Fence()`).
+          // Unlike deferred-fence this does NOT export an obligation to
+          // callers — the function still discharges it internally.
+          if (SiteWaived(lex, e.line, "fence-guarded")) break;
+          s.insert(e.line);
+          break;
+        case Event::kUnfencedCall:
+          s.insert(e.line);
+          break;
+        case Event::kFence:
+          s.clear();
+          break;
+        default:
+          break;
+      }
+    }
+    return s;
+  };
+  Flow<S> f = RunForward<S>(fn, S{}, transfer, UnionJoin<S>);
+  if (fa.fence_waived) return;
+  auto report = [&](int line0) {
+    Emit(cx, line0, "fence-after-persist",
+         "Persist() is not followed by Fence()/PersistFence() on this "
+         "path out of '" +
+             fn.signature +
+             "'; fence it or waive with // fs-lint: "
+             "deferred-fence(<reason>)");
+  };
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    if (!fn.nodes[n].is_return || !f.out[n]) continue;
+    if (!f.out[n]->empty()) report(fn.nodes[n].line);
+  }
+  // Fall-through exit: only via non-return predecessors (returns already
+  // reported themselves).
+  S at_end;
+  bool reachable = false;
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    const CfgNode& nd = fn.nodes[n];
+    if (nd.is_return || nd.is_noreturn || !f.out[n]) continue;
+    if (std::find(nd.succ.begin(), nd.succ.end(), FunctionDef::kExit) ==
+        nd.succ.end()) {
+      continue;
+    }
+    reachable = true;
+    at_end.insert(f.out[n]->begin(), f.out[n]->end());
+  }
+  if (reachable && !at_end.empty()) report(fn.end_line);
+}
+
+// Rule 2 + 5: pm-store / remote-write.
+void RulePmStore(FileCtx& cx, const FunctionDef& fn, const FnAnalysis& fa) {
+  if (cx.pm_layer) return;
+  const LexFile& lex = cx.pf->lex;
+  // Persist-capable nodes (intrinsic or may-persist callee), with the
+  // last persist token per node for intra-node ordering.
+  std::vector<int> persist_tok(fn.nodes.size(), -1);
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    for (const Event& e : fa.events[n]) {
+      if (e.kind == Event::kPersist || e.kind == Event::kPersistCall) {
+        persist_tok[n] = std::max(persist_tok[n], e.tok);
+      }
+    }
+  }
+  auto reaches_persist = [&](int from, int tok) {
+    if (persist_tok[static_cast<size_t>(from)] > tok) return true;
+    std::vector<bool> seen(fn.nodes.size(), false);
+    std::vector<int> stack(fn.nodes[static_cast<size_t>(from)].succ);
+    while (!stack.empty()) {
+      int n = stack.back();
+      stack.pop_back();
+      if (seen[static_cast<size_t>(n)]) continue;
+      seen[static_cast<size_t>(n)] = true;
+      if (persist_tok[static_cast<size_t>(n)] >= 0) return true;
+      for (int s : fn.nodes[static_cast<size_t>(n)].succ) stack.push_back(s);
+    }
+    return false;
+  };
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    for (const Event& e : fa.events[n]) {
+      if (e.kind != Event::kPmStore) continue;
+      if (e.remote && !cx.net_layer &&
+          !SiteWaived(lex, e.line, "remote-write")) {
+        Emit(cx, e.line, "remote-write",
+             e.text +
+                 " targets remote-socket PM (remote/peer-named pointer) "
+                 "in '" +
+                 fn.signature +
+                 "'; route it through the net layer or waive with "
+                 "// fs-lint: remote-write(<reason>)");
+      }
+      if (reaches_persist(static_cast<int>(n), e.tok)) continue;
+      if (SiteWaived(lex, e.line, "pm-write")) continue;
+      Emit(cx, e.line, "pm-store",
+           e.text +
+               " writes a PM-derived pointer without reaching a "
+               "Persist in '" +
+               fn.signature +
+               "'; persist it or waive with // fs-lint: "
+               "pm-write(<reason>)");
+    }
+  }
+}
+
+// Rule 6: persist-before-publish.
+void RulePersistBeforePublish(FileCtx& cx, const FunctionDef& fn,
+                              const FnAnalysis& fa) {
+  if (cx.pm_layer) return;
+  const LexFile& lex = cx.pf->lex;
+  using S = std::set<int>;  // 0-based lines of unfenced persists/PM writes
+  auto apply = [&](int n, const S& in,
+                   const std::function<void(const Event&, const S&)>& on) {
+    S s = in;
+    for (const Event& e : fa.events[static_cast<size_t>(n)]) {
+      switch (e.kind) {
+        case Event::kPublish:
+          if (on) on(e, s);
+          break;
+        case Event::kPersist:
+          if (SiteWaived(lex, e.line, "fence-guarded")) break;
+          s.insert(e.line);
+          break;
+        case Event::kUnfencedCall:
+          s.insert(e.line);
+          break;
+        case Event::kPmStore:
+          // A publish store is the *publication*, not pending payload: a
+          // run of superblock-field stores must not flag one another.
+          // Its durability is rule 2's job (it must reach a Persist).
+          if (!e.publish) s.insert(e.line);
+          break;
+        case Event::kFence:
+          s.clear();
+          break;
+        default:
+          break;
+      }
+    }
+    return s;
+  };
+  auto transfer = [&](int n, const S& in) { return apply(n, in, nullptr); };
+  Flow<S> f = RunForward<S>(fn, S{}, transfer, UnionJoin<S>);
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    if (!f.in[n]) continue;
+    apply(static_cast<int>(n), *f.in[n], [&](const Event& e, const S& dirty) {
+      if (dirty.empty()) return;
+      if (SiteWaived(lex, e.line, "publish-ok")) return;
+      std::ostringstream lines;
+      int shown = 0;
+      for (int l : dirty) {
+        if (shown++) lines << ", ";
+        if (shown > 3) {
+          lines << "...";
+          break;
+        }
+        lines << l + 1;
+      }
+      Emit(cx, e.line, "persist-before-publish",
+           "store publishes '" + e.text + "' in '" + fn.signature +
+               "' while the persist/PM write at line " + lines.str() +
+               " is not yet fenced; recovery could see the publication "
+               "without the data — Fence() first or waive with "
+               "// fs-lint: publish-ok(<reason>)");
+    });
+  }
+}
+
+// Rule 7: epoch-pin discipline.
+void RuleEpochPin(FileCtx& cx, const FunctionDef& fn, const FnAnalysis& fa) {
+  if (cx.pm_layer || cx.log_layer) return;
+  if (fa.epoch_held) return;  // the caller owns the pin, by contract
+  const LexFile& lex = cx.pf->lex;
+  // Must-analysis: set of active pin keys. Scoped pins are keyed by the
+  // scope id of their construction and die at that scope's exit node;
+  // manual Pin() is key -1 and dies at Unpin().
+  using S = std::set<int>;
+  auto apply = [&](int n, const S& in,
+                   const std::function<void(const Event&, const S&)>& on) {
+    S s = in;
+    const CfgNode& nd = fn.nodes[static_cast<size_t>(n)];
+    if (nd.scope_exit_of >= 0) s.erase(nd.scope_exit_of);
+    for (const Event& e : fa.events[static_cast<size_t>(n)]) {
+      switch (e.kind) {
+        case Event::kLogRead:
+          if (on) on(e, s);
+          break;
+        case Event::kPinScoped:
+          s.insert(e.scope);
+          break;
+        case Event::kPinManual:
+          s.insert(-1);
+          break;
+        case Event::kUnpinManual:
+          s.erase(-1);
+          break;
+        default:
+          break;
+      }
+    }
+    return s;
+  };
+  auto transfer = [&](int n, const S& in) { return apply(n, in, nullptr); };
+  Flow<S> f = RunForward<S>(fn, S{}, transfer, IntersectJoin<S>);
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    if (!f.in[n]) continue;
+    apply(static_cast<int>(n), *f.in[n], [&](const Event& e, const S& pins) {
+      if (!pins.empty()) return;
+      if (SiteWaived(lex, e.line, "unpinned-read")) return;
+      Emit(cx, e.line, "epoch-pin",
+           "'" + e.text + "' reads log memory without an epoch pin held "
+           "on every path in '" +
+               fn.signature +
+               "'; hold common::Guard/GuestGuard across the read, "
+               "annotate the function // fs-lint: epoch-held(<reason>), "
+               "or waive with // fs-lint: unpinned-read(<reason>)");
+    });
+  }
+}
+
+// Rule 3: relaxed-needs-reason (file scope).
+void RuleRelaxed(FileCtx& cx, bool blanket) {
+  if (blanket) return;
+  const LexFile& lex = cx.pf->lex;
+  for (const Tok& t : lex.toks) {
+    if (!t.IsIdent("memory_order_relaxed")) continue;
+    if (HasNearbyComment(lex, t.line, "relaxed:", kWaiverWindow)) continue;
+    Emit(cx, t.line, "relaxed-needs-reason",
+         "memory_order_relaxed without a '// relaxed: <reason>' "
+         "justification (or file-level fs-lint: relaxed-default)");
+  }
+}
+
+// Rule 4: hot-path (token scan over the body, lambdas included — code in
+// a lambda defined on a hot path runs on that hot path).
+void RuleHotPath(FileCtx& cx, const FunctionDef& fn) {
+  if (!fn.is_hot || cx.hot_relaxed) return;
+  const LexFile& lex = cx.pf->lex;
+  const auto& T = lex.toks;
+  auto waived = [&](int line) {
+    return SiteWaived(lex, line, "hot-ok");
+  };
+  for (int k = fn.body_first; k < fn.body_last; k++) {
+    const Tok& t = T[static_cast<size_t>(k)];
+    if (t.kind != Tok::kIdent) continue;
+    bool call = k + 1 < fn.body_last && T[static_cast<size_t>(k) + 1].Is("(");
+    static const std::set<std::string> kAlloc = {
+        "malloc", "calloc", "realloc", "push_back", "emplace_back",
+        "resize", "reserve"};
+    if (call && kAlloc.count(t.text) && !waived(t.line)) {
+      Emit(cx, t.line, "hot-path",
+           t.text + "() in FS_HOT function '" + fn.signature +
+               "' (serving paths are allocation-free)");
+      continue;
+    }
+    if (t.text == "new" && !waived(t.line)) {
+      Emit(cx, t.line, "hot-path",
+           "operator new in FS_HOT function '" + fn.signature + "'");
+      continue;
+    }
+    static const std::set<std::string> kGuards = {
+        "lock_guard", "unique_lock", "shared_lock",
+        "scoped_lock", "LockGuard",  "SharedLockGuard"};
+    if (kGuards.count(t.text) && !waived(t.line)) {
+      Emit(cx, t.line, "hot-path",
+           t.text + " in FS_HOT function '" + fn.signature +
+               "' (blocking locks are banned; try_lock is allowed)");
+      continue;
+    }
+    if (t.text == "lock" && call && k > fn.body_first &&
+        (T[static_cast<size_t>(k) - 1].Is(".") ||
+         T[static_cast<size_t>(k) - 1].Is("->")) &&
+        k + 2 < fn.body_last && T[static_cast<size_t>(k) + 2].Is(")") &&
+        !waived(t.line)) {
+      Emit(cx, t.line, "hot-path",
+           "blocking lock() call in FS_HOT function '" + fn.signature +
+               "'");
+    }
+  }
+}
+
+// Rule 8 support: per-function may-held analysis emitting global edges.
+struct LockEdge {
+  std::string from, to;
+  std::string file;  // witness
+  int line = 0;      // 1-based
+  bool waived = false;
+};
+
+void CollectLockEdges(FileCtx& cx, const FunctionDef& fn,
+                      const FnAnalysis& fa,
+                      std::map<std::pair<std::string, std::string>,
+                               LockEdge>* edges) {
+  const LexFile& lex = cx.pf->lex;
+  // Held set: (cap, scope) pairs; scope -1 = held until unlock.
+  using Held = std::set<std::pair<std::string, int>>;
+  auto apply = [&](int n, const Held& in,
+                   const std::function<void(const Event&, const Held&)>& on) {
+    Held s = in;
+    const CfgNode& nd = fn.nodes[static_cast<size_t>(n)];
+    if (nd.scope_exit_of >= 0) {
+      for (auto it = s.begin(); it != s.end();) {
+        it = it->second == nd.scope_exit_of ? s.erase(it) : std::next(it);
+      }
+    }
+    for (const Event& e : fa.events[static_cast<size_t>(n)]) {
+      switch (e.kind) {
+        case Event::kLockAcquire:
+          if (on) on(e, s);
+          s.insert({e.text, e.scope});
+          break;
+        case Event::kCalleeLocks:
+          if (on) on(e, s);
+          break;
+        case Event::kLockRelease:
+          for (auto it = s.begin(); it != s.end();) {
+            it = it->first == e.text ? s.erase(it) : std::next(it);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return s;
+  };
+  Held entry;
+  for (const std::string& cap : fn.requires_caps) {
+    std::string c = cap;
+    if (!fn.class_name.empty() && c.find("::") == std::string::npos) {
+      c = fn.class_name + "::" + c;
+    }
+    entry.insert({c, -1});
+  }
+  auto transfer = [&](int n, const Held& in) { return apply(n, in, nullptr); };
+  Flow<Held> f = RunForward<Held>(fn, entry, transfer, UnionJoin<Held>);
+  for (size_t n = 0; n < fn.nodes.size(); n++) {
+    if (!f.in[n]) continue;
+    apply(static_cast<int>(n), *f.in[n],
+          [&](const Event& e, const Held& held) {
+            for (const auto& h : held) {
+              if (h.first == e.text) continue;
+              auto key = std::make_pair(h.first, e.text);
+              if (edges->count(key)) continue;
+              LockEdge edge;
+              edge.from = h.first;
+              edge.to = e.text;
+              edge.file = cx.pf->path;
+              edge.line = e.line + 1;
+              edge.waived = SiteWaived(lex, e.line, "lock-order");
+              (*edges)[key] = std::move(edge);
+            }
+          });
+  }
+}
+
+void ReportLockCycles(
+    const std::map<std::pair<std::string, std::string>, LockEdge>& edges,
+    std::vector<Violation>* out) {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& kv : edges) {
+    if (kv.second.waived) continue;
+    adj[kv.first.first].push_back(kv.first.second);
+  }
+  auto reaches = [&](const std::string& from, const std::string& to) {
+    std::vector<std::string> stack = {from};
+    std::set<std::string> seen;
+    while (!stack.empty()) {
+      std::string n = stack.back();
+      stack.pop_back();
+      if (n == to) return true;
+      if (!seen.insert(n).second) continue;
+      auto it = adj.find(n);
+      if (it == adj.end()) continue;
+      for (const std::string& s : it->second) stack.push_back(s);
+    }
+    return false;
+  };
+  for (const auto& kv : edges) {
+    const LockEdge& e = kv.second;
+    if (e.waived) continue;
+    if (!reaches(e.to, e.from)) continue;
+    out->push_back(
+        {e.file, e.line, "lock-order-cycle",
+         "acquiring '" + e.to + "' while holding '" + e.from +
+             "' completes a lock-order cycle ('" + e.from +
+             "' is also acquired while '" + e.to +
+             "' is held elsewhere); fix the ordering or waive with "
+             "// fs-lint: lock-order(<reason>)"});
+  }
+}
+
+// ---- per-file driver ----------------------------------------------------
+
+void AnalyzeFile(
+    const ParsedFile& pf, const SummaryDb& db, LintResult* res,
+    std::map<std::pair<std::string, std::string>, LockEdge>* edges) {
+  FileCtx cx{&pf, IsPmLayer(pf.path), IsNetLayer(pf.path),
+             IsLogLayer(pf.path), HotRuleRelaxed(pf.path), res};
+  const LexFile& lex = pf.lex;
+
+  // Waiver registry + empty-reason violations + blanket relaxed waiver.
+  bool relaxed_blanket = false;
+  for (int l = 0; l < static_cast<int>(lex.comments.size()); l++) {
+    const std::string& c = lex.comments[static_cast<size_t>(l)];
+    if (c.find("fs-lint:") == std::string::npos) continue;
+    for (const char* m : kMarkers) {
+      std::string marker = std::string("fs-lint: ") + m + "(";
+      std::string reason;
+      if (!WaiverReason(c, marker, &reason)) continue;
+      if (std::string(m) == "relaxed-default") relaxed_blanket = true;
+      res->waivers.push_back({pf.path, l + 1, m, reason});
+      if (reason.empty()) {
+        std::string msg =
+            std::string(m) == "relaxed-default"
+                ? "fs-lint: relaxed-default waiver without a reason"
+                : marker + "...) waiver without a reason";
+        Emit(cx, l, "waiver-needs-reason", std::move(msg));
+      }
+    }
+  }
+
+  RuleRelaxed(cx, relaxed_blanket);
+
+  for (const FunctionDef& fn : pf.fns) {
+    FnAnalysis fa = AnalyzeEvents(fn, lex, db);
+    RuleFenceAfterPersist(cx, fn, fa);
+    RulePmStore(cx, fn, fa);
+    RulePersistBeforePublish(cx, fn, fa);
+    RuleEpochPin(cx, fn, fa);
+    if (!fn.is_lambda) RuleHotPath(cx, fn);
+    CollectLockEdges(cx, fn, fa, edges);
+    res->functions++;
+  }
+  res->files++;
+}
+
+void FinishResult(LintResult* res,
+                  const std::map<std::pair<std::string, std::string>,
+                                 LockEdge>& edges) {
+  ReportLockCycles(edges, &res->violations);
+  auto& vs = res->violations;
+  std::sort(vs.begin(), vs.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  vs.erase(std::unique(vs.begin(), vs.end(),
+                       [](const Violation& a, const Violation& b) {
+                         return a.file == b.file && a.line == b.line &&
+                                a.rule == b.rule && a.message == b.message;
+                       }),
+           vs.end());
+  std::sort(res->waivers.begin(), res->waivers.end(),
+            [](const Waiver& a, const Waiver& b) {
+              return std::tie(a.marker, a.file, a.line) <
+                     std::tie(b.marker, b.file, b.line);
+            });
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
   return out;
 }
 
 }  // namespace
 
-std::vector<Violation> LintFile(const std::string& path,
-                                const std::string& contents) {
-  std::vector<Violation> out;
-  const bool pm_layer = IsPmLayer(path);
-  const bool net_layer = IsNetLayer(path);
-  const std::vector<Line> lines = SplitLines(contents);
+// ---- public API ---------------------------------------------------------
 
-  // File-level blanket waiver for the relaxed rule.
-  bool relaxed_blanket = false;
-  for (const Line& l : lines) {
-    std::string reason;
-    if (WaiverReason(l.comment, "fs-lint: relaxed-default(", &reason)) {
-      relaxed_blanket = true;
-      if (reason.empty()) {
-        out.push_back({path,
-                       static_cast<int>(&l - lines.data()) + 1,
-                       "waiver-needs-reason",
-                       "fs-lint: relaxed-default waiver without a reason"});
+LintResult LintPaths(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  LintResult res;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      fs::recursive_directory_iterator it(root, ec), end;
+      if (ec) {
+        res.violations.push_back(
+            {root, 0, "io", "cannot walk directory: " + ec.message()});
+        continue;
       }
-    }
-  }
-
-  // Scope tracking. `scopes` mirrors brace depth; FunctionState is live
-  // while inside a function body.
-  enum class Scope { kNamespace, kType, kFunction, kOther };
-  std::vector<Scope> scopes;
-  FunctionState fn;
-  bool in_function = false;
-  std::string header;  // code accumulated since the last ';' / '{' / '}'
-
-  static const std::regex kTaintDef(
-      R"(([A-Za-z_][A-Za-z0-9_]*)\s*=\s*[^=;]*(->At\s*\(|\.At\s*\(|PtrAt\s*<|->base\s*\(\s*\)|superblock\s*\(\s*\)|registry\s*\(\s*\)|tails\s*\(|HeaderOf\s*\())");
-  static const std::regex kTemplateHdr(R"(template\s*<[^<>]*>)");
-
-  auto finish_function = [&](int end_line) {
-    if (fn.unfenced_persist >= 0) fn.pending_returns.push_back(end_line);
-    if (!fn.fence_waived) {
-      for (int r : fn.pending_returns) {
-        out.push_back(
-            {path, r + 1, "fence-after-persist",
-             "Persist() is not followed by Fence()/PersistFence() on this "
-             "path out of '" +
-                 fn.name_hint +
-                 "'; fence it or waive with // fs-lint: "
-                 "deferred-fence(<reason>)"});
-      }
-    }
-    for (const PendingPmStore& st : fn.pm_stores) {
-      bool persisted_later = false;
-      for (int pl : fn.persist_lines) {
-        if (pl >= st.line) {
-          persisted_later = true;
+      for (; it != end; it.increment(ec)) {
+        if (ec) {
+          res.violations.push_back(
+              {root, 0, "io", "cannot walk directory: " + ec.message()});
           break;
         }
+        if (!it->is_regular_file(ec)) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc") files.push_back(it->path().string());
       }
-      if (persisted_later) continue;
-      if (HasNearbyComment(lines, st.line, "fs-lint: pm-write(")) continue;
-      out.push_back({path, st.line + 1, "pm-store",
-                     st.what +
-                         " writes a PM-derived pointer without reaching a "
-                         "Persist in '" +
-                         fn.name_hint +
-                         "'; persist it or waive with // fs-lint: "
-                         "pm-write(<reason>)"});
-    }
-  };
-
-  bool pp_continuation = false;  // previous line was a '\'-continued #directive
-
-  for (size_t li = 0; li < lines.size(); li++) {
-    std::string code = lines[li].code;
-    const std::string& comment = lines[li].comment;
-
-    // Preprocessor lines (and their backslash continuations) are invisible
-    // to every rule and to brace/scope tracking: macro definitions contain
-    // parens and braces that are not code in this translation unit.
-    {
-      size_t first = code.find_first_not_of(" \t");
-      bool is_pp = pp_continuation ||
-                   (first != std::string::npos && code[first] == '#');
-      size_t last = code.find_last_not_of(" \t");
-      pp_continuation =
-          is_pp && last != std::string::npos && code[last] == '\\';
-      if (is_pp) code.clear();
-    }
-
-    // --- waiver bookkeeping (reasons must be non-empty) ---
-    for (const char* marker :
-         {"fs-lint: deferred-fence(", "fs-lint: pm-write(",
-          "fs-lint: hot-ok(", "fs-lint: remote-write("}) {
-      std::string reason;
-      if (WaiverReason(comment, marker, &reason) && reason.empty()) {
-        out.push_back({path, static_cast<int>(li) + 1, "waiver-needs-reason",
-                       std::string(marker) + "...) waiver without a reason"});
-      }
-    }
-    if (in_function &&
-        comment.find("fs-lint: deferred-fence(") != std::string::npos) {
-      fn.fence_waived = true;
-    }
-
-    // --- rule 3: relaxed-needs-reason (applies everywhere) ---
-    if (!relaxed_blanket &&
-        code.find("memory_order_relaxed") != std::string::npos &&
-        !HasNearbyComment(lines, static_cast<int>(li), "relaxed:")) {
-      out.push_back({path, static_cast<int>(li) + 1, "relaxed-needs-reason",
-                     "memory_order_relaxed without a '// relaxed: <reason>' "
-                     "justification (or file-level fs-lint: "
-                     "relaxed-default)"});
-    }
-
-    // --- in-function token rules ---
-    if (in_function) {
-      // rule 1: fence-after-persist.
-      if (!pm_layer) {
-        if (ContainsCall(code, "PersistFence") || ContainsCall(code, "Fence")) {
-          fn.unfenced_persist = -1;
-          fn.persist_lines.push_back(static_cast<int>(li));
-        }
-        if (ContainsCall(code, "Persist")) {
-          fn.unfenced_persist = static_cast<int>(li);
-          fn.persist_lines.push_back(static_cast<int>(li));
-        }
-        if (ContainsWord(code, "return") && fn.unfenced_persist >= 0) {
-          fn.pending_returns.push_back(static_cast<int>(li));
-          // One report per un-fenced Persist, not per return.
-          fn.unfenced_persist = -1;
-        }
-
-        // rule 2: pm-store. New taints first, then violating stores.
-        // rule 5: remote-write fires at the store line itself (persisting
-        // a remote write later does not make it local).
-        auto flag_remote = [&](const std::string& what) {
-          if (net_layer) return;  // sanctioned cross-socket fabric
-          if (HasNearbyComment(lines, static_cast<int>(li),
-                               "fs-lint: remote-write(")) {
-            return;
-          }
-          out.push_back(
-              {path, static_cast<int>(li) + 1, "remote-write",
-               what +
-                   " targets remote-socket PM (remote/peer-named pointer) "
-                   "in '" +
-                   fn.name_hint +
-                   "'; route it through the net layer or waive with "
-                   "// fs-lint: remote-write(<reason>)"});
-        };
-        std::smatch m;
-        std::string rest = code;
-        std::vector<std::string> tainted_here;
-        while (std::regex_search(rest, m, kTaintDef)) {
-          fn.tainted.push_back({m[1].str(), NamesRemote(m[0].str())});
-          tainted_here.push_back(m[1].str());
-          rest = m.suffix().str();
-        }
-        for (const char* f : {"memcpy", "memset"}) {
-          std::string arg = FirstArgOf(code, f);
-          if (arg.empty()) continue;
-          const int taint = TaintOf(fn, arg);
-          if (taint == 0) continue;
-          fn.pm_stores.push_back(
-              {static_cast<int>(li), std::string(f) + "()"});
-          if (taint == 2) flag_remote(std::string(f) + "()");
-        }
-        // Raw stores through a tainted pointer: `v->f = `, `v[i] = `,
-        // `*v = ` (compound assignments included; == excluded). A line
-        // that taints `v` IS its declaration/rebinding — the `*` there is
-        // the declarator, not a dereference — so it is never a store.
-        for (const Taint& v : fn.tainted) {
-          if (std::find(tainted_here.begin(), tainted_here.end(), v.name) !=
-              tainted_here.end()) {
-            continue;
-          }
-          std::regex store(
-              R"((\*\s*)?\b)" + v.name +
-              R"(\b\s*(->\s*[A-Za-z_][A-Za-z0-9_]*|\[[^\]]*\])*\s*([|&^+\-*\/%]?=)([^=]|$))");
-          std::smatch sm;
-          if (std::regex_search(code, sm, store)) {
-            // Require either a dereference form or a plain `*v =`.
-            bool deref = sm[1].matched || sm[2].matched;
-            if (deref) {
-              fn.pm_stores.push_back({static_cast<int>(li),
-                                      "store through '" + v.name + "'"});
-              if (v.remote) flag_remote("store through '" + v.name + "'");
-              break;
-            }
-          }
-        }
-      }
-
-      // rule 4: hot-path.
-      if (fn.is_hot &&
-          !HasNearbyComment(lines, static_cast<int>(li), "fs-lint: hot-ok(")) {
-        static const char* const kAllocCalls[] = {
-            "malloc", "calloc", "realloc", "push_back", "emplace_back",
-            "resize", "reserve"};
-        for (const char* f : kAllocCalls) {
-          if (ContainsCall(code, f)) {
-            out.push_back({path, static_cast<int>(li) + 1, "hot-path",
-                           std::string(f) +
-                               "() in FS_HOT function '" + fn.name_hint +
-                               "' (serving paths are allocation-free)"});
-          }
-        }
-        if (ContainsWord(code, "new") &&
-            code.find("new_") == std::string::npos) {
-          out.push_back({path, static_cast<int>(li) + 1, "hot-path",
-                         "operator new in FS_HOT function '" + fn.name_hint +
-                             "'"});
-        }
-        static const char* const kLockTokens[] = {
-            "lock_guard", "unique_lock", "shared_lock", "scoped_lock",
-            "LockGuard",  "SharedLockGuard"};
-        for (const char* t : kLockTokens) {
-          if (ContainsWord(code, t)) {
-            out.push_back({path, static_cast<int>(li) + 1, "hot-path",
-                           std::string(t) + " in FS_HOT function '" +
-                               fn.name_hint +
-                               "' (blocking locks are banned; try_lock is "
-                               "allowed)"});
-          }
-        }
-        // `.lock()` / `->lock()` but not `try_lock()` / `unlock()`.
-        static const std::regex kBlockingLock(
-            R"((\.|->)lock\s*\(\s*\))");
-        if (std::regex_search(code, kBlockingLock)) {
-          out.push_back({path, static_cast<int>(li) + 1, "hot-path",
-                         "blocking lock() call in FS_HOT function '" +
-                             fn.name_hint + "'"});
-        }
-      }
-    }
-
-    // --- brace / scope tracking ---
-    for (char c : code) {
-      if (c == '{') {
-        if (in_function) {
-          scopes.push_back(Scope::kOther);  // plain block inside a body
-        } else {
-          std::string h = std::regex_replace(header, kTemplateHdr, " ");
-          bool type_kw = ContainsWord(h, "class") ||
-                         ContainsWord(h, "struct") ||
-                         ContainsWord(h, "union") || ContainsWord(h, "enum");
-          bool ns_kw = ContainsWord(h, "namespace");
-          // Trailing '=' marks a brace initializer.
-          std::string t = h;
-          while (!t.empty() && std::isspace(static_cast<unsigned char>(
-                                   t.back()))) {
-            t.pop_back();
-          }
-          bool initializer = !t.empty() && t.back() == '=';
-          bool has_parens = h.find('(') != std::string::npos;
-          if (ns_kw) {
-            scopes.push_back(Scope::kNamespace);
-          } else if (type_kw) {
-            scopes.push_back(Scope::kType);
-          } else if (has_parens && !initializer) {
-            scopes.push_back(Scope::kFunction);
-            in_function = true;
-            fn = FunctionState();
-            fn.start_line = static_cast<int>(li);
-            fn.body_depth = static_cast<int>(scopes.size());
-            fn.is_hot = ContainsWord(h, "FS_HOT");
-            fn.name_hint = NameHint(h);
-            // A deferred-fence waiver may sit just above the signature
-            // as well as anywhere in the body.
-            fn.fence_waived = HasNearbyComment(
-                lines, static_cast<int>(li), "fs-lint: deferred-fence(");
-          } else {
-            scopes.push_back(Scope::kOther);
-          }
-        }
-        header.clear();
-      } else if (c == '}') {
-        if (!scopes.empty()) {
-          if (scopes.back() == Scope::kFunction) {
-            finish_function(static_cast<int>(li));
-            in_function = false;
-          }
-          scopes.pop_back();
-        }
-        header.clear();
-      } else if (c == ';') {
-        header.clear();
-      } else {
-        header += c;
-      }
+    } else {
+      files.push_back(root);
     }
   }
-  return out;
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      res.violations.push_back({f, 0, "io", "cannot open file"});
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) {
+      res.violations.push_back({f, 0, "io", "read error"});
+      continue;
+    }
+    parsed.push_back(Parse(f, ss.str()));
+  }
+
+  SummaryDb db;
+  std::vector<const ParsedFile*> ptrs;
+  ptrs.reserve(parsed.size());
+  for (const ParsedFile& pf : parsed) ptrs.push_back(&pf);
+  db.Build(ptrs);
+
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  for (const ParsedFile& pf : parsed) AnalyzeFile(pf, db, &res, &edges);
+  FinishResult(&res, edges);
+  return res;
+}
+
+std::vector<Violation> LintFile(const std::string& path,
+                                const std::string& contents) {
+  LintResult res;
+  ParsedFile pf = Parse(path, contents);
+  SummaryDb db;
+  db.Build({&pf});
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  AnalyzeFile(pf, db, &res, &edges);
+  FinishResult(&res, edges);
+  return std::move(res.violations);
 }
 
 std::vector<Violation> LintPath(const std::string& path) {
@@ -602,30 +1186,173 @@ std::vector<Violation> LintPath(const std::string& path) {
 }
 
 std::vector<Violation> LintTree(const std::string& root) {
-  namespace fs = std::filesystem;
-  std::vector<Violation> out;
-  std::vector<std::string> files;
-  if (fs::is_directory(root)) {
-    for (const auto& e : fs::recursive_directory_iterator(root)) {
-      if (!e.is_regular_file()) continue;
-      const std::string ext = e.path().extension().string();
-      if (ext == ".h" || ext == ".cc") files.push_back(e.path().string());
-    }
-  } else {
-    files.push_back(root);
-  }
-  std::sort(files.begin(), files.end());
-  for (const std::string& f : files) {
-    std::vector<Violation> v = LintPath(f);
-    out.insert(out.end(), v.begin(), v.end());
-  }
-  return out;
+  return LintPaths({root}).violations;
 }
 
 std::string Format(const Violation& v) {
   std::ostringstream ss;
   ss << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
   return ss.str();
+}
+
+std::string ToJson(const LintResult& r) {
+  std::ostringstream ss;
+  ss << "{\n  \"version\": 1,\n  \"violations\": [";
+  for (size_t i = 0; i < r.violations.size(); i++) {
+    const Violation& v = r.violations[i];
+    ss << (i ? ",\n    " : "\n    ") << "{\"file\": \"" << JsonEscape(v.file)
+       << "\", \"line\": " << v.line << ", \"rule\": \""
+       << JsonEscape(v.rule) << "\", \"message\": \""
+       << JsonEscape(v.message) << "\"}";
+  }
+  ss << (r.violations.empty() ? "" : "\n  ") << "],\n  \"waivers\": [";
+  for (size_t i = 0; i < r.waivers.size(); i++) {
+    const Waiver& w = r.waivers[i];
+    ss << (i ? ",\n    " : "\n    ") << "{\"file\": \"" << JsonEscape(w.file)
+       << "\", \"line\": " << w.line << ", \"marker\": \""
+       << JsonEscape(w.marker) << "\", \"reason\": \""
+       << JsonEscape(w.reason) << "\"}";
+  }
+  ss << (r.waivers.empty() ? "" : "\n  ")
+     << "],\n  \"stats\": {\"files\": " << r.files
+     << ", \"functions\": " << r.functions
+     << ", \"violations\": " << r.violations.size()
+     << ", \"waivers\": " << r.waivers.size() << "}\n}\n";
+  return ss.str();
+}
+
+std::string ToReport(const LintResult& r) {
+  std::ostringstream ss;
+  ss << "<!-- generated by `fs_lint --report`; do not edit by hand -->\n";
+  ss << "Scanned " << r.files << " files / " << r.functions
+     << " functions; " << r.waivers.size() << " waivers, "
+     << r.violations.size() << " open findings.\n\n";
+  ss << "| Marker | File | Line | Reason |\n";
+  ss << "|--------|------|------|--------|\n";
+  for (const Waiver& w : r.waivers) {
+    ss << "| `" << w.marker << "` | `" << w.file << "` | " << w.line
+       << " | " << (w.reason.empty() ? "**(missing)**" : w.reason)
+       << " |\n";
+  }
+  return ss.str();
+}
+
+std::string BaselineKey(const Violation& v) {
+  std::string msg;
+  msg.reserve(v.message.size());
+  for (size_t i = 0; i < v.message.size(); i++) {
+    char c = v.message[i];
+    bool digit_run = false;
+    if (c == ':' && i + 1 < v.message.size() &&
+        std::isdigit(static_cast<unsigned char>(v.message[i + 1]))) {
+      digit_run = true;
+      msg += ":#";
+      i++;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) &&
+               (i == 0 || !std::isalnum(static_cast<unsigned char>(
+                              v.message[i - 1])))) {
+      digit_run = true;
+      msg += '#';
+    } else {
+      msg += c;
+    }
+    if (digit_run) {
+      while (i + 1 < v.message.size() &&
+             std::isdigit(static_cast<unsigned char>(v.message[i + 1]))) {
+        i++;
+      }
+    }
+  }
+  return v.file + "|" + v.rule + "|" + msg;
+}
+
+std::string SaveBaseline(const LintResult& r) {
+  std::map<std::string, int> counts;
+  for (const Violation& v : r.violations) counts[BaselineKey(v)]++;
+  std::ostringstream ss;
+  ss << "{\n  \"version\": 1,\n  \"findings\": {";
+  size_t i = 0;
+  for (const auto& kv : counts) {
+    ss << (i++ ? ",\n    " : "\n    ") << "\"" << JsonEscape(kv.first)
+       << "\": " << kv.second;
+  }
+  ss << (counts.empty() ? "" : "\n  ") << "}\n}\n";
+  return ss.str();
+}
+
+bool LoadBaseline(const std::string& json, std::map<std::string, int>* out) {
+  out->clear();
+  size_t pos = json.find("\"findings\"");
+  if (pos == std::string::npos) return false;
+  pos = json.find('{', pos);
+  if (pos == std::string::npos) return false;
+  pos++;
+  while (pos < json.size()) {
+    while (pos < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[pos]))) {
+      pos++;
+    }
+    if (pos < json.size() && json[pos] == '}') return true;
+    if (pos >= json.size() || json[pos] != '"') return false;
+    pos++;
+    std::string key;
+    while (pos < json.size() && json[pos] != '"') {
+      if (json[pos] == '\\' && pos + 1 < json.size()) {
+        pos++;
+        switch (json[pos]) {
+          case 'n':
+            key += '\n';
+            break;
+          case 't':
+            key += '\t';
+            break;
+          default:
+            key += json[pos];
+        }
+      } else {
+        key += json[pos];
+      }
+      pos++;
+    }
+    if (pos >= json.size()) return false;
+    pos++;  // closing quote
+    while (pos < json.size() &&
+           (std::isspace(static_cast<unsigned char>(json[pos])) ||
+            json[pos] == ':')) {
+      pos++;
+    }
+    int value = 0;
+    bool any = false;
+    while (pos < json.size() &&
+           std::isdigit(static_cast<unsigned char>(json[pos]))) {
+      value = value * 10 + (json[pos] - '0');
+      pos++;
+      any = true;
+    }
+    if (!any) return false;
+    (*out)[key] = value;
+    while (pos < json.size() &&
+           (std::isspace(static_cast<unsigned char>(json[pos])) ||
+            json[pos] == ',')) {
+      pos++;
+    }
+  }
+  return false;
+}
+
+std::vector<Violation> DiffBaseline(const std::vector<Violation>& vs,
+                                    const std::map<std::string, int>& base) {
+  std::map<std::string, int> budget = base;
+  std::vector<Violation> out;
+  for (const Violation& v : vs) {
+    auto it = budget.find(BaselineKey(v));
+    if (it != budget.end() && it->second > 0) {
+      it->second--;
+      continue;
+    }
+    out.push_back(v);
+  }
+  return out;
 }
 
 }  // namespace fslint

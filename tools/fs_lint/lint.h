@@ -1,54 +1,77 @@
 // fs_lint — FlatStore's project-specific persist-protocol / concurrency
 // lint (see DESIGN.md "Static analysis").
 //
-// A deliberately simple lexical analyzer (no clang AST) that enforces the
-// four rules no generic tool knows about this codebase:
+// v2 is control-flow-aware and interprocedural: every file is tokenized
+// (lex.h), each function body becomes a basic-block CFG (cfg.h), a
+// whole-run function-summary database (summary.h) resolves what callees
+// persist / fence / pin / acquire, and the rules are forward dataflow
+// problems over the CFG. No clang AST; the analysis stays syntactic and
+// fast enough to run on every commit.
 //
-//  1. fence-after-persist: every `Persist(...)` in a function must be
-//     followed by a `Fence()` / `PersistFence(...)` before any `return`
-//     (or the function end), or the function carries an explicit
-//     `// fs-lint: deferred-fence(<reason>)` waiver. Persist without an
-//     ordering point is the dominant PM bug class; the crash explorer can
-//     only find the interleavings it happens to probe — this rule covers
-//     every call site on every commit.
+// Rules (slugs as reported):
+//
+//  1. fence-after-persist: on every CFG path from a `Persist(...)` (or a
+//     call to a `fs-lint: deferred-fence` helper, which leaves bytes
+//     unfenced by contract) to a `return` / the function exit there must
+//     be a `Fence()` / `PersistFence(...)` / call to a helper that fences
+//     on all of its own paths. Waive with
+//     `// fs-lint: deferred-fence(<reason>)`.
 //
 //  2. pm-store: outside `src/pm`, raw `memcpy`/`memset` into — or raw
-//     pointer stores through — a PM-derived pointer (anything obtained
-//     via `At()`, `PtrAt<>()`, `base()`, `superblock()`, `registry()`,
-//     `tails()`, `HeaderOf()`) must reach a Persist-family call later in
-//     the same function or carry `// fs-lint: pm-write(<reason>)`. The
-//     allocator's lazily-persisted bitmap is the showcase waiver.
+//     pointer stores through — a PM-derived pointer (obtained via `At()`,
+//     `PtrAt<>()`, `base()`, `superblock()`, `registry()`, `tails()`,
+//     `HeaderOf()`, transitively through local pointer copies) must reach
+//     a Persist-family call (or a may-persist callee) on some later path,
+//     or carry `// fs-lint: pm-write(<reason>)`.
 //
 //  3. relaxed-needs-reason: every `memory_order_relaxed` must carry a
 //     `// relaxed: <reason>` tag on the same line or within the five
 //     preceding lines, unless the file declares a blanket
 //     `// fs-lint: relaxed-default(<reason>)`.
 //
-//  4. hot-path: a function marked `FS_HOT` (the PR 1 allocation-free
-//     serving paths) must not heap-allocate or block on a lock
-//     (`new`, `malloc`, `push_back`, `emplace_back`, `resize`, `reserve`,
-//     `lock_guard`/`unique_lock`/`shared_lock`/`scoped_lock`/`LockGuard`,
-//     `.lock()`); `try_lock` is allowed (HB leader election never
-//     blocks). Waive with `// fs-lint: hot-ok(<reason>)`.
+//  4. hot-path: a function marked `FS_HOT` must not heap-allocate or
+//     block on a lock; `try_lock` is allowed. Waive with
+//     `// fs-lint: hot-ok(<reason>)`. The rule is automatically relaxed
+//     for bench/ and tests/harness (measurement scaffolding is not a
+//     serving path).
 //
-//  5. remote-write: outside `src/pm` and `src/net` (the router /
-//     replication fabric is the sanctioned cross-socket path), a PM write
-//     (rule 2's store forms) through a pointer that *names* another
-//     socket's memory — the identifier or its obtaining expression
-//     contains `remote` or `peer` — must carry
-//     `// fs-lint: remote-write(<reason>)`. Naming is the contract:
-//     NUMA-placed code that deliberately touches a non-home socket says
-//     so in the pointer's name (`remote_chunk`, `peer_tail`), and the
-//     lint turns that intention into a reviewable waiver. The socket
-//     surcharge makes accidental remote writes slow; this makes them
-//     visible at review time.
+//  5. remote-write: outside `src/pm` and `src/net`, a PM write through a
+//     pointer that *names* another socket's memory (`remote`/`peer` in
+//     the identifier or its obtaining expression) must carry
+//     `// fs-lint: remote-write(<reason>)`.
+//
+//  6. persist-before-publish: a store that *publishes* state — a store
+//     through a pointer derived from `superblock()` / `registry()` /
+//     `tails()`, or a release-store to a tail/commit/registry-named
+//     atomic — must not execute while an earlier Persist / PM write on
+//     the same path is still unfenced: crash recovery could see the
+//     publication without the data. Waive with
+//     `// fs-lint: publish-ok(<reason>)`.
+//
+//  7. epoch-pin: log memory must only be decoded (`DecodeEntry`,
+//     `ChainedChunkReader`, `LogReader`, or a callee annotated
+//     `fs-lint: epoch-held`) while an epoch pin (`common::Guard` /
+//     `GuestGuard` in scope, or a manual `Pin()`/`PinGuest()`) is held on
+//     every path. Annotating a function `// fs-lint: epoch-held(<reason>)`
+//     moves the obligation to its callers. Site waiver:
+//     `// fs-lint: unpinned-read(<reason>)` (offline/recovery readers).
+//     `src/pm` and `src/log` are exempt (they implement the primitives).
+//
+//  8. lock-order-cycle: lock acquisitions (scoped guards, bare `lock()`)
+//     build a global acquired-while-held digraph, call sites expanding to
+//     the callee's transitive acquisition set; any cycle is reported with
+//     a witness site per edge. Waive an edge with
+//     `// fs-lint: lock-order(<reason>)` at the witness.
 //
 // Every waiver must carry a non-empty reason inside the parentheses; an
-// empty waiver is itself a violation.
+// empty waiver is itself a violation (waiver-needs-reason). All waivers
+// feed the registry in LintResult::waivers (rendered by `fs_lint
+// --report`).
 
 #ifndef FLATSTORE_TOOLS_FS_LINT_LINT_H_
 #define FLATSTORE_TOOLS_FS_LINT_LINT_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -61,10 +84,30 @@ struct Violation {
   std::string message;
 };
 
-// Lints one translation unit. `path` is used for reporting and for the
-// src/pm exemption (rules 1 and 2 are skipped for files whose path has a
-// "pm" directory component — the persistence layer itself implements the
-// primitives the rules are about).
+// One waiver/annotation comment, for the registry.
+struct Waiver {
+  std::string file;
+  int line = 0;        // 1-based
+  std::string marker;  // "deferred-fence", "pm-write", ...
+  std::string reason;
+};
+
+struct LintResult {
+  std::vector<Violation> violations;
+  std::vector<Waiver> waivers;
+  int files = 0;
+  int functions = 0;
+};
+
+// Full interprocedural run: parses every .h/.cc under the roots (a root
+// may also be a single file), builds the function-summary database over
+// all of them, then applies the rules. Unreadable roots/files produce
+// explicit "io" violations instead of being skipped silently. Violations
+// are deduplicated and sorted by (file, line, rule).
+LintResult LintPaths(const std::vector<std::string>& roots);
+
+// Lints one translation unit in isolation (summaries are built from this
+// file only). `path` is used for reporting and the layer exemptions.
 std::vector<Violation> LintFile(const std::string& path,
                                 const std::string& contents);
 
@@ -72,11 +115,35 @@ std::vector<Violation> LintFile(const std::string& path,
 std::vector<Violation> LintPath(const std::string& path);
 
 // Recursively lints every .h/.cc file under `root` (or the single file
-// `root` itself).
+// `root` itself) as one interprocedural run.
 std::vector<Violation> LintTree(const std::string& root);
 
 // "file:line: [rule] message" formatting.
 std::string Format(const Violation& v);
+
+// ---- machine-readable output and baseline differential ------------------
+
+// JSON report: {"version":1,"violations":[...],"waivers":[...],"stats":{}}.
+std::string ToJson(const LintResult& r);
+
+// Markdown waiver registry (embedded into DESIGN.md by --report).
+std::string ToReport(const LintResult& r);
+
+// Baseline key: file|rule|message with line-number-ish fragments (":<n>",
+// "line <n>") blanked so findings keep matching as code shifts.
+std::string BaselineKey(const Violation& v);
+
+// Serialized baseline: {"version":1,"findings":{"<key>":count,...}}.
+std::string SaveBaseline(const LintResult& r);
+
+// Parses a baseline previously produced by SaveBaseline. Returns false on
+// malformed input.
+bool LoadBaseline(const std::string& json, std::map<std::string, int>* out);
+
+// Violations not covered by the baseline: for each key, occurrences
+// beyond the baselined count survive (in file/line order).
+std::vector<Violation> DiffBaseline(const std::vector<Violation>& vs,
+                                    const std::map<std::string, int>& base);
 
 }  // namespace fslint
 

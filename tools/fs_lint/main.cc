@@ -1,26 +1,147 @@
-// fs_lint CLI: lints each path argument (file or directory tree) and
-// prints one line per violation; exit status 1 when any were found.
+// fs_lint CLI.
 //
-// Usage: fs_lint <path>...
+//   fs_lint [options] <path>...
+//
+// Paths may be files or directories (directories are walked recursively
+// for .h/.cc). All paths form ONE interprocedural run: function summaries
+// are built across every file before rules execute, so a helper defined
+// in src/pm discharges obligations at call sites in src/core.
+//
+// Options:
+//   --json <file|->          write the full JSON report (violations,
+//                            waiver registry, stats)
+//   --report <file|->        write the markdown waiver registry
+//   --baseline <file>        suppress findings recorded in the baseline;
+//                            exit 1 only for NEW findings
+//   --write-baseline <file>  write the current findings as the baseline
+//                            and exit 0
+//   --dump-cfg <file>        debug: print every function CFG parsed from
+//                            one file
+//
+// Exit codes: 0 clean (or all findings baselined), 1 findings, 2 usage /
+// unreadable baseline.
 
-#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "cfg.h"
 #include "lint.h"
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <path>...\n", argv[0]);
-    return 2;
+namespace {
+
+int Usage() {
+  std::cerr << "usage: fs_lint [--json FILE] [--report FILE] "
+               "[--baseline FILE] [--write-baseline FILE] "
+               "[--dump-cfg FILE] <path>...\n";
+  return 2;
+}
+
+bool WriteOut(const std::string& dest, const std::string& text) {
+  if (dest == "-") {
+    std::cout << text;
+    return true;
   }
-  size_t total = 0;
+  std::ofstream out(dest, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "fs_lint: cannot write " << dest << "\n";
+    return false;
+  }
+  out << text;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_out, report_out, baseline_in, baseline_out, dump_cfg;
   for (int i = 1; i < argc; i++) {
-    for (const fslint::Violation& v : fslint::LintTree(argv[i])) {
-      std::printf("%s\n", fslint::Format(v).c_str());
-      total++;
+    std::string a = argv[i];
+    auto need_value = [&](std::string* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    if (a == "--json") {
+      if (!need_value(&json_out)) return Usage();
+    } else if (a == "--report") {
+      if (!need_value(&report_out)) return Usage();
+    } else if (a == "--baseline") {
+      if (!need_value(&baseline_in)) return Usage();
+    } else if (a == "--write-baseline") {
+      if (!need_value(&baseline_out)) return Usage();
+    } else if (a == "--dump-cfg") {
+      if (!need_value(&dump_cfg)) return Usage();
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      return Usage();
+    } else {
+      roots.push_back(a);
     }
   }
-  if (total > 0) {
-    std::fprintf(stderr, "fs_lint: %zu violation(s)\n", total);
+
+  if (!dump_cfg.empty()) {
+    std::ifstream in(dump_cfg, std::ios::binary);
+    if (!in) {
+      std::cerr << "fs_lint: cannot open " << dump_cfg << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    fslint::ParsedFile pf = fslint::Parse(dump_cfg, ss.str());
+    for (const fslint::FunctionDef& fn : pf.fns) {
+      std::cout << fslint::DumpCfg(fn, pf.lex);
+    }
+    return 0;
+  }
+
+  if (roots.empty()) return Usage();
+
+  fslint::LintResult res = fslint::LintPaths(roots);
+
+  if (!json_out.empty() && !WriteOut(json_out, fslint::ToJson(res))) return 2;
+  if (!report_out.empty() && !WriteOut(report_out, fslint::ToReport(res))) {
+    return 2;
+  }
+  if (!baseline_out.empty()) {
+    if (!WriteOut(baseline_out, fslint::SaveBaseline(res))) return 2;
+    std::cout << "fs_lint: baseline written (" << res.violations.size()
+              << " findings)\n";
+    return 0;
+  }
+
+  std::vector<fslint::Violation> report = res.violations;
+  if (!baseline_in.empty()) {
+    std::ifstream in(baseline_in, std::ios::binary);
+    if (!in) {
+      std::cerr << "fs_lint: cannot open baseline " << baseline_in << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::map<std::string, int> base;
+    if (!fslint::LoadBaseline(ss.str(), &base)) {
+      std::cerr << "fs_lint: malformed baseline " << baseline_in << "\n";
+      return 2;
+    }
+    report = fslint::DiffBaseline(res.violations, base);
+    if (report.size() != res.violations.size()) {
+      std::cerr << "fs_lint: " << res.violations.size() - report.size()
+                << " finding(s) suppressed by baseline\n";
+    }
+  }
+
+  for (const fslint::Violation& v : report) {
+    std::cout << fslint::Format(v) << "\n";
+  }
+  if (!report.empty()) {
+    std::cerr << "fs_lint: " << report.size() << " violation(s)\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,383 @@
+#include "summary.h"
+
+#include <algorithm>
+
+namespace fslint {
+namespace {
+
+bool IsCallKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",     "for",      "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof",  "new",    "delete",   "throw",  "decltype",
+      "static_assert", "alignas", "noexcept", "assert", "defined",
+      "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast"};
+  return kw.count(s) > 0;
+}
+
+bool IsGuardType(const std::string& s, bool* shared) {
+  if (s == "LockGuard" || s == "lock_guard" || s == "unique_lock" ||
+      s == "scoped_lock") {
+    *shared = false;
+    return true;
+  }
+  if (s == "SharedLockGuard" || s == "shared_lock") {
+    *shared = true;
+    return true;
+  }
+  return false;
+}
+
+bool IsLockTag(const std::string& s) {
+  return s == "defer_lock" || s == "adopt_lock" || s == "try_to_lock" ||
+         s == "std";
+}
+
+// True when the function's comment range carries `marker`. The range
+// covers the body plus a small window above the signature so a waiver on
+// the line before the declarator counts; marker_lo keeps the window from
+// reaching into the previous function's body.
+bool FnHasMarker(const FunctionDef& fn, const LexFile& lex,
+                 const std::string& marker) {
+  int lo = std::max(0, fn.marker_lo);
+  int hi = std::min(static_cast<int>(lex.comments.size()) - 1, fn.end_line);
+  for (int l = lo; l <= hi; l++) {
+    if (lex.comments[static_cast<size_t>(l)].find(marker) !=
+        std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Qualify(const FunctionDef& fn, const std::string& cap) {
+  if (cap.empty() || fn.class_name.empty()) return cap;
+  // Already-qualified or chained expressions stay as written.
+  if (cap.find("::") != std::string::npos) return cap;
+  return fn.class_name + "::" + cap;
+}
+
+}  // namespace
+
+bool InLambdaSpan(const FunctionDef& fn, int tok) {
+  for (const auto& sp : fn.lambda_spans) {
+    if (tok >= sp.first && tok < sp.second) return true;
+  }
+  return false;
+}
+
+void ForEachCall(const FunctionDef& fn, const CfgNode& node,
+                 const LexFile& lex,
+                 const std::function<void(const std::string&, int)>& cb) {
+  const auto& T = lex.toks;
+  for (int k = node.first_tok; k + 1 < node.last_tok; k++) {
+    if (InLambdaSpan(fn, k)) continue;
+    const Tok& t = T[static_cast<size_t>(k)];
+    if (t.kind != Tok::kIdent || IsCallKeyword(t.text)) continue;
+    if (!T[static_cast<size_t>(k) + 1].Is("(")) continue;
+    cb(t.text, k);
+  }
+}
+
+std::string ExprBefore(const LexFile& lex, int end) {
+  const auto& T = lex.toks;
+  int k = end - 1;
+  std::vector<const std::string*> parts;
+  bool want_ident = true;
+  while (k >= 0) {
+    const Tok& t = T[static_cast<size_t>(k)];
+    if (want_ident) {
+      if (t.kind != Tok::kIdent) break;
+      parts.push_back(&t.text);
+      want_ident = false;
+    } else {
+      if (!(t.Is("::") || t.Is(".") || t.Is("->"))) break;
+      parts.push_back(&t.text);
+      want_ident = true;
+    }
+    k--;
+  }
+  if (!parts.empty() && want_ident) parts.pop_back();  // dangling separator
+  std::string out;
+  for (size_t i = parts.size(); i-- > 0;) out += *parts[i];
+  if (out.compare(0, 6, "this->") == 0) out = out.substr(6);
+  return out;
+}
+
+std::vector<LockEvent> ScanLockEvents(const FunctionDef& fn,
+                                      const CfgNode& node,
+                                      const LexFile& lex) {
+  std::vector<LockEvent> out;
+  const auto& T = lex.toks;
+  auto match = [&](int open) {  // index of ')' matching T[open] == '('
+    int depth = 0;
+    for (int j = open; j < node.last_tok; j++) {
+      if (T[static_cast<size_t>(j)].Is("(")) depth++;
+      if (T[static_cast<size_t>(j)].Is(")")) {
+        depth--;
+        if (depth == 0) return j;
+      }
+    }
+    return node.last_tok;
+  };
+  for (int k = node.first_tok; k < node.last_tok; k++) {
+    if (InLambdaSpan(fn, k)) continue;
+    const Tok& t = T[static_cast<size_t>(k)];
+    if (t.kind != Tok::kIdent) continue;
+
+    // Member lock calls: expr.lock() / expr->unlock_shared() ...
+    if ((t.text == "lock" || t.text == "unlock" || t.text == "lock_shared" ||
+         t.text == "unlock_shared") &&
+        k + 1 < node.last_tok && T[static_cast<size_t>(k) + 1].Is("(") &&
+        k > node.first_tok &&
+        (T[static_cast<size_t>(k) - 1].Is(".") ||
+         T[static_cast<size_t>(k) - 1].Is("->"))) {
+      LockEvent e;
+      e.kind = t.text[0] == 'u' ? LockEvent::kRelease : LockEvent::kAcquire;
+      e.shared = t.text.size() > 6;  // *_shared
+      e.cap = ExprBefore(lex, k - 1);
+      e.tok = k;
+      e.line = t.line;
+      if (!e.cap.empty()) out.push_back(std::move(e));
+      continue;
+    }
+
+    // Scoped guard construction: GuardType[<...>] [name] ( caps... )
+    bool shared = false;
+    if (IsGuardType(t.text, &shared)) {
+      // Not a guard when it is a member access (x.lock_guard etc).
+      if (k > node.first_tok && (T[static_cast<size_t>(k) - 1].Is(".") ||
+                                 T[static_cast<size_t>(k) - 1].Is("->"))) {
+        continue;
+      }
+      int j = k + 1;
+      if (j < node.last_tok && T[static_cast<size_t>(j)].Is("<")) {
+        int depth = 0;
+        for (; j < node.last_tok; j++) {
+          if (T[static_cast<size_t>(j)].Is("<")) depth++;
+          if (T[static_cast<size_t>(j)].Is(">")) depth--;
+          if (T[static_cast<size_t>(j)].Is(">>")) depth -= 2;
+          if (depth <= 0) {
+            j++;
+            break;
+          }
+        }
+      }
+      if (j < node.last_tok && T[static_cast<size_t>(j)].kind == Tok::kIdent) {
+        j++;  // variable name
+      }
+      if (j >= node.last_tok || !T[static_cast<size_t>(j)].Is("(")) continue;
+      int close = match(j);
+      // Split the arguments on top-level commas.
+      int arg_start = j + 1, depth = 0;
+      for (int m = j + 1; m <= close; m++) {
+        bool is_close = m == close;
+        if (!is_close && T[static_cast<size_t>(m)].Is("(")) depth++;
+        if (!is_close && T[static_cast<size_t>(m)].Is(")")) depth--;
+        if (is_close || (depth == 0 && T[static_cast<size_t>(m)].Is(","))) {
+          if (m > arg_start) {
+            std::string cap;
+            for (int x = arg_start; x < m; x++) {
+              const Tok& a = T[static_cast<size_t>(x)];
+              if (a.Is("&") || a.Is("*")) continue;
+              if (a.IsIdent("this") && x + 1 < m &&
+                  T[static_cast<size_t>(x) + 1].Is("->")) {
+                x++;
+                continue;
+              }
+              cap += a.text;
+            }
+            if (!cap.empty() && !IsLockTag(cap) &&
+                cap.compare(0, 5, "std::") != 0) {
+              LockEvent e;
+              e.kind = LockEvent::kScopedAcquire;
+              e.shared = shared;
+              e.cap = std::move(cap);
+              e.tok = k;
+              e.line = t.line;
+              out.push_back(std::move(e));
+            }
+          }
+          arg_start = m + 1;
+        }
+      }
+      k = close;
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+
+bool SummaryDb::CalleePersists(const std::string& n) const {
+  if (IsPersistIntrinsic(n)) return true;
+  const FnSummary* s = Find(n);
+  return s != nullptr && s->may_persist;
+}
+bool SummaryDb::CalleeAlwaysFences(const std::string& n) const {
+  if (IsFenceIntrinsic(n)) return true;
+  const FnSummary* s = Find(n);
+  return s != nullptr && s->always_fences;
+}
+bool SummaryDb::CalleeLeavesUnfenced(const std::string& n) const {
+  const FnSummary* s = Find(n);
+  return s != nullptr && s->may_leave_unfenced;
+}
+bool SummaryDb::CalleeReadsLog(const std::string& n) const {
+  const FnSummary* s = Find(n);
+  return s != nullptr && s->reads_log_unpinned;
+}
+const std::set<std::string>* SummaryDb::CalleeAcquires(
+    const std::string& n) const {
+  const FnSummary* s = Find(n);
+  return s != nullptr && !s->acquires.empty() ? &s->acquires : nullptr;
+}
+
+const FnSummary* SummaryDb::Find(const std::string& base_name) const {
+  auto it = by_name_.find(base_name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+void SummaryDb::Build(const std::vector<const ParsedFile*>& files) {
+  struct Def {
+    const ParsedFile* pf;
+    const FunctionDef* fn;
+    bool may_persist = false;
+    bool always_fences = false;
+    std::set<std::string> acquires;
+  };
+  std::vector<Def> defs;
+  by_name_.clear();
+  for (const ParsedFile* pf : files) {
+    for (const FunctionDef& fn : pf->fns) {
+      if (fn.is_lambda || fn.name.empty()) continue;
+      Def d;
+      d.pf = pf;
+      d.fn = &fn;
+      defs.push_back(std::move(d));
+      FnSummary& s = by_name_[fn.name];
+      s.defined = true;
+      s.defs++;
+      // Contract markers are direct facts; no propagation needed.
+      if (FnHasMarker(fn, pf->lex, "fs-lint: deferred-fence")) {
+        s.may_leave_unfenced = true;
+      }
+      if (FnHasMarker(fn, pf->lex, "fs-lint: epoch-held")) {
+        s.reads_log_unpinned = true;
+      }
+    }
+  }
+
+  // Fixed point for the call-graph facts. Every per-definition fact is
+  // monotone nondecreasing, so iteration terminates; 10 passes bound the
+  // cost on pathological inputs.
+  for (int pass = 0; pass < 10; pass++) {
+    bool changed = false;
+    for (Def& d : defs) {
+      const FunctionDef& fn = *d.fn;
+      const LexFile& lex = d.pf->lex;
+
+      bool may_persist = false;
+      std::set<std::string> acq;
+      for (const std::string& c : fn.acquires_caps) {
+        acq.insert(Qualify(fn, c));
+      }
+      std::vector<bool> fences(fn.nodes.size(), false);
+      for (size_t n = 0; n < fn.nodes.size(); n++) {
+        const CfgNode& nd = fn.nodes[n];
+        ForEachCall(fn, nd, lex, [&](const std::string& name, int) {
+          if (CalleePersists(name)) may_persist = true;
+          if (CalleeAlwaysFences(name)) fences[n] = true;
+          if (const auto* ca = CalleeAcquires(name)) {
+            acq.insert(ca->begin(), ca->end());
+          }
+        });
+        for (const LockEvent& e : ScanLockEvents(fn, nd, lex)) {
+          if (e.kind != LockEvent::kRelease) acq.insert(Qualify(fn, e.cap));
+        }
+      }
+
+      // Must-analysis: does every entry→exit path cross a fence? Greatest
+      // fixed point with optimistic (true) initialization.
+      size_t nn = fn.nodes.size();
+      std::vector<std::vector<int>> preds(nn);
+      for (size_t n = 0; n < nn; n++) {
+        for (int s : fn.nodes[n].succ) {
+          preds[static_cast<size_t>(s)].push_back(static_cast<int>(n));
+        }
+      }
+      // Only nodes reachable from the entry participate: dead code after
+      // a CHECK(false) (`return 0;` pacifying the compiler) must not drag
+      // the must-fact down.
+      std::vector<bool> reach(nn, false);
+      {
+        std::vector<int> stack = {FunctionDef::kEntry};
+        while (!stack.empty()) {
+          int n = stack.back();
+          stack.pop_back();
+          if (reach[static_cast<size_t>(n)]) continue;
+          reach[static_cast<size_t>(n)] = true;
+          for (int s : fn.nodes[static_cast<size_t>(n)].succ) {
+            stack.push_back(s);
+          }
+        }
+      }
+      std::vector<bool> out_fenced(nn, true);
+      out_fenced[FunctionDef::kEntry] = fences[FunctionDef::kEntry];
+      bool ch = true;
+      while (ch) {
+        ch = false;
+        for (size_t n = 0; n < nn; n++) {
+          if (n == FunctionDef::kEntry || !reach[n]) continue;
+          bool in = false;
+          bool any_pred = false;
+          for (int p : preds[n]) {
+            if (!reach[static_cast<size_t>(p)]) continue;
+            in = any_pred ? in && out_fenced[static_cast<size_t>(p)]
+                          : out_fenced[static_cast<size_t>(p)];
+            any_pred = true;
+          }
+          in = in && any_pred;
+          // A noreturn statement never reaches the exit normally; it must
+          // not drag "always fences" down (abort paths owe no fence).
+          bool o = in || fences[n] || fn.nodes[n].is_noreturn;
+          if (o != out_fenced[n]) {
+            out_fenced[n] = o;
+            ch = true;
+          }
+        }
+      }
+      bool always_fences =
+          reach[FunctionDef::kExit] && out_fenced[FunctionDef::kExit];
+
+      if (may_persist != d.may_persist || always_fences != d.always_fences ||
+          acq != d.acquires) {
+        d.may_persist = may_persist;
+        d.always_fences = always_fences;
+        d.acquires = std::move(acq);
+        changed = true;
+      }
+    }
+    // Merge per-definition facts into the by-name view the next pass (and
+    // the rules) read: OR for may-facts, AND for the must-fact.
+    for (auto& kv : by_name_) {
+      kv.second.may_persist = false;
+      kv.second.acquires.clear();
+    }
+    std::map<std::string, bool> all_fence;
+    for (const Def& d : defs) {
+      FnSummary& s = by_name_[d.fn->name];
+      s.may_persist = s.may_persist || d.may_persist;
+      s.acquires.insert(d.acquires.begin(), d.acquires.end());
+      auto it = all_fence.find(d.fn->name);
+      if (it == all_fence.end()) {
+        all_fence[d.fn->name] = d.always_fences;
+      } else {
+        it->second = it->second && d.always_fences;
+      }
+    }
+    for (auto& kv : all_fence) by_name_[kv.first].always_fences = kv.second;
+    if (!changed) break;
+  }
+}
+
+}  // namespace fslint

@@ -1,0 +1,115 @@
+// fs_lint interprocedural function summaries.
+//
+// Pass 1 of the analyzer parses every file under the analysis roots and
+// records, per function definition, the facts rules need at call sites:
+//
+//  * may_persist       — some path issues a Persist/PersistFence (directly
+//                        or through a callee).
+//  * always_fences     — every path from entry to exit crosses a Fence /
+//                        PersistFence (directly or through a callee); a
+//                        call to such a helper discharges pending persists
+//                        in the caller exactly like a literal Fence().
+//  * may_leave_unfenced— the function carries a `fs-lint: deferred-fence`
+//                        waiver: it intentionally leaves persisted bytes
+//                        unfenced and the caller owns the fence. A call
+//                        site to it *generates* a pending-persist fact.
+//  * reads_log_unpinned— the function carries a `fs-lint: epoch-held`
+//                        annotation: it decodes log memory and requires
+//                        the caller to hold an epoch pin across the call.
+//  * acquires          — every lock capability the function may acquire
+//                        anywhere inside (transitively through callees);
+//                        feeds the global lock-order graph.
+//
+// The database is keyed by the *base* callee name (`AppendBatch`, not
+// `OpLog::AppendBatch`) because call sites are matched textually without
+// type resolution. Same-named functions merge with the safe direction:
+// OR for may-facts, AND for must-facts. Persist/Fence/PersistFence are
+// hardcoded intrinsics and never consult the database.
+
+#ifndef FLATSTORE_TOOLS_FS_LINT_SUMMARY_H_
+#define FLATSTORE_TOOLS_FS_LINT_SUMMARY_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cfg.h"
+
+namespace fslint {
+
+struct FnSummary {
+  bool defined = false;
+  bool may_persist = false;
+  bool always_fences = false;
+  bool may_leave_unfenced = false;
+  bool reads_log_unpinned = false;
+  std::set<std::string> acquires;  // qualified capability names
+  int defs = 0;                    // how many definitions merged in
+};
+
+class SummaryDb {
+ public:
+  // Builds summaries for every function in `files` and iterates the
+  // call-graph facts to a fixed point.
+  void Build(const std::vector<const ParsedFile*>& files);
+
+  const FnSummary* Find(const std::string& base_name) const;
+
+  static bool IsPersistIntrinsic(const std::string& n) {
+    return n == "Persist" || n == "PersistFence";
+  }
+  static bool IsFenceIntrinsic(const std::string& n) {
+    return n == "Fence" || n == "PersistFence";
+  }
+
+  // Call-site queries folding intrinsics over the database.
+  bool CalleePersists(const std::string& n) const;
+  bool CalleeAlwaysFences(const std::string& n) const;
+  bool CalleeLeavesUnfenced(const std::string& n) const;
+  bool CalleeReadsLog(const std::string& n) const;
+  const std::set<std::string>* CalleeAcquires(const std::string& n) const;
+
+  size_t size() const { return by_name_.size(); }
+
+ private:
+  std::map<std::string, FnSummary> by_name_;
+};
+
+// ---- shared token-scan helpers ------------------------------------------
+
+// True when token index `tok` of `fn`'s file lies inside a lifted lambda
+// body; the enclosing function's scanners must skip such tokens.
+bool InLambdaSpan(const FunctionDef& fn, int tok);
+
+// Invokes `cb(name, tok_index)` for every call-looking site (`ident (`)
+// inside `node`, skipping control keywords and lambda spans.
+void ForEachCall(const FunctionDef& fn, const CfgNode& node,
+                 const LexFile& lex,
+                 const std::function<void(const std::string&, int)>& cb);
+
+// Renders the object expression ending just before token `end` (exclusive)
+// as text: identifier chains joined by `::`, `.`, `->`. `this->` prefixes
+// are stripped so `this->mu_` and `mu_` name the same capability.
+std::string ExprBefore(const LexFile& lex, int end);
+
+struct LockEvent {
+  enum Kind { kAcquire, kRelease, kScopedAcquire } kind;
+  bool shared = false;
+  std::string cap;  // unqualified expression text ("mu_", "node.latch")
+  int tok = 0;
+  int line = 0;  // 0-based
+};
+
+// Finds lock()/unlock()/lock_shared()/unlock_shared() calls and scoped
+// guard constructions (LockGuard, SharedLockGuard, std::lock_guard,
+// unique_lock, shared_lock, scoped_lock) inside `node`. try_lock is never
+// an event. Deferred/adopt tag arguments are not capabilities.
+std::vector<LockEvent> ScanLockEvents(const FunctionDef& fn,
+                                      const CfgNode& node,
+                                      const LexFile& lex);
+
+}  // namespace fslint
+
+#endif  // FLATSTORE_TOOLS_FS_LINT_SUMMARY_H_
