@@ -1,6 +1,7 @@
 #include "core/flatstore.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -26,6 +27,40 @@ constexpr uint64_t kRoutingSeed = 0xC04E;
 bool VersionNewer(uint32_t a, uint32_t b) {
   const uint32_t d = (a - b) & log::kVersionMask;
   return d != 0 && d < (1u << (log::kVersionBits - 1));
+}
+
+// Recovery upsert duel: installs `packed` for `key` unless the index
+// already holds a strictly newer version. Entries route to the owning
+// partition of their *key* (stolen entries live in other cores' logs),
+// so the upsert must stay atomic under concurrent replay threads: a CAS
+// loop over Get + CompareExchange/Upsert keeps the newest version.
+void DuelInsert(index::KvIndex* idx, uint64_t key, uint64_t packed) {
+  while (true) {
+    uint64_t cur = 0;
+    if (!idx->Get(key, &cur)) {
+      uint64_t old;
+      if (!idx->Upsert(key, packed, &old)) break;  // inserted
+      // Raced with another replayer: our Upsert overwrote its value —
+      // restore the duel by comparing and possibly swapping back.
+      cur = old;
+      if (VersionNewer(log::UnpackVersion(cur), log::UnpackVersion(packed))) {
+        idx->CompareExchange(key, packed, cur);
+      }
+      break;
+    }
+    if (!VersionNewer(log::UnpackVersion(packed), log::UnpackVersion(cur))) {
+      break;
+    }
+    if (idx->CompareExchange(key, cur, packed)) break;
+    // CAS lost; re-read and retry.
+  }
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
 }
 
 // Checkpoint chunk layout (after the allocator header):
@@ -196,7 +231,11 @@ std::unique_ptr<FlatStore> FlatStore::Create(pm::PmPool* pool,
                                              const FlatStoreOptions& options) {
   log::RootArea root(pool);
   root.Format(options.num_cores);
-  return std::unique_ptr<FlatStore>(new FlatStore(pool, options));
+  std::unique_ptr<FlatStore> store(new FlatStore(pool, options));
+  // Create the tier eagerly so tier_ is settled before any cleaner or
+  // serving thread can observe it (no lock needed on the read side).
+  if (options.tier_enabled) store->EnsureTier();
+  return store;
 }
 
 std::unique_ptr<FlatStore> FlatStore::Open(pm::PmPool* pool,
@@ -220,6 +259,9 @@ std::unique_ptr<FlatStore> FlatStore::Open(pm::PmPool* pool,
   } else {
     store->Recover(/*rebuild_index=*/true);
   }
+  // Recover loaded the tier if the pool has one; otherwise create it now
+  // (before any threads) when this open opts in.
+  if (options.tier_enabled && store->tier_ == nullptr) store->EnsureTier();
   return store;
 }
 
@@ -432,6 +474,16 @@ size_t FlatStore::Drain(int core, size_t max, std::vector<Completion>* out) {
         } else if (retire[r]) {
           RetireOld(olds[r]);
         }
+      }
+    }
+    if (TierActive()) {
+      // New entries land in un-tiered chunks: record their keys in the
+      // delta set so ScanMerged can enumerate them (DESIGN.md §11).
+      LockGuard<SpinLock> dg(cs.delta_lock);
+      for (size_t r = 0; r < round; r++) {
+        const PendingOp& op =
+            cs.pending[(cs.pend_head + r) % batch::HbEngine::kPoolSlots];
+        if (!op.txn_commit) cs.delta.insert(op.key);
       }
     }
     for (size_t r = 0; r < round; r++) {
@@ -1271,8 +1323,12 @@ bool FlatStore::Delete(uint64_t key) {
 uint64_t FlatStore::Scan(uint64_t start_key, uint64_t count,
                          std::vector<std::pair<uint64_t, std::string>>* out) {
   auto* ordered = dynamic_cast<index::OrderedKvIndex*>(indexes_[0].get());
-  FLATSTORE_CHECK(ordered != nullptr)
-      << "Scan requires an ordered index (FlatStore-M / FlatStore-FF)";
+  if (ordered == nullptr) {
+    FLATSTORE_CHECK(TierActive())
+        << "Scan on FlatStore-H requires the persistent tier "
+           "(FlatStoreOptions::tier_enabled)";
+    return ScanMerged(start_key, count, out);
+  }
   // Scanned entries may live in any group's logs; a single guest pin
   // holds reclamation off store-wide for the scan's duration.
   common::EpochManager::GuestGuard guard(epochs_.get());
@@ -1302,6 +1358,120 @@ uint64_t FlatStore::Scan(uint64_t start_key, uint64_t count,
       if (pairs.back().key == UINT64_MAX) break;
       cursor = pairs.back().key + 1;
     }
+  }
+  return produced;
+}
+
+bool FlatStore::CanScan() const {
+  return tier_ != nullptr ||
+         dynamic_cast<index::OrderedKvIndex*>(indexes_[0].get()) != nullptr;
+}
+
+uint64_t FlatStore::ScanFullIteration(
+    uint64_t start_key, uint64_t count,
+    std::vector<std::pair<uint64_t, std::string>>* out) {
+  common::EpochManager::GuestGuard guard(epochs_.get());
+  vt::Charge(vt::kEpochPinCost);
+  // Pass 1: harvest every qualifying key from every core's index. A hash
+  // index has no order, so there is no way to stop early — the whole
+  // table is touched no matter how short the range.
+  std::vector<std::pair<uint64_t, uint64_t>> hits;  // {key, packed}
+  for (auto& idx : indexes_) {
+    idx->ForEach([&](uint64_t key, uint64_t packed) {
+      if (key >= start_key) hits.emplace_back(key, packed);
+    });
+  }
+  std::sort(hits.begin(), hits.end());
+  uint64_t produced = 0;
+  for (const auto& h : hits) {
+    if (produced >= count) break;
+    log::DecodedEntry e;
+    const bool ok = log::DecodeEntry(
+        static_cast<const uint8_t*>(pool_->At(log::UnpackOffset(h.second))),
+        log::kMaxEntrySize, &e);
+    FLATSTORE_CHECK(ok);
+    if (e.op == log::OpType::kDelete) continue;  // tombstone
+    std::string v;
+    ReadValue(e, &v);
+    out->emplace_back(h.first, std::move(v));
+    produced++;
+  }
+  return produced;
+}
+
+// Hash-index scan (DESIGN.md §11): keys come in order from a windowed
+// k-way merge of the tier's L0 list and the per-core delta sets; values
+// are read authoritatively back through the volatile index, so a stale
+// tier node or a racy delta membership costs one wasted probe, never
+// correctness.
+uint64_t FlatStore::ScanMerged(
+    uint64_t start_key, uint64_t count,
+    std::vector<std::pair<uint64_t, std::string>>* out) {
+  // A single guest pin holds reclamation off store-wide for the scan's
+  // duration (entries may live in any group's logs). Tier nodes need no
+  // pin: arena chunks are never freed.
+  common::EpochManager::GuestGuard guard(epochs_.get());
+  vt::Charge(vt::kEpochPinCost);
+  uint64_t produced = 0;
+  uint64_t cursor = start_key;
+  std::vector<uint64_t> keys;
+  while (produced < count) {
+    const uint64_t want = count - produced + 16;  // slack for tombstones
+    keys.clear();
+    // Window bound: a source that filled its quota may still hold keys
+    // below another source's last emitted key, so only keys up to the
+    // smallest truncated source's last key are completely merged.
+    uint64_t bound = UINT64_MAX;
+    bool truncated = false;
+    if (tier_ != nullptr) {
+      uint64_t taken = 0;
+      tier::PersistentTier::Iterator it = tier_->Seek(cursor);
+      while (it.Valid() && taken < want) {
+        keys.push_back(it.key());
+        taken++;
+        it.Next();
+      }
+      if (taken == want && it.Valid()) {
+        truncated = true;
+        bound = std::min(bound, keys.back());
+      }
+    }
+    for (auto& csp : cores_) {
+      LockGuard<SpinLock> dg(csp->delta_lock);
+      auto it = csp->delta.lower_bound(cursor);
+      uint64_t taken = 0;
+      uint64_t last = 0;
+      while (it != csp->delta.end() && taken < want) {
+        last = *it;
+        keys.push_back(last);
+        taken++;
+        ++it;
+      }
+      if (taken == want && it != csp->delta.end()) {
+        truncated = true;
+        bound = std::min(bound, last);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (uint64_t k : keys) {
+      if (produced >= count) break;
+      if (truncated && k > bound) break;
+      uint64_t packed = 0;
+      if (!IndexForCore(CoreForKey(k))->Get(k, &packed)) continue;
+      log::DecodedEntry e;
+      const bool ok = log::DecodeEntry(
+          static_cast<const uint8_t*>(pool_->At(log::UnpackOffset(packed))),
+          log::kMaxEntrySize, &e);
+      FLATSTORE_CHECK(ok);
+      if (e.op == log::OpType::kDelete) continue;  // tombstone
+      std::string v;
+      ReadValue(e, &v);
+      out->emplace_back(k, std::move(v));
+      produced++;
+    }
+    if (!truncated || bound == UINT64_MAX) break;  // sources exhausted
+    cursor = bound + 1;
   }
   return produced;
 }
@@ -1345,6 +1515,15 @@ void FlatStore::EnsureCleaners() {
     return IndexForCore(CoreForKey(key));
   };
   hooks.epochs = epochs_.get();
+  // Tier resurrection veto (DESIGN.md §11): a tombstone may die only
+  // when no tier node could resurrect its key at recovery — the tier
+  // never saw the key, or its node already points at this tombstone.
+  // Wired even when tier_enabled is off: a pool that carries a tier from
+  // an earlier run must keep honouring the invariant.
+  hooks.tier_stale = [this](uint64_t key, uint64_t packed) {
+    uint64_t tp = 0;
+    return tier_ != nullptr && tier_->Get(key, &tp) && tp != packed;
+  };
   log::LogCleaner::Options opts;
   opts.policy = options_.gc_policy;
   opts.live_ratio = options_.gc_live_ratio;
@@ -1353,6 +1532,9 @@ void FlatStore::EnsureCleaners() {
   opts.max_victims = options_.gc_max_victims;
   opts.segregate = options_.gc_segregate;
   opts.cold_age = options_.gc_cold_age;
+  // With the tier on, cold-lane survivors stop bouncing between cleaner
+  // chunks — the tiering pass is their exit (DESIGN.md §11).
+  opts.exclude_cold_from_victims = options_.tier_enabled;
   for (int first = 0; first < options_.num_cores;
        first += options_.group_size) {
     const int last = std::min(first + options_.group_size,
@@ -1386,6 +1568,125 @@ void FlatStore::StopCleaners() {
   // checkpoint paths see a settled chunk population (a ReleaseChunk
   // running after a checkpoint would invalidate it).
   if (epochs_ != nullptr) epochs_->DrainDeferred();
+}
+
+// ---- ordered persistent tier (DESIGN.md §11) -------------------------------
+
+std::vector<int> FlatStore::SocketCores() const {
+  std::vector<int> sc(static_cast<size_t>(pool_->num_sockets()), 0);
+  std::vector<bool> seen(sc.size(), false);
+  for (int c = 0; c < options_.num_cores; c++) {
+    const int s = alloc_->SocketForCore(c);
+    if (s >= 0 && s < static_cast<int>(sc.size()) && !seen[s]) {
+      sc[s] = c;
+      seen[s] = true;
+    }
+  }
+  return sc;
+}
+
+// Callers serialize: Create/Open before any threads, RunTieringOnce
+// under tier_lock_.
+void FlatStore::EnsureTier() {
+  if (tier_ != nullptr) return;
+  tier_ = tier::PersistentTier::Create(pool_, alloc_.get(),
+                                       pool_->num_sockets(), SocketCores());
+  FLATSTORE_CHECK(tier_ != nullptr) << "no PM space for the tier root";
+  // Publish: Create fully persisted and fenced the root chunk, so this
+  // 8-byte root-pointer store is the atomic commit of the tier's birth.
+  log::Superblock* sb = root_->superblock();
+  sb->tier_root_off = tier_->root_off();
+  pool_->PersistFence(&sb->tier_root_off, 8);
+}
+
+size_t FlatStore::RunTieringOnce() {
+  LockGuard<SpinLock> g(tier_lock_);
+  EnsureTier();
+  size_t converted = 0;
+  for (int c = 0; c < options_.num_cores; c++) {
+    const std::vector<log::OpLog::TierCandidate> cands =
+        logs_[c]->PickTierCandidates(options_.tier_age,
+                                     options_.tier_min_live_ratio,
+                                     options_.tier_max_chunks);
+    for (size_t i = 0; i < cands.size(); i++) {
+      if (ConvertChunk(c, cands[i])) {
+        converted++;
+        continue;
+      }
+      // Arena growth failed (PM exhausted): release every unconverted
+      // claim and stop — the pass retries once space frees up.
+      for (size_t j = i; j < cands.size(); j++) {
+        logs_[c]->UnclaimChunk(cands[j].chunk_off);
+      }
+      return converted;
+    }
+  }
+  return converted;
+}
+
+bool FlatStore::ConvertChunk(int core,
+                             const log::OpLog::TierCandidate& cand) {
+  // Gather the chunk's live entries — including live tombstones — as
+  // {key, current packed} pairs. Liveness is address equality with the
+  // index (the cleaner's rule), so two entries can never tie on a key
+  // and the sorted batch is duplicate-free.
+  std::vector<tier::TierEntry> entries;
+  {
+    common::EpochManager::GuestGuard guard(epochs_.get());
+    vt::Charge(vt::kEpochPinCost);
+    const uint64_t committed =
+        pool_
+            ->PtrAt<log::LogChunkHeader>(cand.chunk_off +
+                                         alloc::kChunkHeaderSize)
+            ->used_final;
+    log::ChainedChunkReader reader(pool_, cand.chunk_off, committed);
+    log::DecodedEntry e;
+    uint64_t off;
+    while (reader.Next(&e, &off)) {
+      if (e.op == log::OpType::kTxnCommit) continue;  // born dead
+      const uint64_t packed = log::PackIndexValue(off, e.version);
+      uint64_t cur = 0;
+      if (!IndexForCore(CoreForKey(e.key))->Get(e.key, &cur) ||
+          cur != packed) {
+        continue;  // superseded
+      }
+      entries.push_back(
+          {e.key, packed, alloc_->SocketForCore(CoreForKey(e.key))});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const tier::TierEntry& a, const tier::TierEntry& b) {
+              return a.key < b.key;
+            });
+  if (!entries.empty() &&
+      !tier_->InsertBatch(entries.data(), entries.size())) {
+    return false;  // arena exhausted; published nodes are idempotent
+  }
+  // Conversion commit point: the persistent kChunkTiered flag flips the
+  // chunk from "replayed" to "represented by the tier" in one fenced
+  // 8-byte store. Before it, recovery still replays the chunk and the
+  // freshly inserted tier nodes are harmless duplicates in the version
+  // duel; after it, recovery loads the nodes instead.
+  root_->SetChunkTiered(cand.registry_slot);
+  // Advisory frontier: newest tiered sequence per core (diagnostics;
+  // ground truth stays the per-chunk registry flags).
+  log::Superblock* sb = root_->superblock();
+  if (cand.seq > sb->tier_frontier_seq[core]) {
+    sb->tier_frontier_seq[core] = cand.seq;
+    pool_->PersistFence(&sb->tier_frontier_seq[core],
+                        sizeof(sb->tier_frontier_seq[core]));
+  }
+  logs_[core]->DetachForTier(cand.chunk_off);
+  // The batch's keys are now tier-discoverable: drop them from the
+  // delta sets (racy against a concurrent re-dirtying write — benign,
+  // see CoreState::delta).
+  for (const tier::TierEntry& te : entries) {
+    CoreState& cs = *cores_[CoreForKey(te.key)];
+    LockGuard<SpinLock> dg(cs.delta_lock);
+    cs.delta.erase(te.key);
+  }
+  chunks_tiered_++;
+  return true;
 }
 
 // ---- shutdown / recovery ---------------------------------------------------
@@ -1512,12 +1813,33 @@ void FlatStore::Shutdown() {
 }
 
 void FlatStore::Recover(bool rebuild_index) {
+  recovery_stats_ = RecoveryStats{};
   // A crash inside RegisterChunk can leave provisional records whose
   // core/seq fields are garbage; free those slots before trusting the
   // registry (their chunks were empty — nothing committed points there).
   root_->ScrubProvisionalRecords();
   root_->RebuildMirror();
   alloc_->StartRecovery();
+
+  // Phase 0: the ordered tier (DESIGN.md §11). Every tier node
+  // duel-inserts into the index on ANY open — crash or clean. The
+  // cleaner's tier_stale veto guarantees no stale node survives for an
+  // erased key, and the version duel resolves both directions against
+  // checkpoint pairs and suffix replay, so the duel is always safe and —
+  // for chunks tiered after the last checkpoint — necessary.
+  const auto tier_t0 = std::chrono::steady_clock::now();
+  if (root_->superblock()->tier_root_off != 0 && tier_ == nullptr) {
+    tier_ = tier::PersistentTier::Open(
+        pool_, alloc_.get(), pool_->num_sockets(), SocketCores(),
+        root_->superblock()->tier_root_off,
+        [this](uint64_t key, uint64_t packed) {
+          DuelInsert(IndexForCore(CoreForKey(key)), key, packed);
+        });
+    tier_->ForEachArenaChunk(
+        [this](uint64_t off) { alloc_->MarkRawChunkAllocated(off); });
+    recovery_stats_.tier_nodes_loaded = tier_->node_count();
+  }
+  recovery_stats_.tier_load_ns = ElapsedNs(tier_t0);
 
   // Enumerate registered log chunks grouped by owning core.
   struct Rec {
@@ -1533,9 +1855,20 @@ void FlatStore::Recover(bool rebuild_index) {
     if (regs[s].chunk_off == 0) continue;
     FLATSTORE_CHECK_LT(regs[s].core,
                        static_cast<uint32_t>(options_.num_cores));
+    if ((regs[s].chunk_off & log::kChunkTiered) != 0) {
+      // Tiered chunk: represented by the tier's nodes. Its memory stays
+      // allocated forever (nodes alias its entry bytes) but it is
+      // neither replayed nor usage-tracked — this skip is what makes
+      // recovery track the live-key count instead of the log size.
+      alloc_->MarkRawChunkAllocated(regs[s].chunk_off &
+                                    ~log::kChunkFlagsMask);
+      recovery_stats_.chunks_skipped_tiered++;
+      continue;
+    }
     per_core[regs[s].core].push_back(
         {s, regs[s].chunk_off & ~log::kChunkFlagsMask, regs[s].seq,
          (regs[s].chunk_off & log::kChunkCleaner) != 0});
+    recovery_stats_.chunks_replayed++;
   }
   for (auto& v : per_core) {
     std::sort(v.begin(), v.end(),
@@ -1569,6 +1902,7 @@ void FlatStore::Recover(bool rebuild_index) {
   // their *key* (stolen entries live in other cores' logs), so the
   // duelling-version upsert must be atomic: a CAS loop over Get +
   // CompareExchange/Upsert keeps the newest version under concurrency.
+  const auto replay_t0 = std::chrono::steady_clock::now();
   {
     const log::Superblock* sb = root_->superblock();
     auto replay_core = [&](size_t c) {
@@ -1592,27 +1926,8 @@ void FlatStore::Recover(bool rebuild_index) {
               off < ckpt_tail) {
             continue;  // covered by the checkpoint
           }
-          index::KvIndex* idx = IndexForCore(CoreForKey(e.key));
-          const uint64_t packed = log::PackIndexValue(off, e.version);
-          while (true) {
-            uint64_t cur = 0;
-            if (!idx->Get(e.key, &cur)) {
-              uint64_t old;
-              if (!idx->Upsert(e.key, packed, &old)) break;  // inserted
-              // Raced with another replayer: fall through with its value.
-              cur = old;
-              // Our Upsert overwrote it — restore the duel by comparing
-              // and possibly swapping back.
-              if (VersionNewer(log::UnpackVersion(cur),
-                               log::UnpackVersion(packed))) {
-                idx->CompareExchange(e.key, packed, cur);
-              }
-              break;
-            }
-            if (!VersionNewer(e.version, log::UnpackVersion(cur))) break;
-            if (idx->CompareExchange(e.key, cur, packed)) break;
-            // CAS lost; re-read and retry.
-          }
+          DuelInsert(IndexForCore(CoreForKey(e.key)),
+                     e.key, log::PackIndexValue(off, e.version));
         }
       }
     };
@@ -1627,6 +1942,30 @@ void FlatStore::Recover(bool rebuild_index) {
     }
     // Tombstone index entries are retained on purpose: they keep per-key
     // versions monotonic across delete + re-put cycles.
+  }
+  recovery_stats_.replay_ns = ElapsedNs(replay_t0);
+
+  const auto usage_t0 = std::chrono::steady_clock::now();
+  // Tier-resident value blocks: pass 2 walks only un-tiered chunks, so
+  // out-of-log blocks owned by current tier-resident entries are marked
+  // here against the settled post-replay index. Stale nodes' blocks were
+  // already freed at supersede time — marking them would leak.
+  if (tier_ != nullptr) {
+    tier_->ForEach([this](uint64_t key, uint64_t packed) {
+      uint64_t cur = 0;
+      if (!IndexForCore(CoreForKey(key))->Get(key, &cur) || cur != packed) {
+        return;
+      }
+      log::DecodedEntry e;
+      // fs-lint: unpinned-read(recovery is offline; no cleaner runs yet)
+      // No chunk can be retired during the walk.
+      if (log::DecodeEntry(static_cast<const uint8_t*>(
+                               pool_->At(log::UnpackOffset(packed))),
+                           log::kMaxEntrySize, &e) &&
+          e.op == log::OpType::kPut && !e.embedded) {
+        alloc_->MarkBlockAllocated(e.ptr);
+      }
+    });
   }
 
   // Pass 2: chunk usage and allocator bitmaps — per-core independent, so
@@ -1675,6 +2014,13 @@ void FlatStore::Recover(bool rebuild_index) {
         if (live) {
           u.live++;
           u.live_bytes += e.entry_len;
+          if (TierActive()) {
+            // Rebuild the delta set: this key's current entry is in an
+            // un-tiered chunk, so ScanMerged must learn it from here.
+            CoreState& dcs = *cores_[CoreForKey(e.key)];
+            LockGuard<SpinLock> dg(dcs.delta_lock);
+            dcs.delta.insert(e.key);
+          }
         }
       }
 
@@ -1698,6 +2044,7 @@ void FlatStore::Recover(bool rebuild_index) {
     pass2_core(0);
   }
   alloc_->FinishRecovery();
+  recovery_stats_.usage_ns = ElapsedNs(usage_t0);
 }
 
 }  // namespace core

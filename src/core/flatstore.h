@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,10 +44,12 @@
 #include "common/epoch.h"
 #include "common/logging.h"
 #include "common/open_table.h"
+#include "common/spin_lock.h"
 #include "index/kv_index.h"
 #include "log/layout.h"
 #include "log/log_cleaner.h"
 #include "log/oplog.h"
+#include "tier/tier.h"
 
 namespace flatstore {
 namespace core {
@@ -95,6 +98,21 @@ struct FlatStoreOptions {
   // and group alignment is not enforced — the placement-off arm of the
   // scaling A/B.
   bool socket_local_placement = true;
+  // Ordered persistent tier (DESIGN.md §11). Opt-in: when on, the
+  // tiering pass (RunTieringOnce / the cleaner-driven background flow)
+  // converts sealed cold log chunks into the braided persistent skiplist,
+  // bounding recovery to the un-tiered log suffix and giving FlatStore-H
+  // an ordered scan path. A store whose pool already holds a tier always
+  // loads and honours it on Open regardless of this flag (stale tier
+  // nodes must keep duelling or recovery would lose updates).
+  bool tier_enabled = false;
+  // Minimum write-clock age before a sealed chunk may tier (0 = any).
+  uint64_t tier_age = 0;
+  // Chunks with a live-entry ratio below this are better freed by the
+  // cleaner than leaked into the tier (tiered chunks are never freed).
+  double tier_min_live_ratio = 0.25;
+  // Per-core conversion cap per RunTieringOnce pass.
+  size_t tier_max_chunks = 4;
 };
 
 // Result of Begin* calls.
@@ -220,10 +238,21 @@ class FlatStore {
   bool Get(uint64_t key, std::string* value);
   // Removes; false if absent.
   bool Delete(uint64_t key);
-  // Ordered scan (kMasstree / kFastFairVolatile only): up to `count`
-  // pairs with key >= start_key.
+  // Ordered scan: up to `count` pairs with key >= start_key. Served by
+  // the ordered index (kMasstree / kFastFairVolatile), or — for kHash
+  // stores running the persistent tier — by a merge of the tier's L0
+  // list with the un-tiered delta sets (DESIGN.md §11).
   uint64_t Scan(uint64_t start_key, uint64_t count,
                 std::vector<std::pair<uint64_t, std::string>>* out);
+  // True when Scan has an ordered access path (ordered index or tier).
+  bool CanScan() const;
+  // Baseline range scan for hash stores WITHOUT the tier: enumerates
+  // every index entry on every core, sorts the survivors, reads values.
+  // This is the only range query a pure hash index supports; bench_scan
+  // quotes it as the tier's comparison arm.
+  uint64_t ScanFullIteration(
+      uint64_t start_key, uint64_t count,
+      std::vector<std::pair<uint64_t, std::string>>* out);
 
   // ---- asynchronous per-core protocol ----
 
@@ -327,6 +356,30 @@ class FlatStore {
   // use this to stage deterministic cleaning scenarios cheaply.
   void SealActiveLogChunks();
 
+  // ---- ordered persistent tier (DESIGN.md §11) ----
+
+  // One synchronous tiering pass: per core, converts up to
+  // tier_max_chunks eligible sealed chunks (cold cleaner chunks first)
+  // into the persistent skiplist and detaches them from the log. Creates
+  // the tier lazily on first use. Returns the number of chunks converted.
+  // Serialized internally; safe to call concurrently with serving.
+  size_t RunTieringOnce();
+  // The tier, or nullptr while none exists (never created / not on PM).
+  tier::PersistentTier* tier() const { return tier_.get(); }
+  // Chunks converted into the tier by this process (stat).
+  uint64_t ChunksTiered() const { return chunks_tiered_; }
+
+  // Per-phase timings of the last Open's recovery (bench_recovery).
+  struct RecoveryStats {
+    uint64_t tier_load_ns = 0;  // tier open + duel-insert into the index
+    uint64_t replay_ns = 0;     // un-tiered log (suffix) replay
+    uint64_t usage_ns = 0;      // chunk usage + allocator bitmap rebuild
+    uint64_t tier_nodes_loaded = 0;
+    uint64_t chunks_replayed = 0;
+    uint64_t chunks_skipped_tiered = 0;
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
   // Normal shutdown (§3.5): checkpoints the volatile index to PM, flushes
   // allocator bitmaps, sets the shutdown flag. The store must be idle.
   void Shutdown();
@@ -365,6 +418,24 @@ class FlatStore {
 
   void BuildIndexes();
   void EnsureCleaners();
+  // Formats the tier on first use and publishes its root in the
+  // superblock (persist-before-publish). No-op if it already exists.
+  void EnsureTier();
+  // Converts one claimed candidate chunk into the tier. Returns false if
+  // the arena cannot grow (PM exhausted); the claim is then released.
+  bool ConvertChunk(int core, const log::OpLog::TierCandidate& cand);
+  // One representative core per pool socket (tier arena placement).
+  std::vector<int> SocketCores() const;
+  // Delta sets (and the hash-scan merge path) are maintained whenever a
+  // tier exists or will be created on first RunTieringOnce.
+  bool TierActive() const {
+    return options_.tier_enabled || tier_ != nullptr;
+  }
+  // Scan served by a k-way merge of the tier's L0 list and the per-core
+  // delta sets (keys whose current entry is still un-tiered) — the path
+  // for FlatStore-H, whose hash index cannot enumerate keys in order.
+  uint64_t ScanMerged(uint64_t start_key, uint64_t count,
+                      std::vector<std::pair<uint64_t, std::string>>* out);
   // Crash-recovery replay / usage rebuild (also used after clean open to
   // rebuild allocator bitmaps + chunk usage). `rebuild_index` is false
   // when the checkpoint already provided the index.
@@ -409,6 +480,16 @@ class FlatStore {
     size_t pend_count = 0;
     common::OpenTable<InflightKey> inflight_keys;
 
+    // Tier delta set (DESIGN.md §11): keys this core owns whose current
+    // index entry still lives in an un-tiered log chunk. Only maintained
+    // while TierActive(). ScanMerged unions these with the tier's L0
+    // list to enumerate keys in order; values are always read back
+    // through the index, so a racy membership (a key erased by the
+    // tiering pass just as a serving write re-dirtied it) is benign —
+    // the key stays discoverable through its tier node.
+    SpinLock delta_lock;
+    std::set<uint64_t> delta;
+
     PendingOp& Front() { return pending[pend_head]; }
     void Push(const PendingOp& op) {
       FLATSTORE_DCHECK(pend_count < batch::HbEngine::kPoolSlots);
@@ -442,6 +523,16 @@ class FlatStore {
   // Whether StartCleaners' background threads are live (RunCleanersOnce
   // instantiates cleaner objects without starting threads).
   bool cleaners_running_ = false;
+
+  // Ordered persistent tier (DESIGN.md §11). Created in Create/Open (or
+  // lazily under tier_lock_ before any cleaner thread starts), so
+  // concurrent readers (cleaner tier_stale hook, ScanMerged) see a
+  // stable pointer.
+  std::unique_ptr<tier::PersistentTier> tier_;
+  // Serializes tiering passes (the tier is single-mutator).
+  SpinLock tier_lock_;
+  uint64_t chunks_tiered_ = 0;
+  RecoveryStats recovery_stats_;
 };
 
 // Transaction builder: accumulates ops (values copied), then Commit()

@@ -51,6 +51,15 @@ EngineAdapter::Submit FlatStoreAdapter::SubmitDelete(int core, uint64_t key,
   }
 }
 
+bool FlatStoreAdapter::Scan(int core, uint64_t start_key, uint64_t count,
+                            uint64_t* found) {
+  (void)core;  // the merge spans all cores; any core may serve it
+  if (!store_->CanScan()) return false;
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  *found = store_->Scan(start_key, count, &rows);
+  return true;
+}
+
 size_t FlatStoreAdapter::SubmitWriteBatch(int core, const WriteReq* reqs,
                                           size_t n, Submit* out) {
   FLATSTORE_CHECK_LE(n, kMaxWriteBatch);
@@ -207,6 +216,17 @@ void RespondNow(net::FlatRpc& rpc, int core, int conn,
     } else {
       resp.status = net::MsgStatus::kNotFound;
     }
+  } else if (req.type == net::MsgType::kScan) {
+    // Range read: the request's value_len carries the scan length; the
+    // response carries only the hit count (the per-item read work is
+    // charged on this core's clock inside Scan).
+    uint64_t found = 0;
+    if (engine->Scan(core, req.key, req.value_len, &found)) {
+      resp.value_len = sizeof(found);
+      std::memcpy(resp.value, &found, sizeof(found));
+    } else {
+      resp.status = net::MsgStatus::kUnsupported;
+    }
   }
   rpc.PostResponse(core, conn, &resp, not_before, chained);
 }
@@ -274,6 +294,18 @@ bool CorePollStep(EngineAdapter* engine, net::FlatRpc& rpc, int core,
         continue;
       }
       if (engine->KeyBusy(core, req->key)) continue;  // conflict queue
+      RespondNow(rpc, core, conn, *req, engine);
+      rpc.PopRequest(core, conn);
+      state.completed++;
+      progress = true;
+      continue;
+    }
+
+    if (req->type == net::MsgType::kScan) {
+      // Scans are served inline and never batched: each is its own
+      // ordered traversal. Writes still in flight on scanned keys are
+      // simply not visible yet — same read-your-persisted semantics as
+      // the index the scan merges over.
       RespondNow(rpc, core, conn, *req, engine);
       rpc.PopRequest(core, conn);
       state.completed++;
@@ -620,6 +652,11 @@ bool ConnStep(ShardRt* shards, size_t nshards,
       case workload::OpType::kDelete:
         req.type = net::MsgType::kDelete;
         req.value_len = 0;
+        break;
+      case workload::OpType::kScan:
+        // value_len carries the scan length (no payload bytes ride along).
+        req.type = net::MsgType::kScan;
+        req.value_len = op.scan_len;
         break;
     }
     uint64_t scheduled = 0;

@@ -64,6 +64,18 @@ class EngineAdapter {
   // Immediate read.
   virtual bool Get(int core, uint64_t key, std::string* value) = 0;
 
+  // Immediate range read: up to `count` live pairs with key >= start_key,
+  // served on `core`. Returns false if the engine has no ordered access
+  // path (the server answers kUnsupported); engines that do set *found.
+  virtual bool Scan(int core, uint64_t start_key, uint64_t count,
+                    uint64_t* found) {
+    (void)core;
+    (void)start_key;
+    (void)count;
+    (void)found;
+    return false;
+  }
+
   // True while a write on `key` is still in flight on `core` (a Get must
   // wait — the conflict queue).
   virtual bool KeyBusy(int core, uint64_t key) const {
@@ -172,6 +184,8 @@ class FlatStoreAdapter final : public EngineAdapter {
   bool Get(int core, uint64_t key, std::string* value) override {
     return store_->GetOnCore(core, key, value);
   }
+  bool Scan(int core, uint64_t start_key, uint64_t count,
+            uint64_t* found) override;
   size_t MultiGet(int core, const uint64_t* keys, size_t n,
                   ReadResult* results) override {
     return store_->MultiGetOnCore(core, keys, n, results);

@@ -135,11 +135,20 @@ void LogCleaner::RefillJobs() {
     q.max = options_.max_victims;
     for (const VictimInfo& v : logs_[core]->PickVictims(q)) {
       if (in_flight >= options_.max_victims) break;
+      // Tier handoff: cold-lane chunks drain into the ordered tier
+      // instead of being re-cleaned (their stable survivors would only
+      // bounce between cold cleaner chunks).
+      if (options_.exclude_cold_from_victims && v.from_cold_chunk) continue;
       bool dup = false;
       for (const CleaningJob& j : jobs_) {
         dup = dup || (j.core == core && j.chunk_off == v.chunk_off);
       }
       if (dup) continue;
+      // Claim the chunk so the tiering pass can never convert-and-detach
+      // it while this job is in flight (the claim is consumed when
+      // ReleaseChunk erases the chunk). A failed claim means the tiering
+      // pass got there between PickVictims and here.
+      if (!logs_[core]->ClaimChunk(v.chunk_off)) continue;
       CleaningJob job;
       job.core = core;
       job.chunk_off = v.chunk_off;
@@ -194,10 +203,14 @@ bool LogCleaner::AdvanceJob(CleaningJob& job, uint64_t* budget) {
       index::KvIndex* index = hooks_.index_for_key(e.key);
       uint64_t cur = 0;
       bool live = index->Get(e.key, &cur) && cur == packed;
-      if (live && e.op == OpType::kDelete && e.ptr < min_seq) {
+      if (live && e.op == OpType::kDelete && e.ptr < min_seq &&
+          (!hooks_.tier_stale || !hooks_.tier_stale(e.key, packed))) {
         // Tombstone whose covered chunk is gone: no stale Put can
         // resurrect the key anymore, so both the tombstone and its index
         // entry may die (paper §3.4's "safely reclaimed" condition).
+        // With a tier, DetachForTier raises MinSeq past chunks whose
+        // entries still exist — the tier_stale veto keeps the tombstone
+        // until no stale tier node could resurrect the key at recovery.
         if (index->EraseIfEqual(e.key, packed)) live = false;
       }
       if (!live) {

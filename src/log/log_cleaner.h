@@ -85,6 +85,13 @@ struct CleanerHooks {
   // Epoch manager guarding the engine's log-entry dereferences. Victim
   // chunks are freed through its deferred queue (see file comment).
   common::EpochManager* epochs = nullptr;
+  // Tier resurrection veto (DESIGN.md §11), set when the engine runs an
+  // ordered persistent tier. Returns true if the tier holds a node for
+  // `key` whose packed word differs from `packed`: dropping a tombstone
+  // then would let the stale tier node resurrect the key at recovery, so
+  // the tombstone must stay live until the tiering pass updates the node
+  // past it. Null when no tier exists (the MinSeq bound alone is safe).
+  std::function<bool(uint64_t key, uint64_t packed)> tier_stale;
 };
 
 // One group's cleaner.
@@ -114,6 +121,11 @@ class LogCleaner {
     // lane — relocates its survivors into the cold cleaner chunk.
     bool segregate = true;
     uint64_t cold_age = 512;
+    // Tier handoff (DESIGN.md §11): when set, cold-lane cleaner chunks
+    // are not re-cleaned — they are the tiering pass's preferred
+    // candidates, so their stable survivors flow into the ordered tier
+    // instead of bouncing between cold cleaner chunks.
+    bool exclude_cold_from_victims = false;
   };
 
   // Cleans cores [first_core, last_core) of `logs`.

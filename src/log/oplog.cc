@@ -291,6 +291,7 @@ std::vector<VictimInfo> OpLog::PickVictims(const VictimQuery& query) const {
     for (const auto& [off, u] : usage_) {
       if (!u.sealed) continue;                       // still being written
       if (u.retired) continue;     // unlinked, free already in flight
+      if (u.busy) continue;        // claimed by a cleaner job / tiering
       if (off == active_chunk) continue;
       if (off == active_cleaner[0] || off == active_cleaner[1]) continue;
       // Never retire the chunk the durable tail record points into, even
@@ -403,6 +404,91 @@ uint64_t OpLog::CommittedBytes(uint64_t chunk_off) const {
   return root_->pool()
       ->PtrAt<LogChunkHeader>(chunk_off + alloc::kChunkHeaderSize)
       ->used_final;
+}
+
+bool OpLog::ClaimChunk(uint64_t chunk_off) {
+  LockGuard<SpinLock> g(usage_lock_);
+  auto it = usage_.find(chunk_off);
+  if (it == usage_.end() || it->second.retired || it->second.busy) {
+    return false;
+  }
+  it->second.busy = true;
+  return true;
+}
+
+void OpLog::UnclaimChunk(uint64_t chunk_off) {
+  LockGuard<SpinLock> g(usage_lock_);
+  auto it = usage_.find(chunk_off);
+  if (it != usage_.end()) it->second.busy = false;
+}
+
+std::vector<OpLog::TierCandidate> OpLog::PickTierCandidates(
+    uint64_t min_age, double min_live_ratio, size_t max) {
+  struct Candidate {
+    bool cold;
+    uint32_t seq;
+    TierCandidate tc;
+  };
+  std::vector<Candidate> candidates;
+  const uint64_t active_chunk = chunk_.load(std::memory_order_acquire);
+  uint64_t active_cleaner[kNumTemps];
+  for (int t = 0; t < kNumTemps; t++) {
+    active_cleaner[t] = cleaner_chunk_[t].load(std::memory_order_acquire);
+  }
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  // relaxed: logical clock snapshot, same contract as PickVictims.
+  const uint64_t now = write_clock_.load(std::memory_order_relaxed);
+  {
+    LockGuard<SpinLock> g(usage_lock_);
+    for (const auto& [off, u] : usage_) {
+      if (!u.sealed || u.retired || u.busy) continue;
+      if (off == active_chunk) continue;
+      if (off == active_cleaner[0] || off == active_cleaner[1]) continue;
+      // The durable tail record must keep pointing into a replayable log
+      // chunk, so the tail chunk never tiers (same rule as PickVictims).
+      if (tail != 0 && AlignDown(tail, alloc::kChunkSize) == off) continue;
+      // A chunk with no live entries contributes nothing to the tier but
+      // would leak 4 MB forever; leave it for the cleaner to free.
+      if (u.total == 0 || u.live == 0) continue;
+      const double ratio = static_cast<double>(u.live) / u.total;
+      if (ratio < min_live_ratio) continue;
+      const uint64_t age =
+          now > u.last_write_clock ? now - u.last_write_clock : 0;
+      if (age < min_age) continue;
+      Candidate c;
+      c.cold = u.cleaner && u.temp == Temp::kCold;
+      c.seq = u.seq;
+      c.tc.chunk_off = off;
+      c.tc.seq = u.seq;
+      c.tc.registry_slot = u.registry_slot;
+      candidates.push_back(c);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.cold != b.cold) return a.cold;  // cold lane first
+                return a.seq < b.seq;                 // then oldest
+              });
+    std::vector<TierCandidate> out;
+    for (size_t i = 0; i < candidates.size() && i < max; i++) {
+      usage_[candidates[i].tc.chunk_off].busy = true;  // claim
+      out.push_back(candidates[i].tc);
+    }
+    return out;
+  }
+}
+
+void OpLog::DetachForTier(uint64_t chunk_off) {
+  LockGuard<SpinLock> g(usage_lock_);
+  auto it = usage_.find(chunk_off);
+  FLATSTORE_CHECK(it != usage_.end())
+      << "DetachForTier on unknown chunk " << chunk_off;
+  FLATSTORE_CHECK(it->second.busy)
+      << "DetachForTier without a claim on chunk " << chunk_off;
+  // No UnregisterChunk, no FreeRawChunk, no checkpoint disarm: the chunk
+  // stays registered (with its persistent kChunkTiered flag) and its
+  // bytes stay allocated — tier nodes alias entries inside it. An armed
+  // checkpoint also stays valid for the same reason.
+  usage_.erase(it);
 }
 
 void OpLog::BeginRetire(uint64_t chunk_off) {

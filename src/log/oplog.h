@@ -77,6 +77,12 @@ struct ChunkUsage {
   bool cleaner = false;      // written by the cleaner path
   Temp temp = Temp::kHot;    // cleaner chunks: survivor temperature lane
   bool retired = false;      // unlinked; physical free deferred (epochs)
+  // Claimed for exclusive background processing: either an in-flight
+  // cleaner job or a tier conversion. Claimed chunks are invisible to
+  // both PickVictims and PickTierCandidates, so the cleaner can never
+  // reach BeginRetire on a chunk the tiering pass detached (and vice
+  // versa). Volatile only.
+  bool busy = false;
   uint64_t registry_slot = 0;
 };
 
@@ -203,6 +209,38 @@ class OpLog {
   // step). With epoch-based retirement this runs from the deferred-free
   // queue, one grace period after BeginRetire.
   void ReleaseChunk(uint64_t chunk_off);
+
+  // --- tiering handoff (DESIGN.md §11) ---
+
+  // Claims a chunk for exclusive background processing. Returns false if
+  // the chunk is unknown, retired, or already claimed. The claim is
+  // dropped by UnclaimChunk, or consumed by the claimant's terminal step
+  // (ReleaseChunk for cleaner jobs, DetachForTier for conversions).
+  bool ClaimChunk(uint64_t chunk_off);
+  void UnclaimChunk(uint64_t chunk_off);
+
+  struct TierCandidate {
+    uint64_t chunk_off = 0;
+    uint32_t seq = 0;
+    uint64_t registry_slot = 0;
+  };
+
+  // Chooses sealed chunks ready for tier conversion: at least `min_age`
+  // write-clock ticks idle, live-entry ratio at or above
+  // `min_live_ratio` (mostly-dead chunks are better freed by the
+  // cleaner than leaked into the tier), never the serving/tail/cleaner
+  // chunks. Cold cleaner chunks come first (the PR 5 cold lane drains
+  // into the tier), then oldest sequence. Every returned chunk is
+  // claimed; the caller must DetachForTier or UnclaimChunk it.
+  std::vector<TierCandidate> PickTierCandidates(uint64_t min_age,
+                                                double min_live_ratio,
+                                                size_t max);
+
+  // Forgets a chunk converted into the tier: erased from the usage map
+  // (never again a victim, candidate, or MinSeq contributor) but neither
+  // unregistered nor freed — tier nodes alias its entry bytes forever.
+  // The caller must have set the persistent kChunkTiered flag first.
+  void DetachForTier(uint64_t chunk_off);
 
   // Seals the current serving chunk at its present extent; the next
   // append starts a fresh chunk. This is forced log rotation: it makes a

@@ -20,8 +20,18 @@ namespace net {
 inline constexpr uint32_t kMaxMsgValue = 4096;
 
 // kTxn carries an atomic multi-op transaction (§5.3) encoded into the
-// request's value bytes (core/txn_wire.h).
-enum class MsgType : uint8_t { kPut = 1, kGet = 2, kDelete = 3, kTxn = 4 };
+// request's value bytes (core/txn_wire.h). kScan is a range read: the
+// request's value_len field carries the scan length (keys wanted from
+// `key` upward); the response returns the number found in its value
+// bytes — the simulation accounts the per-item read work on the serving
+// core but does not stream the scanned values back.
+enum class MsgType : uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDelete = 3,
+  kTxn = 4,
+  kScan = 5,
+};
 
 enum class MsgStatus : uint8_t {
   kOk = 0,

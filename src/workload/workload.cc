@@ -9,7 +9,10 @@ namespace workload {
 Generator::Generator(const Config& config, uint64_t seed)
     : config_(config), rng_(seed) {
   FLATSTORE_CHECK(config_.key_space > 0);
-  FLATSTORE_CHECK(config_.get_ratio + config_.delete_ratio <= 1.0);
+  FLATSTORE_CHECK(config_.get_ratio + config_.delete_ratio +
+                      config_.scan_ratio <=
+                  1.0);
+  FLATSTORE_CHECK(config_.scan_len_max > 0);
   etc_small_space_ = static_cast<uint64_t>(
       static_cast<double>(config_.key_space) *
       (kEtcTinyFrac + kEtcSmallFrac));
@@ -58,6 +61,7 @@ uint64_t Generator::NextKey() {
 Op Generator::Next() {
   Op op;
   op.key = NextKey();
+  op.scan_len = 0;
   const double r = rng_.NextDouble();
   if (r < config_.get_ratio) {
     op.type = OpType::kGet;
@@ -65,6 +69,12 @@ Op Generator::Next() {
   } else if (r < config_.get_ratio + config_.delete_ratio) {
     op.type = OpType::kDelete;
     op.value_len = 0;
+  } else if (r < config_.get_ratio + config_.delete_ratio +
+                     config_.scan_ratio) {
+    op.type = OpType::kScan;
+    op.value_len = 0;
+    op.scan_len =
+        1 + static_cast<uint32_t>(rng_.Uniform(config_.scan_len_max));
   } else {
     op.type = OpType::kPut;
     op.value_len = config_.etc_values

@@ -3,7 +3,8 @@
 // Two families:
 //  * YCSB-style microbenchmarks (§5.1): fixed value length, uniform or
 //    scrambled-zipfian (0.99) key popularity over a fixed key range,
-//    configurable Put/Get/Delete mix.
+//    configurable Put/Get/Delete/Scan mix (scan_ratio > 0 gives the
+//    YCSB-E shape: short ranges from zipfian start keys).
 //  * Facebook ETC pool emulation (§5.2): trimodal item sizes — 40 % tiny
 //    (1–13 B), 55 % small (14–300 B), 5 % large (> 300 B) — zipfian access
 //    over the tiny+small sets and uniform access over the large set, with
@@ -24,12 +25,13 @@ namespace flatstore {
 namespace workload {
 
 // One generated request.
-enum class OpType : uint8_t { kPut = 1, kGet = 2, kDelete = 3 };
+enum class OpType : uint8_t { kPut = 1, kGet = 2, kDelete = 3, kScan = 4 };
 
 struct Op {
   OpType type;
   uint64_t key;
   uint32_t value_len;  // Put only
+  uint32_t scan_len;   // Scan only: number of keys to range-read
 };
 
 // Key popularity distribution.
@@ -42,6 +44,10 @@ struct Config {
   double zipf_theta = 0.99;  // the paper's default skewness
   double get_ratio = 0.0;    // fraction of Gets
   double delete_ratio = 0.0; // fraction of Deletes
+  // Fraction of range scans (YCSB-E shape: zipfian start keys via `dist`,
+  // scan length uniform in [1, scan_len_max]).
+  double scan_ratio = 0.0;
+  uint32_t scan_len_max = 100;
   // Value sizing: fixed length, or the ETC trimodal distribution.
   bool etc_values = false;
   uint32_t value_len = 64;   // when !etc_values

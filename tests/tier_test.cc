@@ -1,0 +1,275 @@
+// Persistent ordered tier (DESIGN.md §11): log-to-tier conversion,
+// merged hash-store scans, scan equivalence against the full-iteration
+// baseline under puts/deletes/GC churn, tombstone handling, and
+// incremental (bounded) recovery that skips tiered chunks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fsck.h"
+#include "core/flatstore.h"
+#include "tier/tier.h"
+
+namespace flatstore {
+namespace core {
+namespace {
+
+using ScanRows = std::vector<std::pair<uint64_t, std::string>>;
+
+std::string ValueFor(uint64_t key, uint64_t nonce, size_t len) {
+  std::string v(len, static_cast<char>('a' + (key + nonce) % 26));
+  std::memcpy(&v[0], &key, std::min<size_t>(8, len));
+  return v;
+}
+
+FlatStoreOptions TierOptions(int cores = 2) {
+  FlatStoreOptions fo;
+  fo.num_cores = cores;
+  fo.group_size = cores;
+  fo.hash_initial_depth = 4;
+  fo.tier_enabled = true;
+  return fo;
+}
+
+std::unique_ptr<pm::PmPool> MakePool(uint64_t mb = 128) {
+  pm::PmPool::Options o;
+  o.size = mb << 20;
+  return std::make_unique<pm::PmPool>(o);
+}
+
+TEST(Tier, ConvertAndServe) {
+  auto pool = MakePool();
+  auto store = FlatStore::Create(pool.get(), TierOptions());
+  for (uint64_t k = 0; k < 512; k++) {
+    store->Put(k, ValueFor(k, 1, 40));
+  }
+  store->SealActiveLogChunks();
+  // Advance each core's durable tail into a fresh chunk: the tail chunk
+  // itself never tiers (recovery's tail record must stay replayable).
+  for (uint64_t k = 512; k < 520; k++) {
+    store->Put(k, ValueFor(k, 1, 40));
+  }
+  EXPECT_GT(store->RunTieringOnce(), 0u);
+  EXPECT_GT(store->ChunksTiered(), 0u);
+  ASSERT_NE(store->tier(), nullptr);
+  EXPECT_GT(store->tier()->node_count(), 0u);
+  // Point reads still come through the volatile index.
+  for (uint64_t k = 0; k < 512; k += 13) {
+    std::string v;
+    ASSERT_TRUE(store->Get(k, &v)) << k;
+    EXPECT_EQ(v, ValueFor(k, 1, 40));
+  }
+  // Range scan over the merged path: ordered, complete, correct bytes.
+  ScanRows rows;
+  EXPECT_EQ(store->Scan(100, 50, &rows), 50u);
+  for (size_t i = 0; i < rows.size(); i++) {
+    EXPECT_EQ(rows[i].first, 100 + i);
+    EXPECT_EQ(rows[i].second, ValueFor(100 + i, 1, 40));
+  }
+}
+
+TEST(Tier, SupersededEntriesNeverResurface) {
+  auto pool = MakePool();
+  auto store = FlatStore::Create(pool.get(), TierOptions());
+  for (uint64_t k = 0; k < 256; k++) {
+    store->Put(k, ValueFor(k, 1, 60));
+  }
+  store->SealActiveLogChunks();
+  // Supersede half the keys and delete a few AFTER sealing: the tier
+  // conversion must keep only entries the index still points at.
+  for (uint64_t k = 0; k < 256; k += 2) {
+    store->Put(k, ValueFor(k, 2, 72));
+  }
+  for (uint64_t k = 1; k < 32; k += 2) {
+    ASSERT_TRUE(store->Delete(k));
+  }
+  EXPECT_GT(store->RunTieringOnce(), 0u);
+  ScanRows rows;
+  store->Scan(0, 256, &rows);
+  for (const auto& [k, v] : rows) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(v, ValueFor(k, 2, 72)) << k;
+    } else {
+      EXPECT_GE(k, 32u) << "deleted key resurfaced in scan";
+      EXPECT_EQ(v, ValueFor(k, 1, 60)) << k;
+    }
+  }
+}
+
+// The acceptance check: the merged volatile+tier scan must be
+// byte-identical to the full volatile-index iteration at every quiesced
+// point of a put/delete/GC/tiering churn schedule.
+TEST(Tier, ScanEquivalentToFullIterationUnderChurn) {
+  auto pool = MakePool(256);
+  auto opts = TierOptions();
+  opts.gc_live_ratio = 0.9;
+  auto store = FlatStore::Create(pool.get(), opts);
+  constexpr uint64_t kKeys = 1500;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    store->Put(k, ValueFor(k, 0, 50));
+  }
+  auto compare = [&](uint64_t start, uint64_t count) {
+    ScanRows merged, full;
+    const uint64_t a = store->Scan(start, count, &merged);
+    const uint64_t b = store->ScanFullIteration(start, count, &full);
+    ASSERT_EQ(a, b) << "start=" << start << " count=" << count;
+    ASSERT_EQ(merged, full) << "start=" << start << " count=" << count;
+  };
+  for (int round = 1; round <= 4; round++) {
+    // Churn: overwrites, deletes, re-puts — then GC and tiering passes.
+    for (uint64_t k = 0; k < kKeys; k += 3) {
+      store->Put(k, ValueFor(k, static_cast<uint64_t>(round), 50 + round));
+    }
+    for (uint64_t k = 1; k < kKeys; k += 97) store->Delete(k);
+    for (uint64_t k = 1; k < kKeys; k += 194) {
+      store->Put(k, ValueFor(k, static_cast<uint64_t>(round), 33));
+    }
+    store->SealActiveLogChunks();
+    store->RunCleanersOnce();
+    store->RunTieringOnce();
+    compare(0, kKeys);
+    compare(kKeys / 3, 100);
+    compare(kKeys - 40, 200);  // tail: fewer than `count` keys remain
+    compare(kKeys + 1000, 10);  // empty range
+  }
+  EXPECT_GT(store->ChunksTiered(), 0u);
+}
+
+// Scans racing live writers must stay well-formed: strictly ascending
+// keys, no crashes, every returned value a version some Put wrote.
+TEST(Tier, ConcurrentScanSmoke) {
+  auto pool = MakePool(256);
+  auto store = FlatStore::Create(pool.get(), TierOptions());
+  constexpr uint64_t kKeys = 1024;
+  for (uint64_t k = 0; k < kKeys; k++) {
+    store->Put(k, ValueFor(k, 0, 48));
+  }
+  store->SealActiveLogChunks();
+  store->RunTieringOnce();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t nonce = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (uint64_t k = 0; k < kKeys; k += 5) {
+        store->Put(k, ValueFor(k, nonce, 48));
+      }
+      nonce++;
+    }
+  });
+  for (int i = 0; i < 50; i++) {
+    ScanRows rows;
+    store->Scan((i * 37) % kKeys, 120, &rows);
+    for (size_t j = 1; j < rows.size(); j++) {
+      ASSERT_LT(rows[j - 1].first, rows[j].first);
+    }
+    for (const auto& [k, v] : rows) {
+      ASSERT_EQ(v.size(), 48u) << k;
+      uint64_t embedded = 0;
+      std::memcpy(&embedded, v.data(), 8);
+      ASSERT_EQ(embedded, k);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Tier, RecoverySkipsTieredChunksAndKeepsData) {
+  auto pool = MakePool();
+  {
+    auto store = FlatStore::Create(pool.get(), TierOptions());
+    for (uint64_t k = 0; k < 600; k++) {
+      store->Put(k, ValueFor(k, 3, 44));
+    }
+    store->SealActiveLogChunks();
+    for (uint64_t k = 0; k < 64; k++) {
+      store->Put(k, ValueFor(k, 4, 52));  // un-tiered suffix
+    }
+    ASSERT_GT(store->RunTieringOnce(), 0u);
+    // No Shutdown(): simulate a crash so Open takes the replay path.
+  }
+  core::FsckReport rep = core::FsckPool(*pool);
+  EXPECT_TRUE(rep.ok) << rep.Summary();
+  EXPECT_GT(rep.tiered_chunks, 0u);
+  EXPECT_GT(rep.tier_nodes, 0u);
+  auto store = FlatStore::Open(pool.get(), TierOptions());
+  const auto& rs = store->recovery_stats();
+  EXPECT_GT(rs.tier_nodes_loaded, 0u);
+  EXPECT_GT(rs.chunks_skipped_tiered, 0u);
+  for (uint64_t k = 0; k < 600; k++) {
+    std::string v;
+    ASSERT_TRUE(store->Get(k, &v)) << k;
+    EXPECT_EQ(v, ValueFor(k, k < 64 ? 4 : 3, k < 64 ? 52 : 44)) << k;
+  }
+  // The merged scan works right after recovery (delta sets rebuilt).
+  ScanRows rows, full;
+  ASSERT_EQ(store->Scan(0, 600, &rows),
+            store->ScanFullIteration(0, 600, &full));
+  EXPECT_EQ(rows, full);
+}
+
+TEST(Tier, TieredTombstoneStaysDeadAcrossReopen) {
+  auto pool = MakePool();
+  {
+    auto store = FlatStore::Create(pool.get(), TierOptions());
+    for (uint64_t k = 0; k < 128; k++) {
+      store->Put(k, ValueFor(k, 5, 40));
+    }
+    ASSERT_TRUE(store->Delete(7));
+    ASSERT_TRUE(store->Delete(11));
+    store->SealActiveLogChunks();
+    for (uint64_t k = 200; k < 208; k++) {
+      store->Put(k, ValueFor(k, 5, 40));  // advance tails past the seal
+    }
+    ASSERT_GT(store->RunTieringOnce(), 0u);
+    std::string v;
+    EXPECT_FALSE(store->Get(7, &v));
+  }
+  auto store = FlatStore::Open(pool.get(), TierOptions());
+  std::string v;
+  EXPECT_FALSE(store->Get(7, &v));
+  EXPECT_FALSE(store->Get(11, &v));
+  ASSERT_TRUE(store->Get(8, &v));
+  EXPECT_EQ(v, ValueFor(8, 5, 40));
+  ScanRows rows;
+  store->Scan(0, 128, &rows);
+  for (const auto& [k, val] : rows) {
+    EXPECT_NE(k, 7u);
+    EXPECT_NE(k, 11u);
+  }
+}
+
+TEST(Tier, RepeatedConversionAcrossReopens) {
+  auto pool = MakePool(256);
+  for (int gen = 0; gen < 3; gen++) {
+    auto store = gen == 0 ? FlatStore::Create(pool.get(), TierOptions())
+                          : FlatStore::Open(pool.get(), TierOptions());
+    for (uint64_t k = 0; k < 400; k++) {
+      store->Put(k + static_cast<uint64_t>(gen) * 1000,
+                 ValueFor(k, static_cast<uint64_t>(gen), 46));
+    }
+    store->SealActiveLogChunks();
+    store->RunTieringOnce();
+  }
+  auto store = FlatStore::Open(pool.get(), TierOptions());
+  for (int gen = 0; gen < 3; gen++) {
+    for (uint64_t k = 0; k < 400; k += 11) {
+      std::string v;
+      const uint64_t key = k + static_cast<uint64_t>(gen) * 1000;
+      ASSERT_TRUE(store->Get(key, &v)) << key;
+      EXPECT_EQ(v, ValueFor(k, static_cast<uint64_t>(gen), 46));
+    }
+  }
+  ScanRows rows, full;
+  ASSERT_EQ(store->Scan(0, 1200, &rows),
+            store->ScanFullIteration(0, 1200, &full));
+  EXPECT_EQ(rows, full);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace flatstore

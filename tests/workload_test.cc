@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "workload/workload.h"
@@ -28,8 +29,9 @@ TEST(Generator, OpMixRatios) {
   Config cfg;
   cfg.get_ratio = 0.5;
   cfg.delete_ratio = 0.1;
+  cfg.scan_ratio = 0.2;
   Generator g(cfg, 7);
-  int gets = 0, dels = 0, puts = 0;
+  int gets = 0, dels = 0, puts = 0, scans = 0;
   constexpr int kN = 100000;
   for (int i = 0; i < kN; i++) {
     switch (g.Next().type) {
@@ -39,6 +41,9 @@ TEST(Generator, OpMixRatios) {
       case OpType::kDelete:
         dels++;
         break;
+      case OpType::kScan:
+        scans++;
+        break;
       case OpType::kPut:
         puts++;
         break;
@@ -46,7 +51,26 @@ TEST(Generator, OpMixRatios) {
   }
   EXPECT_NEAR(static_cast<double>(gets) / kN, 0.5, 0.01);
   EXPECT_NEAR(static_cast<double>(dels) / kN, 0.1, 0.01);
-  EXPECT_NEAR(static_cast<double>(puts) / kN, 0.4, 0.01);
+  EXPECT_NEAR(static_cast<double>(scans) / kN, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(puts) / kN, 0.2, 0.01);
+}
+
+TEST(Generator, ScanLengthsSpanConfiguredRange) {
+  Config cfg;
+  cfg.scan_ratio = 1.0;
+  cfg.scan_len_max = 100;
+  Generator g(cfg, 9);
+  uint32_t lo = UINT32_MAX, hi = 0;
+  for (int i = 0; i < 10000; i++) {
+    Op op = g.Next();
+    ASSERT_EQ(op.type, OpType::kScan);
+    ASSERT_GE(op.scan_len, 1u);
+    ASSERT_LE(op.scan_len, 100u);
+    lo = std::min(lo, op.scan_len);
+    hi = std::max(hi, op.scan_len);
+  }
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 100u);
 }
 
 TEST(Generator, UniformKeysCoverSpace) {
